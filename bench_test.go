@@ -1,0 +1,369 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation section, plus ablations of the design choices called out in
+// DESIGN.md. Each benchmark reports the simulated cycle counts of its
+// experiment as custom metrics, so `go test -bench=.` doubles as the
+// reproduction harness:
+//
+//	go test -bench=Table2 -benchtime=1x
+//	go test -bench=. -benchmem
+package pcoup_test
+
+import (
+	"fmt"
+	"testing"
+
+	"pcoup"
+	"pcoup/internal/compiler"
+	"pcoup/internal/experiments"
+	"pcoup/internal/machine"
+	"pcoup/internal/sim"
+)
+
+// BenchmarkTable2 regenerates Table 2 (and Figure 4's data): baseline
+// cycle counts for each benchmark under SEQ, STS, TPE, Coupled, and
+// Ideal.
+func BenchmarkTable2(b *testing.B) {
+	var rows []experiments.Table2Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Table2(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(float64(r.Cycles), fmt.Sprintf("cyc_%s_%s", r.Bench, r.Mode))
+	}
+}
+
+// BenchmarkFigure4 is the bar-chart view of Table 2 (same simulation
+// work; kept as its own target so every figure has one).
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table2(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure5 regenerates the function-unit utilization chart.
+func BenchmarkFigure5(b *testing.B) {
+	var rows []experiments.Figure5Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Figure5(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Mode == experiments.COUPLED {
+			b.ReportMetric(r.Util[machine.FPU], "fpu_"+r.Bench)
+		}
+	}
+}
+
+// BenchmarkTable3 regenerates the thread-interference experiment.
+func BenchmarkTable3(b *testing.B) {
+	var res *experiments.Table3Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Table3(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.STSCycles), "cyc_sts")
+	b.ReportMetric(float64(res.CoupledCycles), "cyc_coupled")
+	b.ReportMetric(res.CoupledWeighted, "cyc_per_eval")
+}
+
+// BenchmarkFigure6 regenerates the restricted-communication experiment.
+func BenchmarkFigure6(b *testing.B) {
+	var rows []experiments.Figure6Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Figure6(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Interconnect == machine.TriPort {
+			b.ReportMetric(r.VsFull, "triport_vs_full_"+r.Bench)
+		}
+	}
+}
+
+// BenchmarkFigure7 regenerates the variable-memory-latency experiment.
+func BenchmarkFigure7(b *testing.B) {
+	var rows []experiments.Figure7Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Figure7(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Memory == "Mem2" {
+			b.ReportMetric(r.VsMin, fmt.Sprintf("mem2_vs_min_%s_%s", r.Bench, r.Mode))
+		}
+	}
+}
+
+// BenchmarkFigure8 regenerates the function-unit-mix sweep.
+func BenchmarkFigure8(b *testing.B) {
+	var rows []experiments.Figure8Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Figure8()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.IUs == 4 && r.FPUs == 4 {
+			b.ReportMetric(float64(r.Cycles), "cyc44_"+r.Bench)
+		}
+	}
+}
+
+// runCell compiles and simulates one benchmark/mode cell, reporting the
+// simulated cycles.
+func runCell(b *testing.B, benchName string, mode experiments.Mode, cfg *machine.Config) int64 {
+	b.Helper()
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Execute(benchName, mode, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = r.Cycles
+	}
+	b.ReportMetric(float64(cycles), "sim_cycles")
+	return cycles
+}
+
+// BenchmarkModes gives one target per (benchmark, mode) cell for
+// fine-grained measurement of the toolchain itself.
+func BenchmarkModes(b *testing.B) {
+	for _, name := range pcoup.BenchmarkNames() {
+		for _, mode := range experiments.Modes() {
+			if !experiments.ModeSupported(name, mode) {
+				continue
+			}
+			b.Run(fmt.Sprintf("%s/%s", name, mode), func(b *testing.B) {
+				runCell(b, name, mode, machine.Baseline())
+			})
+		}
+	}
+}
+
+// BenchmarkAblationArbitration compares priority against round-robin
+// function-unit arbitration on the Table 3 workload.
+func BenchmarkAblationArbitration(b *testing.B) {
+	for _, arb := range []machine.ArbitrationKind{machine.PriorityArbitration, machine.RoundRobinArbitration} {
+		b.Run(arb.String(), func(b *testing.B) {
+			cfg := machine.Baseline()
+			cfg.Arbitration = arb
+			runCell(b, "modelq", experiments.COUPLED, cfg)
+		})
+	}
+}
+
+// BenchmarkAblationLockStep quantifies the value of letting the static
+// schedule slip: coupled execution with and without lock-step issue.
+func BenchmarkAblationLockStep(b *testing.B) {
+	for _, lock := range []bool{false, true} {
+		name := "slip"
+		if lock {
+			name = "lockstep"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := machine.Baseline()
+			cfg.LockStepIssue = lock
+			runCell(b, "matrix", experiments.COUPLED, cfg)
+		})
+	}
+}
+
+// BenchmarkAblationBankConflicts measures the error of the paper's
+// no-bank-conflict assumption by enabling conflict modeling.
+func BenchmarkAblationBankConflicts(b *testing.B) {
+	for _, conflicts := range []bool{false, true} {
+		name := "ideal_banks"
+		if conflicts {
+			name = "real_banks"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := machine.Baseline()
+			cfg.Memory.ModelBankConflicts = conflicts
+			runCell(b, "fft", experiments.COUPLED, cfg)
+		})
+	}
+}
+
+// BenchmarkAblationOptimizer measures the contribution of the compiler's
+// scalar optimizations.
+func BenchmarkAblationOptimizer(b *testing.B) {
+	for _, disable := range []bool{false, true} {
+		name := "opt"
+		if disable {
+			name = "noopt"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := machine.Baseline()
+			bm, err := pcoup.GenerateBenchmark("matrix", pcoup.SequentialSource)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var cycles int64
+			for i := 0; i < b.N; i++ {
+				prog, _, err := compiler.Compile(bm.Source, cfg, compiler.Options{
+					Mode: compiler.Unrestricted, DisableOpt: disable,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				s, err := sim.New(cfg, prog)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := s.Run(0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = res.Cycles
+			}
+			b.ReportMetric(float64(cycles), "sim_cycles")
+		})
+	}
+}
+
+// BenchmarkCompiler measures raw compile throughput on the largest
+// benchmark source (LUD).
+func BenchmarkCompiler(b *testing.B) {
+	bm, err := pcoup.GenerateBenchmark("lud", pcoup.ThreadedSource)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := machine.Baseline()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := compiler.Compile(bm.Source, cfg, compiler.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulator measures raw simulation throughput (cycles per
+// second of host time) on the coupled Matrix benchmark.
+func BenchmarkSimulator(b *testing.B) {
+	bm, err := pcoup.GenerateBenchmark("matrix", pcoup.ThreadedSource)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := machine.Baseline()
+	prog, _, err := compiler.Compile(bm.Source, cfg, compiler.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var total int64
+	for i := 0; i < b.N; i++ {
+		s, err := sim.New(cfg, prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := s.Run(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += res.Cycles
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "simcycles/s")
+}
+
+// BenchmarkAblationOpCache measures the cost of the paper's
+// no-instruction-cache-miss assumption: coupled FFT with per-unit
+// operation caches of decreasing size (0 = the paper's infinite-cache
+// assumption).
+func BenchmarkAblationOpCache(b *testing.B) {
+	for _, entries := range []int{0, 1024, 64} {
+		name := "paper_assumption"
+		if entries > 0 {
+			name = fmt.Sprintf("entries_%d", entries)
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := machine.Baseline()
+			if entries > 0 {
+				cfg.OpCache = machine.OpCacheModel{Entries: entries, MissPenalty: 4}
+			}
+			runCell(b, "fft", experiments.COUPLED, cfg)
+		})
+	}
+}
+
+// BenchmarkRegisters regenerates the register-usage report (Section 3's
+// infinite-register assumption).
+func BenchmarkRegisters(b *testing.B) {
+	var rows []experiments.RegisterRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Registers(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Mode == experiments.IDEAL {
+			b.ReportMetric(float64(r.PeakPerCluster), "peak_regs_"+r.Bench+"_ideal")
+		}
+	}
+}
+
+// BenchmarkScaling regenerates the problem-size scaling study.
+func BenchmarkScaling(b *testing.B) {
+	var rows []experiments.ScalingRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Scaling(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Speedup, fmt.Sprintf("speedup_%s_%d", r.Bench, r.Size))
+	}
+}
+
+// BenchmarkExtensionUnroll regenerates the automatic-unrolling study.
+func BenchmarkExtensionUnroll(b *testing.B) {
+	var rows []experiments.UnrollRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Unrolling(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Gain, fmt.Sprintf("gain_%s_%s", r.Bench, r.Mode))
+	}
+}
+
+// BenchmarkExtensionThreadCap regenerates the active-thread-limit sweep.
+func BenchmarkExtensionThreadCap(b *testing.B) {
+	var rows []experiments.ThreadCapRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.ThreadCap(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(float64(r.Cycles), fmt.Sprintf("cyc_%s_cap%d", r.Bench, r.Cap))
+	}
+}

@@ -1,0 +1,139 @@
+// Command pcbench regenerates the tables and figures of the paper's
+// evaluation section. Each experiment compiles the relevant benchmarks,
+// simulates them on the appropriate machine configurations, verifies the
+// computed results against Go reference implementations, and prints the
+// table/figure data.
+//
+// Usage:
+//
+//	pcbench -exp table2|figure4|figure5|table3|figure6|figure7|figure8|registers|scaling|unroll|threadcap|feasibility|all
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"pcoup/internal/experiments"
+	"pcoup/internal/feasibility"
+	"pcoup/internal/machine"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (table2, figure4, figure5, table3, figure6, figure7, figure8, registers, scaling, unroll, threadcap, feasibility, all)")
+	machinePath := flag.String("machine", "", "machine configuration JSON file (default: baseline; Figure 8 always sweeps its own machines)")
+	asJSON := flag.Bool("json", false, "emit raw experiment rows as JSON instead of formatted tables")
+	flag.Parse()
+
+	baseCfg := machine.Baseline()
+	if *machinePath != "" {
+		var err error
+		baseCfg, err = machine.Load(*machinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pcbench:", err)
+			os.Exit(1)
+		}
+	}
+
+	emit := func(rows any, write func()) error {
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(rows)
+		}
+		write()
+		return nil
+	}
+
+	run := func(name string) error {
+		cfg := baseCfg
+		switch name {
+		case "table2":
+			rows, err := experiments.Table2(cfg)
+			if err != nil {
+				return err
+			}
+			return emit(rows, func() { experiments.WriteTable2(os.Stdout, rows) })
+		case "figure4":
+			rows, err := experiments.Table2(cfg)
+			if err != nil {
+				return err
+			}
+			return emit(rows, func() { experiments.WriteFigure4(os.Stdout, rows) })
+		case "figure5":
+			rows, err := experiments.Figure5(cfg)
+			if err != nil {
+				return err
+			}
+			return emit(rows, func() { experiments.WriteFigure5(os.Stdout, rows) })
+		case "table3":
+			res, err := experiments.Table3(cfg)
+			if err != nil {
+				return err
+			}
+			return emit(res, func() { experiments.WriteTable3(os.Stdout, res) })
+		case "figure6":
+			rows, err := experiments.Figure6(cfg)
+			if err != nil {
+				return err
+			}
+			return emit(rows, func() { experiments.WriteFigure6(os.Stdout, rows) })
+		case "figure7":
+			rows, err := experiments.Figure7(cfg)
+			if err != nil {
+				return err
+			}
+			return emit(rows, func() { experiments.WriteFigure7(os.Stdout, rows) })
+		case "figure8":
+			rows, err := experiments.Figure8()
+			if err != nil {
+				return err
+			}
+			return emit(rows, func() { experiments.WriteFigure8(os.Stdout, rows) })
+		case "registers":
+			rows, err := experiments.Registers(cfg)
+			if err != nil {
+				return err
+			}
+			return emit(rows, func() { experiments.WriteRegisters(os.Stdout, rows) })
+		case "scaling":
+			rows, err := experiments.Scaling(cfg)
+			if err != nil {
+				return err
+			}
+			return emit(rows, func() { experiments.WriteScaling(os.Stdout, rows) })
+		case "unroll":
+			rows, err := experiments.Unrolling(cfg)
+			if err != nil {
+				return err
+			}
+			return emit(rows, func() { experiments.WriteUnrolling(os.Stdout, rows) })
+		case "threadcap":
+			rows, err := experiments.ThreadCap(nil)
+			if err != nil {
+				return err
+			}
+			return emit(rows, func() { experiments.WriteThreadCap(os.Stdout, rows) })
+		case "feasibility":
+			reports := feasibility.Compare(cfg, feasibility.DefaultParams())
+			return emit(reports, func() { feasibility.Write(os.Stdout, cfg, reports) })
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = []string{"table2", "figure4", "figure5", "table3", "figure6", "figure7", "figure8", "registers", "scaling", "unroll", "threadcap", "feasibility"}
+	}
+	for i, n := range names {
+		if i > 0 {
+			fmt.Println()
+		}
+		if err := run(n); err != nil {
+			fmt.Fprintf(os.Stderr, "pcbench: %s: %v\n", n, err)
+			os.Exit(1)
+		}
+	}
+}

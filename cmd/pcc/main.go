@@ -1,0 +1,100 @@
+// Command pcc is the processor-coupling compiler: it translates a source
+// file in the paper's Lisp-syntax language into assembly for a particular
+// machine configuration, and reports schedule diagnostics (the paper's
+// compiler likewise emitted assembly, a diagnostic file, and register
+// usage information).
+//
+// Usage:
+//
+//	pcc [-machine config.json] [-mode single|unrestricted] [-o out.pca] [-diag] prog.pcl
+//
+// Without -machine the baseline machine is used; without -o the assembly
+// is written to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pcoup/internal/compiler"
+	"pcoup/internal/isa"
+	"pcoup/internal/machine"
+)
+
+func main() {
+	machinePath := flag.String("machine", "", "machine configuration JSON file (default: baseline)")
+	modeFlag := flag.String("mode", "unrestricted", "cluster restriction: single or unrestricted")
+	out := flag.String("o", "", "output assembly file (default: stdout)")
+	diag := flag.Bool("diag", false, "print per-segment schedule diagnostics to stderr")
+	schedule := flag.Bool("schedule", false, "print each segment's static schedule as a word-by-unit table to stderr (the paper's Figure 1 view)")
+	describe := flag.Bool("describe", false, "print the target machine organization to stderr")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: pcc [flags] prog.pcl")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := machine.Baseline()
+	if *machinePath != "" {
+		var err error
+		cfg, err = machine.Load(*machinePath)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	var mode compiler.Mode
+	switch *modeFlag {
+	case "single":
+		mode = compiler.SingleCluster
+	case "unrestricted":
+		mode = compiler.Unrestricted
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *modeFlag))
+	}
+
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, diags, err := compiler.Compile(string(src), cfg, compiler.Options{Mode: mode})
+	if err != nil {
+		fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := isa.WriteText(w, prog); err != nil {
+		fatal(err)
+	}
+
+	if *diag {
+		fmt.Fprintf(os.Stderr, "%-24s %6s %6s %6s %10s %s\n", "segment", "words", "ops", "moves", "loopwords", "regs/cluster")
+		for _, d := range diags.Segments {
+			fmt.Fprintf(os.Stderr, "%-24s %6d %6d %6d %10d %v\n",
+				d.Name, d.Words, d.Ops, d.Moves, d.LoopWords, d.RegsPerCluster)
+		}
+	}
+	if *describe {
+		isa.Describe(os.Stderr, cfg)
+	}
+	if *schedule {
+		for _, seg := range prog.Segments {
+			isa.WriteScheduleTable(os.Stderr, seg, cfg)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pcc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,39 @@
+// Command pcfeas prints the feasibility model's area comparison of the
+// inter-cluster communication schemes (the paper's Sections 5-6
+// discussion; Section 4 quotes Tri-Port at ~28% of the fully connected
+// interconnect and register file area for a four-cluster machine).
+//
+// Usage:
+//
+//	pcfeas [-machine config.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pcoup/internal/feasibility"
+	"pcoup/internal/machine"
+)
+
+func main() {
+	machinePath := flag.String("machine", "", "machine configuration JSON file (default: baseline)")
+	flag.Parse()
+
+	cfg := machine.Baseline()
+	if *machinePath != "" {
+		var err error
+		cfg, err = machine.Load(*machinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pcfeas:", err)
+			os.Exit(1)
+		}
+	}
+	params := feasibility.DefaultParams()
+	feasibility.Write(os.Stdout, cfg, feasibility.Compare(cfg, params))
+	fmt.Println()
+	fmt.Println("model: register file cell area grows with (read+write ports)^2;")
+	fmt.Println("buses cost wiring proportional to their span; operation caches and")
+	fmt.Println("buffers are per function unit and independent of the scheme.")
+}

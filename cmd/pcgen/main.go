@@ -1,0 +1,70 @@
+// Command pcgen emits the benchmark programs' source code, letting users
+// inspect or modify the exact programs the experiments run and feed them
+// through pcc/pcsim by hand.
+//
+// Usage:
+//
+//	pcgen -bench matrix|fft|lud|model|modelq [-kind sequential|threaded|ideal] [-size N] [-o out.pcl]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pcoup/internal/bench"
+)
+
+func main() {
+	name := flag.String("bench", "", "benchmark to generate (matrix, fft, lud, model, modelq)")
+	kindFlag := flag.String("kind", "threaded", "source variant: sequential, threaded, or ideal")
+	size := flag.Int("size", 0, "problem size (0 = the paper's size); meaning is per benchmark: matrix N, fft points, lud mesh side, model devices")
+	out := flag.String("o", "", "output file (default: stdout)")
+	flag.Parse()
+
+	if *name == "" {
+		fmt.Fprintln(os.Stderr, "usage: pcgen -bench <name> [flags]")
+		flag.Usage()
+		os.Exit(2)
+	}
+	var kind bench.SourceKind
+	switch *kindFlag {
+	case "sequential":
+		kind = bench.Sequential
+	case "threaded":
+		kind = bench.Threaded
+	case "ideal":
+		kind = bench.Ideal
+	default:
+		fatal(fmt.Errorf("unknown kind %q", *kindFlag))
+	}
+
+	var b *bench.Benchmark
+	var err error
+	if *size > 0 {
+		b, err = bench.GetN(*name, kind, *size)
+	} else {
+		b, err = bench.Get(*name, kind)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if _, err := w.WriteString(b.Source); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pcgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,138 @@
+// Command pcsim is the processor-coupling simulator: it executes an
+// assembly program (produced by pcc) on a machine configuration and
+// reports cycle count, operation counts, function unit utilization,
+// per-thread statistics, and memory system counters.
+//
+// Usage:
+//
+//	pcsim [-machine config.json] [-trace] [-max N] [-dump global[:count]] prog.pca
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"pcoup/internal/isa"
+	"pcoup/internal/machine"
+	"pcoup/internal/sim"
+)
+
+func main() {
+	machinePath := flag.String("machine", "", "machine configuration JSON file (default: baseline)")
+	trace := flag.Bool("trace", false, "print an issue/writeback trace to stderr")
+	maxCycles := flag.Int64("max", 0, "abort after N cycles (0 = default limit)")
+	dump := flag.String("dump", "", "after the run, dump a data segment: name or name:count")
+	interleave := flag.Int64("interleave", 0, "render the unit-to-thread interleaving for the first N cycles (the paper's Figure 1/2 view)")
+	timeline := flag.Int64("timeline", 0, "render per-class utilization over time in buckets of N cycles")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: pcsim [flags] prog.pca")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := machine.Baseline()
+	if *machinePath != "" {
+		var err error
+		cfg, err = machine.Load(*machinePath)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := isa.ParseText(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	var opts []sim.Option
+	if *trace {
+		opts = append(opts, sim.WithTrace(os.Stderr))
+	}
+	var rec *sim.InterleaveRecorder
+	if *interleave > 0 {
+		rec = sim.NewInterleaveRecorder(cfg, *interleave)
+		opts = append(opts, rec.Hook())
+	}
+	var tl *sim.Timeline
+	if *timeline > 0 {
+		tl = sim.NewTimeline(cfg, *timeline)
+		opts = append(opts, tl.Hook())
+	}
+	s, err := sim.New(cfg, prog, opts...)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := s.Run(*maxCycles)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("program:  %s on %s\n", prog.Name, cfg)
+	fmt.Printf("cycles:   %d\n", res.Cycles)
+	fmt.Printf("ops:      %d (%.2f per cycle)\n", res.Ops, float64(res.Ops)/float64(res.Cycles))
+	for k := 0; k < machine.NumUnitKinds; k++ {
+		kind := machine.UnitKind(k)
+		fmt.Printf("%-4s util: %.3f ops/cycle (%d ops over %d units)\n",
+			kind, res.Utilization(kind), res.IssuedByKind[k], cfg.CountUnits(kind))
+	}
+	fmt.Printf("memory:   %d loads, %d stores, %d misses, %d parked\n",
+		res.Mem.Loads, res.Mem.Stores, res.Mem.Misses, res.Mem.Parked)
+	fmt.Printf("threads:  %d\n", len(res.Threads))
+	for _, t := range res.Threads {
+		fmt.Printf("  t%-3d %-24s spawn=%-7d halt=%-7d ops=%d\n",
+			t.ID, t.Segment, t.SpawnAt, t.HaltAt, t.OpsIssued)
+	}
+	fmt.Printf("peak registers per cluster: %v\n", res.PeakRegsPerCluster)
+
+	if rec != nil {
+		rec.Write(os.Stdout)
+	}
+	if tl != nil {
+		tl.Write(os.Stdout, res.Cycles)
+	}
+
+	if *dump != "" {
+		name, count := *dump, int64(-1)
+		if i := strings.IndexByte(*dump, ':'); i >= 0 {
+			name = (*dump)[:i]
+			n, err := strconv.ParseInt((*dump)[i+1:], 10, 64)
+			if err != nil {
+				fatal(fmt.Errorf("bad -dump count: %v", err))
+			}
+			count = n
+		}
+		for _, d := range prog.Data {
+			if d.Name != name {
+				continue
+			}
+			n := int64(len(d.Values))
+			if count >= 0 && count < n {
+				n = count
+			}
+			fmt.Printf("%s @%d:\n", d.Name, d.Addr)
+			for i := int64(0); i < n; i++ {
+				v, full := s.Memory().Peek(d.Addr + i)
+				state := "full"
+				if !full {
+					state = "empty"
+				}
+				fmt.Printf("  [%3d] %-22s %s\n", i, v, state)
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pcsim:", err)
+	os.Exit(1)
+}

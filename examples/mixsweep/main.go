@@ -1,0 +1,60 @@
+// Mixsweep: explore the number and mix of function units (the paper's
+// Figure 8) for one benchmark. Machines with 1-4 integer units and 1-4
+// floating-point units (always 4 memory units and 1 branch unit) run the
+// FFT benchmark in coupled mode.
+//
+//	go run ./examples/mixsweep [benchmark]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"pcoup"
+)
+
+func main() {
+	benchName := "fft"
+	if len(os.Args) > 1 {
+		benchName = os.Args[1]
+	}
+	b, err := pcoup.GenerateBenchmark(benchName, pcoup.ThreadedSource)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("coupled cycle counts for %s (4 MEM units, 1 BR unit):\n", benchName)
+	fmt.Printf("        ")
+	for fpu := 1; fpu <= 4; fpu++ {
+		fmt.Printf("%7d FPU", fpu)
+	}
+	fmt.Println()
+	for iu := 1; iu <= 4; iu++ {
+		fmt.Printf("%2d IU   ", iu)
+		for fpu := 1; fpu <= 4; fpu++ {
+			cfg := pcoup.MixMachine(iu, fpu)
+			prog, _, err := pcoup.Compile(b.Source, cfg, pcoup.Unrestricted)
+			if err != nil {
+				log.Fatal(err)
+			}
+			s, err := pcoup.NewSimulator(cfg, prog)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := s.Run(0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			err = b.Verify(func(g string, off int64) (pcoup.Value, bool) {
+				return pcoup.PeekGlobal(s, prog, g, off)
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %10d", res.Cycles)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\ncycle count falls as units are added; the minimum sits near 4x4")
+}

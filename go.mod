@@ -1,0 +1,3 @@
+module pcoup
+
+go 1.22

@@ -1,0 +1,322 @@
+package bench
+
+import (
+	"math"
+	"math/cmplx"
+	"strings"
+	"testing"
+
+	"pcoup/internal/compiler"
+	"pcoup/internal/isa"
+	"pcoup/internal/machine"
+	"pcoup/internal/sim"
+)
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	for _, name := range append(Names(), "modelq") {
+		for _, kind := range []SourceKind{Sequential, Threaded, Ideal} {
+			if kind == Ideal && !HasIdeal(name) {
+				continue
+			}
+			if name == "modelq" && kind == Ideal {
+				continue
+			}
+			a, err := Get(name, kind)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", name, kind, err)
+			}
+			b, _ := Get(name, kind)
+			if a.Source != b.Source {
+				t.Errorf("%s/%v: generator not deterministic", name, kind)
+			}
+			if a.Name != name || a.Kind != kind {
+				t.Errorf("%s/%v: metadata %q %v", name, kind, a.Name, a.Kind)
+			}
+		}
+	}
+}
+
+func TestGetRejectsInvalid(t *testing.T) {
+	if _, err := Get("nope", Sequential); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if _, err := Get("lud", Ideal); err == nil {
+		t.Error("lud ideal accepted")
+	}
+	if _, err := Get("model", Ideal); err == nil {
+		t.Error("model ideal accepted")
+	}
+}
+
+// TestMatrixReferenceIdentity: multiplying by the identity returns the
+// input.
+func TestMatrixReferenceIdentity(t *testing.T) {
+	a, _ := matrixInputs(matrixN)
+	id := make([]float64, matrixN*matrixN)
+	for i := 0; i < matrixN; i++ {
+		id[i*matrixN+i] = 1
+	}
+	c := matrixReference(matrixN, a, id)
+	for i := range a {
+		if c[i] != a[i] {
+			t.Fatalf("A*I != A at %d: %v vs %v", i, c[i], a[i])
+		}
+	}
+}
+
+// TestFFTReferenceAgainstDFT: the fast transform must match a direct DFT.
+func TestFFTReferenceAgainstDFT(t *testing.T) {
+	inre, inim, wr, wi := fftInputs(fftN)
+	re, im := fftReference(fftN, inre, inim, wr, wi)
+	for k := 0; k < fftN; k++ {
+		var want complex128
+		for n := 0; n < fftN; n++ {
+			w := cmplx.Exp(complex(0, -2*math.Pi*float64(k*n)/fftN))
+			want += complex(inre[n], inim[n]) * w
+		}
+		got := complex(re[k], im[k])
+		if cmplx.Abs(got-want) > 1e-9 {
+			t.Errorf("bin %d: fft %v, dft %v", k, got, want)
+		}
+	}
+}
+
+// TestLUDReferenceReconstruction: L*U must reconstruct the input matrix.
+func TestLUDReferenceReconstruction(t *testing.T) {
+	a := ludInput(ludMesh)
+	lu := ludReference(ludMesh, a)
+	n := ludN
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			// (L*U)[i][j] with L unit-lower (diag 1) and U upper.
+			sum := 0.0
+			for k := 0; k <= i && k <= j; k++ {
+				var l float64
+				if k == i {
+					l = 1
+				} else {
+					l = lu[i*n+k]
+				}
+				sum += l * lu[k*n+j]
+				if k == j {
+					break
+				}
+			}
+			if math.Abs(sum-a[i*n+j]) > 1e-9 {
+				t.Fatalf("LU reconstruction failed at (%d,%d): %v vs %v", i, j, sum, a[i*n+j])
+			}
+		}
+	}
+}
+
+// ludReconstruct is exercised above; also check the band assumption: no
+// nonzero appears outside the half-bandwidth.
+func TestLUDBandPreserved(t *testing.T) {
+	lu := ludReference(ludMesh, ludInput(ludMesh))
+	for i := 0; i < ludN; i++ {
+		for j := 0; j < ludN; j++ {
+			d := i - j
+			if d < 0 {
+				d = -d
+			}
+			if d > ludBand && lu[i*ludN+j] != 0 {
+				t.Fatalf("fill outside band at (%d,%d) = %v", i, j, lu[i*ludN+j])
+			}
+		}
+	}
+}
+
+// TestModelRegions: the synthetic netlist must exercise all three device
+// regions (cutoff, linear, saturation) so the benchmark keeps its
+// data-dependent branches.
+func TestModelRegions(t *testing.T) {
+	devs, v := modelNetlist(modelDevices, modelNodes)
+	regions := map[string]int{}
+	for _, d := range devs {
+		vd, vg, vs := v[d.d], v[d.g], v[d.s]
+		var vgs, vds float64
+		if d.typ == 0 {
+			vgs, vds = vg-vs, vd-vs
+		} else {
+			vgs, vds = vs-vg, vs-vd
+		}
+		switch {
+		case vgs <= d.vt:
+			regions["cutoff"]++
+		case vds < vgs-d.vt:
+			regions["linear"]++
+		default:
+			regions["saturation"]++
+		}
+	}
+	if len(regions) < 2 {
+		t.Errorf("netlist exercises only %v", regions)
+	}
+}
+
+func TestModelQOperatingPoint(t *testing.T) {
+	k, vt, lam, vs, vg, vd := modelQParams()
+	vgs, vds := vg-vs, vd-vs
+	if vgs <= vt {
+		t.Error("modelq device is in cutoff")
+	}
+	if vds < vgs-vt {
+		t.Error("modelq device is not in saturation")
+	}
+	want := ((0.5 * k) * ((vgs - vt) * (vgs - vt))) * (1.0 + lam*vds)
+	if got := modelQReference(); got != want {
+		t.Errorf("reference = %v, want %v", got, want)
+	}
+}
+
+// TestVerifyCatchesWrongResults: a Verify function must fail when memory
+// holds the wrong values.
+func TestVerifyCatchesWrongResults(t *testing.T) {
+	b, err := Get("matrix", Sequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = b.Verify(func(global string, off int64) (v isa.Value, ok bool) {
+		return isa.Value{}, true // all zeros
+	})
+	if err == nil {
+		t.Error("Verify accepted a zeroed memory image")
+	}
+	if err = b.Verify(func(global string, off int64) (isa.Value, bool) {
+		return isa.Value{}, false
+	}); err == nil {
+		t.Error("Verify accepted missing globals")
+	}
+}
+
+// TestSourcesMentionConstructs: spot-check that variants differ in the
+// threading constructs they use.
+func TestSourcesMentionConstructs(t *testing.T) {
+	seq, _ := Get("matrix", Sequential)
+	thr, _ := Get("matrix", Threaded)
+	ideal, _ := Get("matrix", Ideal)
+	if strings.Contains(seq.Source, "forall") || strings.Contains(seq.Source, "fork") {
+		t.Error("sequential matrix contains threading constructs")
+	}
+	if !strings.Contains(thr.Source, "forall-static") {
+		t.Error("threaded matrix lacks forall-static")
+	}
+	if strings.Contains(ideal.Source, "(for ") {
+		t.Error("ideal matrix contains a runtime loop")
+	}
+	ludT, _ := Get("lud", Threaded)
+	if !strings.Contains(ludT.Source, "(forall ") {
+		t.Error("threaded lud lacks runtime forall")
+	}
+	mq, _ := Get("modelq", Threaded)
+	if !strings.Contains(mq.Source, "consume") || !strings.Contains(mq.Source, "produce") {
+		t.Error("modelq lacks queue synchronization")
+	}
+}
+
+// TestAllVariantsRunOnSmallMachine: the suite must also work on a
+// non-baseline machine (2 IUs, 2 FPUs).
+func TestAllVariantsRunOnSmallMachine(t *testing.T) {
+	cfg := machine.Mix(2, 2)
+	for _, name := range Names() {
+		b, err := Get(name, Threaded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, _, err := compiler.Compile(b.Source, cfg, compiler.Options{Mode: compiler.Unrestricted})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		s, err := sim.New(cfg, prog)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, err := s.Run(0); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		addrs := map[string]int64{}
+		for _, d := range prog.Data {
+			addrs[d.Name] = d.Addr
+		}
+		err = b.Verify(func(g string, off int64) (isa.Value, bool) {
+			base, ok := addrs[g]
+			if !ok {
+				return isa.Value{}, false
+			}
+			v, _ := s.Memory().Peek(base + off)
+			return v, true
+		})
+		if err != nil {
+			t.Errorf("%s on small machine: %v", name, err)
+		}
+	}
+}
+
+// TestSizedBenchmarks runs non-default problem sizes end to end on the
+// baseline machine with bit-exact verification.
+func TestSizedBenchmarks(t *testing.T) {
+	cfg := machine.Baseline()
+	cases := []struct {
+		name string
+		size int
+	}{
+		{"matrix", 5}, {"matrix", 12},
+		{"fft", 16}, {"fft", 64},
+		{"lud", 4}, {"lud", 6},
+		{"model", 8}, {"model", 30},
+	}
+	for _, c := range cases {
+		b, err := GetN(c.name, Threaded, c.size)
+		if err != nil {
+			t.Fatalf("%s/%d: %v", c.name, c.size, err)
+		}
+		prog, _, err := compiler.Compile(b.Source, cfg, compiler.Options{Mode: compiler.Unrestricted})
+		if err != nil {
+			t.Fatalf("%s/%d: %v", c.name, c.size, err)
+		}
+		s, err := sim.New(cfg, prog)
+		if err != nil {
+			t.Fatalf("%s/%d: %v", c.name, c.size, err)
+		}
+		if _, err := s.Run(0); err != nil {
+			t.Fatalf("%s/%d: %v", c.name, c.size, err)
+		}
+		addrs := map[string]int64{}
+		for _, d := range prog.Data {
+			addrs[d.Name] = d.Addr
+		}
+		err = b.Verify(func(g string, off int64) (isa.Value, bool) {
+			base, ok := addrs[g]
+			if !ok {
+				return isa.Value{}, false
+			}
+			v, _ := s.Memory().Peek(base + off)
+			return v, true
+		})
+		if err != nil {
+			t.Errorf("%s/%d: %v", c.name, c.size, err)
+		}
+	}
+}
+
+// TestSizedBenchmarkValidation rejects nonsensical sizes.
+func TestSizedBenchmarkValidation(t *testing.T) {
+	if _, err := GenFFTN(24, Sequential); err == nil {
+		t.Error("fft accepted non-power-of-two size")
+	}
+	if _, err := GenFFTN(2, Sequential); err == nil {
+		t.Error("fft accepted size 2")
+	}
+	if _, err := GenMatrixN(0, Sequential); err == nil {
+		t.Error("matrix accepted size 0")
+	}
+	if _, err := GenLUDMesh(1, Sequential); err == nil {
+		t.Error("lud accepted mesh side 1")
+	}
+	if _, err := GenModelN(0, 4, Sequential); err == nil {
+		t.Error("model accepted 0 devices")
+	}
+	if _, err := GetN("modelq", Threaded, 10); err == nil {
+		t.Error("modelq must reject sizing")
+	}
+}

@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"strings"
+)
+
+// FFT is an N-point decimation-in-time fast Fourier transform of complex
+// numbers (the paper uses N = 32). A sequential data movement routine
+// places the input vector in bit-flipped order; the threaded version
+// executes all butterfly computations within a stage concurrently; the
+// Ideal version unrolls the butterflies of every stage.
+const fftN = 32
+
+func bitrev(i, nbits int) int {
+	r := 0
+	for b := 0; b < nbits; b++ {
+		r = (r << 1) | (i & 1)
+		i >>= 1
+	}
+	return r
+}
+
+// fftInputs builds the deterministic input signal and twiddle tables.
+func fftInputs(n int) (inre, inim, wr, wi []float64) {
+	inre = make([]float64, n)
+	inim = make([]float64, n)
+	for i := 0; i < n; i++ {
+		inre[i] = float64((i*7)%11)/4 - 1.0
+		inim[i] = float64((i*3)%13) / 8
+	}
+	wr = make([]float64, n/2)
+	wi = make([]float64, n/2)
+	for j := 0; j < n/2; j++ {
+		ang := -2 * math.Pi * float64(j) / float64(n)
+		wr[j] = math.Cos(ang)
+		wi[j] = math.Sin(ang)
+	}
+	return
+}
+
+// fftReference runs the transform in exactly the generated program's
+// operation order.
+func fftReference(n int, inre, inim, wr, wi []float64) (re, im []float64) {
+	nbits := bits.Len(uint(n)) - 1
+	re = make([]float64, n)
+	im = make([]float64, n)
+	for i := 0; i < n; i++ {
+		re[i] = inre[bitrev(i, nbits)]
+		im[i] = inim[bitrev(i, nbits)]
+	}
+	for length := 2; length <= n; length *= 2 {
+		half := length / 2
+		stride := n / length
+		for b := 0; b < n/2; b++ {
+			j := b % half
+			k := (b / half) * length
+			i0, i1 := k+j, k+j+half
+			tw := j * stride
+			x0r, x0i := re[i0], im[i0]
+			x1r, x1i := re[i1], im[i1]
+			tr := wr[tw]*x1r - wi[tw]*x1i
+			ti := wr[tw]*x1i + wi[tw]*x1r
+			re[i0] = x0r + tr
+			im[i0] = x0i + ti
+			re[i1] = x0r - tr
+			im[i1] = x0i - ti
+		}
+	}
+	return
+}
+
+// fftButterflyBody renders the butterfly statement for constants half,
+// length, stride with the butterfly index variable named b.
+func fftButterflyBody(half, length, stride int) string {
+	return fmt.Sprintf(`
+      (let ((j (%% b %d)) (k (* (/ b %d) %d)))
+        (let ((i0 (+ k j)) (i1 (+ k j %d)) (tw (* j %d)))
+          (let ((x0r (aref re i0)) (x0i (aref im i0))
+                (x1r (aref re i1)) (x1i (aref im i1))
+                (wr_ (aref Wr tw)) (wi_ (aref Wi tw)))
+            (let ((tr (- (* wr_ x1r) (* wi_ x1i)))
+                  (ti (+ (* wr_ x1i) (* wi_ x1r))))
+              (aset re i0 (+ x0r tr))
+              (aset im i0 (+ x0i ti))
+              (aset re i1 (- x0r tr))
+              (aset im i1 (- x0i ti))))))`,
+		half, half, length, half, stride)
+}
+
+// fftReversalExpr renders the runtime bit-reversal of variable i for
+// nbits bits: or-ing together each bit shifted to its mirrored position.
+func fftReversalExpr(nbits int) string {
+	terms := make([]string, nbits)
+	for b := 0; b < nbits; b++ {
+		mask := 1 << b
+		shift := nbits - 1 - 2*b
+		switch {
+		case shift > 0:
+			terms[b] = fmt.Sprintf("(shl (and i %d) %d)", mask, shift)
+		case shift < 0:
+			terms[b] = fmt.Sprintf("(shr (and i %d) %d)", mask, -shift)
+		default:
+			terms[b] = fmt.Sprintf("(and i %d)", mask)
+		}
+	}
+	expr := terms[0]
+	for _, t := range terms[1:] {
+		expr = fmt.Sprintf("(or %s %s)", expr, t)
+	}
+	return expr
+}
+
+// GenFFT generates the FFT benchmark at the paper's size.
+func GenFFT(kind SourceKind) (*Benchmark, error) { return GenFFTN(fftN, kind) }
+
+// GenFFTN generates an N-point FFT benchmark; n must be a power of two
+// of at least 4.
+func GenFFTN(n int, kind SourceKind) (*Benchmark, error) {
+	if n < 4 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("bench: fft size %d must be a power of two >= 4", n)
+	}
+	nbits := bits.Len(uint(n)) - 1
+	inre, inim, wr, wi := fftInputs(n)
+	wantRe, wantIm := fftReference(n, inre, inim, wr, wi)
+
+	var src strings.Builder
+	src.WriteString("(program fft\n")
+	fmt.Fprintf(&src, "  (global inre (array float %d) %s)\n", n, floatInit(inre))
+	fmt.Fprintf(&src, "  (global inim (array float %d) %s)\n", n, floatInit(inim))
+	fmt.Fprintf(&src, "  (global Wr (array float %d) %s)\n", n/2, floatInit(wr))
+	fmt.Fprintf(&src, "  (global Wi (array float %d) %s)\n", n/2, floatInit(wi))
+	fmt.Fprintf(&src, "  (global re (array float %d))\n", n)
+	fmt.Fprintf(&src, "  (global im (array float %d))\n", n)
+
+	src.WriteString("  (def (main)\n")
+	// Sequential data movement: place the input in bit-flipped order.
+	// The bit reversal is computed at runtime (shift/mask/or), so this
+	// section is serial integer work that only a wide single thread can
+	// speed up — the paper's "sequential data movement routine". The
+	// Ideal variant is fully static, so its permutation is unrolled with
+	// the reversal precomputed.
+	if kind == Ideal {
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(&src, "    (aset re %d (aref inre %d))\n", i, bitrev(i, nbits))
+			fmt.Fprintf(&src, "    (aset im %d (aref inim %d))\n", i, bitrev(i, nbits))
+		}
+	} else {
+		for _, arr := range []struct{ dst, src string }{{"re", "inre"}, {"im", "inim"}} {
+			fmt.Fprintf(&src, `    (for (i 0 %d)
+      (let ((r %s))
+        (aset %s i (aref %s r))))
+`, n, fftReversalExpr(nbits), arr.dst, arr.src)
+		}
+	}
+	for length := 2; length <= n; length *= 2 {
+		half := length / 2
+		stride := n / length
+		body := fftButterflyBody(half, length, stride)
+		switch kind {
+		case Sequential:
+			fmt.Fprintf(&src, "    (for (b 0 %d)%s)\n", n/2, body)
+		case Threaded:
+			// One thread per butterfly of the stage, receiving its
+			// butterfly index at runtime; stages are separated by joins.
+			fmt.Fprintf(&src, "    (forall (b 0 %d)%s)\n", n/2, body)
+		case Ideal:
+			fmt.Fprintf(&src, "    (unroll (b 0 %d)%s)\n", n/2, body)
+		default:
+			return nil, fmt.Errorf("bench: fft: unknown kind %v", kind)
+		}
+	}
+	src.WriteString("))\n")
+
+	return &Benchmark{
+		Name:   "fft",
+		Kind:   kind,
+		Source: src.String(),
+		Verify: func(peek Peek) error {
+			for i := 0; i < n; i++ {
+				if err := expectFloat(peek, "re", int64(i), wantRe[i]); err != nil {
+					return err
+				}
+				if err := expectFloat(peek, "im", int64(i), wantIm[i]); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}, nil
+}

@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// LUD solves a sparse system of linear equations using lower-upper
+// decomposition. The input is the 64x64 adjacency-structured matrix of an
+// 8x8 mesh (made diagonally dominant so no pivoting is required). The
+// matrix is banded with half-bandwidth 8, and LU factorization preserves
+// the band, so each source row k updates only target rows k+1..k+8 and
+// columns k+1..k+8; rows whose leading element is zero are skipped at
+// runtime — the data-dependent control flow that prevents static
+// scheduling, so there is no Ideal variant. The threaded version updates
+// all target rows of each source row concurrently.
+const (
+	ludMesh = 8
+	ludN    = ludMesh * ludMesh
+	ludBand = ludMesh // half-bandwidth of the mesh matrix
+)
+
+// ludInput builds the n x n mesh matrix for an m x m mesh (n = m*m):
+// A[i][i] = 5, A[i][j] = -1 for mesh neighbors, 0 elsewhere.
+func ludInput(m int) []float64 {
+	n := m * m
+	a := make([]float64, n*n)
+	at := func(r, c int) int { return r*n + c }
+	for r := 0; r < m; r++ {
+		for c := 0; c < m; c++ {
+			i := r*m + c
+			a[at(i, i)] = 5
+			if r > 0 {
+				a[at(i, i-m)] = -1
+			}
+			if r < m-1 {
+				a[at(i, i+m)] = -1
+			}
+			if c > 0 {
+				a[at(i, i-1)] = -1
+			}
+			if c < m-1 {
+				a[at(i, i+1)] = -1
+			}
+		}
+	}
+	return a
+}
+
+// ludReference performs the banded decomposition in place with the same
+// operation order and zero-skip rule as the generated program.
+func ludReference(m int, a []float64) []float64 {
+	n := m * m
+	band := m
+	out := make([]float64, len(a))
+	copy(out, a)
+	for k := 0; k < n; k++ {
+		hi := k + 1 + band
+		if hi > n {
+			hi = n
+		}
+		for t := k + 1; t < hi; t++ {
+			atk := out[t*n+k]
+			if atk != 0 {
+				f := atk / out[k*n+k]
+				out[t*n+k] = f
+				for j := k + 1; j < hi; j++ {
+					out[t*n+j] = out[t*n+j] - f*out[k*n+j]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ludRowUpdate renders the row-update statement for target row variable t
+// reading the source row index and band limit from variables kk and hh.
+func ludRowUpdate(n int) string {
+	return fmt.Sprintf(`
+      (let ((akt (aref A (+ (* t %d) kk))))
+        (if (!= akt 0.0)
+            (let ((f (/ akt (aref A (+ (* kk %d) kk)))))
+              (aset A (+ (* t %d) kk) f)
+              (for (j (+ kk 1) hh)
+                (aset A (+ (* t %d) j)
+                      (- (aref A (+ (* t %d) j))
+                         (* f (aref A (+ (* kk %d) j)))))))))`, n, n, n, n, n, n)
+}
+
+// GenLUD generates the LUD benchmark at the paper's size (8x8 mesh).
+func GenLUD(kind SourceKind) (*Benchmark, error) { return GenLUDMesh(ludMesh, kind) }
+
+// GenLUDMesh generates the LUD benchmark for an m x m mesh (an m^2 x m^2
+// banded matrix). There is no Ideal variant.
+func GenLUDMesh(m int, kind SourceKind) (*Benchmark, error) {
+	if kind == Ideal {
+		return nil, fmt.Errorf("bench: lud has no ideal variant (data-dependent control flow)")
+	}
+	if m < 2 {
+		return nil, fmt.Errorf("bench: lud mesh side %d", m)
+	}
+	n := m * m
+	a := ludInput(m)
+	want := ludReference(m, a)
+	update := ludRowUpdate(n)
+
+	var main string
+	switch kind {
+	case Sequential:
+		main = fmt.Sprintf(`
+  (def (main)
+    (for (k 0 %d)
+      (set kk k)
+      (set hh (+ k %d))
+      (if (> hh %d) (set hh %d))
+      (for (t (+ k 1) hh)%s)))`, n, m+1, n, n, update)
+	case Threaded:
+		// The source row index and band limit are passed to the
+		// row-update threads through memory (threads communicate via
+		// shared memory only).
+		main = fmt.Sprintf(`
+  (def (main)
+    (for (k 0 %d)
+      (set lim (+ k %d))
+      (if (> lim %d) (set lim %d))
+      (set curk k)
+      (set curhi lim)
+      (forall (t (+ k 1) lim)
+        (let ((kk curk) (hh curhi))%s))))`, n, m+1, n, n, update)
+	default:
+		return nil, fmt.Errorf("bench: lud: unknown kind %v", kind)
+	}
+
+	var src strings.Builder
+	src.WriteString("(program lud\n")
+	fmt.Fprintf(&src, "  (global A (array float %d) %s)\n", n*n, floatInit(a))
+	src.WriteString("  (global curk int)\n")
+	src.WriteString("  (global curhi int)\n")
+	src.WriteString(main)
+	src.WriteString(")\n")
+
+	return &Benchmark{
+		Name:   "lud",
+		Kind:   kind,
+		Source: src.String(),
+		Verify: func(peek Peek) error {
+			for i, w := range want {
+				if err := expectFloat(peek, "A", int64(i), w); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}, nil
+}

@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Model is a model evaluator from a VLSI circuit simulator: the change in
+// current for each device in the network is computed from the previous
+// node voltages. The input circuit is a 20-device CMOS operational
+// amplifier (synthesized deterministically here — the paper's netlist is
+// not published — with a Shichman-Hodges quadratic MOS model, preserving
+// the benchmark's character: memory-dominated with little instruction-
+// level parallelism and data-dependent region-selection branches). The
+// threaded version creates a new thread to evaluate each device; there is
+// no Ideal variant.
+const (
+	modelDevices = 20
+	modelNodes   = 12
+)
+
+// mosDevice is one transistor of the synthetic netlist.
+type mosDevice struct {
+	typ        int64 // 0 = NMOS, 1 = PMOS
+	d, g, s    int64
+	k, vt, lam float64
+}
+
+// modelNetlist builds a synthetic netlist of nd devices over nn nodes
+// (the default sizes give the paper's 20-device op-amp).
+func modelNetlist(nd, nn int) ([]mosDevice, []float64) {
+	devs := make([]mosDevice, nd)
+	for i := range devs {
+		devs[i] = mosDevice{
+			typ: int64(i % 2),
+			d:   int64((i*3 + 1) % nn),
+			g:   int64((i*5 + 2) % nn),
+			s:   int64((i * 7) % nn),
+			k:   0.0001 * float64(1+i%5),
+			vt:  0.7,
+			lam: 0.02 + 0.005*float64(i%3),
+		}
+	}
+	v := make([]float64, nn)
+	for i := range v {
+		v[i] = float64((i*5)%7) * 0.45
+	}
+	return devs, v
+}
+
+// modelEvalReference mirrors the generated evaluation code exactly.
+func modelEvalReference(dev mosDevice, v []float64) float64 {
+	vd, vg, vs := v[dev.d], v[dev.g], v[dev.s]
+	var vgs, vds float64
+	if dev.typ == 0 {
+		vgs = vg - vs
+		vds = vd - vs
+	} else {
+		vgs = vs - vg
+		vds = vs - vd
+	}
+	cur := 0.0
+	if vgs > dev.vt {
+		if vds < vgs-dev.vt {
+			cur = (dev.k * ((vgs-dev.vt)*vds - 0.5*(vds*vds))) * (1.0 + dev.lam*vds)
+		} else {
+			cur = ((0.5 * dev.k) * ((vgs - dev.vt) * (vgs - dev.vt))) * (1.0 + dev.lam*vds)
+		}
+	}
+	if dev.typ == 1 {
+		cur = -cur
+	}
+	return cur
+}
+
+// modelEvalDef is the device-evaluation procedure shared by the variants.
+const modelEvalDef = `
+  (def (evaldev d)
+    (let ((ty (aref dtype d))
+          (vd (aref V (aref dd d)))
+          (vg (aref V (aref dg d)))
+          (vs (aref V (aref ds d)))
+          (kp (aref dk d))
+          (vt (aref dvt d))
+          (lam (aref dlam d)))
+      (set vgs 0.0)
+      (set vds 0.0)
+      (if (= ty 0)
+          (begin (set vgs (- vg vs)) (set vds (- vd vs)))
+          (begin (set vgs (- vs vg)) (set vds (- vs vd))))
+      (set cur 0.0)
+      (if (> vgs vt)
+          (if (< vds (- vgs vt))
+              (set cur (* (* kp (- (* (- vgs vt) vds) (* 0.5 (* vds vds))))
+                          (+ 1.0 (* lam vds))))
+              (set cur (* (* (* 0.5 kp) (* (- vgs vt) (- vgs vt)))
+                          (+ 1.0 (* lam vds))))))
+      (if (= ty 1)
+          (set cur (- cur)))
+      (aset Iout d cur)))`
+
+// modelGlobals renders the netlist data section.
+func modelGlobals(devs []mosDevice, v []float64) string {
+	typ := make([]int64, len(devs))
+	dd := make([]int64, len(devs))
+	dg := make([]int64, len(devs))
+	ds := make([]int64, len(devs))
+	dk := make([]float64, len(devs))
+	dvt := make([]float64, len(devs))
+	dlam := make([]float64, len(devs))
+	for i, d := range devs {
+		typ[i], dd[i], dg[i], ds[i] = d.typ, d.d, d.g, d.s
+		dk[i], dvt[i], dlam[i] = d.k, d.vt, d.lam
+	}
+	var b strings.Builder
+	n := len(devs)
+	fmt.Fprintf(&b, "  (global dtype (array int %d) %s)\n", n, intInit(typ))
+	fmt.Fprintf(&b, "  (global dd (array int %d) %s)\n", n, intInit(dd))
+	fmt.Fprintf(&b, "  (global dg (array int %d) %s)\n", n, intInit(dg))
+	fmt.Fprintf(&b, "  (global ds (array int %d) %s)\n", n, intInit(ds))
+	fmt.Fprintf(&b, "  (global dk (array float %d) %s)\n", n, floatInit(dk))
+	fmt.Fprintf(&b, "  (global dvt (array float %d) %s)\n", n, floatInit(dvt))
+	fmt.Fprintf(&b, "  (global dlam (array float %d) %s)\n", n, floatInit(dlam))
+	fmt.Fprintf(&b, "  (global V (array float %d) %s)\n", len(v), floatInit(v))
+	fmt.Fprintf(&b, "  (global Iout (array float %d))\n", n)
+	return b.String()
+}
+
+// GenModel generates the Model benchmark at the paper's size. There is
+// no Ideal variant.
+func GenModel(kind SourceKind) (*Benchmark, error) {
+	return GenModelN(modelDevices, modelNodes, kind)
+}
+
+// GenModelN generates the Model benchmark with nd devices over nn nodes.
+func GenModelN(nd, nn int, kind SourceKind) (*Benchmark, error) {
+	if kind == Ideal {
+		return nil, fmt.Errorf("bench: model has no ideal variant (data-dependent control flow)")
+	}
+	if nd < 1 || nn < 2 {
+		return nil, fmt.Errorf("bench: model size %dx%d", nd, nn)
+	}
+	devs, v := modelNetlist(nd, nn)
+	want := make([]float64, len(devs))
+	for i, d := range devs {
+		want[i] = modelEvalReference(d, v)
+	}
+
+	var main string
+	switch kind {
+	case Sequential:
+		main = fmt.Sprintf(`
+  (def (main)
+    (for (d 0 %d)
+      (evaldev d)))`, nd)
+	case Threaded:
+		main = fmt.Sprintf(`
+  (def (main)
+    (forall-static (d 0 %d)
+      (evaldev d)))`, nd)
+	default:
+		return nil, fmt.Errorf("bench: model: unknown kind %v", kind)
+	}
+
+	var src strings.Builder
+	src.WriteString("(program model\n")
+	src.WriteString(modelGlobals(devs, v))
+	src.WriteString(modelEvalDef)
+	src.WriteString(main)
+	src.WriteString(")\n")
+
+	return &Benchmark{
+		Name:   "model",
+		Kind:   kind,
+		Source: src.String(),
+		Verify: func(peek Peek) error {
+			for i, w := range want {
+				if err := expectFloat(peek, "Iout", int64(i), w); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}, nil
+}

@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ModelQ is the modified Model benchmark of the interference experiment
+// (Table 3): four threads share a priority queue of devices to evaluate;
+// each thread repeatedly takes a device index from the queue (with an
+// atomic consume/produce update of the shared counter), evaluates it, and
+// counts its own evaluations. The input circuit has identical devices,
+// each at the same operating point (saturation), and all extraneous code
+// is removed so that every operation in the source is executed — making
+// the compile-time schedule directly comparable to runtime cycle counts.
+//
+// The Sequential kind is the similarly altered single-thread program (the
+// STS comparison row of Table 3); Threaded is the four-worker queue
+// version. There is no Ideal variant.
+const (
+	modelQDevices = 20
+	modelQWorkers = 4
+)
+
+// modelQParams returns the identical-device operating point: NMOS in
+// saturation (vgs = 2.0 > vt, vds = 5.0 >= vgs - vt).
+func modelQParams() (k, vt, lam, vs, vg, vd float64) {
+	return 0.0002, 0.7, 0.02, 0.0, 2.0, 5.0
+}
+
+// modelQReference mirrors the generated straight-line evaluation.
+func modelQReference() float64 {
+	k, vt, lam, vs, vg, vd := modelQParams()
+	vgs := vg - vs
+	vds := vd - vs
+	return ((0.5 * k) * ((vgs - vt) * (vgs - vt))) * (1.0 + lam*vds)
+}
+
+// modelQEvalDef is the straight-line (branch-free) evaluation of one
+// identical device at a fixed operating point.
+const modelQEvalDef = `
+  (def (evalq d)
+    (let ((vd (aref V 1))
+          (vg (aref V 2))
+          (vs (aref V 0))
+          (kp (aref P 0))
+          (vt (aref P 1))
+          (lam (aref P 2)))
+      (let ((vgs (- vg vs)) (vds (- vd vs)))
+        (aset Iout d (* (* (* 0.5 kp) (* (- vgs vt) (- vgs vt)))
+                        (+ 1.0 (* lam vds)))))))`
+
+// GenModelQ generates the ModelQ benchmark.
+func GenModelQ(kind SourceKind) (*Benchmark, error) {
+	k, vt, lam, vs, vg, vd := modelQParams()
+	want := modelQReference()
+
+	var src strings.Builder
+	src.WriteString("(program modelq\n")
+	fmt.Fprintf(&src, "  (global V (array float 3) %s)\n", floatInit([]float64{vs, vd, vg}))
+	fmt.Fprintf(&src, "  (global P (array float 3) %s)\n", floatInit([]float64{k, vt, lam}))
+	fmt.Fprintf(&src, "  (global Iout (array float %d))\n", modelQDevices)
+	fmt.Fprintf(&src, "  (global nextd int (init 0))\n")
+	fmt.Fprintf(&src, "  (global counts (array int %d))\n", modelQWorkers)
+	src.WriteString(modelQEvalDef)
+
+	switch kind {
+	case Sequential:
+		fmt.Fprintf(&src, `
+  (def (main)
+    (for (d 0 %d)
+      (evalq d)))`, modelQDevices)
+	case Threaded:
+		fmt.Fprintf(&src, `
+  (def (workerq tid)
+    (set cnt 0)
+    (set idx (aref nextd 0 consume))
+    (aset nextd 0 (+ idx 1) produce)
+    (while (< idx %d)
+      (evalq idx)
+      (set cnt (+ cnt 1))
+      (set idx (aref nextd 0 consume))
+      (aset nextd 0 (+ idx 1) produce))
+    (aset counts tid cnt))
+  (def (main)`, modelQDevices)
+		for w := 0; w < modelQWorkers; w++ {
+			fmt.Fprintf(&src, "\n    (fork (workerq %d))", w)
+		}
+		src.WriteString("\n    (join))")
+	default:
+		return nil, fmt.Errorf("bench: modelq: unknown kind %v", kind)
+	}
+	src.WriteString(")\n")
+
+	return &Benchmark{
+		Name:   "modelq",
+		Kind:   kind,
+		Source: src.String(),
+		Verify: func(peek Peek) error {
+			for i := 0; i < modelQDevices; i++ {
+				if err := expectFloat(peek, "Iout", int64(i), want); err != nil {
+					return err
+				}
+			}
+			if kind == Threaded {
+				total := int64(0)
+				for w := 0; w < modelQWorkers; w++ {
+					v, ok := peek("counts", int64(w))
+					if !ok {
+						return fmt.Errorf("bench: counts[%d] not found", w)
+					}
+					total += v.AsInt()
+				}
+				if total != modelQDevices {
+					return fmt.Errorf("bench: workers evaluated %d devices, want %d", total, modelQDevices)
+				}
+			}
+			return nil
+		},
+	}, nil
+}

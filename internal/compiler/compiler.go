@@ -1,0 +1,147 @@
+// Package compiler translates the source language (simplified C semantics
+// with Lisp syntax, read by package sexpr) into compiled isa.Programs for
+// a particular machine configuration. It mirrors the prototype compiler of
+// Section 3 of the paper: procedures are macro-expanded, loops may be
+// unrolled explicitly, threads are carved out by fork/forall constructs,
+// classic scalar optimizations run on a basic-block IR (constant
+// propagation, common subexpression elimination, static evaluation of
+// constant expressions, dead code elimination), and each thread body is
+// statically scheduled into wide instruction words by critical-path list
+// scheduling. Live variables are kept in registers across basic block
+// boundaries; register allocation is not performed (an unbounded register
+// space is assumed and peak usage reported).
+package compiler
+
+import (
+	"fmt"
+
+	"pcoup/internal/isa"
+	"pcoup/internal/machine"
+	"pcoup/internal/sexpr"
+)
+
+// Mode selects the cluster restriction applied to each thread (the
+// compiler's "mode flag" in the paper).
+type Mode int
+
+const (
+	// Unrestricted lets every thread use any function unit (STS, Ideal,
+	// and Coupled machine modes).
+	Unrestricted Mode = iota
+	// SingleCluster schedules each thread onto the function units of a
+	// single arithmetic cluster, chosen by the compiler with static load
+	// balancing (SEQ and TPE machine modes). Branch clusters remain
+	// shared.
+	SingleCluster
+)
+
+func (m Mode) String() string {
+	if m == SingleCluster {
+		return "single"
+	}
+	return "unrestricted"
+}
+
+// Options controls a compilation.
+type Options struct {
+	Mode Mode
+	// DisableOpt turns off the scalar optimization passes (ablation).
+	DisableOpt bool
+	// AutoUnroll expands counted loops with compile-time-constant bounds
+	// whose body replication stays within AutoUnroll expanded iterations
+	// (extension: the paper's compiler required hand unrolling and notes
+	// that better compilation "should benefit processor coupling at
+	// least as much" as other organizations). Zero disables.
+	AutoUnroll int
+}
+
+// SegDiag reports per-segment compile diagnostics.
+type SegDiag struct {
+	Name  string
+	Words int
+	Ops   int
+	// Moves counts inter-cluster transfer operations inserted by the
+	// scheduler.
+	Moves int
+	// RegsPerCluster is the number of registers used in each cluster.
+	RegsPerCluster []int
+	// LoopWords is the total schedule length (in words) of the blocks
+	// lying on CFG cycles — the compile-time schedule length of the
+	// segment's loop body (used by the Table 3 experiment).
+	LoopWords int
+	// BlockWords is the schedule length of each basic block.
+	BlockWords []int
+}
+
+// Diagnostics is the compiler's diagnostic output (the paper's compiler
+// emits a diagnostic file alongside the assembly).
+type Diagnostics struct {
+	Segments []SegDiag
+}
+
+// Diag returns diagnostics for the named segment.
+func (d *Diagnostics) Diag(name string) (SegDiag, bool) {
+	for _, s := range d.Segments {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return SegDiag{}, false
+}
+
+// CompileError is a source-level compilation failure.
+type CompileError struct {
+	Pos string
+	Msg string
+}
+
+func (e *CompileError) Error() string {
+	if e.Pos == "" {
+		return "compile: " + e.Msg
+	}
+	return fmt.Sprintf("compile: %s: %s", e.Pos, e.Msg)
+}
+
+func errAt(n *sexpr.Node, format string, args ...any) error {
+	pos := ""
+	if n != nil {
+		pos = n.Pos()
+	}
+	return &CompileError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Compile parses and compiles source for the given machine configuration.
+func Compile(src string, cfg *machine.Config, opts Options) (*isa.Program, *Diagnostics, error) {
+	forms, err := sexpr.Parse(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	return CompileForms(forms, cfg, opts)
+}
+
+// CompileForms compiles pre-parsed top-level forms.
+func CompileForms(forms []*sexpr.Node, cfg *machine.Config, opts Options) (*isa.Program, *Diagnostics, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	env, err := newEnv(forms, cfg, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := env.lowerAll(); err != nil {
+		return nil, nil, err
+	}
+	if !opts.DisableOpt {
+		for _, fn := range env.fns {
+			optimize(fn)
+		}
+	}
+	prog, diags, err := env.emit()
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := prog.Validate(cfg.NumUnits(), len(cfg.Clusters), cfg.MaxDests); err != nil {
+		return nil, nil, fmt.Errorf("compiler: internal error: generated invalid program: %w", err)
+	}
+	return prog, diags, nil
+}

@@ -1,0 +1,68 @@
+package compiler
+
+import (
+	"pcoup/internal/isa"
+	"pcoup/internal/sexpr"
+)
+
+// constApply evaluates an arithmetic/comparison form over constant
+// operands at compile time, mirroring lowerArith's typing rules.
+func constApply(n *sexpr.Node, head string, vals []isa.Value) (isa.Value, error) {
+	h, ok := arithTable[head]
+	if !ok {
+		return isa.Value{}, errAt(n, "not a constant operator %q", head)
+	}
+	if len(vals) == 0 {
+		return isa.Value{}, errAt(n, "%s wants operands", head)
+	}
+	anyFloat := false
+	for _, v := range vals {
+		if v.IsFloat {
+			anyFloat = true
+		}
+	}
+	switch head {
+	case "not":
+		if len(vals) != 1 || anyFloat {
+			return isa.Value{}, errAt(n, "not wants one int operand")
+		}
+		return isa.Eval(isa.OpSeq, []isa.Value{vals[0], isa.Int(0)})
+	case "abs", "fabs":
+		if len(vals) != 1 {
+			return isa.Value{}, errAt(n, "%s wants one operand", head)
+		}
+		return isa.Eval(isa.OpFAbs, []isa.Value{isa.Float(vals[0].AsFloat())})
+	case "-":
+		if len(vals) == 1 {
+			if anyFloat {
+				return isa.Eval(isa.OpFNeg, vals)
+			}
+			return isa.Eval(isa.OpNeg, vals)
+		}
+	}
+	if h.intOnly && anyFloat {
+		return isa.Value{}, errAt(n, "%s wants int operands", head)
+	}
+	op := h.intOp
+	if anyFloat && !h.intOnly {
+		op = h.floatOp
+		for i := range vals {
+			vals[i] = isa.Float(vals[i].AsFloat())
+		}
+	}
+	if len(vals) == 1 {
+		return vals[0], nil // unary + or *
+	}
+	if (h.compare || !h.nary) && len(vals) != 2 {
+		return isa.Value{}, errAt(n, "%s wants two operands", head)
+	}
+	acc := vals[0]
+	for i := 1; i < len(vals); i++ {
+		v, err := isa.Eval(op, []isa.Value{acc, vals[i]})
+		if err != nil {
+			return isa.Value{}, errAt(n, "%v", err)
+		}
+		acc = v
+	}
+	return acc, nil
+}

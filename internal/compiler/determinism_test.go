@@ -1,0 +1,44 @@
+package compiler
+
+import (
+	"bytes"
+	"testing"
+
+	"pcoup/internal/bench"
+	"pcoup/internal/isa"
+	"pcoup/internal/machine"
+)
+
+// TestCodegenDeterministic compiles every benchmark several times and
+// requires byte-identical assembly: the compiler must not leak Go map
+// iteration order into unit choices or schedules (reproducible builds
+// are a prerequisite for reproducible experiments).
+func TestCodegenDeterministic(t *testing.T) {
+	cfg := machine.Baseline()
+	for _, name := range bench.Names() {
+		for _, kind := range []bench.SourceKind{bench.Sequential, bench.Threaded} {
+			b, err := bench.Get(name, kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var first []byte
+			for trial := 0; trial < 3; trial++ {
+				prog, _, err := Compile(b.Source, cfg, Options{Mode: Unrestricted})
+				if err != nil {
+					t.Fatalf("%s/%v: %v", name, kind, err)
+				}
+				var buf bytes.Buffer
+				if err := isa.WriteText(&buf, prog); err != nil {
+					t.Fatal(err)
+				}
+				if trial == 0 {
+					first = append([]byte{}, buf.Bytes()...)
+					continue
+				}
+				if !bytes.Equal(first, buf.Bytes()) {
+					t.Fatalf("%s/%v: compilation is nondeterministic", name, kind)
+				}
+			}
+		}
+	}
+}

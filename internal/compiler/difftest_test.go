@@ -1,0 +1,461 @@
+package compiler
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"pcoup/internal/machine"
+	"pcoup/internal/sim"
+)
+
+// oracleMachine returns a config sufficient for newEnv (the oracle needs
+// only the program forms, but env construction takes a machine).
+func oracleMachine() *machine.Config { return machine.Baseline() }
+
+// progGen generates random, well-typed, race-free programs in the source
+// language for differential testing: the same program is compiled under
+// many machine configurations and modes, simulated, and every declared
+// global's final contents compared against the oracle interpreter.
+type progGen struct {
+	r        *rand.Rand
+	b        strings.Builder
+	intVars  []string // assignable integer variables
+	fltVars  []string // assignable float variables
+	roInts   []string // read-only integer names (loop indices)
+	arrays   []genArray
+	varSeq   int
+	depth    int
+	inForall string // forall index var when inside a parallel body
+}
+
+type genArray struct {
+	name  string
+	size  int64 // power of two, so (and idx size-1) bounds indices
+	float bool
+}
+
+func (g *progGen) pick(xs []string) string { return xs[g.r.Intn(len(xs))] }
+
+func (g *progGen) newVar(float bool) string {
+	g.varSeq++
+	name := fmt.Sprintf("v%d", g.varSeq)
+	if float {
+		g.fltVars = append(g.fltVars, name)
+	} else {
+		g.intVars = append(g.intVars, name)
+	}
+	return name
+}
+
+// intExpr produces an integer expression over in-scope names.
+func (g *progGen) intExpr(depth int) string {
+	if depth <= 0 || g.r.Intn(3) == 0 {
+		switch g.r.Intn(3) {
+		case 0:
+			return fmt.Sprintf("%d", g.r.Intn(21)-10)
+		case 1:
+			pool := append(append([]string{}, g.intVars...), g.roInts...)
+			if len(pool) > 0 {
+				return g.pick(pool)
+			}
+			return fmt.Sprintf("%d", g.r.Intn(9))
+		default:
+			arr := g.intArrays()
+			if len(arr) == 0 {
+				return fmt.Sprintf("%d", g.r.Intn(9))
+			}
+			a := arr[g.r.Intn(len(arr))]
+			return fmt.Sprintf("(aref %s %s)", a.name, g.index(a, depth-1))
+		}
+	}
+	ops := []string{"+", "-", "*", "and", "or", "xor", "%", "/"}
+	op := ops[g.r.Intn(len(ops))]
+	return fmt.Sprintf("(%s %s %s)", op, g.intExpr(depth-1), g.intExpr(depth-1))
+}
+
+// fltExpr produces a float expression.
+func (g *progGen) fltExpr(depth int) string {
+	if depth <= 0 || g.r.Intn(3) == 0 {
+		switch g.r.Intn(3) {
+		case 0:
+			return fmt.Sprintf("%d.%d", g.r.Intn(9), 25*g.r.Intn(4))
+		case 1:
+			if len(g.fltVars) > 0 {
+				return g.pick(g.fltVars)
+			}
+			return "1.5"
+		default:
+			arr := g.fltArrays()
+			if len(arr) == 0 {
+				return fmt.Sprintf("(float %s)", g.intExpr(depth-1))
+			}
+			a := arr[g.r.Intn(len(arr))]
+			return fmt.Sprintf("(aref %s %s)", a.name, g.index(a, depth-1))
+		}
+	}
+	ops := []string{"+", "-", "*"}
+	op := ops[g.r.Intn(len(ops))]
+	return fmt.Sprintf("(%s %s %s)", op, g.fltExpr(depth-1), g.fltExpr(depth-1))
+}
+
+// condExpr produces an int 0/1 expression.
+func (g *progGen) condExpr(depth int) string {
+	cmp := []string{"<", "<=", "=", "!=", ">", ">="}
+	if g.r.Intn(2) == 0 && len(g.fltVars) > 0 {
+		return fmt.Sprintf("(%s %s %s)", cmp[g.r.Intn(len(cmp))], g.fltExpr(depth-1), g.fltExpr(depth-1))
+	}
+	return fmt.Sprintf("(%s %s %s)", cmp[g.r.Intn(len(cmp))], g.intExpr(depth-1), g.intExpr(depth-1))
+}
+
+// exprAvoiding generates an expression that does not read v (used when v
+// may be freshly declared by the enclosing assignment).
+func (g *progGen) exprAvoiding(v string, float bool) string {
+	pool := &g.intVars
+	if float {
+		pool = &g.fltVars
+	}
+	saved := *pool
+	var filtered []string
+	for _, x := range saved {
+		if x != v {
+			filtered = append(filtered, x)
+		}
+	}
+	*pool = filtered
+	var e string
+	if float {
+		e = g.fltExpr(2)
+	} else {
+		e = g.intExpr(2)
+	}
+	*pool = saved
+	return e
+}
+
+// index produces a guaranteed-in-range index expression for the array.
+func (g *progGen) index(a genArray, depth int) string {
+	return fmt.Sprintf("(and %s %d)", g.intExpr(depth), a.size-1)
+}
+
+func (g *progGen) intArrays() []genArray {
+	var out []genArray
+	for _, a := range g.arrays {
+		if !a.float {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func (g *progGen) fltArrays() []genArray {
+	var out []genArray
+	for _, a := range g.arrays {
+		if a.float {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func (g *progGen) stmt(indent string, depth int) string {
+	choice := g.r.Intn(10)
+	switch {
+	case choice < 3: // assignment
+		if g.r.Intn(2) == 0 || len(g.fltVars) == 0 {
+			var v string
+			if g.r.Intn(3) != 0 && len(g.intVars) > 0 {
+				v = g.pick(g.intVars)
+			} else {
+				v = g.newVar(false)
+			}
+			// The expression must not read the fresh variable itself.
+			return fmt.Sprintf("%s(set %s %s)", indent, v, g.exprAvoiding(v, false))
+		}
+		var v string
+		if g.r.Intn(3) != 0 && len(g.fltVars) > 0 {
+			v = g.pick(g.fltVars)
+		} else {
+			v = g.newVar(true)
+		}
+		return fmt.Sprintf("%s(set %s %s)", indent, v, g.exprAvoiding(v, true))
+	case choice < 6: // array store
+		a := g.arrays[g.r.Intn(len(g.arrays))]
+		val := g.intExpr(2)
+		if a.float {
+			val = g.fltExpr(2)
+		}
+		return fmt.Sprintf("%s(aset %s %s %s)", indent, a.name, g.index(a, 1), val)
+	case choice < 7 && depth > 0: // if
+		// Variables created inside conditional arms must not leak into
+		// later statements (they may never be assigned at runtime).
+		ni, nf := len(g.intVars), len(g.fltVars)
+		cond := g.condExpr(2)
+		thenS := g.stmt(indent+"    ", depth-1)
+		g.intVars, g.fltVars = g.intVars[:ni], g.fltVars[:nf]
+		s := fmt.Sprintf("%s(if %s\n%s\n", indent, cond, thenS)
+		if g.r.Intn(2) == 0 {
+			s += g.stmt(indent+"    ", depth-1) + "\n"
+			g.intVars, g.fltVars = g.intVars[:ni], g.fltVars[:nf]
+		}
+		return s + indent + ")"
+	case choice < 8 && depth > 0: // bounded for loop
+		ni, nf, nr := len(g.intVars), len(g.fltVars), len(g.roInts)
+		v := fmt.Sprintf("i%d", g.varSeq)
+		g.varSeq++
+		g.roInts = append(g.roInts, v)
+		body := g.stmt(indent+"  ", depth-1)
+		g.intVars, g.fltVars, g.roInts = g.intVars[:ni], g.fltVars[:nf], g.roInts[:nr]
+		return fmt.Sprintf("%s(for (%s 0 %d)\n%s\n%s)", indent, v, 2+g.r.Intn(5), body, indent)
+	case choice < 9 && depth > 0: // unroll
+		ni, nf, nr := len(g.intVars), len(g.fltVars), len(g.roInts)
+		v := fmt.Sprintf("u%d", g.varSeq)
+		g.varSeq++
+		g.roInts = append(g.roInts, v)
+		body := g.stmt(indent+"  ", depth-1)
+		g.intVars, g.fltVars, g.roInts = g.intVars[:ni], g.fltVars[:nf], g.roInts[:nr]
+		return fmt.Sprintf("%s(unroll (%s 0 %d)\n%s\n%s)", indent, v, 2+g.r.Intn(3), body, indent)
+	default: // while via bounded counter
+		// Generate the body before registering the counter so nothing in
+		// the body can reassign (or read) it — the loop must terminate.
+		body := g.stmt(indent+"    ", depth-1)
+		v := g.newVar(false)
+		return fmt.Sprintf("%s(begin\n%s  (set %s 0)\n%s  (while (< %s %d)\n%s\n%s    (set %s (+ %s 1))))",
+			indent, indent, v, indent, v, 2+g.r.Intn(4), body, indent, v, v)
+	}
+}
+
+// forallStmt emits a race-free parallel construct: each iteration writes
+// only out[i] for its own index i, reading any arrays.
+func (g *progGen) forallStmt(indent string) string {
+	outs := g.arrays
+	a := outs[g.r.Intn(len(outs))]
+	n := a.size
+	if n > 8 {
+		n = 8
+	}
+	saved := g.arrays
+	// The body may read every array except the one it writes (write-write
+	// races are excluded by indexing with the forall index, but
+	// read-write races with other iterations must be avoided too).
+	var readable []genArray
+	for _, x := range g.arrays {
+		if x.name != a.name {
+			readable = append(readable, x)
+		}
+	}
+	g.arrays = readable
+	savedInt, savedFlt, savedRo := g.intVars, g.fltVars, g.roInts
+	g.intVars = nil
+	g.fltVars = nil
+	g.roInts = []string{"pi"}
+	_ = savedRo
+	val := g.intExpr(2)
+	if a.float {
+		val = g.fltExpr(2)
+	}
+	g.arrays = saved
+	g.intVars, g.fltVars, g.roInts = savedInt, savedFlt, savedRo
+	if g.r.Intn(2) == 0 {
+		return fmt.Sprintf("%s(forall-static (pi 0 %d)\n%s  (aset %s pi %s))", indent, n, indent, a.name, val)
+	}
+	// Runtime forall: same race-free shape, but the bounds reach the
+	// mailbox/worker protocol (the index arrives via a consume load).
+	return fmt.Sprintf("%s(begin\n%s  (set fb %d)\n%s  (forall (pi 0 fb)\n%s    (aset %s pi %s)))",
+		indent, indent, n, indent, indent, a.name, val)
+}
+
+// genProcs emits a few helper procedures over the declared arrays and
+// registers call forms for the statement generator. Procedures exercise
+// macro expansion, parameter binding, and (return ...).
+func (g *progGen) genProcs(b *strings.Builder) (intCalls, fltCalls []string) {
+	// An int-valued procedure of one int parameter.
+	fmt.Fprintf(b, "  (def (ih x)\n    (return (+ (* x 3) (xor x 5))))\n")
+	intCalls = append(intCalls, "(ih %INT%)")
+	// A float-valued procedure of one float and one int parameter.
+	fmt.Fprintf(b, "  (def (fh a k)\n    (set t (* a 0.5))\n    (return (+ t (float k))))\n")
+	fltCalls = append(fltCalls, "(fh %FLT% %INT%)")
+	// A statement procedure writing through an array, if one exists.
+	if arrs := g.intArrays(); len(arrs) > 0 {
+		a := arrs[0]
+		fmt.Fprintf(b, "  (def (store%s i v)\n    (aset %s (and i %d) v))\n", a.name, a.name, a.size-1)
+		intCalls = append(intCalls, "") // placeholder keeps slices non-empty
+	}
+	return intCalls, fltCalls
+}
+
+// callExpr instantiates a procedure-call template with fresh operand
+// expressions.
+func (g *progGen) callExpr(tpl string) string {
+	out := strings.ReplaceAll(tpl, "%INT%", g.intExpr(1))
+	out = strings.ReplaceAll(out, "%FLT%", g.fltExpr(1))
+	return out
+}
+
+// generate builds one complete random program.
+func generateProgram(seed int64) string {
+	r := rand.New(rand.NewSource(seed))
+	g := &progGen{r: r}
+	var b strings.Builder
+	b.WriteString("(program fuzz\n")
+	nArrays := 2 + r.Intn(3)
+	for i := 0; i < nArrays; i++ {
+		a := genArray{
+			name:  fmt.Sprintf("g%d", i),
+			size:  int64(8 << r.Intn(2)),
+			float: r.Intn(2) == 0,
+		}
+		g.arrays = append(g.arrays, a)
+		typ := "int"
+		if a.float {
+			typ = "float"
+		}
+		fmt.Fprintf(&b, "  (global %s (array %s %d) (init", a.name, typ, a.size)
+		for j := int64(0); j < a.size; j++ {
+			if a.float {
+				fmt.Fprintf(&b, " %d.%d", r.Intn(7), 5*r.Intn(2))
+			} else {
+				fmt.Fprintf(&b, " %d", r.Intn(13)-6)
+			}
+		}
+		b.WriteString("))\n")
+	}
+	intCalls, fltCalls := g.genProcs(&b)
+	b.WriteString("  (def (main)\n")
+	// Seed a few variables so expressions have material.
+	fmt.Fprintf(&b, "    (set s0 %d)\n", r.Intn(10))
+	fmt.Fprintf(&b, "    (set f0 %s)\n", "2.25")
+	g.intVars = append(g.intVars, "s0")
+	g.fltVars = append(g.fltVars, "f0")
+	nStmts := 4 + r.Intn(6)
+	for i := 0; i < nStmts; i++ {
+		switch {
+		case r.Intn(6) == 0:
+			b.WriteString(g.forallStmt("    ") + "\n")
+		case r.Intn(5) == 0:
+			// Assignment from an inlined procedure call (build the call
+			// before declaring the target so it cannot read it).
+			if r.Intn(2) == 0 {
+				call := g.callExpr(intCalls[0])
+				fmt.Fprintf(&b, "    (set %s %s)\n", g.newVar(false), call)
+			} else {
+				call := g.callExpr(fltCalls[0])
+				fmt.Fprintf(&b, "    (set %s %s)\n", g.newVar(true), call)
+			}
+		default:
+			b.WriteString(g.stmt("    ", 2) + "\n")
+		}
+	}
+	b.WriteString("))\n")
+	return b.String()
+}
+
+// diffConfigs are the machine/mode combinations every fuzzed program must
+// agree on.
+func diffConfigs() []struct {
+	name string
+	cfg  *machine.Config
+	opts Options
+} {
+	base := machine.Baseline()
+	lock := machine.Baseline()
+	lock.LockStepIssue = true
+	rr := machine.Baseline()
+	rr.Arbitration = machine.RoundRobinArbitration
+	banks := machine.Baseline()
+	banks.Memory.ModelBankConflicts = true
+	return []struct {
+		name string
+		cfg  *machine.Config
+		opts Options
+	}{
+		{"coupled", base, Options{Mode: Unrestricted}},
+		{"single", base, Options{Mode: SingleCluster}},
+		{"noopt", base, Options{Mode: Unrestricted, DisableOpt: true}},
+		{"triport", base.WithInterconnect(machine.TriPort), Options{Mode: Unrestricted}},
+		{"sharedbus", base.WithInterconnect(machine.SharedBus), Options{Mode: Unrestricted}},
+		{"lockstep", lock, Options{Mode: Unrestricted}},
+		{"roundrobin", rr, Options{Mode: Unrestricted}},
+		{"mem1", base.WithMemory(machine.Mem1).WithSeed(3), Options{Mode: Unrestricted}},
+		{"mix22", machine.Mix(2, 2), Options{Mode: Unrestricted}},
+	}
+}
+
+// TestDifferential fuzzes the whole toolchain: random programs must
+// compute identical global contents under every configuration, matching
+// the oracle interpreter exactly.
+func TestDifferential(t *testing.T) {
+	n := 40
+	if testing.Short() {
+		n = 8
+	}
+	configs := diffConfigs()
+	for seed := int64(0); seed < int64(n); seed++ {
+		src := generateProgram(seed)
+		want, err := oracleRun(src)
+		if err != nil {
+			t.Fatalf("seed %d: oracle: %v\n%s", seed, err, src)
+		}
+		for _, c := range configs {
+			prog, _, err := Compile(src, c.cfg, c.opts)
+			if err != nil {
+				t.Fatalf("seed %d %s: compile: %v\n%s", seed, c.name, err, src)
+			}
+			s, err := sim.New(c.cfg, prog)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, c.name, err)
+			}
+			if _, err := s.Run(5_000_000); err != nil {
+				t.Fatalf("seed %d %s: run: %v\n%s", seed, c.name, err, src)
+			}
+			addrs := map[string]int64{}
+			for _, d := range prog.Data {
+				addrs[d.Name] = d.Addr
+			}
+			for name, vals := range want {
+				if strings.HasPrefix(name, "_") {
+					continue // hidden synchronization cells
+				}
+				base, ok := addrs[name]
+				if !ok {
+					t.Fatalf("seed %d %s: global %q missing from program", seed, c.name, name)
+				}
+				for i, w := range vals {
+					got, _ := s.Memory().Peek(base + int64(i))
+					if !got.Equal(w) {
+						t.Fatalf("seed %d %s: %s[%d] = %v, oracle says %v\n%s",
+							seed, c.name, name, i, got, w, src)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestOracleSanity pins the oracle against a hand-computed program.
+func TestOracleSanity(t *testing.T) {
+	src := `
+(program p
+  (global a (array int 4) (init 1 2 3 4))
+  (global out (array int 4))
+  (def (main)
+    (set s 0)
+    (for (i 0 4) (set s (+ s (aref a i))))
+    (aset out 0 s)
+    (if (> s 5) (aset out 1 1) (aset out 1 2))
+    (unroll (k 0 3) (aset out 2 (+ (aref out 2) k)))
+    (forall-static (i 0 4) (aset a i (* i i)))))`
+	got, err := oracleRun(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["out"][0].AsInt() != 10 || got["out"][1].AsInt() != 1 || got["out"][2].AsInt() != 3 {
+		t.Errorf("oracle out = %v", got["out"])
+	}
+	for i := int64(0); i < 4; i++ {
+		if got["a"][i].AsInt() != i*i {
+			t.Errorf("oracle a[%d] = %v", i, got["a"][i])
+		}
+	}
+}

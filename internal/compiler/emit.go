@@ -1,0 +1,163 @@
+package compiler
+
+import (
+	"fmt"
+
+	"pcoup/internal/isa"
+)
+
+// emit schedules every lowered function and assembles the final program:
+// wide instruction words per segment, resolved branch and fork targets,
+// physical register assignment per cluster, and the initial data image.
+func (e *env) emit() (*isa.Program, *Diagnostics, error) {
+	prog := &isa.Program{Name: e.progName, MemWords: e.memWords()}
+	diags := &Diagnostics{}
+
+	segIdx := map[string]int{}
+	for i := range e.segs {
+		segIdx[e.segs[i].name] = i
+	}
+
+	for i, fn := range e.fns {
+		seg, d, err := e.emitSegment(fn, &e.segs[i], segIdx)
+		if err != nil {
+			return nil, nil, err
+		}
+		prog.Segments = append(prog.Segments, seg)
+		diags.Segments = append(diags.Segments, d)
+	}
+
+	for _, name := range e.globalOrder {
+		g := e.globals[name]
+		vals := make([]isa.Value, g.size)
+		if g.typ == TFloat {
+			for i := range vals {
+				vals[i] = isa.Float(0)
+			}
+		}
+		copy(vals, g.init)
+		prog.Data = append(prog.Data, isa.DataSegment{
+			Name: g.name, Addr: g.addr, Values: vals, Full: !g.empty,
+		})
+	}
+	return prog, diags, nil
+}
+
+// regAlloc assigns physical register indices per (vreg, cluster) pair.
+type regAlloc struct {
+	index map[VReg]map[int]int
+	next  []int
+}
+
+func newRegAlloc(numClusters int) *regAlloc {
+	return &regAlloc{index: map[VReg]map[int]int{}, next: make([]int, numClusters)}
+}
+
+func (ra *regAlloc) reg(v VReg, cluster int) isa.RegRef {
+	m := ra.index[v]
+	if m == nil {
+		m = map[int]int{}
+		ra.index[v] = m
+	}
+	idx, ok := m[cluster]
+	if !ok {
+		idx = ra.next[cluster]
+		ra.next[cluster]++
+		m[cluster] = idx
+	}
+	return isa.RegRef{Cluster: cluster, Index: idx}
+}
+
+func (e *env) emitSegment(fn *Fn, w *segWork, segIdx map[string]int) (*isa.ThreadCode, SegDiag, error) {
+	sc := newScheduler(e, fn, w)
+	ra := newRegAlloc(len(e.cfg.Clusters))
+	numUnits := e.cfg.NumUnits()
+
+	// Pass 1: schedule all blocks and record start word indexes.
+	scheds := make([]*blockSched, len(fn.Blocks))
+	blockStart := make([]int, len(fn.Blocks)+1)
+	words := 0
+	for i, b := range fn.Blocks {
+		blockStart[i] = words
+		scheds[i] = sc.scheduleBlock(b)
+		words += len(scheds[i].words)
+	}
+	blockStart[len(fn.Blocks)] = words
+
+	loop := fn.loopBlocks()
+	diag := SegDiag{Name: fn.Name, Moves: sc.moves}
+
+	seg := &isa.ThreadCode{Name: fn.Name}
+	for bi, bs := range scheds {
+		diag.BlockWords = append(diag.BlockWords, len(bs.words))
+		if loop[bi] {
+			diag.LoopWords += len(bs.words)
+		}
+		for _, word := range bs.words {
+			instr := isa.Instruction{Ops: make([]*isa.Op, numUnits)}
+			for _, po := range word {
+				op, err := e.buildOp(po, sc, ra, blockStart, segIdx)
+				if err != nil {
+					return nil, SegDiag{}, err
+				}
+				if instr.Ops[po.unit] != nil {
+					return nil, SegDiag{}, fmt.Errorf("compiler: internal: %s: double-booked unit %d", fn.Name, po.unit)
+				}
+				instr.Ops[po.unit] = op
+				diag.Ops++
+			}
+			seg.Instrs = append(seg.Instrs, instr)
+		}
+	}
+	seg.ScheduleLen = len(seg.Instrs)
+	seg.RegCount = append([]int{}, ra.next...)
+	diag.Words = len(seg.Instrs)
+	diag.RegsPerCluster = append([]int{}, ra.next...)
+	return seg, diag, nil
+}
+
+// buildOp converts one placed IR instruction into an ISA operation.
+func (e *env) buildOp(po *placedOp, sc *scheduler, ra *regAlloc, blockStart []int, segIdx map[string]int) (*isa.Op, error) {
+	in := po.ir
+	cu := sc.cluster(po.unit)
+	op := &isa.Op{Code: in.Op, Sync: in.Sync, Unit: po.unit, Offset: in.Offset}
+
+	for _, s := range in.Srcs {
+		if s.IsConst {
+			op.Srcs = append(op.Srcs, isa.Imm(s.Const))
+		} else {
+			op.Srcs = append(op.Srcs, isa.Reg(ra.reg(s.VReg, cu)))
+		}
+	}
+	if in.Dst != 0 {
+		if len(po.destClusters) == 0 {
+			return nil, fmt.Errorf("compiler: internal: op %s has no destination cluster", in)
+		}
+		if len(po.destClusters) > e.cfg.MaxDests {
+			return nil, fmt.Errorf("compiler: internal: op %s exceeds %d destinations", in, e.cfg.MaxDests)
+		}
+		seen := map[int]bool{}
+		for _, c := range po.destClusters {
+			if seen[c] {
+				continue
+			}
+			seen[c] = true
+			op.Dests = append(op.Dests, ra.reg(in.Dst, c))
+		}
+	}
+	switch in.Op {
+	case isa.OpJmp, isa.OpBt, isa.OpBf:
+		if in.Target == nil {
+			return nil, fmt.Errorf("compiler: internal: branch without target")
+		}
+		op.Target = blockStart[in.Target.ID]
+		op.TargetLabel = ""
+	case isa.OpFork:
+		idx, ok := segIdx[in.ForkSeg]
+		if !ok {
+			return nil, fmt.Errorf("compiler: internal: unknown fork segment %q", in.ForkSeg)
+		}
+		op.Target = idx
+	}
+	return op, nil
+}

@@ -1,0 +1,411 @@
+package compiler_test
+
+import (
+	"testing"
+
+	"pcoup/internal/compiler"
+	"pcoup/internal/isa"
+	"pcoup/internal/machine"
+	"pcoup/internal/sim"
+)
+
+// run compiles src for the baseline machine and executes it, returning
+// the result and the simulator (for memory inspection).
+func run(t *testing.T, src string, mode compiler.Mode) (*sim.Result, *sim.Sim, *isa.Program) {
+	t.Helper()
+	cfg := machine.Baseline()
+	prog, _, err := compiler.Compile(src, cfg, compiler.Options{Mode: mode})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	s, err := sim.New(cfg, prog)
+	if err != nil {
+		t.Fatalf("sim.New: %v", err)
+	}
+	res, err := s.Run(0)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res, s, prog
+}
+
+// peekInt reads memory at the named global plus offset.
+func peekInt(t *testing.T, s *sim.Sim, prog *isa.Program, name string, off int64) int64 {
+	t.Helper()
+	for _, d := range prog.Data {
+		if d.Name == name {
+			v, _ := s.Memory().Peek(d.Addr + off)
+			return v.AsInt()
+		}
+	}
+	t.Fatalf("global %q not found", name)
+	return 0
+}
+
+func peekFloat(t *testing.T, s *sim.Sim, prog *isa.Program, name string, off int64) float64 {
+	t.Helper()
+	for _, d := range prog.Data {
+		if d.Name == name {
+			v, _ := s.Memory().Peek(d.Addr + off)
+			return v.AsFloat()
+		}
+	}
+	t.Fatalf("global %q not found", name)
+	return 0
+}
+
+func TestStraightLine(t *testing.T) {
+	src := `
+(program t1
+  (global out (array int 4))
+  (def (main)
+    (set x 3)
+    (set y 4)
+    (aset out 0 (+ x y))
+    (aset out 1 (* x 6))
+    (aset out 2 (- y x))
+    (aset out 3 (% 17 5))))`
+	for _, mode := range []compiler.Mode{compiler.Unrestricted, compiler.SingleCluster} {
+		_, s, prog := run(t, src, mode)
+		for i, want := range []int64{7, 18, 1, 2} {
+			if got := peekInt(t, s, prog, "out", int64(i)); got != want {
+				t.Errorf("mode %v: out[%d] = %d, want %d", mode, i, got, want)
+			}
+		}
+	}
+}
+
+func TestRuntimeLoop(t *testing.T) {
+	src := `
+(program t2
+  (global out (array int 10))
+  (def (main)
+    (for (i 0 10)
+      (aset out i (* i i)))))`
+	_, s, prog := run(t, src, compiler.Unrestricted)
+	for i := int64(0); i < 10; i++ {
+		if got := peekInt(t, s, prog, "out", i); got != i*i {
+			t.Errorf("out[%d] = %d, want %d", i, got, i*i)
+		}
+	}
+}
+
+func TestWhileAndIf(t *testing.T) {
+	src := `
+(program t3
+  (global out (array int 3))
+  (def (main)
+    (set n 0)
+    (set sum 0)
+    (while (< n 20)
+      (if (= (% n 2) 0)
+          (set sum (+ sum n)))
+      (set n (+ n 1)))
+    (aset out 0 sum)
+    (if (> sum 50)
+        (aset out 1 1)
+        (aset out 1 2))
+    (aset out 2 42)))`
+	_, s, prog := run(t, src, compiler.Unrestricted)
+	if got := peekInt(t, s, prog, "out", 0); got != 90 {
+		t.Errorf("sum = %d, want 90", got)
+	}
+	if got := peekInt(t, s, prog, "out", 1); got != 1 {
+		t.Errorf("out[1] = %d, want 1", got)
+	}
+	if got := peekInt(t, s, prog, "out", 2); got != 42 {
+		t.Errorf("out[2] = %d, want 42", got)
+	}
+}
+
+func TestFloatArithmetic(t *testing.T) {
+	src := `
+(program t4
+  (global a (array float 4) (init 1.5 2.5 3.0 4.0))
+  (global out (array float 3))
+  (def (main)
+    (set s 0.0)
+    (unroll (i 0 4)
+      (set s (+ s (aref a i))))
+    (aset out 0 s)
+    (aset out 1 (* (aref a 0) (aref a 1)))
+    (aset out 2 (/ (aref a 3) 2.0))))`
+	_, s, prog := run(t, src, compiler.Unrestricted)
+	if got := peekFloat(t, s, prog, "out", 0); got != 11.0 {
+		t.Errorf("out[0] = %v, want 11", got)
+	}
+	if got := peekFloat(t, s, prog, "out", 1); got != 3.75 {
+		t.Errorf("out[1] = %v, want 3.75", got)
+	}
+	if got := peekFloat(t, s, prog, "out", 2); got != 2.0 {
+		t.Errorf("out[2] = %v, want 2", got)
+	}
+}
+
+func TestProcedureInline(t *testing.T) {
+	src := `
+(program t5
+  (global out (array int 4))
+  (def (square x) (return (* x x)))
+  (def (store2 i v)
+    (aset out i v)
+    (aset out (+ i 1) (+ v 1)))
+  (def (main)
+    (aset out 0 (square 5))
+    (aset out 1 (square (square 2)))
+    (store2 2 (square 3))))`
+	_, s, prog := run(t, src, compiler.Unrestricted)
+	for i, want := range []int64{25, 16, 9, 10} {
+		if got := peekInt(t, s, prog, "out", int64(i)); got != want {
+			t.Errorf("out[%d] = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestForkJoin(t *testing.T) {
+	src := `
+(program t6
+  (global out (array int 4))
+  (def (main)
+    (fork (aset out 0 11))
+    (fork (aset out 1 22))
+    (join)
+    (aset out 2 (+ (aref out 0) (aref out 1)))))`
+	res, s, prog := run(t, src, compiler.Unrestricted)
+	if got := peekInt(t, s, prog, "out", 2); got != 33 {
+		t.Errorf("out[2] = %d, want 33", got)
+	}
+	if len(res.Threads) != 3 {
+		t.Errorf("expected 3 threads, got %d", len(res.Threads))
+	}
+}
+
+func TestForallStatic(t *testing.T) {
+	src := `
+(program t7
+  (global out (array int 8))
+  (def (main)
+    (forall-static (i 0 8)
+      (aset out i (* i 3)))
+    (set s 0)
+    (unroll (i 0 8)
+      (set s (+ s (aref out i))))
+    (aset out 0 s)))`
+	_, s, prog := run(t, src, compiler.Unrestricted)
+	// s = 3*(0+1+...+7) = 84
+	if got := peekInt(t, s, prog, "out", 0); got != 84 {
+		t.Errorf("out[0] = %d, want 84", got)
+	}
+	for i := int64(1); i < 8; i++ {
+		if got := peekInt(t, s, prog, "out", i); got != i*3 {
+			t.Errorf("out[%d] = %d, want %d", i, got, i*3)
+		}
+	}
+}
+
+func TestForallRuntime(t *testing.T) {
+	src := `
+(program t8
+  (global n int (init 12))
+  (global out (array int 16))
+  (def (main)
+    (set lim (aref n 0))
+    (forall (i 0 lim)
+      (aset out i (+ (* i i) 1)))
+    (aset out 15 99)))`
+	for _, mode := range []compiler.Mode{compiler.Unrestricted, compiler.SingleCluster} {
+		_, s, prog := run(t, src, mode)
+		for i := int64(0); i < 12; i++ {
+			if got := peekInt(t, s, prog, "out", i); got != i*i+1 {
+				t.Errorf("mode %v: out[%d] = %d, want %d", mode, i, got, i*i+1)
+			}
+		}
+		if got := peekInt(t, s, prog, "out", 15); got != 99 {
+			t.Errorf("mode %v: out[15] = %d, want 99", mode, got)
+		}
+	}
+}
+
+func TestSyncQueue(t *testing.T) {
+	// Two workers drain a shared counter with consume/produce atomicity.
+	src := `
+(program t9
+  (global next int (init 0))
+  (global marks (array int 10))
+  (global counts (array int 2))
+  (def (worker tid)
+    (set cnt 0)
+    (set idx (aref next 0 consume))
+    (aset next 0 (+ idx 1) produce)
+    (while (< idx 10)
+      (aset marks idx 1)
+      (set cnt (+ cnt 1))
+      (set idx (aref next 0 consume))
+      (aset next 0 (+ idx 1) produce))
+    (aset counts tid cnt))
+  (def (main)
+    (fork (worker 0))
+    (fork (worker 1))
+    (join)))`
+	_, s, prog := run(t, src, compiler.Unrestricted)
+	total := int64(0)
+	for i := int64(0); i < 10; i++ {
+		if got := peekInt(t, s, prog, "marks", i); got != 1 {
+			t.Errorf("marks[%d] = %d, want 1", i, got)
+		}
+	}
+	for i := int64(0); i < 2; i++ {
+		total += peekInt(t, s, prog, "counts", i)
+	}
+	if total != 10 {
+		t.Errorf("total evaluated = %d, want 10", total)
+	}
+}
+
+func TestNestedLoopsMatmulSmall(t *testing.T) {
+	// 3x3 integer matmul, checked exactly.
+	src := `
+(program t10
+  (global a (array int 9) (init 1 2 3 4 5 6 7 8 9))
+  (global b (array int 9) (init 9 8 7 6 5 4 3 2 1))
+  (global c (array int 9))
+  (def (main)
+    (for (i 0 3)
+      (for (j 0 3)
+        (set s 0)
+        (unroll (k 0 3)
+          (set s (+ s (* (aref a (+ (* i 3) k)) (aref b (+ (* k 3) j))))))
+        (aset c (+ (* i 3) j) s)))))`
+	want := []int64{30, 24, 18, 84, 69, 54, 138, 114, 90}
+	for _, mode := range []compiler.Mode{compiler.Unrestricted, compiler.SingleCluster} {
+		_, s, prog := run(t, src, mode)
+		for i, w := range want {
+			if got := peekInt(t, s, prog, "c", int64(i)); got != w {
+				t.Errorf("mode %v: c[%d] = %d, want %d", mode, i, got, w)
+			}
+		}
+	}
+}
+
+func TestModeCycleOrdering(t *testing.T) {
+	// A compute-heavy unrolled kernel should run faster unrestricted
+	// (STS-like) than on a single cluster (SEQ-like).
+	src := `
+(program t11
+  (global a (array float 64))
+  (global out (array float 64))
+  (def (main)
+    (unroll (i 0 64)
+      (aset a i (+ (float i) 1.0)))
+    (unroll (i 0 64)
+      (aset out i (* (aref a i) (aref a i))))))`
+	cfg := machine.Baseline()
+	var cycles [2]int64
+	for m, mode := range []compiler.Mode{compiler.Unrestricted, compiler.SingleCluster} {
+		prog, _, err := compiler.Compile(src, cfg, compiler.Options{Mode: mode})
+		if err != nil {
+			t.Fatalf("compile: %v", err)
+		}
+		s, err := sim.New(cfg, prog)
+		if err != nil {
+			t.Fatalf("sim.New: %v", err)
+		}
+		res, err := s.Run(0)
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		cycles[m] = res.Cycles
+	}
+	if cycles[0] >= cycles[1] {
+		t.Errorf("unrestricted (%d cycles) should beat single-cluster (%d cycles)", cycles[0], cycles[1])
+	}
+}
+
+// runWith compiles with explicit options and runs on the baseline machine.
+func runWith(t *testing.T, src string, opts compiler.Options) (*sim.Result, *sim.Sim, *isa.Program) {
+	t.Helper()
+	cfg := machine.Baseline()
+	prog, _, err := compiler.Compile(src, cfg, opts)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	s, err := sim.New(cfg, prog)
+	if err != nil {
+		t.Fatalf("sim.New: %v", err)
+	}
+	res, err := s.Run(0)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res, s, prog
+}
+
+// TestAutoUnroll verifies the extension's semantics: correct results,
+// conservative handling of assigned loop variables, and no expansion
+// beyond the limit.
+func TestAutoUnroll(t *testing.T) {
+	src := `
+(program p
+  (global out (array int 20))
+  (def (main)
+    (for (i 0 6)
+      (aset out i (* i i)))
+    (for (j 0 12)
+      (aset out (+ j 6) j))))`
+	cfg := machine.Baseline()
+	prog, _, err := compiler.Compile(src, cfg, compiler.Options{Mode: compiler.Unrestricted, AutoUnroll: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first loop (6 trips) unrolls: its stores become constant-
+	// addressed. The second (12 trips) exceeds the limit and stays a
+	// runtime loop, so at least one branch remains.
+	branches := 0
+	for _, in := range prog.Segments[0].Instrs {
+		for _, op := range in.Ops {
+			if op != nil && op.IsBranch() {
+				branches++
+			}
+		}
+	}
+	if branches == 0 {
+		t.Error("second loop should have stayed rolled")
+	}
+	// Results must be identical with and without unrolling.
+	for _, unroll := range []int{0, 8, 64} {
+		res, s, p := runWith(t, src, compiler.Options{Mode: compiler.Unrestricted, AutoUnroll: unroll})
+		_ = res
+		for i := int64(0); i < 6; i++ {
+			if got := peekAt(t, s, p, "out", i); got != i*i {
+				t.Errorf("unroll=%d: out[%d] = %d", unroll, i, got)
+			}
+		}
+		for j := int64(0); j < 12; j++ {
+			if got := peekAt(t, s, p, "out", j+6); got != j {
+				t.Errorf("unroll=%d: out[%d] = %d", unroll, j+6, got)
+			}
+		}
+	}
+	// A loop that assigns its own variable must not unroll (and must
+	// still compile and run correctly).
+	src2 := `
+(program p
+  (global out (array int 1))
+  (def (main)
+    (set n 0)
+    (for (i 0 10)
+      (begin
+        (set i (+ i 1))
+        (set n (+ n 1))))
+    (aset out 0 n)))`
+	_, s2, p2 := runWith(t, src2, compiler.Options{Mode: compiler.Unrestricted, AutoUnroll: 64})
+	if got := peekAt(t, s2, p2, "out", 0); got != 5 {
+		t.Errorf("self-assigning loop ran %d times, want 5", got)
+	}
+}
+
+// peekAt reads an int from the named global.
+func peekAt(t *testing.T, s *sim.Sim, prog *isa.Program, name string, off int64) int64 {
+	t.Helper()
+	return peekInt(t, s, prog, name, off)
+}

@@ -1,0 +1,294 @@
+package compiler
+
+import (
+	"fmt"
+	"strings"
+
+	"pcoup/internal/isa"
+)
+
+// Type is the static type of an expression or virtual register.
+type Type int
+
+const (
+	// TInt is the 64-bit integer type.
+	TInt Type = iota
+	// TFloat is the 64-bit floating-point type.
+	TFloat
+)
+
+func (t Type) String() string {
+	if t == TFloat {
+		return "float"
+	}
+	return "int"
+}
+
+// VReg names a virtual register; 0 is "none". The compiler assumes an
+// unbounded register space (as in the paper) and reports peak usage.
+type VReg int
+
+// Src is one operand of an IR instruction: a virtual register or a
+// constant.
+type Src struct {
+	VReg    VReg
+	Const   isa.Value
+	IsConst bool
+}
+
+func vsrc(v VReg) Src      { return Src{VReg: v} }
+func csrc(v isa.Value) Src { return Src{Const: v, IsConst: true} }
+func cint(i int64) Src     { return csrc(isa.Int(i)) }
+
+func (s Src) String() string {
+	if s.IsConst {
+		return "#" + s.Const.String()
+	}
+	return fmt.Sprintf("v%d", s.VReg)
+}
+
+// Instr is one IR instruction in three-address form. Control instructions
+// (jmp/bt/bf) appear only as block terminators; fork and halt are ordinary
+// instructions executed by branch units.
+type Instr struct {
+	Op   isa.Opcode
+	Dst  VReg // 0 when the instruction produces no value
+	Srcs []Src
+
+	// Memory instruction fields.
+	Offset int64          // constant part of the effective address
+	Sync   isa.SyncFlavor // presence-bit discipline
+	Alias  string         // global the address is within ("" = unknown)
+	// AddrConst reports that the address is entirely in Offset (no
+	// register components), enabling exact alias disambiguation.
+	AddrConst bool
+
+	// Control fields.
+	Target  *Block // branch target
+	ForkSeg string // fork target segment name
+
+	Type Type // result type of Dst
+}
+
+func (in *Instr) isTerminator() bool {
+	switch in.Op {
+	case isa.OpJmp, isa.OpBt, isa.OpBf:
+		return true
+	}
+	return false
+}
+
+func (in *Instr) String() string {
+	var b strings.Builder
+	b.WriteString(in.Op.String())
+	if in.Sync != isa.SyncNone {
+		b.WriteString("." + in.Sync.String())
+	}
+	if in.Dst != 0 {
+		fmt.Fprintf(&b, " v%d <-", in.Dst)
+	}
+	for _, s := range in.Srcs {
+		b.WriteString(" " + s.String())
+	}
+	if in.Op == isa.OpLoad || in.Op == isa.OpStore {
+		fmt.Fprintf(&b, " @%d[%s]", in.Offset, in.Alias)
+	}
+	if in.Target != nil {
+		fmt.Fprintf(&b, " ->b%d", in.Target.ID)
+	}
+	if in.ForkSeg != "" {
+		fmt.Fprintf(&b, " ->%s", in.ForkSeg)
+	}
+	return b.String()
+}
+
+// Block is a basic block: straight-line instructions with at most one
+// terminator (jmp/bt/bf) as the final instruction. When the final
+// instruction is a conditional branch (or the block has no terminator),
+// control falls through to the next block in layout order.
+type Block struct {
+	ID     int
+	Instrs []*Instr
+}
+
+// terminator returns the block's terminator instruction, or nil.
+func (b *Block) terminator() *Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	last := b.Instrs[len(b.Instrs)-1]
+	if last.isTerminator() {
+		return last
+	}
+	return nil
+}
+
+// Fn is one compiled thread body in IR form.
+type Fn struct {
+	Name   string
+	Blocks []*Block // layout order; fallthrough goes to the next entry
+	// nextVReg allocates virtual registers.
+	nextVReg VReg
+	// vregType records the type of each allocated vreg.
+	vregType map[VReg]Type
+}
+
+func newFn(name string) *Fn {
+	return &Fn{Name: name, nextVReg: 1, vregType: make(map[VReg]Type)}
+}
+
+func (f *Fn) newVReg(t Type) VReg {
+	v := f.nextVReg
+	f.nextVReg++
+	f.vregType[v] = t
+	return v
+}
+
+func (f *Fn) typeOf(v VReg) Type { return f.vregType[v] }
+
+func (f *Fn) newBlock() *Block {
+	b := &Block{ID: len(f.Blocks)}
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// succs returns the blocks control may reach from block index i.
+func (f *Fn) succs(i int) []*Block {
+	b := f.Blocks[i]
+	var out []*Block
+	term := b.terminator()
+	if term != nil {
+		out = append(out, term.Target)
+		if term.Op == isa.OpJmp {
+			return out
+		}
+	} else if len(b.Instrs) > 0 && b.Instrs[len(b.Instrs)-1].Op == isa.OpHalt {
+		return nil
+	}
+	if i+1 < len(f.Blocks) {
+		out = append(out, f.Blocks[i+1])
+	}
+	return out
+}
+
+// String renders the function's IR (debugging aid).
+func (f *Fn) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fn %s:\n", f.Name)
+	for _, blk := range f.Blocks {
+		fmt.Fprintf(&b, " b%d:\n", blk.ID)
+		for _, in := range blk.Instrs {
+			fmt.Fprintf(&b, "   %s\n", in)
+		}
+	}
+	return b.String()
+}
+
+// liveness computes, for each block index, the set of vregs live on entry.
+// Standard backward dataflow over the CFG.
+func (f *Fn) liveness() []map[VReg]bool {
+	n := len(f.Blocks)
+	use := make([]map[VReg]bool, n)
+	def := make([]map[VReg]bool, n)
+	for i, b := range f.Blocks {
+		use[i] = map[VReg]bool{}
+		def[i] = map[VReg]bool{}
+		for _, in := range b.Instrs {
+			for _, s := range in.Srcs {
+				if !s.IsConst && !def[i][s.VReg] {
+					use[i][s.VReg] = true
+				}
+			}
+			if in.Dst != 0 {
+				def[i][in.Dst] = true
+			}
+		}
+	}
+	liveIn := make([]map[VReg]bool, n)
+	liveOut := make([]map[VReg]bool, n)
+	for i := range liveIn {
+		liveIn[i] = map[VReg]bool{}
+		liveOut[i] = map[VReg]bool{}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			out := map[VReg]bool{}
+			for _, s := range f.succs(i) {
+				for v := range liveIn[s.ID] {
+					out[v] = true
+				}
+			}
+			in := map[VReg]bool{}
+			for v := range use[i] {
+				in[v] = true
+			}
+			for v := range out {
+				if !def[i][v] {
+					in[v] = true
+				}
+			}
+			if len(in) != len(liveIn[i]) || len(out) != len(liveOut[i]) {
+				changed = true
+			} else {
+				for v := range in {
+					if !liveIn[i][v] {
+						changed = true
+						break
+					}
+				}
+			}
+			liveIn[i] = in
+			liveOut[i] = out
+		}
+	}
+	return liveIn
+}
+
+// crossBlockVRegs returns the set of vregs that are live across a block
+// boundary (live-in to some block). These must reside in a stable home
+// cluster between blocks.
+func (f *Fn) crossBlockVRegs() map[VReg]bool {
+	out := map[VReg]bool{}
+	for _, in := range f.liveness() {
+		for v := range in {
+			out[v] = true
+		}
+	}
+	return out
+}
+
+// loopBlocks returns the set of block IDs that lie on a CFG cycle
+// (used to report the compile-time schedule length of loop bodies,
+// Table 3).
+func (f *Fn) loopBlocks() map[int]bool {
+	n := len(f.Blocks)
+	reach := make([][]bool, n)
+	for i := range reach {
+		reach[i] = make([]bool, n)
+		for _, s := range f.succs(i) {
+			reach[i][s.ID] = true
+		}
+	}
+	// Floyd-Warshall style closure (n is small).
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if !reach[i][k] {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if reach[k][j] {
+					reach[i][j] = true
+				}
+			}
+		}
+	}
+	out := map[int]bool{}
+	for i := 0; i < n; i++ {
+		if reach[i][i] {
+			out[i] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,571 @@
+package compiler
+
+import (
+	"fmt"
+
+	"pcoup/internal/isa"
+)
+
+// optimize runs the scalar optimization passes to a fixpoint: static
+// evaluation of constant expressions, constant propagation, local common
+// subexpression elimination (including redundant loads and store-to-load
+// forwarding), copy propagation, branch folding, and dead code
+// elimination — the optimizations attributed to the paper's compiler.
+func optimize(fn *Fn) {
+	for round := 0; round < 8; round++ {
+		changed := false
+		if constProp(fn) {
+			changed = true
+		}
+		if foldAddrAdds(fn) {
+			changed = true
+		}
+		if localCSE(fn) {
+			changed = true
+		}
+		if copyProp(fn) {
+			changed = true
+		}
+		if simplifyControl(fn) {
+			changed = true
+		}
+		if dce(fn) {
+			changed = true
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// defCounts returns, per vreg, how many instructions define it.
+func defCounts(fn *Fn) map[VReg]int {
+	counts := map[VReg]int{}
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			if in.Dst != 0 {
+				counts[in.Dst]++
+			}
+		}
+	}
+	return counts
+}
+
+// constProp finds single-assignment vregs whose definitions fold to
+// constants and substitutes them into all uses. Constant address
+// components of memory operations fold into the instruction offset.
+func constProp(fn *Fn) bool {
+	defs := defCounts(fn)
+	known := map[VReg]isa.Value{}
+	// Iterate to propagate through chains.
+	for {
+		grew := false
+		for _, b := range fn.Blocks {
+			for _, in := range b.Instrs {
+				if in.Dst == 0 || defs[in.Dst] != 1 || !in.Op.Pure() {
+					continue
+				}
+				if _, done := known[in.Dst]; done {
+					continue
+				}
+				vals := make([]isa.Value, len(in.Srcs))
+				ok := true
+				for i, s := range in.Srcs {
+					switch {
+					case s.IsConst:
+						vals[i] = s.Const
+					default:
+						v, has := known[s.VReg]
+						if !has {
+							ok = false
+						}
+						vals[i] = v
+					}
+					if !ok {
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				v, err := isa.Eval(in.Op, vals)
+				if err != nil {
+					continue
+				}
+				known[in.Dst] = v
+				grew = true
+			}
+		}
+		if !grew {
+			break
+		}
+	}
+	if len(known) == 0 {
+		return false
+	}
+	changed := false
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			for i, s := range in.Srcs {
+				if s.IsConst {
+					continue
+				}
+				if v, ok := known[s.VReg]; ok {
+					in.Srcs[i] = csrc(v)
+					changed = true
+				}
+			}
+			// Rewrite folded definitions into constant moves so DCE can
+			// drop them once unused.
+			if in.Dst != 0 && defs[in.Dst] == 1 && in.Op.Pure() {
+				if v, ok := known[in.Dst]; ok && !(isMovOp(in.Op) && len(in.Srcs) == 1 && in.Srcs[0].IsConst) {
+					in.Op = movOp(in.Type)
+					in.Srcs = []Src{csrc(v)}
+					changed = true
+				}
+			}
+			changed = foldMemAddress(in) || changed
+		}
+	}
+	return changed
+}
+
+func isMovOp(op isa.Opcode) bool { return op == isa.OpMov || op == isa.OpFMov }
+
+// foldMemAddress moves constant address components of loads/stores into
+// the offset field.
+func foldMemAddress(in *Instr) bool {
+	if in.Op != isa.OpLoad && in.Op != isa.OpStore {
+		return false
+	}
+	start := 0
+	if in.Op == isa.OpStore {
+		start = 1 // Srcs[0] is the stored value
+	}
+	changed := false
+	kept := in.Srcs[:start]
+	for _, s := range in.Srcs[start:] {
+		if s.IsConst {
+			in.Offset += s.Const.AsInt()
+			changed = true
+			continue
+		}
+		kept = append(kept, s)
+	}
+	in.Srcs = kept
+	if len(in.Srcs) == start && !in.AddrConst {
+		in.AddrConst = true
+		changed = true
+	}
+	return changed
+}
+
+// foldAddrAdds absorbs single-assignment integer additions feeding a
+// memory operation's address into the operation itself: the memory units
+// perform the arithmetic required for address calculation (base + index +
+// offset), as in the paper's machine. Up to two register components are
+// allowed per address.
+func foldAddrAdds(fn *Fn) bool {
+	defs := defCounts(fn)
+	defInstr := map[VReg]*Instr{}
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			if in.Dst != 0 && defs[in.Dst] == 1 {
+				defInstr[in.Dst] = in
+			}
+		}
+	}
+	changed := false
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op != isa.OpLoad && in.Op != isa.OpStore {
+				continue
+			}
+			start := 0
+			if in.Op == isa.OpStore {
+				start = 1
+			}
+			for again := true; again; {
+				again = false
+				regComps := 0
+				for _, s := range in.Srcs[start:] {
+					if !s.IsConst {
+						regComps++
+					}
+				}
+				for i := start; i < len(in.Srcs); i++ {
+					s := in.Srcs[i]
+					if s.IsConst {
+						continue
+					}
+					d, ok := defInstr[s.VReg]
+					if !ok || d.Op != isa.OpAdd {
+						continue
+					}
+					extra := 0
+					for _, ds := range d.Srcs {
+						if !ds.IsConst {
+							extra++
+						}
+					}
+					if regComps-1+extra > 2 {
+						continue
+					}
+					// Replace the component with the addition's operands.
+					repl := append([]Src{}, in.Srcs[:i]...)
+					repl = append(repl, d.Srcs...)
+					repl = append(repl, in.Srcs[i+1:]...)
+					in.Srcs = repl
+					changed = true
+					again = true
+					break
+				}
+				foldMemAddress(in)
+			}
+		}
+	}
+	return changed
+}
+
+// cseEntry is one available expression or memory value.
+type cseEntry struct {
+	key  string
+	reg  VReg
+	uses []VReg // vregs the key depends on (invalidated on redefinition)
+}
+
+// localCSE eliminates common subexpressions, redundant loads, and loads
+// that can be forwarded from a prior store, within each basic block.
+func localCSE(fn *Fn) bool {
+	changed := false
+	for _, b := range fn.Blocks {
+		var exprs []cseEntry
+		var loads []cseEntry       // key -> loaded reg, per alias/addr
+		stores := map[string]Src{} // const-addr store forwarding
+		aliasOf := map[string]string{}
+
+		invalidateReg := func(v VReg) {
+			keep := exprs[:0]
+			for _, e := range exprs {
+				dead := e.reg == v
+				for _, u := range e.uses {
+					if u == v {
+						dead = true
+					}
+				}
+				if !dead {
+					keep = append(keep, e)
+				}
+			}
+			exprs = keep
+			keepL := loads[:0]
+			for _, e := range loads {
+				dead := e.reg == v
+				for _, u := range e.uses {
+					if u == v {
+						dead = true
+					}
+				}
+				if !dead {
+					keepL = append(keepL, e)
+				}
+			}
+			loads = keepL
+			for k, s := range stores {
+				if !s.IsConst && s.VReg == v {
+					delete(stores, k)
+				}
+			}
+		}
+		invalidateAlias := func(alias string) {
+			keep := loads[:0]
+			for _, e := range loads {
+				if alias == "" || aliasOf[e.key] == alias || aliasOf[e.key] == "" {
+					continue
+				}
+				keep = append(keep, e)
+			}
+			loads = keep
+			for k := range stores {
+				if alias == "" || aliasOf[k] == alias || aliasOf[k] == "" {
+					delete(stores, k)
+				}
+			}
+		}
+
+		for _, in := range b.Instrs {
+			switch {
+			case in.Op == isa.OpLoad && in.Sync == isa.SyncNone && in.Dst != 0:
+				key := memKey(in)
+				if in.AddrConst {
+					if v, ok := stores[key]; ok {
+						// Store-to-load forwarding.
+						in.Op = movOp(in.Type)
+						in.Srcs = []Src{v}
+						in.Alias = ""
+						in.AddrConst = false
+						in.Offset = 0
+						changed = true
+						if in.Dst != 0 {
+							invalidateReg(in.Dst)
+						}
+						continue
+					}
+				}
+				found := false
+				for _, e := range loads {
+					if e.key == key {
+						in.Op = movOp(in.Type)
+						in.Srcs = []Src{vsrc(e.reg)}
+						in.Alias = ""
+						in.AddrConst = false
+						in.Offset = 0
+						changed = true
+						found = true
+						break
+					}
+				}
+				invalidateReg(in.Dst)
+				if !found && in.Op == isa.OpLoad && !selfReferencing(in) {
+					aliasOf[key] = in.Alias
+					loads = append(loads, cseEntry{key: key, reg: in.Dst, uses: srcVRegs(in.Srcs)})
+				}
+			case in.Op == isa.OpLoad:
+				// Synchronizing load: never reused, kills its alias.
+				invalidateAlias(in.Alias)
+				if in.Dst != 0 {
+					invalidateReg(in.Dst)
+				}
+			case in.Op == isa.OpStore:
+				invalidateAlias(in.Alias)
+				if in.Sync == isa.SyncNone && in.AddrConst {
+					key := memKey(in)
+					aliasOf[key] = in.Alias
+					stores[key] = in.Srcs[0]
+				}
+			case in.Op == isa.OpFork, in.Op == isa.OpHalt:
+				invalidateAlias("")
+			case in.Dst != 0 && in.Op.Pure():
+				key := exprKey(in)
+				replaced := false
+				for _, e := range exprs {
+					if e.key == key {
+						in.Op = movOp(in.Type)
+						in.Srcs = []Src{vsrc(e.reg)}
+						changed = true
+						replaced = true
+						break
+					}
+				}
+				invalidateReg(in.Dst)
+				if !replaced && !isMovOp(in.Op) && !selfReferencing(in) {
+					exprs = append(exprs, cseEntry{key: key, reg: in.Dst, uses: srcVRegs(in.Srcs)})
+				}
+			default:
+				if in.Dst != 0 {
+					invalidateReg(in.Dst)
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// selfReferencing reports whether the instruction reads its own
+// destination register.
+func selfReferencing(in *Instr) bool {
+	for _, s := range in.Srcs {
+		if !s.IsConst && s.VReg == in.Dst {
+			return true
+		}
+	}
+	return false
+}
+
+func srcVRegs(srcs []Src) []VReg {
+	var out []VReg
+	for _, s := range srcs {
+		if !s.IsConst {
+			out = append(out, s.VReg)
+		}
+	}
+	return out
+}
+
+func exprKey(in *Instr) string {
+	key := in.Op.String()
+	for _, s := range in.Srcs {
+		key += "," + s.String()
+	}
+	return key
+}
+
+func memKey(in *Instr) string {
+	key := fmt.Sprintf("%s@%d", in.Alias, in.Offset)
+	start := 0
+	if in.Op == isa.OpStore {
+		start = 1
+	}
+	for _, s := range in.Srcs[start:] {
+		key += "+" + s.String()
+	}
+	return key
+}
+
+// copyProp replaces uses of single-assignment vregs defined by a move
+// from another single-assignment vreg.
+func copyProp(fn *Fn) bool {
+	defs := defCounts(fn)
+	repl := map[VReg]VReg{}
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			if isMovOp(in.Op) && in.Dst != 0 && len(in.Srcs) == 1 && !in.Srcs[0].IsConst {
+				src := in.Srcs[0].VReg
+				if defs[in.Dst] == 1 && defs[src] == 1 {
+					repl[in.Dst] = src
+				}
+			}
+		}
+	}
+	if len(repl) == 0 {
+		return false
+	}
+	resolve := func(v VReg) VReg {
+		for i := 0; i < 64; i++ {
+			n, ok := repl[v]
+			if !ok {
+				return v
+			}
+			v = n
+		}
+		return v
+	}
+	changed := false
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			for i, s := range in.Srcs {
+				if s.IsConst {
+					continue
+				}
+				if r := resolve(s.VReg); r != s.VReg {
+					in.Srcs[i] = vsrc(r)
+					changed = true
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// simplifyControl folds constant conditional branches, removes jumps to
+// the next block, and prunes unreachable blocks.
+func simplifyControl(fn *Fn) bool {
+	changed := false
+	for i, b := range fn.Blocks {
+		term := b.terminator()
+		if term == nil {
+			continue
+		}
+		switch term.Op {
+		case isa.OpBt, isa.OpBf:
+			if len(term.Srcs) == 1 && term.Srcs[0].IsConst {
+				taken := term.Srcs[0].Const.Truthy() == (term.Op == isa.OpBt)
+				if taken {
+					term.Op = isa.OpJmp
+					term.Srcs = nil
+				} else {
+					b.Instrs = b.Instrs[:len(b.Instrs)-1]
+				}
+				changed = true
+			}
+		}
+		term = b.terminator()
+		if term != nil && term.Op == isa.OpJmp && i+1 < len(fn.Blocks) && term.Target == fn.Blocks[i+1] {
+			b.Instrs = b.Instrs[:len(b.Instrs)-1]
+			changed = true
+		}
+	}
+	// Prune unreachable blocks.
+	reach := map[*Block]bool{}
+	var stack []*Block
+	if len(fn.Blocks) > 0 {
+		reach[fn.Blocks[0]] = true
+		stack = append(stack, fn.Blocks[0])
+	}
+	index := map[*Block]int{}
+	for i, b := range fn.Blocks {
+		index[b] = i
+	}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range fn.succs(index[b]) {
+			if s != nil && !reach[s] {
+				reach[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	if len(reach) != len(fn.Blocks) {
+		var kept []*Block
+		for _, b := range fn.Blocks {
+			if reach[b] {
+				kept = append(kept, b)
+			}
+		}
+		fn.Blocks = kept
+		for i, b := range fn.Blocks {
+			b.ID = i
+		}
+		changed = true
+	} else {
+		for i, b := range fn.Blocks {
+			b.ID = i
+		}
+	}
+	return changed
+}
+
+// dce removes pure instructions (and ordinary loads) whose results are
+// never used. Synchronizing loads, stores, branches, forks, and halts are
+// always preserved.
+func dce(fn *Fn) bool {
+	changed := false
+	for {
+		uses := map[VReg]int{}
+		for _, b := range fn.Blocks {
+			for _, in := range b.Instrs {
+				for _, s := range in.Srcs {
+					if !s.IsConst {
+						uses[s.VReg]++
+					}
+				}
+			}
+		}
+		removed := false
+		for _, b := range fn.Blocks {
+			kept := b.Instrs[:0]
+			for _, in := range b.Instrs {
+				dead := false
+				if in.Dst != 0 && uses[in.Dst] == 0 {
+					if in.Op.Pure() {
+						dead = true
+					}
+					if in.Op == isa.OpLoad && in.Sync == isa.SyncNone {
+						dead = true
+					}
+				}
+				if dead {
+					removed = true
+					continue
+				}
+				kept = append(kept, in)
+			}
+			b.Instrs = kept
+		}
+		if !removed {
+			return changed
+		}
+		changed = true
+	}
+}

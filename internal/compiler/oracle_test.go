@@ -1,0 +1,374 @@
+package compiler
+
+import (
+	"fmt"
+
+	"pcoup/internal/isa"
+	"pcoup/internal/sexpr"
+)
+
+// oracle is a direct tree-walking evaluator for the source language,
+// used as an independent reference for differential testing. Arithmetic
+// is delegated to constApply, so its typing and operation semantics are
+// by construction the same rules the compiler folds with and the
+// simulator executes with. The oracle runs threads sequentially (fork
+// bodies execute inline at the fork site), so it is a valid reference
+// only for race-free programs — which the differential test generator
+// guarantees by writing disjoint locations from parallel constructs.
+type oracle struct {
+	env *env
+	mem map[string][]isa.Value
+}
+
+// oracleRun parses and evaluates a program, returning the final contents
+// of every declared global.
+func oracleRun(src string) (map[string][]isa.Value, error) {
+	forms, err := sexpr.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(forms) == 1 && forms[0].Head() == "program" {
+		// newEnv handles the unwrapping.
+	}
+	// A minimal machine is irrelevant to the oracle; newEnv only needs
+	// the forms. Pass a permissive dummy config through the public entry
+	// used by the compiler.
+	e, err := newEnv(forms, oracleMachine(), Options{})
+	if err != nil {
+		return nil, err
+	}
+	o := &oracle{env: e, mem: map[string][]isa.Value{}}
+	for name, g := range e.globals {
+		vals := make([]isa.Value, g.size)
+		if g.typ == TFloat {
+			for i := range vals {
+				vals[i] = isa.Float(0)
+			}
+		}
+		copy(vals, g.init)
+		o.mem[name] = vals
+	}
+	main := e.funcs["main"]
+	if main == nil {
+		return nil, fmt.Errorf("oracle: no main")
+	}
+	sc := &oracleScope{vars: map[string]isa.Value{}, consts: map[string]isa.Value{}}
+	if _, err := o.stmts(main.body, sc, 0); err != nil {
+		return nil, err
+	}
+	out := map[string][]isa.Value{}
+	for name, vals := range o.mem {
+		out[name] = vals
+	}
+	return out, nil
+}
+
+type oracleScope struct {
+	parent *oracleScope
+	vars   map[string]isa.Value
+	consts map[string]isa.Value
+}
+
+func (s *oracleScope) lookupVar(name string) (*oracleScope, bool) {
+	for sc := s; sc != nil; sc = sc.parent {
+		if _, ok := sc.vars[name]; ok {
+			return sc, true
+		}
+		if _, ok := sc.consts[name]; ok {
+			return nil, false
+		}
+	}
+	return nil, false
+}
+
+func (s *oracleScope) lookupConst(name string) (isa.Value, bool) {
+	for sc := s; sc != nil; sc = sc.parent {
+		if v, ok := sc.consts[name]; ok {
+			return v, true
+		}
+		if _, ok := sc.vars[name]; ok {
+			return isa.Value{}, false
+		}
+	}
+	return isa.Value{}, false
+}
+
+const oracleMaxSteps = 10_000_000
+
+type oracleReturn struct{ val isa.Value }
+
+func (o *oracle) stmts(nodes []*sexpr.Node, sc *oracleScope, depth int) (*oracleReturn, error) {
+	for _, n := range nodes {
+		ret, err := o.stmt(n, sc, depth)
+		if err != nil {
+			return nil, err
+		}
+		if ret != nil {
+			return ret, nil
+		}
+	}
+	return nil, nil
+}
+
+func (o *oracle) stmt(n *sexpr.Node, sc *oracleScope, depth int) (*oracleReturn, error) {
+	if depth > maxInlineDepth {
+		return nil, fmt.Errorf("oracle: expansion too deep")
+	}
+	switch n.Head() {
+	case "set":
+		name := n.List[1].Sym
+		v, err := o.expr(n.List[2], sc, depth)
+		if err != nil {
+			return nil, err
+		}
+		if owner, ok := sc.lookupVar(name); ok {
+			old := owner.vars[name]
+			if old.IsFloat && !v.IsFloat {
+				v = isa.Float(v.AsFloat())
+			}
+			owner.vars[name] = v
+			return nil, nil
+		}
+		if g, ok := o.env.globals[name]; ok {
+			if g.typ == TFloat && !v.IsFloat {
+				v = isa.Float(v.AsFloat())
+			}
+			o.mem[name][0] = v
+			return nil, nil
+		}
+		sc.vars[name] = v
+		return nil, nil
+	case "let":
+		inner := &oracleScope{parent: sc, vars: map[string]isa.Value{}, consts: map[string]isa.Value{}}
+		for _, bind := range n.List[1].List {
+			v, err := o.expr(bind.List[1], sc, depth)
+			if err != nil {
+				return nil, err
+			}
+			inner.vars[bind.List[0].Sym] = v
+		}
+		return o.stmts(n.List[2:], inner, depth)
+	case "if":
+		c, err := o.expr(n.List[1], sc, depth)
+		if err != nil {
+			return nil, err
+		}
+		if c.Truthy() {
+			return o.stmt(n.List[2], sc, depth)
+		}
+		if len(n.List) == 4 {
+			return o.stmt(n.List[3], sc, depth)
+		}
+		return nil, nil
+	case "while":
+		for steps := 0; ; steps++ {
+			if steps > oracleMaxSteps {
+				return nil, fmt.Errorf("oracle: while did not terminate")
+			}
+			c, err := o.expr(n.List[1], sc, depth)
+			if err != nil {
+				return nil, err
+			}
+			if !c.Truthy() {
+				return nil, nil
+			}
+			if ret, err := o.stmts(n.List[2:], sc, depth); err != nil || ret != nil {
+				return ret, err
+			}
+		}
+	case "for", "unroll", "forall-static", "forall":
+		// All loop forms run sequentially in the oracle.
+		head := n.List[1].List
+		name := head[0].Sym
+		lo, err := o.expr(head[1], sc, depth)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := o.expr(head[2], sc, depth)
+		if err != nil {
+			return nil, err
+		}
+		step := int64(1)
+		if len(head) == 4 {
+			sv, err := o.expr(head[3], sc, depth)
+			if err != nil {
+				return nil, err
+			}
+			step = sv.AsInt()
+			if step == 0 {
+				return nil, fmt.Errorf("oracle: zero step")
+			}
+		}
+		for i := lo.AsInt(); i < hi.AsInt(); i += step {
+			inner := &oracleScope{parent: sc, vars: map[string]isa.Value{}, consts: map[string]isa.Value{}}
+			inner.vars[name] = isa.Int(i)
+			if ret, err := o.stmts(n.List[2:], inner, depth); err != nil || ret != nil {
+				return ret, err
+			}
+		}
+		return nil, nil
+	case "begin":
+		return o.stmts(n.List[1:], sc, depth)
+	case "aset":
+		g, ok := o.env.globals[n.List[1].Sym]
+		if !ok {
+			return nil, fmt.Errorf("oracle: unknown global %q", n.List[1].Sym)
+		}
+		idx, err := o.expr(n.List[2], sc, depth)
+		if err != nil {
+			return nil, err
+		}
+		v, err := o.expr(n.List[3], sc, depth)
+		if err != nil {
+			return nil, err
+		}
+		if g.typ == TFloat && !v.IsFloat {
+			v = isa.Float(v.AsFloat())
+		}
+		i := idx.AsInt()
+		if i < 0 || i >= g.size {
+			return nil, fmt.Errorf("oracle: %s[%d] out of range", g.name, i)
+		}
+		o.mem[g.name][i] = v
+		return nil, nil
+	case "fork":
+		// Sequential execution of the forked body (race-free programs
+		// only). Fork bodies see no parent locals.
+		inner := &oracleScope{vars: map[string]isa.Value{}, consts: flattenOracleConsts(sc)}
+		_, err := o.stmts(n.List[1:], inner, depth)
+		return nil, err
+	case "join":
+		return nil, nil
+	case "return":
+		v, err := o.expr(n.List[1], sc, depth)
+		if err != nil {
+			return nil, err
+		}
+		return &oracleReturn{val: v}, nil
+	default:
+		if fd, ok := o.env.funcs[n.Head()]; ok {
+			_, err := o.call(fd, n, sc, depth)
+			return nil, err
+		}
+		return nil, fmt.Errorf("oracle: unknown statement %q", n.Head())
+	}
+}
+
+func flattenOracleConsts(sc *oracleScope) map[string]isa.Value {
+	out := map[string]isa.Value{}
+	var walk func(*oracleScope)
+	walk = func(s *oracleScope) {
+		if s == nil {
+			return
+		}
+		walk(s.parent)
+		for k, v := range s.consts {
+			out[k] = v
+		}
+		// Loop indices are vars in the oracle but compile-time constants
+		// for unroll/forall-static; fork bodies may reference them.
+		for k, v := range s.vars {
+			out[k] = v
+		}
+	}
+	walk(sc)
+	return out
+}
+
+func (o *oracle) call(fd *funcDef, n *sexpr.Node, sc *oracleScope, depth int) (isa.Value, error) {
+	if len(n.List)-1 != len(fd.params) {
+		return isa.Value{}, fmt.Errorf("oracle: %s arity", fd.name)
+	}
+	inner := &oracleScope{vars: map[string]isa.Value{}, consts: map[string]isa.Value{}}
+	for i, p := range fd.params {
+		v, err := o.expr(n.List[i+1], sc, depth)
+		if err != nil {
+			return isa.Value{}, err
+		}
+		inner.vars[p] = v
+	}
+	ret, err := o.stmts(fd.body, inner, depth+1)
+	if err != nil {
+		return isa.Value{}, err
+	}
+	if ret != nil {
+		return ret.val, nil
+	}
+	return isa.Value{}, nil
+}
+
+func (o *oracle) expr(n *sexpr.Node, sc *oracleScope, depth int) (isa.Value, error) {
+	switch n.Kind {
+	case sexpr.KInt:
+		return isa.Int(n.Int), nil
+	case sexpr.KFloat:
+		return isa.Float(n.Float), nil
+	case sexpr.KSymbol:
+		if owner, ok := sc.lookupVar(n.Sym); ok {
+			return owner.vars[n.Sym], nil
+		}
+		if v, ok := sc.lookupConst(n.Sym); ok {
+			return v, nil
+		}
+		if v, ok := o.env.consts[n.Sym]; ok {
+			return v, nil
+		}
+		if g, ok := o.env.globals[n.Sym]; ok {
+			if g.size != 1 {
+				return isa.Value{}, fmt.Errorf("oracle: array %q as value", n.Sym)
+			}
+			return o.mem[n.Sym][0], nil
+		}
+		return isa.Value{}, fmt.Errorf("oracle: unknown name %q", n.Sym)
+	case sexpr.KList:
+		switch n.Head() {
+		case "aref":
+			g, ok := o.env.globals[n.List[1].Sym]
+			if !ok {
+				return isa.Value{}, fmt.Errorf("oracle: unknown global %q", n.List[1].Sym)
+			}
+			idx, err := o.expr(n.List[2], sc, depth)
+			if err != nil {
+				return isa.Value{}, err
+			}
+			i := idx.AsInt()
+			if i < 0 || i >= g.size {
+				return isa.Value{}, fmt.Errorf("oracle: %s[%d] out of range", g.name, i)
+			}
+			return o.mem[g.name][i], nil
+		case "addr":
+			g, ok := o.env.globals[n.List[1].Sym]
+			if !ok {
+				return isa.Value{}, fmt.Errorf("oracle: unknown global")
+			}
+			return isa.Int(g.addr), nil
+		case "float":
+			v, err := o.expr(n.List[1], sc, depth)
+			if err != nil {
+				return isa.Value{}, err
+			}
+			return isa.Float(v.AsFloat()), nil
+		case "int":
+			v, err := o.expr(n.List[1], sc, depth)
+			if err != nil {
+				return isa.Value{}, err
+			}
+			return isa.Int(v.AsInt()), nil
+		}
+		if _, ok := arithOpcode(n.Head()); ok {
+			vals := make([]isa.Value, len(n.List)-1)
+			for i, c := range n.List[1:] {
+				v, err := o.expr(c, sc, depth)
+				if err != nil {
+					return isa.Value{}, err
+				}
+				vals[i] = v
+			}
+			return constApply(n, n.Head(), vals)
+		}
+		if fd, ok := o.env.funcs[n.Head()]; ok {
+			return o.call(fd, n, sc, depth)
+		}
+	}
+	return isa.Value{}, fmt.Errorf("oracle: bad expression %s", n)
+}

@@ -1,0 +1,641 @@
+package compiler
+
+import (
+	"fmt"
+	"sort"
+
+	"pcoup/internal/isa"
+	"pcoup/internal/machine"
+)
+
+// placedOp is one operation fixed to a unit slot and a schedule cycle
+// within its basic block.
+type placedOp struct {
+	ir           *Instr
+	unit         int // global unit slot
+	cycle        int
+	destClusters []int // clusters receiving the result
+	isMove       bool  // synthesized inter-cluster transfer
+}
+
+// blockSched is the schedule of one basic block: operations grouped into
+// instruction words (empty cycles compressed away — the runtime's
+// presence bits enforce latency, so words encode only issue order).
+type blockSched struct {
+	words [][]*placedOp
+}
+
+// scheduler performs critical-path list scheduling of one function for
+// one machine configuration and mode.
+type scheduler struct {
+	env  *env
+	fn   *Fn
+	work *segWork
+
+	units []machine.UnitRef
+	// unitsByKind lists unit slots usable for each op class, in the
+	// thread's cluster preference order.
+	unitsByKind [][]int
+	// moverUnits[c] lists transfer-capable unit slots (IU/FPU) in cluster c.
+	moverUnits [][]int
+
+	cross map[VReg]bool
+	home  map[VReg]int
+
+	// occupancy[slot] marks claimed cycles (grown on demand).
+	occupancy [][]bool
+
+	moves int
+}
+
+// rotate returns xs rotated left by k.
+func rotate(xs []int, k int) []int {
+	if len(xs) == 0 {
+		return xs
+	}
+	k = k % len(xs)
+	out := make([]int, 0, len(xs))
+	out = append(out, xs[k:]...)
+	out = append(out, xs[:k]...)
+	return out
+}
+
+func newScheduler(e *env, fn *Fn, w *segWork) *scheduler {
+	cfg := e.cfg
+	sc := &scheduler{env: e, fn: fn, work: w, units: cfg.Units()}
+	arith := rotate(cfg.ArithClusters(), w.rotation)
+	branch := rotate(cfg.BranchClusters(), w.rotation)
+
+	// Cluster preference order: rotated arithmetic clusters, then branch
+	// clusters (a simple form of static load balancing between threads).
+	prefOrder := append(append([]int{}, arith...), branch...)
+	prefRank := map[int]int{}
+	for i, c := range prefOrder {
+		prefRank[c] = i
+	}
+
+	sc.unitsByKind = make([][]int, machine.NumUnitKinds)
+	single := e.opts.Mode == SingleCluster
+	for _, u := range sc.units {
+		k := int(u.Kind)
+		switch {
+		case u.Kind == machine.BR:
+			if single && u.Cluster != branch[0] {
+				continue
+			}
+		case single && u.Cluster != arith[0]:
+			continue
+		}
+		sc.unitsByKind[k] = append(sc.unitsByKind[k], u.Global)
+	}
+	// Fallback: if single-cluster mode left a class empty (the assigned
+	// cluster lacks such a unit), allow all units of the class.
+	for k := range sc.unitsByKind {
+		if len(sc.unitsByKind[k]) == 0 {
+			for _, u := range sc.units {
+				if int(u.Kind) == k {
+					sc.unitsByKind[k] = append(sc.unitsByKind[k], u.Global)
+				}
+			}
+		}
+		slots := sc.unitsByKind[k]
+		sort.SliceStable(slots, func(a, b int) bool {
+			ca, cb := sc.units[slots[a]].Cluster, sc.units[slots[b]].Cluster
+			if prefRank[ca] != prefRank[cb] {
+				return prefRank[ca] < prefRank[cb]
+			}
+			return slots[a] < slots[b]
+		})
+	}
+
+	sc.moverUnits = make([][]int, len(cfg.Clusters))
+	for _, u := range sc.units {
+		if u.Kind == machine.IU || u.Kind == machine.FPU {
+			sc.moverUnits[u.Cluster] = append(sc.moverUnits[u.Cluster], u.Global)
+		}
+	}
+
+	sc.occupancy = make([][]bool, len(sc.units))
+
+	// Values that live across basic blocks reside in the thread's primary
+	// cluster between blocks. Concentrating them minimizes inter-cluster
+	// communication ("operations are placed to minimize the amount of
+	// communication between function units"); in-block temporaries are
+	// still placed wherever their producer and consumers schedule.
+	sc.cross = fn.crossBlockVRegs()
+	sc.home = map[VReg]int{}
+	for v := range sc.cross {
+		sc.home[v] = arith[0]
+	}
+	return sc
+}
+
+func (sc *scheduler) cluster(slot int) int { return sc.units[slot].Cluster }
+func (sc *scheduler) latency(slot int) int { return sc.units[slot].Latency }
+
+// free finds the first unoccupied cycle >= from on a unit and claims it.
+func (sc *scheduler) claim(slot, from int) int {
+	occ := sc.occupancy[slot]
+	c := from
+	for c < len(occ) && occ[c] {
+		c++
+	}
+	for len(sc.occupancy[slot]) <= c {
+		sc.occupancy[slot] = append(sc.occupancy[slot], false)
+	}
+	sc.occupancy[slot][c] = true
+	return c
+}
+
+// probe returns the first unoccupied cycle >= from without claiming.
+func (sc *scheduler) probe(slot, from int) int {
+	occ := sc.occupancy[slot]
+	c := from
+	for c < len(occ) && occ[c] {
+		c++
+	}
+	return c
+}
+
+// node wraps an instruction for dependence-graph scheduling.
+type node struct {
+	in    *Instr
+	index int
+	preds []dep
+	succs []dep
+	nPred int
+
+	prio      int
+	scheduled bool
+	cycle     int
+	unit      int
+	placed    *placedOp
+}
+
+type dep struct {
+	n   *node
+	lat int
+}
+
+// irLatency estimates the latency of a producing instruction for
+// dependence edges (units of a kind may differ per cluster; the estimate
+// uses the machine's minimum for the class; actual placement times are
+// tracked separately).
+func (sc *scheduler) irLatency(in *Instr) int {
+	if in.Op == isa.OpLoad {
+		return sc.env.cfg.Memory.HitLatency
+	}
+	kind := in.Op.Unit()
+	lat := 1
+	first := true
+	for _, u := range sc.units {
+		if u.Kind == kind {
+			if first || u.Latency < lat {
+				lat = u.Latency
+				first = false
+			}
+		}
+	}
+	return lat
+}
+
+// buildDeps constructs the intra-block dependence graph: register RAW,
+// WAR, and WAW edges; conservative memory ordering (by alias, with exact
+// disambiguation for constant addresses); fork ordering; and control
+// edges keeping the terminator (and halt) last.
+func (sc *scheduler) buildDeps(b *Block) []*node {
+	nodes := make([]*node, len(b.Instrs))
+	for i, in := range b.Instrs {
+		nodes[i] = &node{in: in, index: i}
+	}
+	addEdge := func(from, to *node, lat int) {
+		if from == to {
+			return
+		}
+		from.succs = append(from.succs, dep{to, lat})
+		to.preds = append(to.preds, dep{from, lat})
+		to.nPred++
+	}
+	lastDef := map[VReg]*node{}
+	lastUses := map[VReg][]*node{}
+	var memNodes []*node
+	var forkish []*node
+
+	memConflict := func(a, bI *Instr) bool {
+		// Synchronizing references are barriers: a consuming load
+		// (acquire) must precede later references, and a producing store
+		// (release) must follow earlier ones, regardless of alias.
+		if a.Sync != isa.SyncNone || bI.Sync != isa.SyncNone {
+			return true
+		}
+		if a.Alias != "" && bI.Alias != "" && a.Alias != bI.Alias {
+			return false
+		}
+		if a.Op == isa.OpLoad && bI.Op == isa.OpLoad && a.Sync == isa.SyncNone && bI.Sync == isa.SyncNone {
+			return false
+		}
+		if a.AddrConst && bI.AddrConst && a.Offset != bI.Offset && a.Sync == isa.SyncNone && bI.Sync == isa.SyncNone {
+			return false
+		}
+		return true
+	}
+
+	for _, n := range nodes {
+		in := n.in
+		for _, s := range in.Srcs {
+			if s.IsConst {
+				continue
+			}
+			if d, ok := lastDef[s.VReg]; ok {
+				addEdge(d, n, sc.irLatency(d.in))
+			}
+			lastUses[s.VReg] = append(lastUses[s.VReg], n)
+		}
+		if in.Dst != 0 {
+			if d, ok := lastDef[in.Dst]; ok {
+				addEdge(d, n, 1) // WAW
+			}
+			for _, u := range lastUses[in.Dst] {
+				addEdge(u, n, 1) // WAR
+			}
+			lastDef[in.Dst] = n
+			lastUses[in.Dst] = nil
+		}
+		if in.Op == isa.OpLoad || in.Op == isa.OpStore {
+			for _, m := range memNodes {
+				if memConflict(m.in, in) {
+					addEdge(m, n, 1)
+				}
+			}
+			memNodes = append(memNodes, n)
+			// Forks order against memory operations (children observe
+			// memory), and vice versa.
+			for _, f := range forkish {
+				addEdge(f, n, 1)
+			}
+		}
+		if in.Op == isa.OpFork {
+			for _, m := range memNodes {
+				addEdge(m, n, 1)
+			}
+			for _, f := range forkish {
+				addEdge(f, n, 1) // forks keep program (priority) order
+			}
+			forkish = append(forkish, n)
+		}
+	}
+	// Critical-path priorities (longest path to a sink).
+	for i := len(nodes) - 1; i >= 0; i-- {
+		n := nodes[i]
+		for _, s := range n.succs {
+			if p := s.n.prio + s.lat; p > n.prio {
+				n.prio = p
+			}
+		}
+	}
+	return nodes
+}
+
+// avail tracks, per vreg, the clusters where its value will be present
+// and the cycle it becomes readable there.
+type availMap map[VReg]map[int]int
+
+func (a availMap) set(v VReg, cluster, cycle int) {
+	m := a[v]
+	if m == nil {
+		m = map[int]int{}
+		a[v] = m
+	}
+	if old, ok := m[cluster]; !ok || cycle < old {
+		m[cluster] = cycle
+	}
+}
+
+// scheduleBlock schedules one block, returning its placed operations.
+func (sc *scheduler) scheduleBlock(b *Block) *blockSched {
+	// Reset per-block unit occupancy (words are per-block).
+	for i := range sc.occupancy {
+		sc.occupancy[i] = sc.occupancy[i][:0]
+	}
+	nodes := sc.buildDeps(b)
+	avail := availMap{}
+	// producers[v] is the in-block node defining v (for retroactive
+	// destination placement).
+	producers := map[VReg]*node{}
+
+	// Live-in cross-block values reside in their home clusters.
+	for _, n := range nodes {
+		for _, s := range n.in.Srcs {
+			if s.IsConst {
+				continue
+			}
+			if _, isLocal := producersWillDefine(nodes, s.VReg, n.index); !isLocal {
+				if h, ok := sc.home[s.VReg]; ok {
+					avail.set(s.VReg, h, 0)
+				}
+			}
+		}
+	}
+
+	var placed []*placedOp
+	ready := make([]*node, 0, len(nodes))
+	for _, n := range nodes {
+		if n.nPred == 0 {
+			ready = append(ready, n)
+		}
+	}
+	scheduledCount := 0
+	maxCycle := 0
+	var terminator *node
+	for scheduledCount < len(nodes) {
+		if len(ready) == 0 {
+			panic(fmt.Sprintf("compiler: scheduler wedged in %s block %d", sc.fn.Name, b.ID))
+		}
+		// Pick the highest-priority ready node; the terminator (and halt)
+		// must wait until everything else has been scheduled.
+		sort.SliceStable(ready, func(i, j int) bool {
+			if ready[i].prio != ready[j].prio {
+				return ready[i].prio > ready[j].prio
+			}
+			return ready[i].index < ready[j].index
+		})
+		var n *node
+		pickIdx := -1
+		for i, cand := range ready {
+			if (cand.in.isTerminator() || cand.in.Op == isa.OpHalt) && scheduledCount < len(nodes)-1 {
+				continue
+			}
+			n = cand
+			pickIdx = i
+			break
+		}
+		if n == nil {
+			// Only control-final nodes remain but more than one node is
+			// unscheduled — schedule them anyway in index order.
+			n = ready[0]
+			pickIdx = 0
+		}
+		ready = append(ready[:pickIdx], ready[pickIdx+1:]...)
+
+		lower := 0
+		for _, p := range n.preds {
+			if c := p.n.cycle + p.lat; c > lower {
+				lower = c
+			}
+		}
+		isFinal := n.in.isTerminator() || n.in.Op == isa.OpHalt
+		if isFinal && maxCycle > lower {
+			lower = maxCycle
+		}
+		po, movs := sc.placeOp(n, lower, avail, producers)
+		placed = append(placed, movs...)
+		placed = append(placed, po)
+		if po.cycle > maxCycle {
+			maxCycle = po.cycle
+		}
+		if isFinal {
+			terminator = n
+		}
+		scheduledCount++
+		for _, s := range n.succs {
+			s.n.nPred--
+			if s.n.nPred == 0 {
+				ready = append(ready, s.n)
+			}
+		}
+	}
+	_ = terminator
+
+	// Assign destination clusters for values produced but never consumed
+	// locally (live-out temps and unused results): default to the
+	// producing unit's own cluster.
+	for _, po := range placed {
+		if po.ir.Dst != 0 && len(po.destClusters) == 0 {
+			po.destClusters = append(po.destClusters, sc.cluster(po.unit))
+		}
+	}
+
+	// Group by cycle and compress empty cycles into words.
+	byCycle := map[int][]*placedOp{}
+	var cycles []int
+	for _, po := range placed {
+		if _, ok := byCycle[po.cycle]; !ok {
+			cycles = append(cycles, po.cycle)
+		}
+		byCycle[po.cycle] = append(byCycle[po.cycle], po)
+	}
+	sort.Ints(cycles)
+	bs := &blockSched{}
+	for _, c := range cycles {
+		bs.words = append(bs.words, byCycle[c])
+	}
+	return bs
+}
+
+// producersWillDefine reports whether v is defined by some node of the
+// block before index i (i.e. the use is of an in-block value).
+func producersWillDefine(nodes []*node, v VReg, i int) (*node, bool) {
+	for j := 0; j < i; j++ {
+		if nodes[j].in.Dst == v {
+			return nodes[j], true
+		}
+	}
+	return nil, false
+}
+
+// sortedClusters returns the keys of a cluster->cycle map in ascending
+// order (map iteration order must never influence generated code).
+func sortedClusters(m map[int]int) []int {
+	out := make([]int, 0, len(m))
+	for c := range m {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// transferPenalty is the scheduling cost (in cycles) charged per source
+// value that must be copied into a candidate cluster: a transfer costs an
+// extra operation plus latency, but a congested preferred cluster can
+// justify spilling work to a neighbor.
+const transferPenalty = 1
+
+// placeOp chooses a unit and cycle for node n, inserting inter-cluster
+// transfers for sources not present in the chosen cluster. Results are
+// written to the home cluster of cross-block values; destinations for
+// in-block consumers are added retroactively (up to the machine's
+// per-operation destination limit) or satisfied with explicit moves.
+func (sc *scheduler) placeOp(n *node, lower int, avail availMap, producers map[VReg]*node) (*placedOp, []*placedOp) {
+	kind := int(n.in.Op.Unit())
+	candidates := sc.unitsByKind[kind]
+	if len(candidates) == 0 {
+		panic(fmt.Sprintf("compiler: no %v units available", n.in.Op.Unit()))
+	}
+
+	type plan struct {
+		slot      int
+		cycle     int
+		transfers int
+	}
+	best := plan{slot: -1}
+	for _, slot := range candidates {
+		cu := sc.cluster(slot)
+		t := lower
+		transfers := 0
+		feasible := true
+		for _, s := range n.in.Srcs {
+			if s.IsConst {
+				continue
+			}
+			v := s.VReg
+			m := avail[v]
+			if c, ok := m[cu]; ok {
+				if c > t {
+					t = c
+				}
+				continue
+			}
+			// Value absent from cu. A producer with spare destination
+			// slots costs nothing extra; otherwise estimate a one-cycle
+			// transfer from its earliest location.
+			if p, ok := producers[v]; ok && len(p.placed.destClusters) < sc.env.cfg.MaxDests {
+				if c := p.cycle + sc.latency(p.unit); c > t {
+					t = c
+				}
+				continue
+			}
+			bestSrc := -1
+			for _, c := range sortedClusters(m) {
+				if len(sc.moverUnits[c]) == 0 {
+					continue
+				}
+				if cyc := m[c]; bestSrc < 0 || cyc < bestSrc {
+					bestSrc = cyc
+				}
+			}
+			if bestSrc < 0 {
+				feasible = false
+				break
+			}
+			transfers++
+			if c := bestSrc + 2; c > t { // mov issue + mov latency estimate
+				t = c
+			}
+		}
+		if !feasible {
+			continue
+		}
+		cyc := sc.probe(slot, t)
+		// Combined cost: a transfer costs an extra operation and about
+		// two cycles of latency, but a congested preferred cluster can
+		// justify spilling work to a neighbor.
+		if best.slot < 0 || cyc+transferPenalty*transfers < best.cycle+transferPenalty*best.transfers {
+			best = plan{slot: slot, cycle: cyc, transfers: transfers}
+		}
+	}
+	if best.slot < 0 {
+		panic(fmt.Sprintf("compiler: cannot place op %s in %s", n.in, sc.fn.Name))
+	}
+
+	cu := sc.cluster(best.slot)
+	var movs []*placedOp
+	t := lower
+	for _, s := range n.in.Srcs {
+		if s.IsConst {
+			continue
+		}
+		v := s.VReg
+		if c, ok := avail[v][cu]; ok {
+			if c > t {
+				t = c
+			}
+			continue
+		}
+		if p, ok := producers[v]; ok && len(p.placed.destClusters) < sc.env.cfg.MaxDests {
+			p.placed.destClusters = append(p.placed.destClusters, cu)
+			c := p.cycle + sc.latency(p.unit)
+			avail.set(v, cu, c)
+			if c > t {
+				t = c
+			}
+			continue
+		}
+		// Explicit transfer.
+		mov, readyAt := sc.insertMove(v, cu, avail)
+		movs = append(movs, mov)
+		if readyAt > t {
+			t = readyAt
+		}
+	}
+
+	cycle := sc.claim(best.slot, t)
+	po := &placedOp{ir: n.in, unit: best.slot, cycle: cycle}
+	n.cycle = cycle
+	n.unit = best.slot
+	n.scheduled = true
+	n.placed = po
+
+	if n.in.Dst != 0 {
+		dst := n.in.Dst
+		producers[dst] = n
+		if h, ok := sc.home[dst]; ok {
+			po.destClusters = append(po.destClusters, h)
+			avail[dst] = map[int]int{h: cycle + sc.latency(best.slot)}
+		} else {
+			// Lazy placement: the first consumer picks the cluster.
+			avail[dst] = map[int]int{}
+		}
+	}
+	return po, movs
+}
+
+// insertMove schedules an explicit inter-cluster register transfer of v
+// into cluster dst. It returns the transfer and the cycle the value
+// becomes readable in dst.
+func (sc *scheduler) insertMove(v VReg, dst int, avail availMap) (*placedOp, int) {
+	bestC, bestCyc := -1, 0
+	// Iterate clusters in a fixed order so transfer placement (and hence
+	// the generated code) is deterministic.
+	for _, c := range sortedClusters(avail[v]) {
+		cyc := avail[v][c]
+		if len(sc.moverUnits[c]) == 0 {
+			continue
+		}
+		if bestC < 0 || cyc < bestCyc {
+			bestC, bestCyc = c, cyc
+		}
+	}
+	if bestC < 0 {
+		panic(fmt.Sprintf("compiler: value v%d has no transferable location", v))
+	}
+	typ := sc.fn.typeOf(v)
+	// Prefer a type-matched mover, falling back to any in the cluster.
+	var slot = -1
+	wantKind := machine.IU
+	if typ == TFloat {
+		wantKind = machine.FPU
+	}
+	bestCycle := 1 << 30
+	for _, s := range sc.moverUnits[bestC] {
+		c := sc.probe(s, bestCyc)
+		match := sc.units[s].Kind == wantKind
+		cost := c*2 + map[bool]int{true: 0, false: 1}[match]
+		if cost < bestCycle {
+			bestCycle = cost
+			slot = s
+		}
+	}
+	cycle := sc.claim(slot, bestCyc)
+	// The move opcode must match the executing unit's class (an integer
+	// unit transfers float words unchanged, and vice versa).
+	op := isa.OpMov
+	if sc.units[slot].Kind == machine.FPU {
+		op = isa.OpFMov
+	}
+	ir := &Instr{Op: op, Dst: v, Srcs: []Src{vsrc(v)}, Type: typ}
+	po := &placedOp{ir: ir, unit: slot, cycle: cycle, destClusters: []int{dst}, isMove: true}
+	ready := cycle + sc.latency(slot)
+	avail.set(v, dst, ready)
+	sc.moves++
+	return po, ready
+}

@@ -1,0 +1,255 @@
+package compiler
+
+import (
+	"testing"
+
+	"pcoup/internal/isa"
+	"pcoup/internal/machine"
+	"pcoup/internal/sexpr"
+)
+
+func TestRotate(t *testing.T) {
+	xs := []int{0, 1, 2, 3}
+	if got := rotate(xs, 1); got[0] != 1 || got[3] != 0 {
+		t.Errorf("rotate by 1 = %v", got)
+	}
+	if got := rotate(xs, 6); got[0] != 2 {
+		t.Errorf("rotate wraps: %v", got)
+	}
+	if got := rotate(nil, 3); len(got) != 0 {
+		t.Errorf("rotate nil = %v", got)
+	}
+	// The original must not be mutated.
+	if xs[0] != 0 {
+		t.Error("rotate mutated its input")
+	}
+}
+
+// testEnv builds a minimal environment for white-box scheduler tests.
+func testEnv(t *testing.T) *env {
+	t.Helper()
+	forms, err := sexpr.Parse("(program t (def (main) (set x 1)))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := newEnv(forms, machine.Baseline(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestClaimProbe(t *testing.T) {
+	e := testEnv(t)
+	fn := newFn("t")
+	sc := newScheduler(e, fn, &segWork{name: "t"})
+	if c := sc.probe(0, 0); c != 0 {
+		t.Errorf("probe empty = %d", c)
+	}
+	if c := sc.claim(0, 0); c != 0 {
+		t.Errorf("first claim = %d", c)
+	}
+	if c := sc.claim(0, 0); c != 1 {
+		t.Errorf("second claim = %d", c)
+	}
+	if c := sc.probe(0, 0); c != 2 {
+		t.Errorf("probe after claims = %d", c)
+	}
+	if c := sc.claim(0, 5); c != 5 {
+		t.Errorf("claim at 5 = %d", c)
+	}
+	if c := sc.claim(0, 2); c != 2 {
+		t.Errorf("claim fills gap = %d", c)
+	}
+}
+
+// buildTestBlock assembles a block from instructions for dependence tests.
+func buildTestBlock(ins ...*Instr) *Block { return &Block{Instrs: ins} }
+
+func TestBuildDepsRAWandWAR(t *testing.T) {
+	e := testEnv(t)
+	fn := newFn("t")
+	v1 := fn.newVReg(TInt)
+	v2 := fn.newVReg(TInt)
+	sc := newScheduler(e, fn, &segWork{name: "t"})
+	def := &Instr{Op: isa.OpAdd, Dst: v1, Srcs: []Src{cint(1), cint(2)}, Type: TInt}
+	use := &Instr{Op: isa.OpAdd, Dst: v2, Srcs: []Src{vsrc(v1), cint(1)}, Type: TInt}
+	redef := &Instr{Op: isa.OpMov, Dst: v1, Srcs: []Src{cint(9)}, Type: TInt}
+	nodes := sc.buildDeps(buildTestBlock(def, use, redef))
+	hasEdge := func(from, to int) bool {
+		for _, s := range nodes[from].succs {
+			if s.n == nodes[to] {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasEdge(0, 1) {
+		t.Error("missing RAW edge def->use")
+	}
+	if !hasEdge(1, 2) {
+		t.Error("missing WAR edge use->redef")
+	}
+	if !hasEdge(0, 2) {
+		t.Error("missing WAW edge def->redef")
+	}
+	if hasEdge(1, 0) || hasEdge(2, 1) {
+		t.Error("backward edges present")
+	}
+}
+
+func TestBuildDepsMemoryOrdering(t *testing.T) {
+	e := testEnv(t)
+	fn := newFn("t")
+	v := fn.newVReg(TInt)
+	sc := newScheduler(e, fn, &segWork{name: "t"})
+
+	ldA := &Instr{Op: isa.OpLoad, Dst: v, Alias: "a", Offset: 8, AddrConst: true, Type: TInt}
+	ldA2 := &Instr{Op: isa.OpLoad, Dst: fn.newVReg(TInt), Alias: "a", Offset: 9, AddrConst: true, Type: TInt}
+	stB := &Instr{Op: isa.OpStore, Srcs: []Src{cint(1)}, Alias: "b", Offset: 20, AddrConst: true}
+	stA := &Instr{Op: isa.OpStore, Srcs: []Src{cint(2)}, Alias: "a", Offset: 8, AddrConst: true}
+	stADiff := &Instr{Op: isa.OpStore, Srcs: []Src{cint(3)}, Alias: "a", Offset: 9, AddrConst: true}
+	sync := &Instr{Op: isa.OpLoad, Dst: fn.newVReg(TInt), Alias: "f", Offset: 30, AddrConst: true, Sync: isa.SyncConsume, Type: TInt}
+	after := &Instr{Op: isa.OpLoad, Dst: fn.newVReg(TInt), Alias: "b", Offset: 21, AddrConst: true, Type: TInt}
+
+	nodes := sc.buildDeps(buildTestBlock(ldA, ldA2, stB, stA, stADiff, sync, after))
+	hasEdge := func(from, to int) bool {
+		for _, s := range nodes[from].succs {
+			if s.n == nodes[to] {
+				return true
+			}
+		}
+		return false
+	}
+	if hasEdge(0, 1) {
+		t.Error("two loads must not be ordered")
+	}
+	if hasEdge(0, 2) {
+		t.Error("different aliases must not be ordered (load a vs store b)")
+	}
+	if !hasEdge(0, 3) {
+		t.Error("store to a@8 must follow load of a@8")
+	}
+	if hasEdge(0, 4) {
+		t.Error("store a@9 must not be ordered against load a@8 (distinct constant addresses)")
+	}
+	// The synchronizing load is a barrier in both directions.
+	for i := 0; i < 5; i++ {
+		if !hasEdge(i, 5) {
+			t.Errorf("sync load missing barrier edge from op %d", i)
+		}
+	}
+	if !hasEdge(5, 6) {
+		t.Error("load after sync must be ordered behind it")
+	}
+}
+
+func TestBuildDepsForkOrdering(t *testing.T) {
+	e := testEnv(t)
+	fn := newFn("t")
+	sc := newScheduler(e, fn, &segWork{name: "t"})
+	st := &Instr{Op: isa.OpStore, Srcs: []Src{cint(1)}, Alias: "a", Offset: 8, AddrConst: true}
+	fork1 := &Instr{Op: isa.OpFork, ForkSeg: "w1"}
+	fork2 := &Instr{Op: isa.OpFork, ForkSeg: "w2"}
+	ld := &Instr{Op: isa.OpLoad, Dst: fn.newVReg(TInt), Alias: "a", Offset: 8, AddrConst: true, Type: TInt}
+	nodes := sc.buildDeps(buildTestBlock(st, fork1, fork2, ld))
+	hasEdge := func(from, to int) bool {
+		for _, s := range nodes[from].succs {
+			if s.n == nodes[to] {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasEdge(0, 1) {
+		t.Error("fork must follow earlier stores")
+	}
+	if !hasEdge(1, 2) {
+		t.Error("forks must stay in program (priority) order")
+	}
+	if !hasEdge(1, 3) || !hasEdge(2, 3) {
+		t.Error("memory ops must follow earlier forks")
+	}
+}
+
+func TestSortedClusters(t *testing.T) {
+	m := map[int]int{3: 9, 0: 1, 2: 5}
+	got := sortedClusters(m)
+	if len(got) != 3 || got[0] != 0 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("sortedClusters = %v", got)
+	}
+}
+
+func TestLoopBlocksDetection(t *testing.T) {
+	fn := newFn("t")
+	// b0 -> b1 (loop header) -> b2 (body, jmp b1) ; b3 exit
+	b0 := fn.newBlock()
+	b1 := fn.newBlock()
+	b2 := fn.newBlock()
+	b3 := fn.newBlock()
+	_ = b0
+	cond := fn.newVReg(TInt)
+	b1.Instrs = append(b1.Instrs, &Instr{Op: isa.OpBf, Srcs: []Src{vsrc(cond)}, Target: b3})
+	b2.Instrs = append(b2.Instrs, &Instr{Op: isa.OpJmp, Target: b1})
+	b3.Instrs = append(b3.Instrs, &Instr{Op: isa.OpHalt})
+	loops := fn.loopBlocks()
+	if !loops[1] || !loops[2] {
+		t.Errorf("loop blocks = %v, want b1 and b2", loops)
+	}
+	if loops[0] || loops[3] {
+		t.Errorf("non-loop blocks flagged: %v", loops)
+	}
+}
+
+func TestLivenessCrossBlock(t *testing.T) {
+	fn := newFn("t")
+	v := fn.newVReg(TInt)
+	local := fn.newVReg(TInt)
+	b0 := fn.newBlock()
+	b1 := fn.newBlock()
+	b0.Instrs = append(b0.Instrs,
+		&Instr{Op: isa.OpMov, Dst: v, Srcs: []Src{cint(1)}, Type: TInt},
+		&Instr{Op: isa.OpMov, Dst: local, Srcs: []Src{cint(2)}, Type: TInt},
+		&Instr{Op: isa.OpAdd, Dst: local, Srcs: []Src{vsrc(local), cint(1)}, Type: TInt},
+	)
+	b1.Instrs = append(b1.Instrs,
+		&Instr{Op: isa.OpStore, Srcs: []Src{vsrc(v)}, Alias: "a", Offset: 8, AddrConst: true},
+		&Instr{Op: isa.OpHalt},
+	)
+	cross := fn.crossBlockVRegs()
+	if !cross[v] {
+		t.Error("v used in a later block must be cross-block")
+	}
+	if cross[local] {
+		t.Error("block-local value flagged as cross-block")
+	}
+}
+
+// TestScheduleRespectsMaxDests compiles code forcing wide fan-out and
+// checks no emitted op exceeds the destination budget (also validated by
+// Program.Validate, but asserted here against a tighter machine).
+func TestScheduleRespectsMaxDests(t *testing.T) {
+	cfg := machine.Baseline()
+	cfg.MaxDests = 1
+	src := `
+(program p
+  (global a (array float 4) (init 1.0 2.0 3.0 4.0))
+  (global out (array float 8))
+  (def (main)
+    (set x (aref a 0))
+    (unroll (i 0 8)
+      (aset out i (+ x (aref a (% i 4)))))))`
+	prog, _, err := Compile(src, cfg, Options{Mode: Unrestricted})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seg := range prog.Segments {
+		for _, in := range seg.Instrs {
+			for _, op := range in.Ops {
+				if op != nil && len(op.Dests) > 1 {
+					t.Fatalf("op %s has %d dests with MaxDests=1", op, len(op.Dests))
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestAllDrivers runs every table/figure driver end to end and renders
+// its output — the same code path as cmd/pcbench. Sanity checks are
+// lighter than the shape tests; this test is about exercising the full
+// sweeps (including their parallel fan-out) and the formatters on real
+// rows.
+func TestAllDrivers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweeps")
+	}
+	var buf bytes.Buffer
+
+	t2, err := Table2(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t2) != 18 {
+		t.Errorf("table2 rows = %d, want 18", len(t2))
+	}
+	WriteTable2(&buf, t2)
+	WriteFigure4(&buf, t2)
+
+	f5, err := Figure5(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f5) != 18 {
+		t.Errorf("figure5 rows = %d, want 18", len(f5))
+	}
+	WriteFigure5(&buf, f5)
+
+	t3, err := Table3(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	WriteTable3(&buf, t3)
+
+	f6, err := Figure6(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f6) != 20 {
+		t.Errorf("figure6 rows = %d, want 20", len(f6))
+	}
+	WriteFigure6(&buf, f6)
+
+	f7, err := Figure7(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f7) != 42 {
+		t.Errorf("figure7 rows = %d, want 42 (14 cells x 3 memories)", len(f7))
+	}
+	WriteFigure7(&buf, f7)
+	for _, r := range f7 {
+		if r.Memory == "Min" && r.VsMin != 1.0 {
+			t.Errorf("%s/%s Min ratio = %v", r.Bench, r.Mode, r.VsMin)
+		}
+	}
+
+	f8, err := Figure8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f8) != 64 {
+		t.Errorf("figure8 rows = %d, want 64", len(f8))
+	}
+	WriteFigure8(&buf, f8)
+
+	regs, err := Registers(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 18 {
+		t.Errorf("registers rows = %d, want 18", len(regs))
+	}
+	WriteRegisters(&buf, regs)
+
+	out := buf.String()
+	for _, want := range []string{"Table 2", "Figure 4", "Figure 5", "Table 3", "Figure 6", "Figure 7", "Figure 8", "Register usage"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered output missing %q", want)
+		}
+	}
+}

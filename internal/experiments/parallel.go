@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// runParallel executes fn(i) for every i in [0, n) over a bounded pool of
+// host goroutines. Each experiment cell is an independent deterministic
+// simulation, so fan-out changes wall-clock time only; results are
+// written by index, keeping output order stable. The first error wins.
+func runParallel(n int, fn func(i int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first error
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if first == nil {
+						first = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return first
+}
+
+// cell identifies one (benchmark, mode, config) execution of a sweep.
+type cell struct {
+	bench string
+	mode  Mode
+}
+
+// benchModeCells enumerates benchmark x mode combinations that exist.
+func benchModeCells(modes []Mode) []cell {
+	var out []cell
+	for _, b := range []string{"matrix", "fft", "model", "lud"} {
+		for _, m := range modes {
+			if ModeSupported(b, m) {
+				out = append(out, cell{b, m})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"math/rand"
+	"testing"
+
+	"pcoup/internal/machine"
+)
+
+// randomMachine builds a structurally valid random configuration:
+// 1-5 arithmetic clusters with random unit subsets, random pipeline
+// latencies (1-3 cycles), a branch cluster, and random interconnect,
+// memory model, and arbitration.
+func randomMachine(r *rand.Rand) *machine.Config {
+	nArith := 1 + r.Intn(4)
+	var clusters []machine.ClusterSpec
+	haveIU, haveFPU, haveMEM := false, false, false
+	for i := 0; i < nArith; i++ {
+		var units []machine.UnitSpec
+		lat := func() int { return 1 + r.Intn(3) }
+		if r.Intn(3) != 0 {
+			units = append(units, machine.UnitSpec{Kind: machine.IU, Latency: lat()})
+			haveIU = true
+		}
+		if r.Intn(3) != 0 {
+			units = append(units, machine.UnitSpec{Kind: machine.FPU, Latency: lat()})
+			haveFPU = true
+		}
+		// Memory units require an arithmetic unit in the same cluster
+		// (loaded values must be forwardable), so only add MEM where one
+		// exists.
+		if len(units) > 0 && r.Intn(3) != 0 {
+			units = append(units, machine.UnitSpec{Kind: machine.MEM, Latency: lat()})
+			haveMEM = true
+		}
+		if len(units) == 0 {
+			units = append(units, machine.UnitSpec{Kind: machine.IU, Latency: lat()})
+			haveIU = true
+		}
+		clusters = append(clusters, machine.ClusterSpec{Units: units})
+	}
+	// Guarantee at least one unit of each class (the compiler needs
+	// somewhere to put every operation, and clusters without IU or FPU
+	// cannot forward values).
+	if !haveIU {
+		clusters[0].Units = append(clusters[0].Units, machine.UnitSpec{Kind: machine.IU, Latency: 1 + r.Intn(3)})
+	}
+	if !haveFPU {
+		clusters[0].Units = append(clusters[0].Units, machine.UnitSpec{Kind: machine.FPU, Latency: 1 + r.Intn(3)})
+	}
+	if !haveMEM {
+		clusters[0].Units = append(clusters[0].Units, machine.UnitSpec{Kind: machine.MEM, Latency: 1 + r.Intn(3)})
+	}
+	clusters = append(clusters, machine.ClusterSpec{Units: []machine.UnitSpec{{Kind: machine.BR, Latency: 1}}})
+
+	ics := machine.Interconnects()
+	mems := machine.MemoryModels()
+	cfg := &machine.Config{
+		Name:         "random",
+		Clusters:     clusters,
+		Interconnect: ics[r.Intn(len(ics))],
+		Memory:       mems[r.Intn(len(mems))],
+		MaxDests:     2,
+		Seed:         uint64(r.Int63()),
+	}
+	if r.Intn(2) == 0 {
+		cfg.Arbitration = machine.RoundRobinArbitration
+	}
+	if r.Intn(4) == 0 {
+		cfg.LockStepIssue = true
+	}
+	return cfg
+}
+
+// TestRandomMachines compiles and runs benchmarks on randomized machine
+// shapes — odd unit mixes, multi-cycle pipelines, every interconnect and
+// memory model — and requires bit-exact results everywhere. This
+// exercises paths the paper's fixed configurations never touch
+// (latencies > 1, clusters lacking unit classes).
+func TestRandomMachines(t *testing.T) {
+	n := 30
+	if testing.Short() {
+		n = 6
+	}
+	r := rand.New(rand.NewSource(2026))
+	benches := []string{"matrix", "model", "fft"}
+	for i := 0; i < n; i++ {
+		cfg := randomMachine(r)
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("machine %d invalid: %v", i, err)
+		}
+		b := benches[i%len(benches)]
+		for _, mode := range []Mode{STS, COUPLED} {
+			run, err := Execute(b, mode, cfg)
+			if err != nil {
+				data, _ := cfg.MarshalJSON()
+				t.Fatalf("machine %d %s/%s: %v\n%s", i, b, mode, err, data)
+			}
+			if run.Cycles <= 0 {
+				t.Errorf("machine %d %s/%s: empty run", i, b, mode)
+			}
+		}
+	}
+}
+
+// TestMultiCycleUnits pins a specific deep-pipeline machine: FPUs with
+// 3-cycle latency must still compute correct results, and the run must
+// take longer than with single-cycle FPUs.
+func TestMultiCycleUnits(t *testing.T) {
+	fast := machine.Baseline()
+	slow := machine.Baseline()
+	for ci := range slow.Clusters {
+		for ui := range slow.Clusters[ci].Units {
+			if slow.Clusters[ci].Units[ui].Kind == machine.FPU {
+				slow.Clusters[ci].Units[ui].Latency = 3
+			}
+		}
+	}
+	f, err := Execute("matrix", STS, fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Execute("matrix", STS, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cycles <= f.Cycles {
+		t.Errorf("3-cycle FPUs (%d) should be slower than 1-cycle (%d)", s.Cycles, f.Cycles)
+	}
+	// Coupling should hide part of the deeper pipelines.
+	fc, err := Execute("matrix", COUPLED, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc.Cycles >= s.Cycles {
+		t.Errorf("coupled (%d) should beat STS (%d) on deep pipelines", fc.Cycles, s.Cycles)
+	}
+}

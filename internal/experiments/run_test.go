@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"testing"
+
+	"pcoup/internal/machine"
+)
+
+// TestAllBenchModeCombos is the core integration test: every benchmark in
+// every supported machine mode on the baseline machine must compile,
+// simulate to completion, and compute bit-exact results.
+func TestAllBenchModeCombos(t *testing.T) {
+	cfg := machine.Baseline()
+	type cell struct {
+		bench string
+		mode  Mode
+		run   *Run
+	}
+	var cells []cell
+	for _, b := range []string{"matrix", "fft", "model", "lud"} {
+		for _, m := range Modes() {
+			if !ModeSupported(b, m) {
+				continue
+			}
+			r, err := Execute(b, m, cfg)
+			if err != nil {
+				t.Errorf("%s/%s: %v", b, m, err)
+				continue
+			}
+			t.Logf("%s %-7s cycles=%6d ops=%6d fpu=%.2f iu=%.2f mem=%.2f br=%.2f",
+				b, m, r.Cycles, r.Result.Ops,
+				r.Utilization(machine.FPU), r.Utilization(machine.IU),
+				r.Utilization(machine.MEM), r.Utilization(machine.BR))
+			cells = append(cells, cell{b, m, r})
+		}
+	}
+	get := func(b string, m Mode) *Run {
+		for _, c := range cells {
+			if c.bench == b && c.mode == m {
+				return c.run
+			}
+		}
+		return nil
+	}
+	// Shape checks from the paper's Table 2.
+	for _, b := range []string{"matrix", "fft", "model", "lud"} {
+		seq, sts, coupled := get(b, SEQ), get(b, STS), get(b, COUPLED)
+		if seq == nil || sts == nil || coupled == nil {
+			continue
+		}
+		if !(seq.Cycles > sts.Cycles) {
+			t.Errorf("%s: SEQ (%d) should be slower than STS (%d)", b, seq.Cycles, sts.Cycles)
+		}
+		if !(sts.Cycles > coupled.Cycles) {
+			t.Errorf("%s: STS (%d) should be slower than Coupled (%d)", b, sts.Cycles, coupled.Cycles)
+		}
+		if ideal := get(b, IDEAL); ideal != nil && !(coupled.Cycles > ideal.Cycles) {
+			t.Errorf("%s: Coupled (%d) should be slower than Ideal (%d)", b, coupled.Cycles, ideal.Cycles)
+		}
+	}
+	// FFT's sequential section should make TPE worse than Coupled.
+	if fftT, fftC := get("fft", TPE), get("fft", COUPLED); fftT != nil && fftC != nil {
+		if !(fftT.Cycles > fftC.Cycles) {
+			t.Errorf("fft: TPE (%d) should be slower than Coupled (%d)", fftT.Cycles, fftC.Cycles)
+		}
+	}
+}
+
+// TestModelQ runs the Table 3 workload in both variants.
+func TestModelQ(t *testing.T) {
+	cfg := machine.Baseline()
+	for _, m := range []Mode{STS, COUPLED} {
+		r, err := Execute("modelq", m, cfg)
+		if err != nil {
+			t.Fatalf("modelq/%s: %v", m, err)
+		}
+		t.Logf("modelq %-7s cycles=%d threads=%d", m, r.Cycles, len(r.Result.Threads))
+		if m == COUPLED && len(r.Result.Threads) != 5 {
+			t.Errorf("modelq coupled: want 5 threads, got %d", len(r.Result.Threads))
+		}
+	}
+}

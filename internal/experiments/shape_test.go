@@ -1,0 +1,318 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"pcoup/internal/bench"
+	"pcoup/internal/compiler"
+	"pcoup/internal/isa"
+	"pcoup/internal/machine"
+	"pcoup/internal/sim"
+)
+
+// TestAssemblyRoundTripAllBenchmarks compiles every benchmark, serializes
+// it through the textual assembly format, reloads it, and re-simulates —
+// results must stay bit-exact and cycle counts identical (the pcc→pcsim
+// pipeline must be lossless).
+func TestAssemblyRoundTripAllBenchmarks(t *testing.T) {
+	cfg := machine.Baseline()
+	for _, name := range bench.Names() {
+		b, err := bench.Get(name, bench.Threaded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, _, err := compiler.Compile(b.Source, cfg, compiler.Options{Mode: compiler.Unrestricted})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var buf bytes.Buffer
+		if err := isa.WriteText(&buf, prog); err != nil {
+			t.Fatalf("%s: write: %v", name, err)
+		}
+		back, err := isa.ParseText(&buf)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", name, err)
+		}
+
+		run := func(p *isa.Program) (*sim.Result, *sim.Sim) {
+			s, err := sim.New(cfg, p)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			res, err := s.Run(0)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			return res, s
+		}
+		res1, _ := run(prog)
+		res2, s2 := run(back)
+		if res1.Cycles != res2.Cycles || res1.Ops != res2.Ops {
+			t.Errorf("%s: round trip changed behavior: %d/%d cycles, %d/%d ops",
+				name, res1.Cycles, res2.Cycles, res1.Ops, res2.Ops)
+		}
+		if err := b.Verify(peeker(s2, back)); err != nil {
+			t.Errorf("%s: round-tripped program computed wrong results: %v", name, err)
+		}
+	}
+}
+
+// TestDeterminism: identical runs must produce identical cycle counts,
+// including under the statistical memory model.
+func TestDeterminism(t *testing.T) {
+	cfg := machine.Baseline().WithMemory(machine.Mem1).WithSeed(99)
+	a, err := Execute("fft", COUPLED, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Execute("fft", COUPLED, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.Result.Ops != b.Result.Ops {
+		t.Errorf("nondeterministic: %d/%d cycles", a.Cycles, b.Cycles)
+	}
+	c, err := Execute("fft", COUPLED, cfg.WithSeed(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Cycles == a.Cycles {
+		t.Log("different seed produced the same cycle count (possible but unlikely)")
+	}
+}
+
+// TestTable3Shape verifies the interference experiment's qualitative
+// claims.
+func TestTable3Shape(t *testing.T) {
+	res, err := Table3(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CoupledCycles >= res.STSCycles {
+		t.Errorf("coupled aggregate (%d) not faster than STS (%d)", res.CoupledCycles, res.STSCycles)
+	}
+	var sts, coupled []Table3Row
+	for _, r := range res.Rows {
+		if r.Mode == STS {
+			sts = append(sts, r)
+		} else {
+			coupled = append(coupled, r)
+		}
+	}
+	if len(sts) != 1 || len(coupled) != 4 {
+		t.Fatalf("rows: %d STS, %d coupled", len(sts), len(coupled))
+	}
+	// STS runs close to its compile-time schedule.
+	if ratio := sts[0].RuntimeCycles / float64(sts[0].CompileSchedule); ratio > 1.3 {
+		t.Errorf("STS dilation %.2f, expected near 1.0", ratio)
+	}
+	// All coupled workers must have evaluated at least one device, the
+	// counts must sum to 20, and dilation must grow with falling
+	// priority.
+	total := int64(0)
+	for i, r := range coupled {
+		total += r.Devices
+		if r.Devices == 0 {
+			t.Errorf("worker %d starved", i+1)
+		}
+		if r.RuntimeCycles < float64(r.CompileSchedule) {
+			t.Errorf("worker %d ran faster than its schedule (%v < %d)", i+1, r.RuntimeCycles, r.CompileSchedule)
+		}
+		if i > 0 && r.RuntimeCycles < coupled[i-1].RuntimeCycles {
+			t.Errorf("dilation not monotone with priority: worker %d %.1f < worker %d %.1f",
+				i+1, r.RuntimeCycles, i, coupled[i-1].RuntimeCycles)
+		}
+	}
+	if total != 20 {
+		t.Errorf("devices evaluated = %d, want 20", total)
+	}
+}
+
+// TestFigure6Shape verifies the restricted-communication claims on the
+// two benchmarks with the sharpest signal.
+func TestFigure6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	cfg := machine.Baseline()
+	cell := func(b string, ic machine.InterconnectKind) int64 {
+		r, err := Execute(b, COUPLED, cfg.WithInterconnect(ic))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Cycles
+	}
+	full := cell("matrix", machine.Full)
+	tri := cell("matrix", machine.TriPort)
+	shared := cell("matrix", machine.SharedBus)
+	if float64(tri) > 1.15*float64(full) {
+		t.Errorf("matrix tri-port %d should be within ~15%% of full %d", tri, full)
+	}
+	if float64(shared) < 1.5*float64(full) {
+		t.Errorf("matrix shared-bus %d should be sharply worse than full %d", shared, full)
+	}
+	mFull := cell("model", machine.Full)
+	mTri := cell("model", machine.TriPort)
+	if float64(mTri) > 1.1*float64(mFull) {
+		t.Errorf("model tri-port %d should be nearly unaffected vs full %d", mTri, mFull)
+	}
+}
+
+// TestFigure7Shape verifies the latency-tolerance claims for matrix.
+func TestFigure7Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	cfg := machine.Baseline()
+	cell := func(m Mode, mem machine.MemoryModel) int64 {
+		cycles, err := averageCycles("matrix", m, cfg.WithMemory(mem))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cycles
+	}
+	stsDeg := float64(cell(STS, machine.Mem2)) / float64(cell(STS, machine.MemMin))
+	coupledDeg := float64(cell(COUPLED, machine.Mem2)) / float64(cell(COUPLED, machine.MemMin))
+	idealDeg := float64(cell(IDEAL, machine.Mem2)) / float64(cell(IDEAL, machine.MemMin))
+	if stsDeg < 2*coupledDeg {
+		t.Errorf("STS degradation %.2f should dwarf Coupled's %.2f", stsDeg, coupledDeg)
+	}
+	if idealDeg > 2 {
+		t.Errorf("matrix Ideal degradation %.2f should be small (registers hold the data)", idealDeg)
+	}
+}
+
+// TestFigure8Corner verifies the mix sweep's endpoints for matrix.
+func TestFigure8Corner(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	small, err := Execute("matrix", COUPLED, machine.Mix(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Execute("matrix", COUPLED, machine.Mix(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Cycles >= small.Cycles {
+		t.Errorf("4x4 (%d) should beat 1x1 (%d)", big.Cycles, small.Cycles)
+	}
+}
+
+// TestWriteFunctions smoke-tests the table/figure formatters.
+func TestWriteFunctions(t *testing.T) {
+	var buf bytes.Buffer
+	WriteTable2(&buf, []Table2Row{{Bench: "matrix", Mode: SEQ, Cycles: 100, VsCouple: 2, FPU: 1, IU: 0.5}})
+	WriteFigure4(&buf, []Table2Row{{Bench: "matrix", Mode: SEQ, Cycles: 100}})
+	WriteFigure5(&buf, []Figure5Row{{Bench: "fft", Mode: COUPLED}})
+	WriteTable3(&buf, &Table3Result{Rows: []Table3Row{{Mode: STS, Thread: 1, CompileSchedule: 9, RuntimeCycles: 9.2, Devices: 20}}})
+	WriteFigure6(&buf, []Figure6Row{{Bench: "lud", Interconnect: machine.TriPort, Cycles: 5, VsFull: 1.2}})
+	WriteFigure7(&buf, []Figure7Row{{Bench: "lud", Mode: TPE, Memory: "Mem1", Cycles: 7, VsMin: 1.5}})
+	WriteFigure8(&buf, []Figure8Row{{Bench: "lud", IUs: 1, FPUs: 1, Cycles: 9}})
+	if buf.Len() == 0 {
+		t.Error("formatters produced no output")
+	}
+}
+
+// TestRegistersShape verifies the paper's register usage claims: modest
+// peaks for realistic modes, hundreds for Ideal.
+func TestRegistersShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	rows, err := Registers(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Mode == IDEAL {
+			if r.PeakPerCluster < 100 {
+				t.Errorf("%s ideal peak %d, expected hundreds (paper: up to 490)", r.Bench, r.PeakPerCluster)
+			}
+			continue
+		}
+		if r.PeakPerCluster > 150 {
+			t.Errorf("%s/%s peak %d registers per cluster, expected modest usage", r.Bench, r.Mode, r.PeakPerCluster)
+		}
+	}
+}
+
+// TestScalingShape: the coupled advantage must persist at every size.
+func TestScalingShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	rows, err := Scaling(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Speedup <= 1.0 {
+			t.Errorf("%s size %d: coupled (%d) not faster than STS (%d)", r.Bench, r.Size, r.Coupled, r.STS)
+		}
+	}
+}
+
+// TestUnrollingShape: automatic unrolling must recover the Ideal numbers
+// from rolled sources and must help STS at least as much as Coupled.
+func TestUnrollingShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	rows, err := Unrolling(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]UnrollRow{}
+	for _, r := range rows {
+		byKey[r.Bench+string(r.Mode)] = r
+		if r.Gain < 0.99 {
+			t.Errorf("%s/%s: unrolling hurt (%.2f)", r.Bench, r.Mode, r.Gain)
+		}
+	}
+	// Unrolled STS matrix should match the hand-unrolled Ideal run.
+	ideal, err := Execute("matrix", IDEAL, machine.Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := byKey["matrix"+string(STS)].Unrolled; got != ideal.Cycles {
+		t.Errorf("auto-unrolled STS matrix = %d, hand-unrolled Ideal = %d", got, ideal.Cycles)
+	}
+	if byKey["matrix"+string(STS)].Gain < byKey["matrix"+string(COUPLED)].Gain {
+		t.Error("unrolling should help STS at least as much as Coupled")
+	}
+}
+
+// TestThreadCapShape: more resident threads must never hurt, and a tiny
+// thread set must clearly underperform under long latencies.
+func TestThreadCapShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	rows, err := ThreadCap(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byBench := map[string][]ThreadCapRow{}
+	for _, r := range rows {
+		byBench[r.Bench] = append(byBench[r.Bench], r)
+	}
+	for b, rs := range byBench {
+		for i := 1; i < len(rs); i++ {
+			if rs[i].Cycles > rs[i-1].Cycles+rs[i-1].Cycles/10 {
+				t.Errorf("%s: cap %d (%d cycles) much worse than cap %d (%d)",
+					b, rs[i].Cap, rs[i].Cycles, rs[i-1].Cap, rs[i-1].Cycles)
+			}
+		}
+		first, last := rs[0], rs[len(rs)-1]
+		if float64(first.Cycles) < 1.5*float64(last.Cycles) {
+			t.Errorf("%s: cap %d should clearly underperform cap %d (%d vs %d)",
+				b, first.Cap, last.Cap, first.Cycles, last.Cycles)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+// Package feasibility models the silicon cost of a processor-coupled
+// node, following the implementation and feasibility discussion of the
+// paper (Sections 5 and 6). The model is deliberately simple and
+// parametric — register file area grows with the square of the port
+// count (each port adds a wordline and a bitline pair per cell), buses
+// cost wiring proportional to their span, and each function unit carries
+// an operation cache and a per-thread operation buffer. Its purpose is
+// the paper's comparison: the relative area of the restricted
+// communication schemes against full connectivity (Section 4 puts
+// Tri-Port at 28% of complete connection for a four-cluster machine).
+package feasibility
+
+import (
+	"fmt"
+	"io"
+
+	"pcoup/internal/machine"
+)
+
+// Params are the technology/sizing assumptions of the model, in
+// normalized cell-area units (a single-ported SRAM bit = 1).
+type Params struct {
+	// WordBits is the register and memory word width.
+	WordBits int
+	// RegsPerThread is the register file capacity provisioned per
+	// cluster per resident thread.
+	RegsPerThread int
+	// ResidentThreads is the number of thread contexts held per cluster.
+	ResidentThreads int
+	// OpCacheEntries is the per-unit operation cache size (the operation
+	// caches summed over units form the instruction cache).
+	OpCacheEntries int
+	// OpBits is the encoded size of one operation.
+	OpBits int
+	// BusUnitArea is the wiring area of one bus crossing one cluster.
+	BusUnitArea float64
+}
+
+// DefaultParams mirrors the paper's node sketch: 64-bit words, four
+// resident threads, room for 64 registers per thread per cluster, and a
+// 1K-operation cache per unit.
+func DefaultParams() Params {
+	return Params{
+		WordBits:        64,
+		RegsPerThread:   64,
+		ResidentThreads: 4,
+		OpCacheEntries:  1024,
+		OpBits:          32,
+		BusUnitArea:     2048,
+	}
+}
+
+// Report is the area breakdown of one machine/interconnect combination.
+type Report struct {
+	Interconnect machine.InterconnectKind
+
+	// Per-file port provisioning.
+	ReadPortsPerFile  int
+	WritePortsPerFile int
+	GlobalBuses       int
+
+	RegFileArea float64
+	BusArea     float64
+	OpCacheArea float64
+	OpBufArea   float64
+
+	Total float64
+	// VsFull is Total relative to the fully connected configuration of
+	// the same machine (communication-dependent area only: register
+	// files and buses; caches and buffers are identical across schemes).
+	VsFull float64
+	// CommVsFull compares only the interconnect-dependent area (register
+	// files + buses), the ratio quoted by the paper.
+	CommVsFull float64
+}
+
+// writePorts returns the per-file write port count and the machine-wide
+// bus count for an interconnect scheme on the given machine.
+func writePorts(kind machine.InterconnectKind, cfg *machine.Config) (ports, buses int) {
+	n := len(cfg.Clusters)
+	switch kind {
+	case machine.Full:
+		// Any unit may write any file: one port per potential writer.
+		return cfg.NumUnits(), cfg.NumUnits() * n
+	case machine.TriPort:
+		// One local port plus two global ports, each with its own bus.
+		return 3, 2 * n
+	case machine.DualPort:
+		return 2, n
+	case machine.SinglePort:
+		return 1, n
+	case machine.SharedBus:
+		// One local port plus one port on the single machine-wide bus.
+		return 2, 1
+	}
+	return 1, 0
+}
+
+// maxUnitsPerCluster returns the largest unit count in any cluster.
+func maxUnitsPerCluster(cfg *machine.Config) int {
+	m := 0
+	for _, cl := range cfg.Clusters {
+		if len(cl.Units) > m {
+			m = len(cl.Units)
+		}
+	}
+	return m
+}
+
+// Estimate computes the area report for one interconnect scheme.
+func Estimate(cfg *machine.Config, kind machine.InterconnectKind, p Params) Report {
+	n := len(cfg.Clusters)
+	r := Report{Interconnect: kind}
+
+	// Each unit reads two operands per cycle from its local file.
+	r.ReadPortsPerFile = 2 * maxUnitsPerCluster(cfg)
+	r.WritePortsPerFile, r.GlobalBuses = writePorts(kind, cfg)
+
+	// Multi-ported SRAM: cell area grows quadratically with total ports.
+	ports := float64(r.ReadPortsPerFile + r.WritePortsPerFile)
+	bits := float64(p.RegsPerThread*p.ResidentThreads) * float64(p.WordBits)
+	r.RegFileArea = float64(n) * bits * ports * ports
+
+	// Buses span the cluster array.
+	r.BusArea = float64(r.GlobalBuses) * float64(n) * p.BusUnitArea
+
+	// Operation caches and buffers are per unit and independent of the
+	// communication scheme.
+	r.OpCacheArea = float64(cfg.NumUnits()) * float64(p.OpCacheEntries) * float64(p.OpBits)
+	r.OpBufArea = float64(cfg.NumUnits()) * float64(p.ResidentThreads) * float64(p.OpBits) * 4
+
+	r.Total = r.RegFileArea + r.BusArea + r.OpCacheArea + r.OpBufArea
+	return r
+}
+
+// Compare estimates every interconnect scheme for the machine and fills
+// in the ratios against full connectivity.
+func Compare(cfg *machine.Config, p Params) []Report {
+	full := Estimate(cfg, machine.Full, p)
+	fullComm := full.RegFileArea + full.BusArea
+	var out []Report
+	for _, kind := range machine.Interconnects() {
+		rep := Estimate(cfg, kind, p)
+		rep.VsFull = rep.Total / full.Total
+		rep.CommVsFull = (rep.RegFileArea + rep.BusArea) / fullComm
+		out = append(out, rep)
+	}
+	return out
+}
+
+// Write prints the comparison in a Section 6 style table.
+func Write(w io.Writer, cfg *machine.Config, reports []Report) {
+	fmt.Fprintf(w, "Feasibility: interconnect and register file area for %s\n", cfg)
+	fmt.Fprintf(w, "%-12s %6s %6s %6s %14s %12s %8s %9s\n",
+		"Scheme", "rports", "wports", "buses", "regfile", "bus", "total", "comm/full")
+	for _, r := range reports {
+		fmt.Fprintf(w, "%-12s %6d %6d %6d %14.0f %12.0f %8.2e %9.2f\n",
+			r.Interconnect, r.ReadPortsPerFile, r.WritePortsPerFile, r.GlobalBuses,
+			r.RegFileArea, r.BusArea, r.Total, r.CommVsFull)
+	}
+}

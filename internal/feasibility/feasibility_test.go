@@ -1,0 +1,89 @@
+package feasibility
+
+import (
+	"bytes"
+	"testing"
+
+	"pcoup/internal/machine"
+)
+
+func TestAreaOrdering(t *testing.T) {
+	cfg := machine.Baseline()
+	reports := Compare(cfg, DefaultParams())
+	area := map[machine.InterconnectKind]float64{}
+	for _, r := range reports {
+		area[r.Interconnect] = r.Total
+		if r.Total <= 0 || r.RegFileArea <= 0 {
+			t.Errorf("%v: non-positive area", r.Interconnect)
+		}
+	}
+	if !(area[machine.Full] > area[machine.TriPort] &&
+		area[machine.TriPort] > area[machine.DualPort] &&
+		area[machine.DualPort] > area[machine.SinglePort]) {
+		t.Errorf("area ordering wrong: %v", area)
+	}
+	if area[machine.SharedBus] >= area[machine.TriPort] {
+		t.Errorf("shared bus (%v) should be cheaper than tri-port (%v)",
+			area[machine.SharedBus], area[machine.TriPort])
+	}
+}
+
+// TestTriPortRatioMatchesPaper: Section 4 of the paper states that in a
+// four-cluster system the interconnection and register file area of the
+// Tri-Port scheme is 28% that of complete connection. The model should
+// land in that neighborhood.
+func TestTriPortRatioMatchesPaper(t *testing.T) {
+	reports := Compare(machine.Baseline(), DefaultParams())
+	for _, r := range reports {
+		if r.Interconnect != machine.TriPort {
+			continue
+		}
+		if r.CommVsFull < 0.10 || r.CommVsFull > 0.45 {
+			t.Errorf("tri-port comm area ratio = %.2f, paper says ~0.28", r.CommVsFull)
+		}
+		return
+	}
+	t.Fatal("tri-port report missing")
+}
+
+func TestFullIsBaseline(t *testing.T) {
+	reports := Compare(machine.Baseline(), DefaultParams())
+	for _, r := range reports {
+		if r.Interconnect == machine.Full {
+			if r.VsFull != 1 || r.CommVsFull != 1 {
+				t.Errorf("full ratios = %v / %v, want 1", r.VsFull, r.CommVsFull)
+			}
+		}
+		if r.VsFull > 1.0001 {
+			t.Errorf("%v costs more than full connectivity", r.Interconnect)
+		}
+	}
+}
+
+func TestCacheAreaSchemeIndependent(t *testing.T) {
+	cfg := machine.Baseline()
+	p := DefaultParams()
+	a := Estimate(cfg, machine.Full, p)
+	b := Estimate(cfg, machine.SharedBus, p)
+	if a.OpCacheArea != b.OpCacheArea || a.OpBufArea != b.OpBufArea {
+		t.Error("operation cache/buffer area must not depend on the interconnect")
+	}
+}
+
+func TestScalesWithMachine(t *testing.T) {
+	p := DefaultParams()
+	small := Estimate(machine.Mix(1, 1), machine.Full, p)
+	big := Estimate(machine.Mix(4, 4), machine.Full, p)
+	if big.Total <= small.Total {
+		t.Errorf("bigger machine must cost more: %v vs %v", big.Total, small.Total)
+	}
+}
+
+func TestWriteOutput(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := machine.Baseline()
+	Write(&buf, cfg, Compare(cfg, DefaultParams()))
+	if buf.Len() == 0 {
+		t.Error("no output")
+	}
+}

@@ -1,0 +1,133 @@
+// Package interconnect models the communication network between function
+// units and register files. The five schemes of the paper's "Restricting
+// Communication" experiment (Figure 6) are expressed as per-cycle
+// write-port and bus capacity constraints: every result writeback claims a
+// write port on the destination cluster's register file and, when the
+// destination is remote, a bus. Writebacks that cannot be granted retry on
+// a later cycle.
+package interconnect
+
+import "pcoup/internal/machine"
+
+// Request is one register-file write wanting to complete this cycle.
+type Request struct {
+	SrcCluster int
+	DstCluster int
+}
+
+// Arbiter grants writeback requests subject to the configured scheme's
+// port and bus capacities. A fresh grant round starts each cycle.
+type Arbiter struct {
+	kind        machine.InterconnectKind
+	numClusters int
+
+	localUsed  []int
+	remoteUsed []int
+	totalUsed  []int
+	sharedBus  int
+}
+
+// New creates an arbiter for the given scheme and cluster count.
+func New(kind machine.InterconnectKind, numClusters int) *Arbiter {
+	return &Arbiter{
+		kind:        kind,
+		numClusters: numClusters,
+		localUsed:   make([]int, numClusters),
+		remoteUsed:  make([]int, numClusters),
+		totalUsed:   make([]int, numClusters),
+	}
+}
+
+// Kind returns the arbitration scheme.
+func (a *Arbiter) Kind() machine.InterconnectKind { return a.kind }
+
+// BeginCycle resets all port and bus occupancy for a new cycle.
+func (a *Arbiter) BeginCycle() {
+	for i := range a.localUsed {
+		a.localUsed[i] = 0
+		a.remoteUsed[i] = 0
+		a.totalUsed[i] = 0
+	}
+	a.sharedBus = 0
+}
+
+// TryGrant attempts to reserve the ports/buses needed by req. Callers
+// present requests in priority order; a granted request consumes capacity
+// immediately. It returns false when the request must retry next cycle.
+func (a *Arbiter) TryGrant(req Request) bool {
+	local := req.SrcCluster == req.DstCluster
+	d := req.DstCluster
+	switch a.kind {
+	case machine.Full:
+		return true
+	case machine.TriPort:
+		if local {
+			if a.localUsed[d] >= 1 {
+				return false
+			}
+			a.localUsed[d]++
+			return true
+		}
+		if a.remoteUsed[d] >= 2 {
+			return false
+		}
+		a.remoteUsed[d]++
+		return true
+	case machine.DualPort:
+		if local {
+			if a.localUsed[d] >= 1 {
+				return false
+			}
+			a.localUsed[d]++
+			return true
+		}
+		if a.remoteUsed[d] >= 1 {
+			return false
+		}
+		a.remoteUsed[d]++
+		return true
+	case machine.SinglePort:
+		if a.totalUsed[d] >= 1 {
+			return false
+		}
+		a.totalUsed[d]++
+		return true
+	case machine.SharedBus:
+		if local {
+			if a.localUsed[d] >= 1 {
+				return false
+			}
+			a.localUsed[d]++
+			return true
+		}
+		if a.sharedBus >= 1 || a.remoteUsed[d] >= 1 {
+			return false
+		}
+		a.sharedBus++
+		a.remoteUsed[d]++
+		return true
+	}
+	return true
+}
+
+// PortCost returns a relative area estimate for the scheme in a machine of
+// numClusters clusters with unitsPerCluster units each: the number of
+// register write ports plus buses. Used by the feasibility discussion
+// (Section 6 of the paper claims Tri-Port needs ~28% of the fully
+// connected area in a four-cluster system).
+func PortCost(kind machine.InterconnectKind, numClusters, unitsPerCluster int) int {
+	switch kind {
+	case machine.Full:
+		// Every unit can write every file: ports scale with units x clusters.
+		return numClusters * (numClusters*unitsPerCluster + unitsPerCluster)
+	case machine.TriPort:
+		return numClusters * (3 + 2) // 3 ports + 2 global buses per cluster
+	case machine.DualPort:
+		return numClusters * (2 + 1)
+	case machine.SinglePort:
+		return numClusters * (1 + 1)
+	case machine.SharedBus:
+		return numClusters*2 + 1
+	}
+	return 0
+}

@@ -1,0 +1,122 @@
+package interconnect
+
+import (
+	"testing"
+
+	"pcoup/internal/machine"
+)
+
+// grant runs one request against a fresh-cycle arbiter state.
+func grants(a *Arbiter, reqs []Request) []bool {
+	out := make([]bool, len(reqs))
+	for i, r := range reqs {
+		out[i] = a.TryGrant(r)
+	}
+	return out
+}
+
+func TestFullGrantsEverything(t *testing.T) {
+	a := New(machine.Full, 4)
+	a.BeginCycle()
+	for i := 0; i < 100; i++ {
+		if !a.TryGrant(Request{SrcCluster: i % 4, DstCluster: (i + 1) % 4}) {
+			t.Fatal("full interconnect refused a write")
+		}
+	}
+}
+
+func TestTriPortCapacities(t *testing.T) {
+	a := New(machine.TriPort, 4)
+	a.BeginCycle()
+	// One local write per cycle per file.
+	if !a.TryGrant(Request{SrcCluster: 0, DstCluster: 0}) {
+		t.Error("first local write refused")
+	}
+	if a.TryGrant(Request{SrcCluster: 0, DstCluster: 0}) {
+		t.Error("second local write granted (one local port)")
+	}
+	// Two remote writes per cycle per file.
+	if !a.TryGrant(Request{SrcCluster: 1, DstCluster: 0}) || !a.TryGrant(Request{SrcCluster: 2, DstCluster: 0}) {
+		t.Error("remote writes refused")
+	}
+	if a.TryGrant(Request{SrcCluster: 3, DstCluster: 0}) {
+		t.Error("third remote write granted (two global ports)")
+	}
+	// Other clusters unaffected.
+	if !a.TryGrant(Request{SrcCluster: 0, DstCluster: 1}) {
+		t.Error("write to another file refused")
+	}
+	// New cycle resets capacity.
+	a.BeginCycle()
+	if !a.TryGrant(Request{SrcCluster: 0, DstCluster: 0}) {
+		t.Error("capacity not reset by BeginCycle")
+	}
+}
+
+func TestDualPortCapacities(t *testing.T) {
+	a := New(machine.DualPort, 4)
+	a.BeginCycle()
+	got := grants(a, []Request{
+		{0, 0}, {0, 0}, // local: 1 allowed
+		{1, 0}, {2, 0}, // remote: 1 allowed
+	})
+	want := []bool{true, false, true, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("dual-port grant %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSinglePortCapacities(t *testing.T) {
+	a := New(machine.SinglePort, 4)
+	a.BeginCycle()
+	// One write total per file per cycle, local or remote.
+	if !a.TryGrant(Request{SrcCluster: 1, DstCluster: 0}) {
+		t.Error("first write refused")
+	}
+	if a.TryGrant(Request{SrcCluster: 0, DstCluster: 0}) {
+		t.Error("second write granted on single port")
+	}
+	if !a.TryGrant(Request{SrcCluster: 0, DstCluster: 1}) {
+		t.Error("independent file refused (ports are per-file)")
+	}
+}
+
+func TestSharedBusCapacities(t *testing.T) {
+	a := New(machine.SharedBus, 4)
+	a.BeginCycle()
+	// Local writes use per-file ports.
+	if !a.TryGrant(Request{SrcCluster: 0, DstCluster: 0}) || !a.TryGrant(Request{SrcCluster: 1, DstCluster: 1}) {
+		t.Error("local writes refused")
+	}
+	// One remote write in the whole machine per cycle.
+	if !a.TryGrant(Request{SrcCluster: 0, DstCluster: 2}) {
+		t.Error("first remote write refused")
+	}
+	if a.TryGrant(Request{SrcCluster: 1, DstCluster: 3}) {
+		t.Error("second remote write granted on the shared bus")
+	}
+	a.BeginCycle()
+	if !a.TryGrant(Request{SrcCluster: 1, DstCluster: 3}) {
+		t.Error("bus not released at cycle start")
+	}
+}
+
+func TestPortCostOrdering(t *testing.T) {
+	// The area proxy must rank schemes: Full > TriPort > DualPort >
+	// SinglePort, and SharedBus cheapest in buses.
+	full := PortCost(machine.Full, 4, 3)
+	tri := PortCost(machine.TriPort, 4, 3)
+	dual := PortCost(machine.DualPort, 4, 3)
+	single := PortCost(machine.SinglePort, 4, 3)
+	if !(full > tri && tri > dual && dual > single) {
+		t.Errorf("cost ordering: full=%d tri=%d dual=%d single=%d", full, tri, dual, single)
+	}
+	// Section 6 of the paper: Tri-Port needs roughly a quarter of the
+	// fully connected area in a four-cluster system.
+	ratio := float64(tri) / float64(full)
+	if ratio > 0.5 {
+		t.Errorf("tri-port/full area ratio = %.2f, expected well under 0.5", ratio)
+	}
+}

@@ -1,0 +1,285 @@
+package isa
+
+import (
+	"fmt"
+	"math"
+
+	"pcoup/internal/machine"
+)
+
+// Opcode enumerates every operation the node can execute.
+type Opcode int
+
+const (
+	OpInvalid Opcode = iota
+
+	// Integer unit operations.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpNeg
+	OpAnd
+	OpOr
+	OpXor
+	OpNot
+	OpShl
+	OpShr
+	OpSlt
+	OpSle
+	OpSeq
+	OpSne
+	OpSgt
+	OpSge
+	OpMov // register-to-register (or immediate) move; also used for cross-cluster transfer
+
+	// Floating-point unit operations.
+	OpFAdd
+	OpFSub
+	OpFMul
+	OpFDiv
+	OpFNeg
+	OpFAbs
+	OpFMov
+	OpFlt
+	OpFle
+	OpFeq
+	OpFne
+	OpFgt
+	OpFge
+	OpItoF
+	OpFtoI
+
+	// Memory unit operations. The effective address is src[last] (+ index)
+	// plus the Offset field; see Op.
+	OpLoad
+	OpStore
+
+	// Branch unit operations.
+	OpJmp  // unconditional branch to Target
+	OpBt   // branch to Target if src0 is non-zero
+	OpBf   // branch to Target if src0 is zero
+	OpFork // spawn a new thread running code segment Target
+	OpHalt // terminate this thread
+
+	numOpcodes
+)
+
+var opcodeInfo = map[Opcode]struct {
+	name string
+	unit machine.UnitKind
+	// nsrc is the required operand count; -1 means variable (memory ops).
+	nsrc int
+	// pure marks side-effect-free value operations that the compiler may
+	// constant-fold.
+	pure bool
+}{
+	OpAdd:   {"add", machine.IU, 2, true},
+	OpSub:   {"sub", machine.IU, 2, true},
+	OpMul:   {"mul", machine.IU, 2, true},
+	OpDiv:   {"div", machine.IU, 2, true},
+	OpMod:   {"mod", machine.IU, 2, true},
+	OpNeg:   {"neg", machine.IU, 1, true},
+	OpAnd:   {"and", machine.IU, 2, true},
+	OpOr:    {"or", machine.IU, 2, true},
+	OpXor:   {"xor", machine.IU, 2, true},
+	OpNot:   {"not", machine.IU, 1, true},
+	OpShl:   {"shl", machine.IU, 2, true},
+	OpShr:   {"shr", machine.IU, 2, true},
+	OpSlt:   {"slt", machine.IU, 2, true},
+	OpSle:   {"sle", machine.IU, 2, true},
+	OpSeq:   {"seq", machine.IU, 2, true},
+	OpSne:   {"sne", machine.IU, 2, true},
+	OpSgt:   {"sgt", machine.IU, 2, true},
+	OpSge:   {"sge", machine.IU, 2, true},
+	OpMov:   {"mov", machine.IU, 1, true},
+	OpFAdd:  {"fadd", machine.FPU, 2, true},
+	OpFSub:  {"fsub", machine.FPU, 2, true},
+	OpFMul:  {"fmul", machine.FPU, 2, true},
+	OpFDiv:  {"fdiv", machine.FPU, 2, true},
+	OpFNeg:  {"fneg", machine.FPU, 1, true},
+	OpFAbs:  {"fabs", machine.FPU, 1, true},
+	OpFMov:  {"fmov", machine.FPU, 1, true},
+	OpFlt:   {"flt", machine.FPU, 2, true},
+	OpFle:   {"fle", machine.FPU, 2, true},
+	OpFeq:   {"feq", machine.FPU, 2, true},
+	OpFne:   {"fne", machine.FPU, 2, true},
+	OpFgt:   {"fgt", machine.FPU, 2, true},
+	OpFge:   {"fge", machine.FPU, 2, true},
+	OpItoF:  {"itof", machine.FPU, 1, true},
+	OpFtoI:  {"ftoi", machine.FPU, 1, true},
+	OpLoad:  {"ld", machine.MEM, -1, false},
+	OpStore: {"st", machine.MEM, -1, false},
+	OpJmp:   {"jmp", machine.BR, 0, false},
+	OpBt:    {"bt", machine.BR, 1, false},
+	OpBf:    {"bf", machine.BR, 1, false},
+	OpFork:  {"fork", machine.BR, 0, false},
+	OpHalt:  {"halt", machine.BR, 0, false},
+}
+
+func (o Opcode) String() string {
+	if info, ok := opcodeInfo[o]; ok {
+		return info.name
+	}
+	return fmt.Sprintf("Opcode(%d)", int(o))
+}
+
+// Unit returns the function unit class that executes the opcode.
+func (o Opcode) Unit() machine.UnitKind { return opcodeInfo[o].unit }
+
+// Pure reports whether the opcode is a side-effect-free value computation.
+func (o Opcode) Pure() bool { return opcodeInfo[o].pure }
+
+// NumSrcs returns the operand count required by the opcode, or -1 if
+// variable.
+func (o Opcode) NumSrcs() int { return opcodeInfo[o].nsrc }
+
+// ParseOpcode converts an assembly mnemonic into an Opcode.
+func ParseOpcode(name string) (Opcode, error) {
+	for op, info := range opcodeInfo {
+		if info.name == name {
+			return op, nil
+		}
+	}
+	return OpInvalid, fmt.Errorf("isa: unknown opcode %q", name)
+}
+
+// Opcodes returns every defined opcode (for exhaustive tests).
+func Opcodes() []Opcode {
+	out := make([]Opcode, 0, len(opcodeInfo))
+	for op := Opcode(1); op < numOpcodes; op++ {
+		if _, ok := opcodeInfo[op]; ok {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// SyncFlavor selects the presence-bit precondition and postcondition of a
+// memory reference (Table 1 of the paper).
+type SyncFlavor int
+
+const (
+	// SyncNone: unconditional; loads leave the bit as is, stores set full.
+	SyncNone SyncFlavor = iota
+	// SyncWaitFull: wait until full, leave full (loads and stores).
+	SyncWaitFull
+	// SyncConsume: loads only — wait until full, set empty.
+	SyncConsume
+	// SyncProduce: stores only — wait until empty, set full.
+	SyncProduce
+)
+
+var syncNames = [...]string{"", "wf", "cons", "prod"}
+
+func (s SyncFlavor) String() string {
+	if s < 0 || int(s) >= len(syncNames) {
+		return fmt.Sprintf("SyncFlavor(%d)", int(s))
+	}
+	return syncNames[s]
+}
+
+// ParseSyncFlavor parses the textual suffix of a memory opcode.
+func ParseSyncFlavor(s string) (SyncFlavor, error) {
+	for i, n := range syncNames {
+		if s == n {
+			return SyncFlavor(i), nil
+		}
+	}
+	return 0, fmt.Errorf("isa: unknown sync flavor %q", s)
+}
+
+// Eval computes the result of a pure opcode applied to operand values.
+// Memory, branch, and thread operations are not evaluable here. Integer
+// division or modulus by zero yields zero (the simulated machine does not
+// trap); float division by zero follows IEEE semantics.
+func Eval(op Opcode, srcs []Value) (Value, error) {
+	info, ok := opcodeInfo[op]
+	if !ok || !info.pure {
+		return Value{}, fmt.Errorf("isa: opcode %s is not evaluable", op)
+	}
+	if info.nsrc >= 0 && len(srcs) != info.nsrc {
+		return Value{}, fmt.Errorf("isa: opcode %s wants %d operands, got %d", op, info.nsrc, len(srcs))
+	}
+	a := srcs[0]
+	var b Value
+	if len(srcs) > 1 {
+		b = srcs[1]
+	}
+	switch op {
+	case OpAdd:
+		return Int(a.AsInt() + b.AsInt()), nil
+	case OpSub:
+		return Int(a.AsInt() - b.AsInt()), nil
+	case OpMul:
+		return Int(a.AsInt() * b.AsInt()), nil
+	case OpDiv:
+		if b.AsInt() == 0 {
+			return Int(0), nil
+		}
+		return Int(a.AsInt() / b.AsInt()), nil
+	case OpMod:
+		if b.AsInt() == 0 {
+			return Int(0), nil
+		}
+		return Int(a.AsInt() % b.AsInt()), nil
+	case OpNeg:
+		return Int(-a.AsInt()), nil
+	case OpAnd:
+		return Int(a.AsInt() & b.AsInt()), nil
+	case OpOr:
+		return Int(a.AsInt() | b.AsInt()), nil
+	case OpXor:
+		return Int(a.AsInt() ^ b.AsInt()), nil
+	case OpNot:
+		return Int(^a.AsInt()), nil
+	case OpShl:
+		return Int(a.AsInt() << uint(b.AsInt()&63)), nil
+	case OpShr:
+		return Int(a.AsInt() >> uint(b.AsInt()&63)), nil
+	case OpSlt:
+		return Bool(a.AsInt() < b.AsInt()), nil
+	case OpSle:
+		return Bool(a.AsInt() <= b.AsInt()), nil
+	case OpSeq:
+		return Bool(a.AsInt() == b.AsInt()), nil
+	case OpSne:
+		return Bool(a.AsInt() != b.AsInt()), nil
+	case OpSgt:
+		return Bool(a.AsInt() > b.AsInt()), nil
+	case OpSge:
+		return Bool(a.AsInt() >= b.AsInt()), nil
+	case OpMov, OpFMov:
+		return a, nil
+	case OpFAdd:
+		return Float(a.AsFloat() + b.AsFloat()), nil
+	case OpFSub:
+		return Float(a.AsFloat() - b.AsFloat()), nil
+	case OpFMul:
+		return Float(a.AsFloat() * b.AsFloat()), nil
+	case OpFDiv:
+		return Float(a.AsFloat() / b.AsFloat()), nil
+	case OpFNeg:
+		return Float(-a.AsFloat()), nil
+	case OpFAbs:
+		return Float(math.Abs(a.AsFloat())), nil
+	case OpFlt:
+		return Bool(a.AsFloat() < b.AsFloat()), nil
+	case OpFle:
+		return Bool(a.AsFloat() <= b.AsFloat()), nil
+	case OpFeq:
+		return Bool(a.AsFloat() == b.AsFloat()), nil
+	case OpFne:
+		return Bool(a.AsFloat() != b.AsFloat()), nil
+	case OpFgt:
+		return Bool(a.AsFloat() > b.AsFloat()), nil
+	case OpFge:
+		return Bool(a.AsFloat() >= b.AsFloat()), nil
+	case OpItoF:
+		return Float(float64(a.AsInt())), nil
+	case OpFtoI:
+		return Int(int64(a.AsFloat())), nil
+	}
+	return Value{}, fmt.Errorf("isa: unhandled opcode %s", op)
+}

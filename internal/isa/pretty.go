@@ -1,0 +1,90 @@
+package isa
+
+import (
+	"fmt"
+	"io"
+
+	"pcoup/internal/machine"
+)
+
+// WriteScheduleTable renders a segment's static schedule as the paper
+// draws instruction streams (Figure 1): one row per wide instruction
+// word, one column per function unit. Comparing this view with the
+// simulator's runtime interleaving shows exactly where the schedule
+// "slips".
+func WriteScheduleTable(w io.Writer, seg *ThreadCode, cfg *machine.Config) {
+	units := cfg.Units()
+	const colWidth = 14
+	fmt.Fprintf(w, "segment %s: %d words\n", seg.Name, len(seg.Instrs))
+	fmt.Fprintf(w, "%5s", "word")
+	counts := map[machine.UnitKind]int{}
+	for _, u := range units {
+		fmt.Fprintf(w, " %-*s", colWidth, fmt.Sprintf("%s%d(c%d)", u.Kind, counts[u.Kind], u.Cluster))
+		counts[u.Kind]++
+	}
+	fmt.Fprintln(w)
+	for wi := range seg.Instrs {
+		fmt.Fprintf(w, "%5d", wi)
+		for slot := range units {
+			cell := ""
+			if slot < len(seg.Instrs[wi].Ops) && seg.Instrs[wi].Ops[slot] != nil {
+				cell = compactOp(seg.Instrs[wi].Ops[slot])
+			}
+			if len(cell) > colWidth {
+				cell = cell[:colWidth-1] + "~"
+			}
+			fmt.Fprintf(w, " %-*s", colWidth, cell)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// compactOp renders an operation tersely for schedule tables.
+func compactOp(op *Op) string {
+	s := op.Code.String()
+	if op.IsMemory() && op.Sync != SyncNone {
+		s += "." + op.Sync.String()
+	}
+	if len(op.Dests) > 0 {
+		d := op.Dests[0]
+		s += fmt.Sprintf(" c%d.r%d", d.Cluster, d.Index)
+		if len(op.Dests) > 1 {
+			s += "+"
+		}
+	}
+	switch op.Code {
+	case OpJmp, OpBt, OpBf:
+		s += fmt.Sprintf(">%d", op.Target)
+	case OpFork:
+		s += fmt.Sprintf(">s%d", op.Target)
+	}
+	return s
+}
+
+// Describe renders the machine organization in the style of the paper's
+// Figure 3: clusters with their units, the interconnect scheme, and the
+// memory system.
+func Describe(w io.Writer, cfg *machine.Config) {
+	fmt.Fprintf(w, "%s\n", cfg)
+	for ci, cl := range cfg.Clusters {
+		fmt.Fprintf(w, "  cluster %d: ", ci)
+		for i, u := range cl.Units {
+			if i > 0 {
+				fmt.Fprint(w, ", ")
+			}
+			fmt.Fprintf(w, "%s(lat %d)", u.Kind, u.Latency)
+		}
+		fmt.Fprintf(w, " | shared register file\n")
+	}
+	fmt.Fprintf(w, "  unit interconnect: %s (max %d register destinations per op)\n",
+		cfg.Interconnect, cfg.MaxDests)
+	mm := cfg.Memory
+	if mm.MissRate > 0 {
+		fmt.Fprintf(w, "  memory: %s — %d-cycle hit, %.0f%% miss of %d-%d cycles, %d banks\n",
+			mm.Name, mm.HitLatency, mm.MissRate*100, mm.MissPenaltyMin, mm.MissPenaltyMax, mm.Banks)
+	} else {
+		fmt.Fprintf(w, "  memory: %s — %d-cycle references, %d banks\n", mm.Name, mm.HitLatency, mm.Banks)
+	}
+	fmt.Fprintf(w, "  arbitration: %s; active thread limit %d\n",
+		cfg.Arbitration, cfg.MaxActiveThreads())
+}

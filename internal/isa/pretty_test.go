@@ -1,0 +1,53 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+
+	"pcoup/internal/machine"
+)
+
+func TestWriteScheduleTable(t *testing.T) {
+	cfg := machine.Baseline()
+	seg := sampleProgram().Segments[0]
+	var buf strings.Builder
+	WriteScheduleTable(&buf, seg, cfg)
+	out := buf.String()
+	for _, want := range []string{"segment main", "IU0(c0)", "BR1(c5)", "add", "ld.cons", "st.prod", "halt", "fork>s1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("schedule table missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Two header lines plus one line per instruction word.
+	if len(lines) != 2+len(seg.Instrs) {
+		t.Errorf("table has %d lines for %d words", len(lines), len(seg.Instrs))
+	}
+}
+
+func TestCompactOp(t *testing.T) {
+	op := &Op{Code: OpAdd, Dests: []RegRef{{0, 1}, {2, 3}}}
+	if got := compactOp(op); !strings.Contains(got, "add c0.r1+") {
+		t.Errorf("compactOp multi-dest = %q", got)
+	}
+	br := &Op{Code: OpBt, Target: 7}
+	if got := compactOp(br); !strings.Contains(got, ">7") {
+		t.Errorf("compactOp branch = %q", got)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	var buf strings.Builder
+	Describe(&buf, machine.Baseline())
+	out := buf.String()
+	for _, want := range []string{"cluster 0", "IU(lat 1)", "Full", "Min", "priority"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("describe missing %q:\n%s", want, out)
+		}
+	}
+	var buf2 strings.Builder
+	Describe(&buf2, machine.Baseline().WithMemory(machine.Mem1))
+	if !strings.Contains(buf2.String(), "5% miss") {
+		t.Errorf("describe missing miss model:\n%s", buf2.String())
+	}
+}

@@ -1,0 +1,39 @@
+package machine
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestSampleConfigsUpToDate regenerates the example configuration files
+// shipped in configs/ and verifies they load. Run with -regen to rewrite
+// them (the files are committed artifacts used by the CLI documentation).
+func TestSampleConfigsUpToDate(t *testing.T) {
+	dir := filepath.Join("..", "..", "configs")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	samples := map[string]*Config{
+		"baseline.json":         Baseline(),
+		"baseline-triport.json": Baseline().WithInterconnect(TriPort),
+		"baseline-mem1.json":    Baseline().WithMemory(Mem1),
+		"mix-2iu-2fpu.json":     Mix(2, 2),
+	}
+	for name, cfg := range samples {
+		path := filepath.Join(dir, name)
+		if _, err := os.Stat(path); err != nil {
+			if err := cfg.Save(path); err != nil {
+				t.Fatal(err)
+			}
+		}
+		loaded, err := Load(path)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if loaded.NumUnits() != cfg.NumUnits() || loaded.Interconnect != cfg.Interconnect {
+			t.Errorf("%s: stale sample config (regenerate by deleting it)", name)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package machine
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// jsonConfig is the on-disk representation of a Config. Unit kinds and the
+// interconnect model are spelled by name so configuration files remain
+// readable and stable across code changes.
+type jsonConfig struct {
+	Name         string        `json:"name"`
+	Clusters     []jsonCluster `json:"clusters"`
+	Interconnect string        `json:"interconnect"`
+	Memory       jsonMemory    `json:"memory"`
+	MaxDests     int           `json:"max_dests"`
+	Seed         uint64        `json:"seed,omitempty"`
+	Arbitration  string        `json:"arbitration,omitempty"`
+	LockStep     bool          `json:"lock_step_issue,omitempty"`
+	MaxThreads   int           `json:"max_threads,omitempty"`
+	OpCache      *jsonOpCache  `json:"op_cache,omitempty"`
+}
+
+type jsonOpCache struct {
+	Entries     int `json:"entries"`
+	MissPenalty int `json:"miss_penalty"`
+}
+
+type jsonCluster struct {
+	Units     []jsonUnit `json:"units"`
+	Registers int        `json:"registers,omitempty"`
+}
+
+type jsonUnit struct {
+	Kind    string `json:"kind"`
+	Latency int    `json:"latency"`
+}
+
+type jsonMemory struct {
+	Name           string  `json:"name"`
+	HitLatency     int     `json:"hit_latency"`
+	MissRate       float64 `json:"miss_rate,omitempty"`
+	MissPenaltyMin int     `json:"miss_penalty_min,omitempty"`
+	MissPenaltyMax int     `json:"miss_penalty_max,omitempty"`
+	Banks          int     `json:"banks"`
+	BankConflicts  bool    `json:"bank_conflicts,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (c *Config) MarshalJSON() ([]byte, error) {
+	jc := jsonConfig{
+		Name:       c.Name,
+		MaxDests:   c.MaxDests,
+		Seed:       c.Seed,
+		LockStep:   c.LockStepIssue,
+		MaxThreads: c.MaxThreads,
+	}
+	switch c.Arbitration {
+	case PriorityArbitration:
+		jc.Arbitration = "priority"
+	case RoundRobinArbitration:
+		jc.Arbitration = "round-robin"
+	}
+	jc.Interconnect = interconnectToken(c.Interconnect)
+	if c.OpCache.Entries > 0 {
+		jc.OpCache = &jsonOpCache{Entries: c.OpCache.Entries, MissPenalty: c.OpCache.MissPenalty}
+	}
+	jc.Memory = jsonMemory{
+		Name:           c.Memory.Name,
+		HitLatency:     c.Memory.HitLatency,
+		MissRate:       c.Memory.MissRate,
+		MissPenaltyMin: c.Memory.MissPenaltyMin,
+		MissPenaltyMax: c.Memory.MissPenaltyMax,
+		Banks:          c.Memory.Banks,
+		BankConflicts:  c.Memory.ModelBankConflicts,
+	}
+	for _, cl := range c.Clusters {
+		jcl := jsonCluster{Registers: cl.Registers}
+		for _, u := range cl.Units {
+			jcl.Units = append(jcl.Units, jsonUnit{Kind: u.Kind.String(), Latency: u.Latency})
+		}
+		jc.Clusters = append(jc.Clusters, jcl)
+	}
+	return json.MarshalIndent(jc, "", "  ")
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (c *Config) UnmarshalJSON(data []byte) error {
+	var jc jsonConfig
+	if err := json.Unmarshal(data, &jc); err != nil {
+		return err
+	}
+	out := Config{
+		Name:          jc.Name,
+		MaxDests:      jc.MaxDests,
+		Seed:          jc.Seed,
+		LockStepIssue: jc.LockStep,
+		MaxThreads:    jc.MaxThreads,
+	}
+	switch jc.Arbitration {
+	case "", "priority":
+		out.Arbitration = PriorityArbitration
+	case "round-robin":
+		out.Arbitration = RoundRobinArbitration
+	default:
+		return fmt.Errorf("machine: unknown arbitration %q", jc.Arbitration)
+	}
+	ic, err := parseInterconnectToken(jc.Interconnect)
+	if err != nil {
+		return err
+	}
+	out.Interconnect = ic
+	if jc.OpCache != nil {
+		out.OpCache = OpCacheModel{Entries: jc.OpCache.Entries, MissPenalty: jc.OpCache.MissPenalty}
+	}
+	out.Memory = MemoryModel{
+		Name:               jc.Memory.Name,
+		HitLatency:         jc.Memory.HitLatency,
+		MissRate:           jc.Memory.MissRate,
+		MissPenaltyMin:     jc.Memory.MissPenaltyMin,
+		MissPenaltyMax:     jc.Memory.MissPenaltyMax,
+		Banks:              jc.Memory.Banks,
+		ModelBankConflicts: jc.Memory.BankConflicts,
+	}
+	for i, jcl := range jc.Clusters {
+		cl := ClusterSpec{Registers: jcl.Registers}
+		for _, ju := range jcl.Units {
+			k, err := ParseUnitKind(ju.Kind)
+			if err != nil {
+				return fmt.Errorf("machine: cluster %d: %w", i, err)
+			}
+			cl.Units = append(cl.Units, UnitSpec{Kind: k, Latency: ju.Latency})
+		}
+		out.Clusters = append(out.Clusters, cl)
+	}
+	*c = out
+	return nil
+}
+
+func interconnectToken(k InterconnectKind) string {
+	switch k {
+	case Full:
+		return "full"
+	case TriPort:
+		return "tri-port"
+	case DualPort:
+		return "dual-port"
+	case SinglePort:
+		return "single-port"
+	case SharedBus:
+		return "shared-bus"
+	}
+	return "full"
+}
+
+func parseInterconnectToken(s string) (InterconnectKind, error) {
+	switch s {
+	case "", "full":
+		return Full, nil
+	case "tri-port":
+		return TriPort, nil
+	case "dual-port":
+		return DualPort, nil
+	case "single-port":
+		return SinglePort, nil
+	case "shared-bus":
+		return SharedBus, nil
+	}
+	return 0, fmt.Errorf("machine: unknown interconnect %q", s)
+}
+
+// Load reads a machine configuration from a JSON file and validates it.
+func Load(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var c Config
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("machine: parsing %s: %w", path, err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("machine: %s: %w", path, err)
+	}
+	return &c, nil
+}
+
+// Save writes the configuration to a JSON file.
+func (c *Config) Save(path string) error {
+	data, err := c.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,117 @@
+package machine
+
+import "fmt"
+
+// arithCluster builds the paper's standard arithmetic cluster: an integer
+// unit, a floating-point unit, and a memory unit sharing one register file,
+// each with the given pipeline latency.
+func arithCluster(latency int) ClusterSpec {
+	return ClusterSpec{Units: []UnitSpec{
+		{Kind: IU, Latency: latency},
+		{Kind: FPU, Latency: latency},
+		{Kind: MEM, Latency: latency},
+	}}
+}
+
+// branchCluster builds a branch cluster: a single branch unit with its own
+// register file.
+func branchCluster(latency int) ClusterSpec {
+	return ClusterSpec{Units: []UnitSpec{{Kind: BR, Latency: latency}}}
+}
+
+// Baseline returns the paper's baseline machine (Section 4): four
+// arithmetic clusters, each with an integer unit, a floating point unit,
+// and a memory unit sharing a register file, plus two branch clusters.
+// Every unit has a pipeline latency of one cycle; memory references take a
+// single cycle (Min model); the interconnect is fully connected; an
+// operation may name at most two simultaneous register destinations.
+func Baseline() *Config {
+	cfg := &Config{
+		Name: "baseline",
+		Clusters: []ClusterSpec{
+			arithCluster(1), arithCluster(1), arithCluster(1), arithCluster(1),
+			branchCluster(1), branchCluster(1),
+		},
+		Interconnect: Full,
+		Memory:       MemMin,
+		MaxDests:     2,
+		Arbitration:  PriorityArbitration,
+	}
+	return cfg
+}
+
+// WithInterconnect returns a copy of c using interconnect model k.
+func (c *Config) WithInterconnect(k InterconnectKind) *Config {
+	out := c.Clone()
+	out.Interconnect = k
+	out.Name = fmt.Sprintf("%s/%s", c.Name, k)
+	return out
+}
+
+// WithMemory returns a copy of c using memory model m.
+func (c *Config) WithMemory(m MemoryModel) *Config {
+	out := c.Clone()
+	out.Memory = m
+	out.Name = fmt.Sprintf("%s/%s", c.Name, m.Name)
+	return out
+}
+
+// WithSeed returns a copy of c with the given statistical-memory seed.
+func (c *Config) WithSeed(seed uint64) *Config {
+	out := c.Clone()
+	out.Seed = seed
+	return out
+}
+
+// Mix returns the machine used by the Figure 8 sweep: nIU integer units
+// and nFPU floating-point units spread over max(nIU,nFPU) clusters, four
+// memory units, and one branch cluster. Memory units are distributed one
+// per arithmetic cluster (cluster i gets MEM unit i%4 style round-robin);
+// with fewer than four arithmetic clusters the extra memory units stack in
+// the existing clusters so the total remains four.
+func Mix(nIU, nFPU int) *Config {
+	if nIU < 1 || nFPU < 1 {
+		panic("machine: Mix requires at least one IU and one FPU")
+	}
+	const nMEM = 4
+	nClusters := nIU
+	if nFPU > nClusters {
+		nClusters = nFPU
+	}
+	clusters := make([]ClusterSpec, nClusters)
+	for i := 0; i < nClusters; i++ {
+		var units []UnitSpec
+		if i < nIU {
+			units = append(units, UnitSpec{Kind: IU, Latency: 1})
+		}
+		if i < nFPU {
+			units = append(units, UnitSpec{Kind: FPU, Latency: 1})
+		}
+		clusters[i] = ClusterSpec{Units: units}
+	}
+	for i := 0; i < nMEM; i++ {
+		ci := i % nClusters
+		clusters[ci].Units = append(clusters[ci].Units, UnitSpec{Kind: MEM, Latency: 1})
+	}
+	cfg := &Config{
+		Name:         fmt.Sprintf("mix-%diu-%dfpu", nIU, nFPU),
+		Clusters:     append(clusters, branchCluster(1)),
+		Interconnect: Full,
+		Memory:       MemMin,
+		MaxDests:     2,
+		Arbitration:  PriorityArbitration,
+	}
+	return cfg
+}
+
+// Clone returns a deep copy of c.
+func (c *Config) Clone() *Config {
+	out := *c
+	out.Clusters = make([]ClusterSpec, len(c.Clusters))
+	for i, cl := range c.Clusters {
+		units := make([]UnitSpec, len(cl.Units))
+		copy(units, cl.Units)
+		out.Clusters[i] = ClusterSpec{Units: units, Registers: cl.Registers}
+	}
+	return &out
+}

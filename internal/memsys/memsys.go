@@ -1,0 +1,377 @@
+// Package memsys implements the node's memory system: interleaved banks of
+// words, each with a presence (valid) bit, the precondition/postcondition
+// load and store flavors of Table 1 of the paper, split-transaction
+// handling of references whose precondition is not yet satisfied, and the
+// statistical hit/miss latency model used for the variable-memory-latency
+// experiments (Figure 7).
+package memsys
+
+import (
+	"fmt"
+	"sort"
+
+	"pcoup/internal/isa"
+	"pcoup/internal/machine"
+	"pcoup/internal/rng"
+)
+
+// Request describes one memory reference issued by a memory unit.
+type Request struct {
+	IsStore bool
+	Sync    isa.SyncFlavor
+	Addr    int64
+	Store   isa.Value // value to write (stores only)
+	// Tag is opaque caller context, returned with the Completion.
+	Tag any
+}
+
+// Completion reports a finished reference.
+type Completion struct {
+	Req   *Request
+	Value isa.Value // loaded value (loads only)
+}
+
+// Stats accumulates memory system counters.
+type Stats struct {
+	Loads        int64
+	Stores       int64
+	Hits         int64
+	Misses       int64
+	PenaltySum   int64
+	Parked       int64 // references that had to wait on a presence bit
+	MaxParked    int   // peak number of simultaneously parked references
+	BankConflict int64 // references delayed by bank conflicts (if modeled)
+}
+
+// inflight is a reference travelling to/from memory.
+type inflight struct {
+	req       *Request
+	remaining int // cycles until arrival
+}
+
+// Memory is the node memory: words, presence bits, banks, and in-flight
+// reference bookkeeping. It is advanced one cycle at a time by Tick.
+type Memory struct {
+	model machine.MemoryModel
+	rnd   *rng.Source
+
+	words []isa.Value
+	full  []bool
+
+	pending []inflight
+	// References waiting for a presence-bit transition, strict FIFO per
+	// address and direction: parkedFull holds references waiting for the
+	// word to become full (waitfull/consume loads, waitfull stores);
+	// parkedEmpty holds producing stores waiting for it to become empty.
+	// A newly arriving reference parks behind earlier waiters of its
+	// direction even if its own precondition currently holds, so
+	// producers and consumers at one cell are each served in issue order.
+	parkedFull  map[int64][]*Request
+	parkedEmpty map[int64][]*Request
+	nPark       int
+	// dueService lists addresses whose parked queue is re-examined this
+	// tick; nextService collects addresses enabled by this tick's commits
+	// (one-cycle split-transaction reactivation latency). Both are kept
+	// sorted and deduplicated for deterministic service order.
+	dueService  []int64
+	nextService []int64
+
+	// bankQueue holds references not yet started because their bank
+	// already accepted one this cycle (only when ModelBankConflicts).
+	bankQueue [][]*Request
+	bankBusy  []bool
+
+	stats Stats
+	fault error
+}
+
+// New creates a memory of size words using the given model and seed.
+func New(model machine.MemoryModel, seed uint64, size int64) *Memory {
+	if size < 1 {
+		size = 1
+	}
+	m := &Memory{
+		model:       model,
+		rnd:         rng.New(seed),
+		words:       make([]isa.Value, size),
+		full:        make([]bool, size),
+		parkedFull:  make(map[int64][]*Request),
+		parkedEmpty: make(map[int64][]*Request),
+	}
+	if model.ModelBankConflicts {
+		m.bankQueue = make([][]*Request, model.Banks)
+		m.bankBusy = make([]bool, model.Banks)
+	}
+	return m
+}
+
+// LoadImage installs the program's initial data segments. Words covered by
+// a segment get the segment's presence state; all other words start full
+// (ordinary uninitialized data) with value zero.
+func (m *Memory) LoadImage(segs []isa.DataSegment) error {
+	for i := range m.full {
+		m.full[i] = true
+	}
+	for _, seg := range segs {
+		if seg.Addr < 0 || seg.Addr+int64(len(seg.Values)) > int64(len(m.words)) {
+			return fmt.Errorf("memsys: data segment %q [%d,%d) outside memory of %d words",
+				seg.Name, seg.Addr, seg.Addr+int64(len(seg.Values)), len(m.words))
+		}
+		for i, v := range seg.Values {
+			m.words[seg.Addr+int64(i)] = v
+			m.full[seg.Addr+int64(i)] = seg.Full
+		}
+	}
+	return nil
+}
+
+// Size returns the memory size in words.
+func (m *Memory) Size() int64 { return int64(len(m.words)) }
+
+// Stats returns a copy of the accumulated counters.
+func (m *Memory) Stats() Stats { return m.stats }
+
+// Fault returns the first addressing fault encountered, if any.
+func (m *Memory) Fault() error { return m.fault }
+
+// Peek reads a word directly (for harnesses and tests; not a simulated
+// reference).
+func (m *Memory) Peek(addr int64) (isa.Value, bool) {
+	if addr < 0 || addr >= int64(len(m.words)) {
+		return isa.Value{}, false
+	}
+	return m.words[addr], m.full[addr]
+}
+
+// Poke writes a word directly (for harnesses and tests).
+func (m *Memory) Poke(addr int64, v isa.Value, full bool) {
+	if addr < 0 || addr >= int64(len(m.words)) {
+		return
+	}
+	m.words[addr] = v
+	m.full[addr] = full
+}
+
+// latency draws the total access latency for a new reference.
+func (m *Memory) latency() int {
+	lat := m.model.HitLatency
+	if m.model.MissRate > 0 && m.rnd.Float64() < m.model.MissRate {
+		m.stats.Misses++
+		pen := m.model.MissPenaltyMin
+		if m.model.MissPenaltyMax > m.model.MissPenaltyMin {
+			pen = m.rnd.Range(m.model.MissPenaltyMin, m.model.MissPenaltyMax)
+		}
+		m.stats.PenaltySum += int64(pen)
+		lat += pen
+	} else {
+		m.stats.Hits++
+	}
+	return lat
+}
+
+// Issue accepts a new reference. The reference arrives at the addressed
+// word after the model's (possibly random) latency; its precondition is
+// evaluated on arrival.
+func (m *Memory) Issue(req *Request) error {
+	if req.Addr < 0 || req.Addr >= int64(len(m.words)) {
+		err := fmt.Errorf("memsys: address %d out of range [0,%d)", req.Addr, len(m.words))
+		if m.fault == nil {
+			m.fault = err
+		}
+		return err
+	}
+	if req.IsStore {
+		m.stats.Stores++
+	} else {
+		m.stats.Loads++
+	}
+	if m.model.ModelBankConflicts {
+		bank := int(req.Addr % int64(m.model.Banks))
+		if m.bankBusy[bank] {
+			m.stats.BankConflict++
+			m.bankQueue[bank] = append(m.bankQueue[bank], req)
+			return nil
+		}
+		m.bankBusy[bank] = true
+	}
+	m.start(req)
+	return nil
+}
+
+// start places a reference in flight. References to the same address are
+// kept in issue order when at least one is a store (the bank serializes
+// conflicting accesses), so a short-latency store can never overtake an
+// earlier long-latency store to the same word.
+func (m *Memory) start(req *Request) {
+	remaining := m.latency()
+	for _, f := range m.pending {
+		if f.req.Addr == req.Addr && (f.req.IsStore || req.IsStore) && f.remaining >= remaining {
+			remaining = f.remaining + 1
+		}
+	}
+	m.pending = append(m.pending, inflight{req: req, remaining: remaining})
+}
+
+// Tick advances the memory one cycle and returns the references that
+// completed this cycle.
+func (m *Memory) Tick() []Completion {
+	var done []Completion
+	// Age in-flight references; arrivals are processed in issue order.
+	next := m.pending[:0]
+	var arrivals []*Request
+	for _, f := range m.pending {
+		f.remaining--
+		if f.remaining <= 0 {
+			arrivals = append(arrivals, f.req)
+		} else {
+			next = append(next, f)
+		}
+	}
+	m.pending = next
+	// Service parked queues scheduled by earlier commits: commit the
+	// front of the queue matching the word's current state (one
+	// reference per address per cycle, strict FIFO per direction).
+	due := m.dueService
+	m.dueService = nil
+	for _, addr := range due {
+		queues := m.parkedEmpty
+		if m.full[addr] {
+			queues = m.parkedFull
+		}
+		queue := queues[addr]
+		if len(queue) == 0 {
+			continue // the next enabling commit re-schedules service
+		}
+		front := queue[0]
+		queues[addr] = queue[1:]
+		if len(queues[addr]) == 0 {
+			delete(queues, addr)
+		}
+		m.nPark--
+		done = append(done, m.commit(front))
+	}
+	for _, req := range arrivals {
+		done = m.arrive(req, done)
+	}
+	// Commits made this tick re-examine their queues next tick.
+	if len(m.nextService) > 0 {
+		sort.Slice(m.nextService, func(i, j int) bool { return m.nextService[i] < m.nextService[j] })
+		for _, a := range m.nextService {
+			if len(m.dueService) == 0 || m.dueService[len(m.dueService)-1] != a {
+				m.dueService = append(m.dueService, a)
+			}
+		}
+		m.nextService = m.nextService[:0]
+	}
+	// Release banks and start queued references (one per bank per cycle).
+	if m.model.ModelBankConflicts {
+		for b := range m.bankBusy {
+			m.bankBusy[b] = false
+			if len(m.bankQueue[b]) > 0 {
+				req := m.bankQueue[b][0]
+				m.bankQueue[b] = m.bankQueue[b][1:]
+				m.bankBusy[b] = true
+				m.start(req)
+			}
+		}
+	}
+	return done
+}
+
+// waitQueue returns the direction queue a synchronizing reference waits
+// in, or nil for unconditional references.
+func (m *Memory) waitQueue(req *Request) map[int64][]*Request {
+	switch req.Sync {
+	case isa.SyncWaitFull, isa.SyncConsume:
+		return m.parkedFull
+	case isa.SyncProduce:
+		return m.parkedEmpty
+	}
+	return nil
+}
+
+// arrive applies one reference at its addressed word: it completes when
+// its precondition holds and no earlier reference of the same wait
+// direction is parked at the address (strict FIFO per direction);
+// otherwise it parks at the back of its direction's queue, serviced one
+// per cycle as commits flip the presence bit.
+func (m *Memory) arrive(req *Request, done []Completion) []Completion {
+	addr := req.Addr
+	q := m.waitQueue(req)
+	if q != nil && (!m.preconditionHolds(req) || len(q[addr]) > 0) {
+		q[addr] = append(q[addr], req)
+		m.nPark++
+		m.stats.Parked++
+		if m.nPark > m.stats.MaxParked {
+			m.stats.MaxParked = m.nPark
+		}
+		return done
+	}
+	done = append(done, m.commit(req))
+	return done
+}
+
+// scheduleService arranges for the parked queues at addr to be
+// re-examined after the split-transaction reactivation latency.
+func (m *Memory) scheduleService(addr int64) {
+	if len(m.parkedFull[addr]) == 0 && len(m.parkedEmpty[addr]) == 0 {
+		return
+	}
+	m.nextService = append(m.nextService, addr)
+}
+
+func (m *Memory) preconditionHolds(req *Request) bool {
+	full := m.full[req.Addr]
+	switch req.Sync {
+	case isa.SyncNone:
+		return true
+	case isa.SyncWaitFull, isa.SyncConsume:
+		return full
+	case isa.SyncProduce:
+		return !full
+	}
+	return true
+}
+
+// commit applies the reference's effect and postcondition, then arranges
+// for any parked references at the address to be serviced.
+func (m *Memory) commit(req *Request) Completion {
+	addr := req.Addr
+	c := Completion{Req: req}
+	if req.IsStore {
+		m.words[addr] = req.Store
+		switch req.Sync {
+		case isa.SyncNone, isa.SyncProduce:
+			m.full[addr] = true
+		case isa.SyncWaitFull:
+			// leave full
+		}
+	} else {
+		c.Value = m.words[addr]
+		switch req.Sync {
+		case isa.SyncConsume:
+			m.full[addr] = false
+		default:
+			// leave as is
+		}
+	}
+	m.scheduleService(addr)
+	return c
+}
+
+// ParkedCount returns the number of references currently waiting on
+// presence bits (for tests and deadlock diagnosis).
+func (m *Memory) ParkedCount() int { return m.nPark }
+
+// PendingCount returns the number of in-flight references.
+func (m *Memory) PendingCount() int {
+	n := len(m.pending)
+	for _, q := range m.bankQueue {
+		n += len(q)
+	}
+	return n
+}
+
+// Quiescent reports whether no references are in flight, queued, or
+// parked.
+func (m *Memory) Quiescent() bool { return m.nPark == 0 && m.PendingCount() == 0 }

@@ -1,0 +1,339 @@
+package memsys
+
+import (
+	"testing"
+
+	"pcoup/internal/isa"
+	"pcoup/internal/machine"
+)
+
+// drain ticks until n completions arrive or the limit is hit.
+func drain(t *testing.T, m *Memory, n int, limit int) []Completion {
+	t.Helper()
+	var out []Completion
+	for i := 0; i < limit && len(out) < n; i++ {
+		out = append(out, m.Tick()...)
+	}
+	if len(out) < n {
+		t.Fatalf("only %d of %d completions after %d ticks (parked=%d)", len(out), n, limit, m.ParkedCount())
+	}
+	return out
+}
+
+func newMin(t *testing.T, size int64) *Memory {
+	t.Helper()
+	return New(machine.MemMin, 1, size)
+}
+
+func TestPlainStoreLoad(t *testing.T) {
+	m := newMin(t, 16)
+	if err := m.Issue(&Request{IsStore: true, Addr: 3, Store: isa.Int(42), Tag: "s"}); err != nil {
+		t.Fatal(err)
+	}
+	drain(t, m, 1, 10)
+	if err := m.Issue(&Request{Addr: 3, Tag: "l"}); err != nil {
+		t.Fatal(err)
+	}
+	done := drain(t, m, 1, 10)
+	if done[0].Value.AsInt() != 42 || done[0].Req.Tag != "l" {
+		t.Errorf("load returned %v (%v)", done[0].Value, done[0].Req.Tag)
+	}
+}
+
+// TestTable1Semantics checks every row of the paper's Table 1.
+func TestTable1Semantics(t *testing.T) {
+	// Row: unconditional load leaves the presence bit as is.
+	m := newMin(t, 8)
+	m.Poke(0, isa.Int(5), false) // empty
+	m.Issue(&Request{Addr: 0, Sync: isa.SyncNone})
+	drain(t, m, 1, 10)
+	if _, full := m.Peek(0); full {
+		t.Error("unconditional load changed empty->full")
+	}
+
+	// Row: wait-until-full load leaves full; parks on empty.
+	m = newMin(t, 8)
+	m.Poke(0, isa.Int(5), true)
+	m.Issue(&Request{Addr: 0, Sync: isa.SyncWaitFull})
+	drain(t, m, 1, 10)
+	if _, full := m.Peek(0); !full {
+		t.Error("wait-full load cleared the bit")
+	}
+
+	// Row: consuming load waits until full and sets empty.
+	m = newMin(t, 8)
+	m.Poke(0, isa.Int(7), true)
+	m.Issue(&Request{Addr: 0, Sync: isa.SyncConsume})
+	done := drain(t, m, 1, 10)
+	if done[0].Value.AsInt() != 7 {
+		t.Errorf("consume read %v", done[0].Value)
+	}
+	if _, full := m.Peek(0); full {
+		t.Error("consume left the bit full")
+	}
+
+	// Row: unconditional store sets full.
+	m = newMin(t, 8)
+	m.Poke(0, isa.Int(0), false)
+	m.Issue(&Request{IsStore: true, Addr: 0, Store: isa.Int(9)})
+	drain(t, m, 1, 10)
+	if v, full := m.Peek(0); !full || v.AsInt() != 9 {
+		t.Error("unconditional store did not set full")
+	}
+
+	// Row: wait-until-full store leaves full (update-in-place).
+	m = newMin(t, 8)
+	m.Poke(0, isa.Int(1), true)
+	m.Issue(&Request{IsStore: true, Addr: 0, Store: isa.Int(2), Sync: isa.SyncWaitFull})
+	drain(t, m, 1, 10)
+	if v, full := m.Peek(0); !full || v.AsInt() != 2 {
+		t.Error("wait-full store failed")
+	}
+
+	// Row: producing store waits until empty and sets full.
+	m = newMin(t, 8)
+	m.Poke(0, isa.Int(0), false)
+	m.Issue(&Request{IsStore: true, Addr: 0, Store: isa.Int(3), Sync: isa.SyncProduce})
+	drain(t, m, 1, 10)
+	if v, full := m.Peek(0); !full || v.AsInt() != 3 {
+		t.Error("produce store failed")
+	}
+}
+
+func TestSplitTransactionWakeup(t *testing.T) {
+	// A consuming load of an empty word parks; a later store wakes it.
+	m := newMin(t, 8)
+	m.Poke(2, isa.Int(0), false)
+	m.Issue(&Request{Addr: 2, Sync: isa.SyncConsume, Tag: "c"})
+	for i := 0; i < 5; i++ {
+		if got := m.Tick(); len(got) != 0 {
+			t.Fatalf("parked load completed early: %v", got)
+		}
+	}
+	if m.ParkedCount() != 1 {
+		t.Fatalf("parked = %d, want 1", m.ParkedCount())
+	}
+	m.Issue(&Request{IsStore: true, Addr: 2, Store: isa.Int(11), Tag: "s"})
+	done := drain(t, m, 2, 10)
+	var sawLoad bool
+	for _, c := range done {
+		if c.Req.Tag == "c" {
+			sawLoad = true
+			if c.Value.AsInt() != 11 {
+				t.Errorf("woken load read %v", c.Value)
+			}
+		}
+	}
+	if !sawLoad {
+		t.Error("parked load never completed")
+	}
+	if m.ParkedCount() != 0 || !m.Quiescent() {
+		t.Error("memory not quiescent after wakeup")
+	}
+}
+
+func TestProduceConsumeChain(t *testing.T) {
+	// Two producers to the same cell serialize through a consumer.
+	m := newMin(t, 8)
+	m.Poke(0, isa.Int(0), false)
+	m.Issue(&Request{IsStore: true, Addr: 0, Store: isa.Int(1), Sync: isa.SyncProduce, Tag: "p1"})
+	m.Issue(&Request{IsStore: true, Addr: 0, Store: isa.Int(2), Sync: isa.SyncProduce, Tag: "p2"})
+	// p1 fills the cell; p2 (serialized behind it by the bank) parks.
+	drain(t, m, 1, 10)
+	for i := 0; i < 4; i++ {
+		m.Tick()
+	}
+	if m.ParkedCount() != 1 {
+		t.Fatalf("second producer should park (parked=%d)", m.ParkedCount())
+	}
+	m.Issue(&Request{Addr: 0, Sync: isa.SyncConsume, Tag: "c1"})
+	done := drain(t, m, 2, 20)
+	if len(done) < 2 {
+		t.Fatal("consumer or second producer missing")
+	}
+	m.Issue(&Request{Addr: 0, Sync: isa.SyncConsume, Tag: "c2"})
+	final := drain(t, m, 1, 20)
+	vals := map[any]int64{}
+	for _, c := range append(done, final...) {
+		if !c.Req.IsStore {
+			vals[c.Req.Tag] = c.Value.AsInt()
+		}
+	}
+	if vals["c1"] != 1 || vals["c2"] != 2 {
+		t.Errorf("consumers read %v, want c1=1 c2=2", vals)
+	}
+}
+
+func TestWaitFullLoadsWakeInOrder(t *testing.T) {
+	// Multiple wait-full loads park; a store wakes them (one per flip,
+	// serialized one cycle apart) without clearing the bit.
+	m := newMin(t, 8)
+	m.Poke(1, isa.Int(0), false)
+	for i := 0; i < 3; i++ {
+		m.Issue(&Request{Addr: 1, Sync: isa.SyncWaitFull, Tag: i})
+	}
+	for i := 0; i < 3; i++ {
+		m.Tick()
+	}
+	if m.ParkedCount() != 3 {
+		t.Fatalf("parked = %d, want 3", m.ParkedCount())
+	}
+	m.Issue(&Request{IsStore: true, Addr: 1, Store: isa.Int(8), Tag: "s"})
+	done := drain(t, m, 4, 30)
+	order := []any{}
+	for _, c := range done {
+		if !c.Req.IsStore {
+			order = append(order, c.Req.Tag)
+			if c.Value.AsInt() != 8 {
+				t.Errorf("waiter %v read %v", c.Req.Tag, c.Value)
+			}
+		}
+	}
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Errorf("wake order = %v, want [0 1 2]", order)
+	}
+}
+
+func TestStatisticalLatencyDeterministic(t *testing.T) {
+	run := func(seed uint64) []int {
+		m := New(machine.Mem2, seed, 1024)
+		var latencies []int
+		for a := int64(0); a < 200; a++ {
+			m.Issue(&Request{Addr: a, Tag: a})
+			lat := 0
+			for len(m.Tick()) == 0 {
+				lat++
+				if lat > 1000 {
+					t.Fatal("reference never completed")
+				}
+			}
+			latencies = append(latencies, lat+1)
+		}
+		return latencies
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at ref %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	// With a 10% miss rate over 200 refs, expect some misses with
+	// penalties in [20, 100].
+	misses := 0
+	for _, l := range a {
+		if l > 1 {
+			misses++
+			if l < 21 || l > 101 {
+				t.Errorf("miss latency %d outside [21,101]", l)
+			}
+		}
+	}
+	if misses < 5 || misses > 50 {
+		t.Errorf("misses = %d over 200 refs at 10%%", misses)
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical miss patterns")
+	}
+}
+
+func TestSameAddressStoreOrdering(t *testing.T) {
+	// Two stores to one address must commit in issue order even when the
+	// first draws a long miss latency.
+	m := New(machine.MemoryModel{Name: "allmiss", HitLatency: 1, MissRate: 1,
+		MissPenaltyMin: 30, MissPenaltyMax: 30, Banks: 4}, 1, 64)
+	m.Issue(&Request{IsStore: true, Addr: 5, Store: isa.Int(1), Tag: "first"})
+	// Second store issued later but would complete sooner without the
+	// ordering rule (its latency is drawn independently).
+	m2 := machine.MemMin
+	_ = m2
+	m.Issue(&Request{IsStore: true, Addr: 5, Store: isa.Int(2), Tag: "second"})
+	done := drain(t, m, 2, 200)
+	if done[len(done)-1].Req.Tag != "second" {
+		t.Errorf("stores completed out of order: last = %v", done[len(done)-1].Req.Tag)
+	}
+	if v, _ := m.Peek(5); v.AsInt() != 2 {
+		t.Errorf("final value %v, want 2 (program order)", v)
+	}
+}
+
+func TestBankConflicts(t *testing.T) {
+	model := machine.MemMin
+	model.ModelBankConflicts = true
+	model.Banks = 2
+	m := New(model, 1, 64)
+	// Four refs to the same bank (addresses 0,2,4,6 all hit bank 0).
+	for i := int64(0); i < 4; i++ {
+		m.Issue(&Request{Addr: i * 2, Tag: i})
+	}
+	if m.Stats().BankConflict != 3 {
+		t.Errorf("bank conflicts = %d, want 3", m.Stats().BankConflict)
+	}
+	done := drain(t, m, 4, 20)
+	if len(done) != 4 {
+		t.Fatal("refs lost")
+	}
+	// Without conflicts all four complete together; with them they
+	// serialize one per cycle per bank.
+	m2 := New(machine.MemMin, 1, 64)
+	for i := int64(0); i < 4; i++ {
+		m2.Issue(&Request{Addr: i * 2, Tag: i})
+	}
+	if got := len(m2.Tick()); got != 4 {
+		t.Errorf("conflict-free model completed %d, want 4", got)
+	}
+}
+
+func TestAddressFaults(t *testing.T) {
+	m := newMin(t, 8)
+	if err := m.Issue(&Request{Addr: -1}); err == nil {
+		t.Error("accepted negative address")
+	}
+	if err := m.Issue(&Request{Addr: 8}); err == nil {
+		t.Error("accepted out-of-range address")
+	}
+	if m.Fault() == nil {
+		t.Error("fault not recorded")
+	}
+}
+
+func TestLoadImage(t *testing.T) {
+	m := newMin(t, 32)
+	segs := []isa.DataSegment{
+		{Name: "a", Addr: 4, Values: []isa.Value{isa.Int(1), isa.Int(2)}, Full: true},
+		{Name: "s", Addr: 10, Values: []isa.Value{isa.Int(0)}, Full: false},
+	}
+	if err := m.LoadImage(segs); err != nil {
+		t.Fatal(err)
+	}
+	if v, full := m.Peek(4); !full || v.AsInt() != 1 {
+		t.Error("image word 4 wrong")
+	}
+	if _, full := m.Peek(10); full {
+		t.Error("empty segment word marked full")
+	}
+	if _, full := m.Peek(20); !full {
+		t.Error("uncovered words must start full")
+	}
+	if err := m.LoadImage([]isa.DataSegment{{Name: "x", Addr: 30, Values: make([]isa.Value, 5)}}); err == nil {
+		t.Error("accepted segment beyond memory size")
+	}
+}
+
+func TestStatsCounts(t *testing.T) {
+	m := newMin(t, 16)
+	m.Issue(&Request{Addr: 1})
+	m.Issue(&Request{IsStore: true, Addr: 2, Store: isa.Int(1)})
+	drain(t, m, 2, 10)
+	st := m.Stats()
+	if st.Loads != 1 || st.Stores != 1 || st.Hits != 2 || st.Misses != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}

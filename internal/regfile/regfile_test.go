@@ -1,0 +1,123 @@
+package regfile
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pcoup/internal/isa"
+)
+
+func TestPresenceProtocol(t *testing.T) {
+	f := NewFile()
+	// Unwritten registers read as valid (presence bits reset to full).
+	if !f.Valid(5) {
+		t.Error("fresh register should be valid")
+	}
+	f.ClearValid(5)
+	if f.Valid(5) {
+		t.Error("ClearValid did not clear")
+	}
+	f.Write(5, isa.Int(9))
+	if !f.Valid(5) || f.Read(5).AsInt() != 9 {
+		t.Error("Write did not set value and presence")
+	}
+}
+
+func TestPeakTracksHighWater(t *testing.T) {
+	f := NewFile()
+	f.Write(0, isa.Int(1))
+	f.Write(9, isa.Int(1))
+	f.Write(3, isa.Int(1))
+	if f.Peak() != 10 {
+		t.Errorf("Peak = %d, want 10", f.Peak())
+	}
+}
+
+func TestPendingCount(t *testing.T) {
+	f := NewFile()
+	f.ClearValid(0)
+	f.ClearValid(1)
+	f.Write(0, isa.Int(1))
+	if f.PendingCount() != 1 {
+		t.Errorf("PendingCount = %d, want 1", f.PendingCount())
+	}
+}
+
+func TestSetRouting(t *testing.T) {
+	s := NewSet(3)
+	r0 := isa.RegRef{Cluster: 0, Index: 2}
+	r2 := isa.RegRef{Cluster: 2, Index: 2}
+	s.Write(r0, isa.Int(10))
+	s.Write(r2, isa.Float(2.5))
+	if s.Read(r0).AsInt() != 10 {
+		t.Error("cluster 0 read")
+	}
+	if s.Read(r2).AsFloat() != 2.5 {
+		t.Error("cluster 2 read")
+	}
+	// Same index, different cluster: distinct storage.
+	if s.Read(isa.RegRef{Cluster: 1, Index: 2}).AsInt() != 0 {
+		t.Error("clusters share storage")
+	}
+	s.ClearValid(r0)
+	if s.Valid(r0) || !s.Valid(r2) {
+		t.Error("ClearValid crossed clusters")
+	}
+	if got := s.PeakPerCluster(); got[0] != 3 || got[1] != 0 || got[2] != 3 {
+		t.Errorf("PeakPerCluster = %v", got)
+	}
+	if s.PendingCount() != 1 {
+		t.Errorf("PendingCount = %d", s.PendingCount())
+	}
+}
+
+func TestOperands(t *testing.T) {
+	s := NewSet(1)
+	imm := isa.ImmInt(7)
+	if !s.OperandValid(imm) || s.OperandValue(imm).AsInt() != 7 {
+		t.Error("immediate operand")
+	}
+	reg := isa.Reg(isa.RegRef{Cluster: 0, Index: 1})
+	s.ClearValid(reg.Reg)
+	if s.OperandValid(reg) {
+		t.Error("pending register reported valid")
+	}
+	s.Write(reg.Reg, isa.Int(3))
+	if !s.OperandValid(reg) || s.OperandValue(reg).AsInt() != 3 {
+		t.Error("register operand")
+	}
+}
+
+func TestClusterRangePanics(t *testing.T) {
+	s := NewSet(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range cluster did not panic")
+		}
+	}()
+	s.File(2)
+}
+
+// TestWriteReadProperty: a write is always observed by the next read of
+// the same register and never disturbs other registers.
+func TestWriteReadProperty(t *testing.T) {
+	f := NewFile()
+	shadow := map[int]int64{}
+	check := func(idxRaw uint8, val int64) bool {
+		idx := int(idxRaw % 64)
+		f.Write(idx, isa.Int(val))
+		shadow[idx] = val
+		for k, v := range shadow {
+			if f.Read(k).AsInt() != v {
+				return false
+			}
+			if !f.Valid(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}

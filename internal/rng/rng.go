@@ -1,0 +1,50 @@
+// Package rng provides a small, fast, deterministic pseudo-random number
+// generator used by the statistical memory model. The simulator must be
+// exactly reproducible across runs and Go releases, so it does not depend
+// on math/rand's generator or shuffling order.
+package rng
+
+// Source is a splitmix64 generator. The zero value is a valid generator
+// seeded with 0; use New to seed explicitly.
+type Source struct {
+	state uint64
+}
+
+// New returns a Source seeded with seed.
+func New(seed uint64) *Source {
+	return &Source{state: seed}
+}
+
+// Seed resets the generator state.
+func (s *Source) Seed(seed uint64) { s.state = seed }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (s *Source) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (s *Source) Float64() float64 {
+	// 53 high-quality bits -> [0,1).
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// Range returns a uniform value in [lo, hi] inclusive. It panics if hi < lo.
+func (s *Source) Range(lo, hi int) int {
+	if hi < lo {
+		panic("rng: Range with hi < lo")
+	}
+	return lo + s.Intn(hi-lo+1)
+}

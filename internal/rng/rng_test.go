@@ -1,0 +1,130 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(12345), New(12345)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed generators diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different seeds produced %d identical values", same)
+	}
+}
+
+func TestKnownSequence(t *testing.T) {
+	// Pin the splitmix64 output so the statistical memory model is
+	// reproducible across releases.
+	s := New(0)
+	want := []uint64{0xe220a8397b1dcdaf, 0x6e789e6aa1b965f4, 0x6c45d188009454f}
+	for i, w := range want {
+		if got := s.Uint64(); got != w {
+			t.Errorf("step %d: got %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(7)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(99)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if mean < 0.49 || mean > 0.51 {
+		t.Errorf("mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(3)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := s.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Errorf("Intn(10) hit only %d distinct values", len(seen))
+	}
+}
+
+func TestRangeInclusive(t *testing.T) {
+	s := New(4)
+	sawLo, sawHi := false, false
+	for i := 0; i < 5000; i++ {
+		v := s.Range(20, 100)
+		if v < 20 || v > 100 {
+			t.Fatalf("Range(20,100) = %d", v)
+		}
+		if v == 20 {
+			sawLo = true
+		}
+		if v == 100 {
+			sawHi = true
+		}
+	}
+	if !sawLo || !sawHi {
+		t.Errorf("Range(20,100) never hit an endpoint (lo=%v hi=%v)", sawLo, sawHi)
+	}
+	if got := s.Range(5, 5); got != 5 {
+		t.Errorf("Range(5,5) = %d, want 5", got)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	s := New(1)
+	mustPanic(t, "Intn(0)", func() { s.Intn(0) })
+	mustPanic(t, "Range inverted", func() { s.Range(3, 2) })
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", name)
+		}
+	}()
+	f()
+}
+
+func TestSeedResets(t *testing.T) {
+	check := func(seed uint64) bool {
+		s := New(seed)
+		first := s.Uint64()
+		s.Uint64()
+		s.Seed(seed)
+		return s.Uint64() == first
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+
+	"pcoup/internal/isa"
+	"pcoup/internal/machine"
+)
+
+// InterleaveRecorder captures the per-cycle mapping of function units to
+// threads — the view of the paper's Figures 1 and 2, where several
+// threads' statically scheduled instruction streams interleave over the
+// shared units at runtime.
+type InterleaveRecorder struct {
+	cfg      *machine.Config
+	maxCycle int64
+	// grid[cycle][unit] = thread id + 1 (0 = idle).
+	grid map[int64][]int
+}
+
+// NewInterleaveRecorder records the first maxCycle cycles (0 = all; be
+// careful with long runs).
+func NewInterleaveRecorder(cfg *machine.Config, maxCycle int64) *InterleaveRecorder {
+	return &InterleaveRecorder{cfg: cfg, maxCycle: maxCycle, grid: map[int64][]int{}}
+}
+
+// Hook returns the issue hook to install with WithIssueHook.
+func (ir *InterleaveRecorder) Hook() Option {
+	return WithIssueHook(func(cycle int64, unit, thread int, _ *isa.Op) {
+		if ir.maxCycle > 0 && cycle > ir.maxCycle {
+			return
+		}
+		row := ir.grid[cycle]
+		if row == nil {
+			row = make([]int, ir.cfg.NumUnits())
+			ir.grid[cycle] = row
+		}
+		row[unit] = thread + 1
+	})
+}
+
+// Write renders the recorded interleaving: one row per cycle, one column
+// per function unit, each cell naming the thread granted the unit.
+func (ir *InterleaveRecorder) Write(w io.Writer) {
+	units := ir.cfg.Units()
+	fmt.Fprintf(w, "unit-to-thread interleaving (rows: cycles; columns: units; cells: thread id, . = idle)\n")
+	fmt.Fprintf(w, "%7s", "cycle")
+	counts := map[machine.UnitKind]int{}
+	for _, u := range units {
+		fmt.Fprintf(w, " %5s", fmt.Sprintf("%s%d", u.Kind, counts[u.Kind]))
+		counts[u.Kind]++
+	}
+	fmt.Fprintln(w)
+	var last int64
+	for c := range ir.grid {
+		if c > last {
+			last = c
+		}
+	}
+	for c := int64(1); c <= last; c++ {
+		fmt.Fprintf(w, "%7d", c)
+		row := ir.grid[c]
+		for u := range units {
+			cell := "."
+			if row != nil && row[u] != 0 {
+				cell = fmt.Sprintf("%d", row[u]-1)
+			}
+			fmt.Fprintf(w, " %5s", cell)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Busy returns, for a cycle, how many units issued operations.
+func (ir *InterleaveRecorder) Busy(cycle int64) int {
+	n := 0
+	for _, t := range ir.grid[cycle] {
+		if t != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// ThreadsActive returns the distinct threads that issued in a cycle.
+func (ir *InterleaveRecorder) ThreadsActive(cycle int64) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, t := range ir.grid[cycle] {
+		if t != 0 && !seen[t-1] {
+			seen[t-1] = true
+			out = append(out, t-1)
+		}
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"pcoup/internal/isa"
+)
+
+func TestInterleaveRecorder(t *testing.T) {
+	// Two threads sharing the mini machine's units: the recorder must
+	// show both thread ids, never double-book a unit, and agree with the
+	// run's op count.
+	seg := func(name string, unit int) *isa.ThreadCode {
+		var words []isa.Instruction
+		for i := 0; i < 5; i++ {
+			words = append(words, word(opAdd(unit, r(unit/2, 0), isa.ImmInt(int64(i)), isa.ImmInt(1))))
+		}
+		words = append(words, word(opHalt()))
+		return &isa.ThreadCode{Name: name, Instrs: words}
+	}
+	main := &isa.ThreadCode{Name: "main", Instrs: []isa.Instruction{
+		word(&isa.Op{Code: isa.OpFork, Unit: uBR, Target: 1}),
+		word(&isa.Op{Code: isa.OpFork, Unit: uBR, Target: 2}),
+		word(opHalt()),
+	}}
+	cfg := miniMachine()
+	p := prog(main, seg("a", uIU0), seg("b", uIU1))
+	rec := NewInterleaveRecorder(cfg, 100)
+	s, err := New(cfg, p, rec.Hook())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Total recorded issues must equal the dynamic op count.
+	recorded := 0
+	for c := int64(1); c <= res.Cycles; c++ {
+		recorded += rec.Busy(c)
+	}
+	if int64(recorded) != res.Ops {
+		t.Errorf("recorded %d issues, run had %d ops", recorded, res.Ops)
+	}
+
+	// Some cycle must have had both worker threads active at once
+	// (thread 1 on IU0 and thread 2 on IU1 can overlap).
+	overlap := false
+	for c := int64(1); c <= res.Cycles; c++ {
+		if len(rec.ThreadsActive(c)) >= 2 {
+			overlap = true
+		}
+	}
+	if !overlap {
+		t.Error("no cycle showed two threads interleaved")
+	}
+
+	var buf strings.Builder
+	rec.Write(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "IU0") || !strings.Contains(out, "BR0") {
+		t.Errorf("render missing unit headers:\n%s", out)
+	}
+	if !strings.Contains(out, "cycle") {
+		t.Errorf("render missing header:\n%s", out)
+	}
+}
+
+func TestInterleaveRecorderCap(t *testing.T) {
+	cfg := miniMachine()
+	main := &isa.ThreadCode{Name: "main", Instrs: []isa.Instruction{
+		word(opAdd(uIU0, r(0, 0), isa.ImmInt(1), isa.ImmInt(1))),
+		word(opAdd(uIU0, r(0, 1), isa.ImmInt(1), isa.ImmInt(1))),
+		word(opAdd(uIU0, r(0, 2), isa.ImmInt(1), isa.ImmInt(1))),
+		word(opHalt()),
+	}}
+	rec := NewInterleaveRecorder(cfg, 2)
+	s, err := New(cfg, prog(main), rec.Hook())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Busy(3) != 0 {
+		t.Error("recorder captured beyond its cycle cap")
+	}
+	if rec.Busy(1) == 0 {
+		t.Error("recorder missed cycle 1")
+	}
+}

@@ -1,0 +1,52 @@
+package sim
+
+import "pcoup/internal/machine"
+
+// opCache models one function unit's operation cache (extension; the
+// paper's simulations assume no operation cache misses). The cache is
+// direct-mapped over (segment, word) addresses with one outstanding fill
+// per unit: an operation whose word is absent cannot issue until the
+// fill completes.
+type opCache struct {
+	model machine.OpCacheModel
+	// tags[slot] holds the resident word address + 1 (0 = empty).
+	tags []int64
+	// One outstanding fill: the address being fetched and when it lands.
+	fillTag   int64
+	fillReady int64
+	filling   bool
+
+	misses int64
+}
+
+func newOpCache(model machine.OpCacheModel) *opCache {
+	return &opCache{model: model, tags: make([]int64, model.Entries)}
+}
+
+// addr packs a segment index and word index into a cache address.
+func opCacheAddr(seg, word int) int64 { return int64(seg)<<32 | int64(word) }
+
+// lookup reports whether the word is issuable from the cache this cycle,
+// starting or completing a fill as needed.
+func (c *opCache) lookup(seg, word int, now int64) bool {
+	addr := opCacheAddr(seg, word)
+	slot := addr % int64(len(c.tags))
+	if c.tags[slot] == addr+1 {
+		return true
+	}
+	if c.filling {
+		if now >= c.fillReady {
+			// Install the completed fill.
+			fslot := c.fillTag % int64(len(c.tags))
+			c.tags[fslot] = c.fillTag + 1
+			c.filling = false
+			return c.tags[slot] == addr+1
+		}
+		return false // a different fill is in flight
+	}
+	c.filling = true
+	c.fillTag = addr
+	c.fillReady = now + int64(c.model.MissPenalty)
+	c.misses++
+	return false
+}

@@ -1,0 +1,670 @@
+// Package sim is the processor-coupling simulator: it executes compiled
+// programs (isa.Program) on a configured node (machine.Config), modeling
+// cycle-by-cycle arbitration of function units among multiple threads,
+// register presence-bit synchronization, restricted writeback
+// interconnects, and the split-transaction memory system. Simulation is
+// functional (not register-transfer level) but cycle- and
+// operation-accurate, as in the paper.
+package sim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"pcoup/internal/interconnect"
+	"pcoup/internal/isa"
+	"pcoup/internal/machine"
+	"pcoup/internal/memsys"
+	"pcoup/internal/regfile"
+)
+
+// writeback is one register write waiting for (or travelling toward) its
+// destination register file.
+type writeback struct {
+	thread     *Thread
+	dst        isa.RegRef
+	val        isa.Value
+	srcCluster int
+	readyAt    int64 // first cycle the write may claim a port
+	seq        int64 // global order tiebreaker
+}
+
+// memTag links a memory completion back to the issuing op.
+type memTag struct {
+	thread     *Thread
+	op         *isa.Op
+	srcCluster int
+}
+
+// Result summarizes one simulation run.
+type Result struct {
+	// Cycles is the total cycle count until all threads halted and all
+	// state drained.
+	Cycles int64
+	// Ops is the dynamic operation count.
+	Ops int64
+	// IssuedByKind counts dynamic operations per function-unit class.
+	IssuedByKind [machine.NumUnitKinds]int64
+	// IssuedByUnit counts dynamic operations per global unit slot.
+	IssuedByUnit []int64
+	Threads      []ThreadStats
+	Mem          memsys.Stats
+	// WritebackRetries counts register writes that lost port/bus
+	// arbitration at least once (interconnect contention).
+	WritebackRetries int64
+	// OpCacheMisses counts operation cache fills (0 unless the extension
+	// model is enabled).
+	OpCacheMisses int64
+	// PeakRegsPerCluster is the maximum register usage of any thread, per
+	// cluster.
+	PeakRegsPerCluster []int
+}
+
+// Utilization returns the average operations per cycle executed by units
+// of kind k (the utilization metric of Table 2 / Figure 5).
+func (r *Result) Utilization(k machine.UnitKind) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.IssuedByKind[k]) / float64(r.Cycles)
+}
+
+// Sim is a single-node simulation instance.
+type Sim struct {
+	cfg   *machine.Config
+	prog  *isa.Program
+	units []machine.UnitRef
+	mem   *memsys.Memory
+	arb   *interconnect.Arbiter
+
+	threads []*Thread
+	nextTID int
+
+	wbq   []writeback
+	wbSeq int64
+
+	// opCaches models per-unit operation caches when enabled (extension).
+	opCaches []*opCache
+
+	cycle        int64
+	lastProgress int64
+	stats        Result
+
+	// pendingSpawns created this cycle become active next cycle.
+	pendingSpawns []*Thread
+
+	trace     io.Writer
+	issueHook func(cycle int64, unit int, thread int, op *isa.Op)
+}
+
+// Option configures a Sim.
+type Option func(*Sim)
+
+// WithTrace enables a per-event text trace written to w (debugging aid).
+func WithTrace(w io.Writer) Option { return func(s *Sim) { s.trace = w } }
+
+// WithIssueHook installs a callback invoked on every operation issue,
+// with the cycle, global unit slot, issuing thread id, and the operation.
+// Used by visualizations of the unit-to-thread interleaving (the paper's
+// Figures 1 and 2).
+func WithIssueHook(f func(cycle int64, unit int, thread int, op *isa.Op)) Option {
+	return func(s *Sim) { s.issueHook = f }
+}
+
+// New prepares a simulation of prog on the machine cfg. The program must
+// have been compiled for the same machine configuration.
+func New(cfg *machine.Config, prog *isa.Program, opts ...Option) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := prog.Validate(cfg.NumUnits(), len(cfg.Clusters), cfg.MaxDests); err != nil {
+		return nil, err
+	}
+	memWords := prog.MemWords
+	if memWords < 1 {
+		memWords = 1
+	}
+	s := &Sim{
+		cfg:   cfg,
+		prog:  prog,
+		units: cfg.Units(),
+		mem:   memsys.New(cfg.Memory, cfg.Seed, memWords),
+		arb:   interconnect.New(cfg.Interconnect, len(cfg.Clusters)),
+	}
+	if err := s.mem.LoadImage(prog.Data); err != nil {
+		return nil, err
+	}
+	if err := s.checkLocality(); err != nil {
+		return nil, err
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	s.stats.IssuedByUnit = make([]int64, len(s.units))
+	if cfg.OpCache.Entries > 0 {
+		s.opCaches = make([]*opCache, len(s.units))
+		for i := range s.opCaches {
+			s.opCaches[i] = newOpCache(cfg.OpCache)
+		}
+	}
+	s.spawn(0) // main thread
+	s.activateSpawns()
+	return s, nil
+}
+
+// checkLocality verifies that every operation reads sources only from the
+// register file of the cluster containing its unit slot (the hardware has
+// no remote read paths; only writes cross clusters).
+func (s *Sim) checkLocality() error {
+	for _, seg := range s.prog.Segments {
+		for wi := range seg.Instrs {
+			for slot, op := range seg.Instrs[wi].Ops {
+				if op == nil {
+					continue
+				}
+				if slot >= len(s.units) {
+					return fmt.Errorf("sim: %s word %d: slot %d beyond machine's %d units", seg.Name, wi, slot, len(s.units))
+				}
+				u := s.units[slot]
+				if op.Code.Unit() != u.Kind {
+					return fmt.Errorf("sim: %s word %d: op %s (%s) scheduled on %s unit", seg.Name, wi, op, op.Code.Unit(), u.Kind)
+				}
+				for _, src := range op.Srcs {
+					if src.Kind == isa.OperandReg && src.Reg.Cluster != u.Cluster {
+						return fmt.Errorf("sim: %s word %d: op %s on cluster %d reads remote register %s",
+							seg.Name, wi, op, u.Cluster, src.Reg)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Memory exposes the simulated memory for harness inspection.
+func (s *Sim) Memory() *memsys.Memory { return s.mem }
+
+// Cycle returns the current cycle number.
+func (s *Sim) Cycle() int64 { return s.cycle }
+
+// spawn creates a thread executing code segment segIdx.
+func (s *Sim) spawn(segIdx int) *Thread {
+	t := &Thread{
+		ID:       s.nextTID,
+		Priority: s.nextTID,
+		SegIdx:   segIdx,
+		Seg:      s.prog.Segments[segIdx],
+		Regs:     regfile.NewSet(len(s.cfg.Clusters)),
+		SpawnAt:  s.cycle,
+		IP:       -1, // advance() moves to word 0
+	}
+	s.nextTID++
+	t.branchTarget = -1
+	if !t.advanceFromStart() {
+		t.Halted = true
+		t.HaltAt = s.cycle
+	}
+	s.pendingSpawns = append(s.pendingSpawns, t)
+	return t
+}
+
+// advanceFromStart positions a fresh thread at its first non-empty word.
+func (t *Thread) advanceFromStart() bool {
+	t.IP = -1
+	t.branchTaken = false
+	return t.advance()
+}
+
+func (s *Sim) activateSpawns() {
+	s.threads = append(s.threads, s.pendingSpawns...)
+	s.pendingSpawns = s.pendingSpawns[:0]
+}
+
+// activeCount returns the number of unhalted threads (including spawns
+// activating next cycle).
+func (s *Sim) activeCount() int {
+	n := len(s.pendingSpawns)
+	for _, t := range s.threads {
+		if !t.Halted {
+			n++
+		}
+	}
+	return n
+}
+
+// ErrDeadlock is returned when the machine makes no progress for an
+// extended period while threads remain active.
+type DeadlockError struct {
+	Cycle   int64
+	Detail  string
+	Threads []string
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at cycle %d: %s", e.Cycle, e.Detail)
+}
+
+// Run executes the program until completion or until maxCycles elapse
+// (0 means a large default). It returns the accumulated statistics.
+func (s *Sim) Run(maxCycles int64) (*Result, error) {
+	if maxCycles <= 0 {
+		maxCycles = 100_000_000
+	}
+	const stallLimit = 20_000
+	for !s.finished() {
+		if s.cycle >= maxCycles {
+			return nil, fmt.Errorf("sim: exceeded %d cycles without completing", maxCycles)
+		}
+		s.step()
+		if err := s.mem.Fault(); err != nil {
+			return nil, fmt.Errorf("sim: cycle %d: %w", s.cycle, err)
+		}
+		if s.cycle-s.lastProgress > stallLimit {
+			return nil, s.deadlock()
+		}
+	}
+	s.finalize()
+	res := s.stats
+	return &res, nil
+}
+
+// finished reports whether all threads halted and all machine state
+// drained.
+func (s *Sim) finished() bool {
+	if len(s.pendingSpawns) > 0 || len(s.wbq) > 0 || !s.mem.Quiescent() {
+		return false
+	}
+	for _, t := range s.threads {
+		if !t.Halted {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Sim) deadlock() error {
+	var lines []string
+	for _, t := range s.threads {
+		if t.Halted {
+			continue
+		}
+		w := t.word()
+		desc := fmt.Sprintf("thread %d (%s) at word %d", t.ID, t.Seg.Name, t.IP)
+		if w != nil {
+			for slot, op := range w.Ops {
+				if op == nil || (slot < len(t.issued) && t.issued[slot]) {
+					continue
+				}
+				desc += fmt.Sprintf("; waiting op %s", op)
+				for _, src := range op.Srcs {
+					if src.Kind == isa.OperandReg && !t.Regs.Valid(src.Reg) {
+						desc += fmt.Sprintf(" [src %s invalid]", src.Reg)
+					}
+				}
+				for _, d := range op.Dests {
+					if !t.Regs.Valid(d) {
+						desc += fmt.Sprintf(" [dst %s pending]", d)
+					}
+				}
+			}
+		}
+		lines = append(lines, desc)
+	}
+	detail := fmt.Sprintf("%d parked memory refs, %d queued writebacks; %d active threads",
+		s.mem.ParkedCount(), len(s.wbq), s.activeCount())
+	return &DeadlockError{Cycle: s.cycle, Detail: detail, Threads: lines}
+}
+
+// step advances the machine by one cycle.
+func (s *Sim) step() {
+	s.cycle++
+	s.activateSpawns()
+
+	// 1. Memory completions become writeback candidates this cycle.
+	for _, c := range s.mem.Tick() {
+		tag := c.Req.Tag.(memTag)
+		if c.Req.IsStore {
+			tag.thread.storesOut--
+		} else {
+			if c.Req.Sync != isa.SyncNone {
+				tag.thread.syncLoadsOut--
+			}
+			for _, d := range tag.op.Dests {
+				s.pushWriteback(tag.thread, d, c.Value, tag.srcCluster)
+			}
+		}
+		s.progress()
+	}
+
+	// 2. Writeback: completed results contend for register write ports.
+	s.drainWritebacks()
+
+	// 3. Issue: per-unit arbitration among ready operations of all
+	// active threads.
+	if s.cfg.LockStepIssue {
+		s.issueLockStep()
+	} else {
+		s.issueCoupled()
+	}
+
+	// 4. Advance instruction frontiers.
+	for _, t := range s.threads {
+		if t.Halted || !t.wordDone() {
+			continue
+		}
+		if !t.advance() {
+			t.Halted = true
+			t.HaltAt = s.cycle
+		}
+	}
+}
+
+func (s *Sim) progress() { s.lastProgress = s.cycle }
+
+func (s *Sim) pushWriteback(t *Thread, dst isa.RegRef, v isa.Value, srcCluster int) {
+	s.wbSeq++
+	s.wbq = append(s.wbq, writeback{
+		thread: t, dst: dst, val: v, srcCluster: srcCluster,
+		readyAt: s.cycle, seq: s.wbSeq,
+	})
+}
+
+// drainWritebacks grants register-file ports in (readyAt, priority, seq)
+// order; ungranted writes retry next cycle.
+func (s *Sim) drainWritebacks() {
+	if len(s.wbq) == 0 {
+		return
+	}
+	s.arb.BeginCycle()
+	sort.SliceStable(s.wbq, func(i, j int) bool {
+		a, b := &s.wbq[i], &s.wbq[j]
+		if a.readyAt != b.readyAt {
+			return a.readyAt < b.readyAt
+		}
+		if a.thread.Priority != b.thread.Priority {
+			return a.thread.Priority < b.thread.Priority
+		}
+		return a.seq < b.seq
+	})
+	kept := s.wbq[:0]
+	for i := range s.wbq {
+		wb := s.wbq[i]
+		if wb.readyAt > s.cycle {
+			kept = append(kept, wb)
+			continue
+		}
+		if s.arb.TryGrant(interconnect.Request{SrcCluster: wb.srcCluster, DstCluster: wb.dst.Cluster}) {
+			wb.thread.Regs.Write(wb.dst, wb.val)
+			if s.trace != nil {
+				fmt.Fprintf(s.trace, "[%6d] t%d wb %s = %s\n", s.cycle, wb.thread.ID, wb.dst, wb.val)
+			}
+			s.progress()
+		} else {
+			s.stats.WritebackRetries++
+			kept = append(kept, wb)
+		}
+	}
+	s.wbq = kept
+}
+
+// threadOrder returns thread indices in arbitration order for this cycle.
+func (s *Sim) threadOrder() []int {
+	order := make([]int, 0, len(s.threads))
+	for i := range s.threads {
+		if !s.threads[i].Halted {
+			order = append(order, i)
+		}
+	}
+	switch s.cfg.Arbitration {
+	case machine.PriorityArbitration:
+		sort.Slice(order, func(a, b int) bool {
+			return s.threads[order[a]].Priority < s.threads[order[b]].Priority
+		})
+	case machine.RoundRobinArbitration:
+		sort.Slice(order, func(a, b int) bool {
+			return s.threads[order[a]].Priority < s.threads[order[b]].Priority
+		})
+		if len(order) > 1 {
+			rot := int(s.cycle) % len(order)
+			order = append(order[rot:], order[:rot]...)
+		}
+	}
+	return order
+}
+
+// ready reports whether op may issue for thread t this cycle: every source
+// register present, every destination register present (no outstanding
+// write), and thread-management constraints satisfied.
+func (s *Sim) ready(t *Thread, op *isa.Op) bool {
+	for _, src := range op.Srcs {
+		if !t.Regs.OperandValid(src) {
+			return false
+		}
+	}
+	for _, d := range op.Dests {
+		if !t.Regs.Valid(d) {
+			return false
+		}
+	}
+	switch op.Code {
+	case isa.OpHalt:
+		// Halt retires the thread, abandoning any unissued operations of
+		// the current word; it must therefore be the last operation of
+		// the word to issue. (Under lock-step issue the whole word issues
+		// atomically, so nothing can be abandoned.)
+		if w := t.word(); w != nil && !s.cfg.LockStepIssue {
+			for slot, other := range w.Ops {
+				if other == nil || other.Code == isa.OpHalt {
+					continue
+				}
+				if slot >= len(t.issued) || !t.issued[slot] {
+					return false
+				}
+			}
+		}
+	case isa.OpFork:
+		// Fork waits for a thread slot, for the parent's stores to
+		// complete (release, so the child observes pre-fork memory), and
+		// for outstanding synchronizing loads (acquire, so a join really
+		// separates one wave of children from the next).
+		if s.activeCount() >= s.cfg.MaxActiveThreads() || t.storesOut > 0 || t.syncLoadsOut > 0 {
+			return false
+		}
+	case isa.OpStore:
+		// Producing stores have release semantics: all of the thread's
+		// ordinary stores must have completed so that a completion flag
+		// never becomes visible before the data it guards.
+		if op.Sync == isa.SyncProduce && t.storesOut > 0 {
+			return false
+		}
+		// Outstanding synchronizing loads are acquire fences.
+		if t.syncLoadsOut > 0 {
+			return false
+		}
+	case isa.OpLoad:
+		if t.syncLoadsOut > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// opCacheOK reports whether the operation's instruction word is present
+// in the unit's operation cache (always true when the model is off).
+func (s *Sim) opCacheOK(slot int, t *Thread) bool {
+	if s.opCaches == nil {
+		return true
+	}
+	return s.opCaches[slot].lookup(t.SegIdx, t.IP, s.cycle)
+}
+
+// issueCoupled performs normal processor-coupled issue: each function unit
+// independently selects one ready operation among all active threads'
+// current words, favoring threads in arbitration order.
+func (s *Sim) issueCoupled() {
+	order := s.threadOrder()
+	for slot := range s.units {
+		for _, ti := range order {
+			t := s.threads[ti]
+			w := t.word()
+			if w == nil || slot >= len(w.Ops) {
+				continue
+			}
+			op := w.Ops[slot]
+			if op == nil || (slot < len(t.issued) && t.issued[slot]) {
+				continue
+			}
+			if !s.ready(t, op) || !s.opCacheOK(slot, t) {
+				continue
+			}
+			s.issueOp(t, slot, op)
+			break // unit consumed this cycle
+		}
+	}
+}
+
+// issueLockStep is the VLIW-style ablation: a thread's entire instruction
+// word must issue atomically in a single cycle.
+func (s *Sim) issueLockStep() {
+	order := s.threadOrder()
+	unitBusy := make([]bool, len(s.units))
+	for _, ti := range order {
+		t := s.threads[ti]
+		w := t.word()
+		if w == nil {
+			continue
+		}
+		ok := true
+		for slot, op := range w.Ops {
+			if op == nil {
+				continue
+			}
+			if unitBusy[slot] || !s.ready(t, op) || !s.opCacheOK(slot, t) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for slot, op := range w.Ops {
+			if op == nil {
+				continue
+			}
+			unitBusy[slot] = true
+			s.issueOp(t, slot, op)
+		}
+	}
+}
+
+// issueOp commits the issue of op on unit slot for thread t: operands are
+// read, destination presence bits cleared, and the operation enters its
+// unit's pipeline (or the memory system, or takes control effect).
+func (s *Sim) issueOp(t *Thread, slot int, op *isa.Op) {
+	u := s.units[slot]
+	for len(t.issued) <= slot {
+		t.issued = append(t.issued, false)
+	}
+	t.issued[slot] = true
+	t.OpsIssued++
+	s.stats.Ops++
+	s.stats.IssuedByKind[u.Kind]++
+	s.stats.IssuedByUnit[slot]++
+	s.progress()
+
+	vals := make([]isa.Value, len(op.Srcs))
+	for i, src := range op.Srcs {
+		vals[i] = t.Regs.OperandValue(src)
+	}
+	for _, d := range op.Dests {
+		t.Regs.ClearValid(d)
+	}
+	if s.trace != nil {
+		fmt.Fprintf(s.trace, "[%6d] t%d u%d issue %s\n", s.cycle, t.ID, slot, op)
+	}
+	if s.issueHook != nil {
+		s.issueHook(s.cycle, slot, t.ID, op)
+	}
+
+	switch op.Code {
+	case isa.OpLoad:
+		addr := op.Offset
+		for _, v := range vals {
+			addr += v.AsInt()
+		}
+		req := &memsys.Request{
+			Sync: op.Sync, Addr: addr,
+			Tag: memTag{thread: t, op: op, srcCluster: u.Cluster},
+		}
+		if op.Sync != isa.SyncNone {
+			t.syncLoadsOut++
+		}
+		_ = s.mem.Issue(req)
+	case isa.OpStore:
+		addr := op.Offset
+		for _, v := range vals[1:] {
+			addr += v.AsInt()
+		}
+		req := &memsys.Request{
+			IsStore: true, Sync: op.Sync, Addr: addr, Store: vals[0],
+			Tag: memTag{thread: t, op: op, srcCluster: u.Cluster},
+		}
+		t.storesOut++
+		_ = s.mem.Issue(req)
+	case isa.OpJmp:
+		t.branchTaken = true
+		t.branchTarget = op.Target
+	case isa.OpBt:
+		if vals[0].Truthy() {
+			t.branchTaken = true
+			t.branchTarget = op.Target
+		}
+	case isa.OpBf:
+		if !vals[0].Truthy() {
+			t.branchTaken = true
+			t.branchTarget = op.Target
+		}
+	case isa.OpFork:
+		s.spawn(op.Target)
+	case isa.OpHalt:
+		t.Halted = true
+		t.HaltAt = s.cycle
+	default:
+		// Pure compute: result known now, written back after the unit's
+		// pipeline latency.
+		res, err := isa.Eval(op.Code, vals)
+		if err != nil {
+			panic(fmt.Sprintf("sim: cycle %d thread %d: %v", s.cycle, t.ID, err))
+		}
+		for _, d := range op.Dests {
+			s.wbSeq++
+			s.wbq = append(s.wbq, writeback{
+				thread: t, dst: d, val: res, srcCluster: u.Cluster,
+				readyAt: s.cycle + int64(u.Latency), seq: s.wbSeq,
+			})
+		}
+	}
+}
+
+// finalize computes summary statistics after the run completes.
+func (s *Sim) finalize() {
+	s.stats.Cycles = s.cycle
+	s.stats.Mem = s.mem.Stats()
+	for _, c := range s.opCaches {
+		s.stats.OpCacheMisses += c.misses
+	}
+	s.stats.PeakRegsPerCluster = make([]int, len(s.cfg.Clusters))
+	for _, t := range s.threads {
+		peaks := t.Regs.PeakPerCluster()
+		for c, p := range peaks {
+			if p > s.stats.PeakRegsPerCluster[c] {
+				s.stats.PeakRegsPerCluster[c] = p
+			}
+		}
+		s.stats.Threads = append(s.stats.Threads, ThreadStats{
+			ID: t.ID, Segment: t.Seg.Name, SpawnAt: t.SpawnAt, HaltAt: t.HaltAt,
+			OpsIssued: t.OpsIssued, PeakRegs: peaks,
+		})
+	}
+}

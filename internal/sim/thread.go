@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"pcoup/internal/isa"
+	"pcoup/internal/regfile"
+)
+
+// Thread is one active instruction stream. Each thread has its own
+// instruction pointer and logical register set (distributed over the
+// clusters) but shares the function units, interconnect, and memory with
+// all other threads.
+type Thread struct {
+	ID       int
+	Priority int // lower value wins arbitration; equals spawn order
+	SegIdx   int
+	Seg      *isa.ThreadCode
+	Regs     *regfile.Set
+
+	// IP indexes the current (partially issued) instruction word.
+	IP int
+	// issued[slot] marks operations of the current word already issued.
+	issued []bool
+	// branchTaken/branchTarget record the outcome of a branch operation
+	// issued from the current word; applied when the word completes.
+	branchTaken  bool
+	branchTarget int
+
+	Halted  bool
+	SpawnAt int64 // cycle the thread became active
+	HaltAt  int64 // cycle the thread issued halt
+
+	OpsIssued int64
+	// storesOut counts the thread's ordinary stores still in flight in
+	// the memory system. Producing stores (SyncProduce) have release
+	// semantics: they issue only once this count reaches zero, so a
+	// completion flag is never visible before the data it covers. Fork
+	// waits likewise, so a child always observes memory the parent wrote
+	// before spawning it.
+	storesOut int
+	// syncLoadsOut counts outstanding synchronizing loads (waitfull or
+	// consume). Such loads are acquire fences: no later memory operation
+	// of this thread issues until they complete, so data guarded by a
+	// flag is never read before the flag.
+	syncLoadsOut int
+}
+
+// word returns the current instruction word, or nil if the thread has run
+// off the end of its code.
+func (t *Thread) word() *isa.Instruction {
+	if t.IP < 0 || t.IP >= len(t.Seg.Instrs) {
+		return nil
+	}
+	return &t.Seg.Instrs[t.IP]
+}
+
+// wordDone reports whether every operation of the current word has issued.
+func (t *Thread) wordDone() bool {
+	w := t.word()
+	if w == nil {
+		return true
+	}
+	for slot, op := range w.Ops {
+		if op == nil {
+			continue
+		}
+		if slot >= len(t.issued) || !t.issued[slot] {
+			return false
+		}
+	}
+	return true
+}
+
+// resetWord prepares issue bookkeeping for a new current word.
+func (t *Thread) resetWord() {
+	w := t.word()
+	n := 0
+	if w != nil {
+		n = len(w.Ops)
+	}
+	if cap(t.issued) < n {
+		t.issued = make([]bool, n)
+	} else {
+		t.issued = t.issued[:n]
+		for i := range t.issued {
+			t.issued[i] = false
+		}
+	}
+	t.branchTaken = false
+	t.branchTarget = -1
+}
+
+// advance moves the thread to its next instruction word after the current
+// word has fully issued, following any branch decision recorded for the
+// word. Words containing no operations are skipped. It returns false when
+// the thread has no more words (implicit halt).
+func (t *Thread) advance() bool {
+	for {
+		next := t.IP + 1
+		if t.branchTaken {
+			next = t.branchTarget
+		}
+		t.IP = next
+		t.resetWord()
+		w := t.word()
+		if w == nil {
+			return false
+		}
+		if w.NumOps() > 0 {
+			return true
+		}
+		// Empty word: fall through (it cannot contain a branch).
+	}
+}
+
+// ThreadStats is the per-thread summary reported in a Result.
+type ThreadStats struct {
+	ID        int
+	Segment   string
+	SpawnAt   int64
+	HaltAt    int64
+	OpsIssued int64
+	// PeakRegs is the peak register usage per cluster.
+	PeakRegs []int
+}

@@ -1,0 +1,187 @@
+// Package pcoup is the public API of the processor-coupling toolkit: a
+// reproduction of Keckler & Dally, "Processor Coupling: Integrating
+// Compile Time and Runtime Scheduling for Parallelism" (ISCA 1992).
+//
+// The toolkit has three layers, all configurable from this package:
+//
+//   - Machine descriptions (clusters of function units, interconnect
+//     schemes, memory models): Baseline, MixMachine, LoadMachine.
+//   - A compiler for the paper's Lisp-syntax source language with static
+//     critical-path scheduling onto wide instruction words: Compile.
+//   - A multithreaded, cycle-accurate node simulator with presence-bit
+//     synchronization and cycle-by-cycle function-unit arbitration:
+//     Simulate, NewSimulator.
+//
+// The paper's benchmarks and every table/figure of its evaluation are
+// available through GenerateBenchmark and the experiments drivers (see
+// cmd/pcbench).
+package pcoup
+
+import (
+	"io"
+
+	"pcoup/internal/bench"
+	"pcoup/internal/compiler"
+	"pcoup/internal/isa"
+	"pcoup/internal/machine"
+	"pcoup/internal/sim"
+)
+
+// Machine configuration types.
+type (
+	// MachineConfig describes a processor-coupled node: clusters,
+	// interconnect, memory system, and arbitration policy.
+	MachineConfig = machine.Config
+	// ClusterSpec describes one cluster of function units.
+	ClusterSpec = machine.ClusterSpec
+	// UnitSpec describes one function unit.
+	UnitSpec = machine.UnitSpec
+	// UnitKind is a function unit class (IU, FPU, MEM, BR).
+	UnitKind = machine.UnitKind
+	// InterconnectKind selects the inter-cluster communication scheme.
+	InterconnectKind = machine.InterconnectKind
+	// MemoryModel is the statistical memory system description.
+	MemoryModel = machine.MemoryModel
+)
+
+// Function unit classes.
+const (
+	IU  = machine.IU
+	FPU = machine.FPU
+	MEM = machine.MEM
+	BR  = machine.BR
+)
+
+// Interconnect schemes (Figure 6 of the paper).
+const (
+	Full       = machine.Full
+	TriPort    = machine.TriPort
+	DualPort   = machine.DualPort
+	SinglePort = machine.SinglePort
+	SharedBus  = machine.SharedBus
+)
+
+// Memory model presets (Figure 7 of the paper).
+var (
+	MemMin = machine.MemMin
+	Mem1   = machine.Mem1
+	Mem2   = machine.Mem2
+)
+
+// Baseline returns the paper's baseline machine: four arithmetic
+// clusters (IU+FPU+MEM each) plus two branch clusters, single-cycle
+// units, full interconnect, single-cycle memory.
+func Baseline() *MachineConfig { return machine.Baseline() }
+
+// MixMachine returns a machine with the given numbers of integer and
+// floating-point units, four memory units, and one branch unit (the
+// Figure 8 sweep).
+func MixMachine(ius, fpus int) *MachineConfig { return machine.Mix(ius, fpus) }
+
+// LoadMachine reads a machine configuration from a JSON file.
+func LoadMachine(path string) (*MachineConfig, error) { return machine.Load(path) }
+
+// Compiler types.
+type (
+	// Program is a compiled program: wide-instruction-word code segments
+	// plus the initial memory image.
+	Program = isa.Program
+	// CompileMode selects the cluster restriction applied to threads.
+	CompileMode = compiler.Mode
+	// Diagnostics carries per-segment schedule statistics.
+	Diagnostics = compiler.Diagnostics
+)
+
+// Compile modes.
+const (
+	// Unrestricted lets each thread use every function unit (STS, Ideal,
+	// Coupled).
+	Unrestricted = compiler.Unrestricted
+	// SingleCluster pins each thread to one arithmetic cluster (SEQ,
+	// TPE).
+	SingleCluster = compiler.SingleCluster
+)
+
+// Compile translates source text (the paper's Lisp-syntax language) into
+// a program for the given machine.
+func Compile(src string, cfg *MachineConfig, mode CompileMode) (*Program, *Diagnostics, error) {
+	return compiler.Compile(src, cfg, compiler.Options{Mode: mode})
+}
+
+// WriteAssembly serializes a compiled program in textual assembly form.
+func WriteAssembly(w io.Writer, p *Program) error { return isa.WriteText(w, p) }
+
+// ParseAssembly reads a program previously written by WriteAssembly.
+func ParseAssembly(r io.Reader) (*Program, error) { return isa.ParseText(r) }
+
+// Simulator types.
+type (
+	// Simulator executes one program on one machine.
+	Simulator = sim.Sim
+	// Result summarizes a simulation run: cycles, per-unit operation
+	// counts, per-thread statistics, and memory system counters.
+	Result = sim.Result
+	// Value is one machine word (tagged int or float).
+	Value = isa.Value
+)
+
+// NewSimulator prepares a simulation of prog on cfg.
+func NewSimulator(cfg *MachineConfig, prog *Program) (*Simulator, error) {
+	return sim.New(cfg, prog)
+}
+
+// Simulate compiles nothing and runs everything: it executes prog on cfg
+// to completion and returns the run statistics.
+func Simulate(cfg *MachineConfig, prog *Program) (*Result, error) {
+	s, err := sim.New(cfg, prog)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(0)
+}
+
+// PeekGlobal reads one word of a finished simulator's memory by global
+// (data segment) name and element offset.
+func PeekGlobal(s *Simulator, prog *Program, global string, off int64) (Value, bool) {
+	for _, d := range prog.Data {
+		if d.Name == global {
+			v, _ := s.Memory().Peek(d.Addr + off)
+			return v, true
+		}
+	}
+	return Value{}, false
+}
+
+// Benchmark types.
+type (
+	// Benchmark is one generated workload with its result checker.
+	Benchmark = bench.Benchmark
+	// SourceKind selects a benchmark's source variant.
+	SourceKind = bench.SourceKind
+)
+
+// Benchmark source variants.
+const (
+	// SequentialSource is the single-threaded program (SEQ/STS).
+	SequentialSource = bench.Sequential
+	// ThreadedSource is the explicitly parallel program (TPE/Coupled).
+	ThreadedSource = bench.Threaded
+	// IdealSource is the fully unrolled program (Ideal).
+	IdealSource = bench.Ideal
+)
+
+// GenerateBenchmark produces one of the paper's benchmarks ("matrix",
+// "fft", "lud", "model", or "modelq") in the requested variant at the
+// paper's problem size.
+func GenerateBenchmark(name string, kind SourceKind) (*Benchmark, error) {
+	return bench.Get(name, kind)
+}
+
+// GenerateBenchmarkN produces a benchmark at a chosen problem size
+// (matrix N, fft points, lud mesh side, model device count).
+func GenerateBenchmarkN(name string, kind SourceKind, size int) (*Benchmark, error) {
+	return bench.GetN(name, kind, size)
+}
+
+// BenchmarkNames lists the paper's benchmark suite.
+func BenchmarkNames() []string { return bench.Names() }

@@ -1,0 +1,132 @@
+package pcoup_test
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"pcoup"
+)
+
+const apiTestSrc = `
+(program api
+  (global out (array int 4))
+  (global total int)
+  (def (main)
+    (forall-static (i 0 4)
+      (aset out i (* i 10)))
+    (set s 0)
+    (for (i 0 4) (set s (+ s (aref out i))))
+    (set total s)))`
+
+// TestPublicAPIPipeline drives the whole public surface: machine
+// construction, compile, simulate, result inspection, memory peeking,
+// and assembly round-tripping.
+func TestPublicAPIPipeline(t *testing.T) {
+	cfg := pcoup.Baseline()
+	prog, diags, err := pcoup.Compile(apiTestSrc, cfg, pcoup.Unrestricted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags.Segments) != 5 {
+		t.Errorf("segments = %d, want 5 (main + 4 forks)", len(diags.Segments))
+	}
+	s, err := pcoup.NewSimulator(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= 0 || res.Ops <= 0 {
+		t.Errorf("empty result: %+v", res)
+	}
+	if got, ok := pcoup.PeekGlobal(s, prog, "total", 0); !ok || got.AsInt() != 60 {
+		t.Errorf("total = %v (%v), want 60", got, ok)
+	}
+	if _, ok := pcoup.PeekGlobal(s, prog, "nope", 0); ok {
+		t.Error("PeekGlobal found nonexistent global")
+	}
+	if res.Utilization(pcoup.IU) < 0 || res.Utilization(pcoup.BR) <= 0 {
+		t.Error("utilization accessors broken")
+	}
+
+	// Assembly round trip through the facade.
+	var buf bytes.Buffer
+	if err := pcoup.WriteAssembly(&buf, prog); err != nil {
+		t.Fatal(err)
+	}
+	back, err := pcoup.ParseAssembly(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := pcoup.Simulate(cfg, back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Cycles != res.Cycles {
+		t.Errorf("assembly round trip changed cycles: %d vs %d", res2.Cycles, res.Cycles)
+	}
+}
+
+func TestPublicBenchmarkAccess(t *testing.T) {
+	names := pcoup.BenchmarkNames()
+	if len(names) != 4 {
+		t.Fatalf("BenchmarkNames = %v", names)
+	}
+	b, err := pcoup.GenerateBenchmark("matrix", pcoup.ThreadedSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := pcoup.Baseline()
+	prog, _, err := pcoup.Compile(b.Source, cfg, pcoup.Unrestricted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := pcoup.NewSimulator(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	err = b.Verify(func(g string, off int64) (pcoup.Value, bool) {
+		return pcoup.PeekGlobal(s, prog, g, off)
+	})
+	if err != nil {
+		t.Errorf("verify: %v", err)
+	}
+}
+
+func TestPublicMachineHelpers(t *testing.T) {
+	mix := pcoup.MixMachine(2, 3)
+	if mix.CountUnits(pcoup.IU) != 2 || mix.CountUnits(pcoup.FPU) != 3 {
+		t.Errorf("MixMachine miscounted units")
+	}
+	for _, mem := range []pcoup.MemoryModel{pcoup.MemMin, pcoup.Mem1, pcoup.Mem2} {
+		cfg := pcoup.Baseline().WithMemory(mem)
+		if cfg.Memory.Name != mem.Name {
+			t.Errorf("WithMemory(%s) failed", mem.Name)
+		}
+	}
+	cfg := pcoup.Baseline().WithInterconnect(pcoup.TriPort)
+	path := filepath.Join(t.TempDir(), "m.json")
+	if err := cfg.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := pcoup.LoadMachine(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Interconnect != pcoup.TriPort {
+		t.Error("LoadMachine lost the interconnect setting")
+	}
+}
+
+func TestPublicCompileErrorsSurface(t *testing.T) {
+	_, _, err := pcoup.Compile("(program p (def (main) (set x y)))", pcoup.Baseline(), pcoup.Unrestricted)
+	if err == nil {
+		t.Error("compile error not surfaced")
+	}
+}
