@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	pcbench -exp table2|figure4|figure5|table3|figure6|figure7|figure8|registers|scaling|unroll|threadcap|feasibility|all
+//	pcbench -exp table2|figure4|figure5|table3|figure6|figure7|figure8|registers|scaling|unroll|threadcap|stalls|feasibility|all
 package main
 
 import (
@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table2, figure4, figure5, table3, figure6, figure7, figure8, registers, scaling, unroll, threadcap, feasibility, all)")
+	exp := flag.String("exp", "all", "experiment to run (table2, figure4, figure5, table3, figure6, figure7, figure8, registers, scaling, unroll, threadcap, stalls, feasibility, all)")
 	machinePath := flag.String("machine", "", "machine configuration JSON file (default: baseline; Figure 8 always sweeps its own machines)")
 	asJSON := flag.Bool("json", false, "emit raw experiment rows as JSON instead of formatted tables")
 	flag.Parse()
@@ -115,6 +115,12 @@ func main() {
 				return err
 			}
 			return emit(rows, func() { experiments.WriteThreadCap(os.Stdout, rows) })
+		case "stalls":
+			rows, err := experiments.Stalls(cfg)
+			if err != nil {
+				return err
+			}
+			return emit(rows, func() { experiments.WriteStalls(os.Stdout, rows) })
 		case "feasibility":
 			reports := feasibility.Compare(cfg, feasibility.DefaultParams())
 			return emit(reports, func() { feasibility.Write(os.Stdout, cfg, reports) })
@@ -125,7 +131,7 @@ func main() {
 
 	names := []string{*exp}
 	if *exp == "all" {
-		names = []string{"table2", "figure4", "figure5", "table3", "figure6", "figure7", "figure8", "registers", "scaling", "unroll", "threadcap", "feasibility"}
+		names = []string{"table2", "figure4", "figure5", "table3", "figure6", "figure7", "figure8", "registers", "scaling", "unroll", "threadcap", "stalls", "feasibility"}
 	}
 	for i, n := range names {
 		if i > 0 {

@@ -25,6 +25,8 @@ func main() {
 	trace := flag.Bool("trace", false, "print an issue/writeback trace to stderr")
 	maxCycles := flag.Int64("max", 0, "abort after N cycles (0 = default limit)")
 	dump := flag.String("dump", "", "after the run, dump a data segment: name or name:count")
+	stats := flag.Bool("stats", false, "collect and print per-thread/per-unit stall attribution")
+	traceJSON := flag.String("trace-json", "", "write a Chrome trace-event JSON file (chrome://tracing, Perfetto)")
 	interleave := flag.Int64("interleave", 0, "render the unit-to-thread interleaving for the first N cycles (the paper's Figure 1/2 view)")
 	timeline := flag.Int64("timeline", 0, "render per-class utilization over time in buckets of N cycles")
 	flag.Parse()
@@ -68,6 +70,14 @@ func main() {
 		tl = sim.NewTimeline(cfg, *timeline)
 		opts = append(opts, tl.Hook())
 	}
+	if *stats {
+		opts = append(opts, sim.WithStallAttribution())
+	}
+	var tracer *sim.JSONTracer
+	if *traceJSON != "" {
+		tracer = sim.NewJSONTracer(cfg)
+		opts = append(opts, sim.WithJSONTrace(tracer))
+	}
 	s, err := sim.New(cfg, prog, opts...)
 	if err != nil {
 		fatal(err)
@@ -99,6 +109,23 @@ func main() {
 	}
 	if tl != nil {
 		tl.Write(os.Stdout, res.Cycles)
+	}
+	if *stats {
+		sim.WriteStallReport(os.Stdout, cfg, res)
+	}
+	if tracer != nil {
+		out, err := os.Create(*traceJSON)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tracer.Write(out); err != nil {
+			out.Close()
+			fatal(err)
+		}
+		if err := out.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "pcsim: wrote trace to %s\n", *traceJSON)
 	}
 
 	if *dump != "" {

@@ -8,7 +8,9 @@ import (
 // runParallel executes fn(i) for every i in [0, n) over a bounded pool of
 // host goroutines. Each experiment cell is an independent deterministic
 // simulation, so fan-out changes wall-clock time only; results are
-// written by index, keeping output order stable. The first error wins.
+// written by index, keeping output order stable. The first error wins and
+// cancels the sweep: no new cells are dispatched after it is recorded
+// (cells already running finish, since simulations cannot be preempted).
 func runParallel(n int, fn func(i int) error) error {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
@@ -27,6 +29,7 @@ func runParallel(n int, fn func(i int) error) error {
 		mu    sync.Mutex
 		first error
 	)
+	done := make(chan struct{})
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -37,14 +40,20 @@ func runParallel(n int, fn func(i int) error) error {
 					mu.Lock()
 					if first == nil {
 						first = err
+						close(done)
 					}
 					mu.Unlock()
 				}
 			}
 		}()
 	}
+feed:
 	for i := 0; i < n; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-done:
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"pcoup/internal/machine"
+	"pcoup/internal/sim"
+)
+
+// TestStallsConservation runs the full stalls report and checks the
+// attribution invariant on every cell: issued cycles plus per-cause
+// stall cycles sum exactly to the cell's active thread-cycles.
+func TestStallsConservation(t *testing.T) {
+	rows, err := Stalls(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(benchModeCells(Modes())); len(rows) != want {
+		t.Fatalf("rows = %d, want %d", len(rows), want)
+	}
+	for _, r := range rows {
+		if got := r.Breakdown.Total(); got != r.Slots {
+			t.Errorf("%s/%s: breakdown sums to %d, want %d thread-cycles", r.Bench, r.Mode, got, r.Slots)
+		}
+		if r.Breakdown[sim.CauseIssued] == 0 {
+			t.Errorf("%s/%s: no issued cycles", r.Bench, r.Mode)
+		}
+		if r.Slots < r.Cycles-1 {
+			t.Errorf("%s/%s: %d slots over %d cycles: main thread not covering the run", r.Bench, r.Mode, r.Slots, r.Cycles)
+		}
+	}
+}
+
+// TestStallsPerThreadConservation cross-checks one cell against the
+// per-thread statistics: every thread's breakdown must cover exactly its
+// active window.
+func TestStallsPerThreadConservation(t *testing.T) {
+	r, err := Execute("matrix", COUPLED, machine.Baseline(), sim.WithStallAttribution())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := r.Result.Stalls
+	var sum int64
+	for _, th := range r.Result.Threads {
+		if th.Stalls == nil {
+			t.Fatalf("t%d has no breakdown", th.ID)
+		}
+		if got, want := th.Stalls.Total(), th.HaltAt-th.SpawnAt; got != want {
+			t.Errorf("t%d: breakdown %d != active cycles %d", th.ID, got, want)
+		}
+		sum += th.Stalls.Total()
+	}
+	if st.Slots != sum {
+		t.Errorf("Slots %d != per-thread sum %d", st.Slots, sum)
+	}
+}
+
+func TestWriteStalls(t *testing.T) {
+	rows := []StallRow{{Bench: "matrix", Mode: COUPLED, Cycles: 100, Slots: 400,
+		TopWaitReg: "c0.r1", TopWaitRegCycles: 7}}
+	rows[0].Breakdown[sim.CauseIssued] = 300
+	rows[0].Breakdown[sim.CauseFUBusy] = 100
+	var b strings.Builder
+	WriteStalls(&b, rows)
+	out := b.String()
+	for _, want := range []string{"matrix", "Coupled", "75.0%", "25.0%", "c0.r1 (7)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

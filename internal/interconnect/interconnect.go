@@ -15,6 +15,17 @@ type Request struct {
 	DstCluster int
 }
 
+// Stats accumulates arbitration outcomes over a run: how often register
+// writes were granted immediately and how often each destination
+// cluster's ports/buses turned one away (the writeback-contention signal
+// consumed by the simulator's stall attribution).
+type Stats struct {
+	Grants  int64
+	Rejects int64
+	// RejectsByCluster counts rejections per destination cluster.
+	RejectsByCluster []int64
+}
+
 // Arbiter grants writeback requests subject to the configured scheme's
 // port and bus capacities. A fresh grant round starts each cycle.
 type Arbiter struct {
@@ -25,6 +36,9 @@ type Arbiter struct {
 	remoteUsed []int
 	totalUsed  []int
 	sharedBus  int
+
+	grants  int64
+	rejects []int64
 }
 
 // New creates an arbiter for the given scheme and cluster count.
@@ -35,7 +49,17 @@ func New(kind machine.InterconnectKind, numClusters int) *Arbiter {
 		localUsed:   make([]int, numClusters),
 		remoteUsed:  make([]int, numClusters),
 		totalUsed:   make([]int, numClusters),
+		rejects:     make([]int64, numClusters),
 	}
+}
+
+// Stats returns a copy of the accumulated grant/reject counters.
+func (a *Arbiter) Stats() Stats {
+	s := Stats{Grants: a.grants, RejectsByCluster: append([]int64(nil), a.rejects...)}
+	for _, r := range a.rejects {
+		s.Rejects += r
+	}
+	return s
 }
 
 // Kind returns the arbitration scheme.
@@ -55,6 +79,16 @@ func (a *Arbiter) BeginCycle() {
 // present requests in priority order; a granted request consumes capacity
 // immediately. It returns false when the request must retry next cycle.
 func (a *Arbiter) TryGrant(req Request) bool {
+	ok := a.tryGrant(req)
+	if ok {
+		a.grants++
+	} else {
+		a.rejects[req.DstCluster]++
+	}
+	return ok
+}
+
+func (a *Arbiter) tryGrant(req Request) bool {
 	local := req.SrcCluster == req.DstCluster
 	d := req.DstCluster
 	switch a.kind {

@@ -23,12 +23,44 @@ type Request struct {
 	Store   isa.Value // value to write (stores only)
 	// Tag is opaque caller context, returned with the Completion.
 	Tag any
+
+	// issuedAt records the tick the reference entered the memory system
+	// (latency histogram bookkeeping).
+	issuedAt int64
 }
 
 // Completion reports a finished reference.
 type Completion struct {
 	Req   *Request
 	Value isa.Value // loaded value (loads only)
+}
+
+// NumLatencyBuckets is the size of the reference-latency histogram:
+// power-of-two buckets 1, 2, 3-4, 5-8, 9-16, 17-32, 33-64, 65-128, >128.
+const NumLatencyBuckets = 9
+
+// LatencyBucketLabel names histogram bucket i.
+func LatencyBucketLabel(i int) string {
+	switch {
+	case i <= 0:
+		return "1"
+	case i == 1:
+		return "2"
+	case i >= NumLatencyBuckets-1:
+		return ">128"
+	default:
+		return fmt.Sprintf("%d-%d", 1<<uint(i-1)+1, 1<<uint(i))
+	}
+}
+
+// latencyBucket maps a completed reference's total latency to a bucket.
+func latencyBucket(lat int64) int {
+	b := 0
+	for lat > 1 && b < NumLatencyBuckets-1 {
+		lat = (lat + 1) / 2
+		b++
+	}
+	return b
 }
 
 // Stats accumulates memory system counters.
@@ -41,6 +73,10 @@ type Stats struct {
 	Parked       int64 // references that had to wait on a presence bit
 	MaxParked    int   // peak number of simultaneously parked references
 	BankConflict int64 // references delayed by bank conflicts (if modeled)
+	// LatencyHist counts completed references by total observed latency
+	// in cycles from issue to commit — transit plus any bank-queue and
+	// presence-bit park time (see LatencyBucketLabel for bucket bounds).
+	LatencyHist [NumLatencyBuckets]int64
 }
 
 // inflight is a reference travelling to/from memory.
@@ -80,6 +116,10 @@ type Memory struct {
 	// already accepted one this cycle (only when ModelBankConflicts).
 	bankQueue [][]*Request
 	bankBusy  []bool
+
+	// tick counts Tick calls (the memory's local clock, used to measure
+	// per-reference latency including queueing and park time).
+	tick int64
 
 	stats Stats
 	fault error
@@ -185,6 +225,7 @@ func (m *Memory) Issue(req *Request) error {
 	} else {
 		m.stats.Loads++
 	}
+	req.issuedAt = m.tick
 	if m.model.ModelBankConflicts {
 		bank := int(req.Addr % int64(m.model.Banks))
 		if m.bankBusy[bank] {
@@ -215,6 +256,7 @@ func (m *Memory) start(req *Request) {
 // Tick advances the memory one cycle and returns the references that
 // completed this cycle.
 func (m *Memory) Tick() []Completion {
+	m.tick++
 	var done []Completion
 	// Age in-flight references; arrivals are processed in issue order.
 	next := m.pending[:0]
@@ -338,6 +380,11 @@ func (m *Memory) preconditionHolds(req *Request) bool {
 func (m *Memory) commit(req *Request) Completion {
 	addr := req.Addr
 	c := Completion{Req: req}
+	lat := m.tick - req.issuedAt
+	if lat < 1 {
+		lat = 1
+	}
+	m.stats.LatencyHist[latencyBucket(lat)]++
 	if req.IsStore {
 		m.words[addr] = req.Store
 		switch req.Sync {
@@ -375,3 +422,51 @@ func (m *Memory) PendingCount() int {
 // Quiescent reports whether no references are in flight, queued, or
 // parked.
 func (m *Memory) Quiescent() bool { return m.nPark == 0 && m.PendingCount() == 0 }
+
+// WaitState locates an outstanding reference for stall attribution.
+type WaitState int
+
+const (
+	// WaitNone: no matching reference is outstanding.
+	WaitNone WaitState = iota
+	// WaitInFlight: travelling to/from the memory (plain latency).
+	WaitInFlight
+	// WaitBank: queued behind a busy bank (bank-conflict model).
+	WaitBank
+	// WaitParked: parked on a presence-bit precondition.
+	WaitParked
+)
+
+// FindWait reports where the first outstanding reference whose tag
+// satisfies match currently waits, preferring the most specific state
+// (parked, then bank-queued, then in flight). Used by the simulator's
+// stall attribution; read-only.
+func (m *Memory) FindWait(match func(tag any) bool) WaitState {
+	for _, q := range m.parkedFull {
+		for _, r := range q {
+			if match(r.Tag) {
+				return WaitParked
+			}
+		}
+	}
+	for _, q := range m.parkedEmpty {
+		for _, r := range q {
+			if match(r.Tag) {
+				return WaitParked
+			}
+		}
+	}
+	for _, q := range m.bankQueue {
+		for _, r := range q {
+			if match(r.Tag) {
+				return WaitBank
+			}
+		}
+	}
+	for i := range m.pending {
+		if match(m.pending[i].req.Tag) {
+			return WaitInFlight
+		}
+	}
+	return WaitNone
+}

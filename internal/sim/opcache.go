@@ -26,6 +26,14 @@ func newOpCache(model machine.OpCacheModel) *opCache {
 // addr packs a segment index and word index into a cache address.
 func opCacheAddr(seg, word int) int64 { return int64(seg)<<32 | int64(word) }
 
+// present reports residency without starting or installing fills (the
+// read-only probe used by stall attribution; a word whose fill is still
+// in flight counts as absent).
+func (c *opCache) present(seg, word int) bool {
+	addr := opCacheAddr(seg, word)
+	return c.tags[addr%int64(len(c.tags))] == addr+1
+}
+
 // lookup reports whether the word is issuable from the cache this cycle,
 // starting or completing a fill as needed.
 func (c *opCache) lookup(seg, word int, now int64) bool {

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 
 	"pcoup/internal/interconnect"
 	"pcoup/internal/isa"
@@ -59,6 +60,11 @@ type Result struct {
 	// PeakRegsPerCluster is the maximum register usage of any thread, per
 	// cluster.
 	PeakRegsPerCluster []int
+	// Interconnect summarizes writeback port/bus arbitration outcomes.
+	Interconnect interconnect.Stats
+	// Stalls is the per-cycle stall attribution; nil unless
+	// WithStallAttribution (or a JSON tracer) was enabled.
+	Stalls *StallStats
 }
 
 // Utilization returns the average operations per cycle executed by units
@@ -96,6 +102,12 @@ type Sim struct {
 
 	trace     io.Writer
 	issueHook func(cycle int64, unit int, thread int, op *isa.Op)
+
+	// attrib accumulates per-cycle stall attribution; nil unless
+	// enabled, so the default path pays only a nil check per cycle.
+	attrib *stallAttrib
+	// jsonTrace receives structured trace events; nil unless enabled.
+	jsonTrace *JSONTracer
 }
 
 // Option configures a Sim.
@@ -200,6 +212,12 @@ func (s *Sim) spawn(segIdx int) *Thread {
 		IP:       -1, // advance() moves to word 0
 	}
 	s.nextTID++
+	if s.attrib != nil {
+		t.stalls = new(StallBreakdown)
+	}
+	if s.jsonTrace != nil {
+		s.jsonTrace.thread(t.ID, s.prog.Segments[segIdx].Name)
+	}
 	t.branchTarget = -1
 	if !t.advanceFromStart() {
 		t.Halted = true
@@ -251,17 +269,31 @@ func (s *Sim) Run(maxCycles int64) (*Result, error) {
 	if maxCycles <= 0 {
 		maxCycles = 100_000_000
 	}
-	const stallLimit = 20_000
-	for !s.finished() {
-		if s.cycle >= maxCycles {
-			return nil, fmt.Errorf("sim: exceeded %d cycles without completing", maxCycles)
+	// The no-progress window is clamped to half the cycle budget so that
+	// a short -max run of a blocked program still yields the diagnostic
+	// DeadlockError (with per-thread stall causes) instead of a generic
+	// budget-exceeded failure: a program that blocks early is caught by
+	// the window well before the budget expires.
+	stallLimit := int64(20_000)
+	if half := maxCycles / 2; half < stallLimit {
+		stallLimit = half
+		if stallLimit < 1 {
+			stallLimit = 1
 		}
+	}
+	for !s.finished() {
 		s.step()
 		if err := s.mem.Fault(); err != nil {
 			return nil, fmt.Errorf("sim: cycle %d: %w", s.cycle, err)
 		}
 		if s.cycle-s.lastProgress > stallLimit {
 			return nil, s.deadlock()
+		}
+		if s.cycle >= maxCycles {
+			if s.finished() {
+				break
+			}
+			return nil, fmt.Errorf("sim: exceeded %d cycles without completing", maxCycles)
 		}
 	}
 	s.finalize()
@@ -285,12 +317,19 @@ func (s *Sim) finished() bool {
 
 func (s *Sim) deadlock() error {
 	var lines []string
+	var causes []string
 	for _, t := range s.threads {
 		if t.Halted {
 			continue
 		}
+		cause, _, reg, hasReg := s.classify(t)
+		stall := cause.String()
+		if hasReg {
+			stall += fmt.Sprintf(" on %s", reg)
+		}
+		causes = append(causes, fmt.Sprintf("t%d=%s", t.ID, stall))
 		w := t.word()
-		desc := fmt.Sprintf("thread %d (%s) at word %d", t.ID, t.Seg.Name, t.IP)
+		desc := fmt.Sprintf("thread %d (%s) at word %d [stall: %s]", t.ID, t.Seg.Name, t.IP, stall)
 		if w != nil {
 			for slot, op := range w.Ops {
 				if op == nil || (slot < len(t.issued) && t.issued[slot]) {
@@ -311,8 +350,8 @@ func (s *Sim) deadlock() error {
 		}
 		lines = append(lines, desc)
 	}
-	detail := fmt.Sprintf("%d parked memory refs, %d queued writebacks; %d active threads",
-		s.mem.ParkedCount(), len(s.wbq), s.activeCount())
+	detail := fmt.Sprintf("%d parked memory refs, %d queued writebacks; %d active threads; stalls: %s",
+		s.mem.ParkedCount(), len(s.wbq), s.activeCount(), strings.Join(causes, ", "))
 	return &DeadlockError{Cycle: s.cycle, Detail: detail, Threads: lines}
 }
 
@@ -348,7 +387,13 @@ func (s *Sim) step() {
 		s.issueCoupled()
 	}
 
-	// 4. Advance instruction frontiers.
+	// 4. Stall attribution: classify what every active thread did (or
+	// why it could not issue) this cycle, before frontiers move.
+	if s.attrib != nil {
+		s.classifyCycle()
+	}
+
+	// 5. Advance instruction frontiers.
 	for _, t := range s.threads {
 		if t.Halted || !t.wordDone() {
 			continue
@@ -568,6 +613,7 @@ func (s *Sim) issueOp(t *Thread, slot int, op *isa.Op) {
 	}
 	t.issued[slot] = true
 	t.OpsIssued++
+	t.lastIssue = s.cycle
 	s.stats.Ops++
 	s.stats.IssuedByKind[u.Kind]++
 	s.stats.IssuedByUnit[slot]++
@@ -585,6 +631,9 @@ func (s *Sim) issueOp(t *Thread, slot int, op *isa.Op) {
 	}
 	if s.issueHook != nil {
 		s.issueHook(s.cycle, slot, t.ID, op)
+	}
+	if s.jsonTrace != nil {
+		s.jsonTrace.issue(s.cycle, slot, t.ID, op, u)
 	}
 
 	switch op.Code {
@@ -651,6 +700,7 @@ func (s *Sim) issueOp(t *Thread, slot int, op *isa.Op) {
 func (s *Sim) finalize() {
 	s.stats.Cycles = s.cycle
 	s.stats.Mem = s.mem.Stats()
+	s.stats.Interconnect = s.arb.Stats()
 	for _, c := range s.opCaches {
 		s.stats.OpCacheMisses += c.misses
 	}
@@ -664,7 +714,26 @@ func (s *Sim) finalize() {
 		}
 		s.stats.Threads = append(s.stats.Threads, ThreadStats{
 			ID: t.ID, Segment: t.Seg.Name, SpawnAt: t.SpawnAt, HaltAt: t.HaltAt,
-			OpsIssued: t.OpsIssued, PeakRegs: peaks,
+			OpsIssued: t.OpsIssued, PeakRegs: peaks, Stalls: t.stalls,
 		})
+	}
+	if s.attrib != nil {
+		st := &StallStats{
+			Slots:    s.attrib.slots,
+			PerUnit:  s.attrib.perUnit,
+			WaitRegs: s.attrib.waitRegs,
+		}
+		for _, t := range s.threads {
+			if t.stalls == nil {
+				continue
+			}
+			for c, n := range t.stalls {
+				st.Total[c] += n
+			}
+		}
+		s.stats.Stalls = st
+	}
+	if s.jsonTrace != nil {
+		s.jsonTrace.finish(s.cycle)
 	}
 }

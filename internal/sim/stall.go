@@ -1,0 +1,272 @@
+package sim
+
+import (
+	"pcoup/internal/isa"
+	"pcoup/internal/memsys"
+)
+
+// StallCause classifies what one non-halted thread did during one cycle:
+// it either issued at least one operation, or it was held up for exactly
+// one attributed reason. The attribution explains *where* cycles go —
+// the paper's Section 4 argument (e.g. FFT's TPE mode losing to STS
+// because sequential strands cluster idle) is visible only at this
+// granularity, not in aggregate counters.
+type StallCause int
+
+const (
+	// CauseIssued: the thread issued at least one operation this cycle.
+	CauseIssued StallCause = iota
+	// CausePresence: a source or destination register's presence bit is
+	// clear and the producing result is still in a unit pipeline or
+	// travelling through the memory system (plain latency wait).
+	CausePresence
+	// CauseFUBusy: every unissued operation of the word was ready but
+	// its function unit was won by another thread this cycle (issue
+	// arbitration loss; under lock-step issue, the word could not claim
+	// all of its units at once).
+	CauseFUBusy
+	// CauseWriteback: the awaited result has left its pipeline but lost
+	// register write-port or bus arbitration (interconnect contention).
+	CauseWriteback
+	// CauseMemBank: the awaited memory reference is queued behind a
+	// busy memory bank (only when bank conflicts are modeled).
+	CauseMemBank
+	// CauseMemSync: blocked on memory synchronization — the awaited
+	// reference is parked on a memory presence bit, or the operation is
+	// fenced behind the thread's outstanding stores or synchronizing
+	// loads (the acquire/release rules of DESIGN.md §6).
+	CauseMemSync
+	// CauseOpCache: the operation's instruction word is absent from its
+	// unit's operation cache (fill in progress; extension model).
+	CauseOpCache
+	// CauseFork: a fork is throttled by the active-thread limit.
+	CauseFork
+
+	// NumStallCauses is the number of distinct per-cycle classifications
+	// (including CauseIssued).
+	NumStallCauses = int(CauseFork) + 1
+)
+
+var stallCauseNames = [NumStallCauses]string{
+	"issued", "presence", "fu-busy", "writeback", "mem-bank", "mem-sync", "opcache", "fork-throttle",
+}
+
+func (c StallCause) String() string {
+	if c < 0 || int(c) >= NumStallCauses {
+		return "unknown"
+	}
+	return stallCauseNames[c]
+}
+
+// StallCauses lists every classification in display order.
+func StallCauses() []StallCause {
+	out := make([]StallCause, NumStallCauses)
+	for i := range out {
+		out[i] = StallCause(i)
+	}
+	return out
+}
+
+// StallBreakdown is a histogram of thread-cycles by classification.
+type StallBreakdown [NumStallCauses]int64
+
+// Total sums all classifications (issued plus every stall cause).
+func (b *StallBreakdown) Total() int64 {
+	var n int64
+	for _, v := range b {
+		n += v
+	}
+	return n
+}
+
+// Stalled sums only the non-issued classifications.
+func (b *StallBreakdown) Stalled() int64 { return b.Total() - b[CauseIssued] }
+
+// StallStats is the run-wide stall attribution, populated on Result only
+// when WithStallAttribution (or a JSON tracer) was enabled.
+//
+// Conservation invariant: every active (non-halted) thread contributes
+// exactly one classification per cycle, so Total.Total() == Slots ==
+// Σ over threads of (HaltAt - SpawnAt). Equivalently: issued cycles plus
+// per-cause stall cycles sum to the number of active-thread slots
+// integrated over the run.
+type StallStats struct {
+	// Slots is the number of classified thread-cycles.
+	Slots int64
+	// Total aggregates every thread's breakdown.
+	Total StallBreakdown
+	// PerUnit attributes each non-issued thread-cycle to the global
+	// unit slot of the blocking operation (CauseIssued stays zero here;
+	// per-unit issue counts are Result.IssuedByUnit).
+	PerUnit []StallBreakdown
+	// WaitRegs counts presence-wait thread-cycles by the register being
+	// waited on (CausePresence, CauseWriteback, CauseMemBank, and
+	// CauseMemSync register waits), keyed by the register's name.
+	WaitRegs map[string]int64
+}
+
+// stallAttrib is the live accumulator; nil on the Sim unless enabled, so
+// the hot path pays only a nil check per cycle.
+type stallAttrib struct {
+	slots    int64
+	perUnit  []StallBreakdown
+	waitRegs map[string]int64
+}
+
+// WithStallAttribution enables per-cycle stall-cause accounting. Every
+// cycle each non-halted thread is classified into exactly one StallCause
+// and the histograms are reported on Result.Stalls and
+// ThreadStats.Stalls. Off by default: classification costs a scan of
+// each blocked thread's current word per cycle, which the measurement
+// paths (pcbench tables, go test -bench) must not pay.
+func WithStallAttribution() Option {
+	return func(s *Sim) { s.ensureAttrib() }
+}
+
+func (s *Sim) ensureAttrib() {
+	if s.attrib == nil {
+		s.attrib = &stallAttrib{
+			perUnit:  make([]StallBreakdown, len(s.units)),
+			waitRegs: map[string]int64{},
+		}
+	}
+}
+
+// classifyCycle records one classification for every thread active this
+// cycle. Called at the end of step, after issue and frontier advance, so
+// a thread that issued its halt this cycle still counts as issued.
+func (s *Sim) classifyCycle() {
+	for _, t := range s.threads {
+		if t.Halted && !(t.HaltAt == s.cycle && t.lastIssue == s.cycle) {
+			continue
+		}
+		s.attrib.slots++
+		var cause StallCause
+		var slot int
+		var reg isa.RegRef
+		var hasReg bool
+		if t.lastIssue == s.cycle {
+			cause, slot = CauseIssued, -1
+		} else {
+			cause, slot, reg, hasReg = s.classify(t)
+		}
+		t.stalls[cause]++
+		if slot >= 0 {
+			s.attrib.perUnit[slot][cause]++
+		}
+		if hasReg {
+			s.attrib.waitRegs[reg.String()]++
+		}
+		if s.jsonTrace != nil {
+			s.jsonTrace.classify(s.cycle, t.ID, cause)
+		}
+	}
+}
+
+// classify attributes a non-issuing thread's cycle to one stall cause.
+// It returns the cause, the global unit slot of the blocking operation
+// (-1 if none), and the register being waited on (valid when hasReg).
+// The scan mirrors ready()'s checks in the same order, so the attributed
+// cause is the one that actually gated issue. It never mutates machine
+// state, so deadlock diagnosis may call it without attribution enabled.
+func (s *Sim) classify(t *Thread) (cause StallCause, slot int, reg isa.RegRef, hasReg bool) {
+	w := t.word()
+	if w == nil {
+		return CausePresence, -1, isa.RegRef{}, false
+	}
+	firstUnissued := -1
+	for si, op := range w.Ops {
+		if op == nil || (si < len(t.issued) && t.issued[si]) {
+			continue
+		}
+		if firstUnissued < 0 {
+			firstUnissued = si
+		}
+		if op.Code == isa.OpHalt {
+			// A halt waits only for the word's other operations; they
+			// carry the real cause (or, alone and ready, it lost
+			// arbitration — the fall-through below).
+			continue
+		}
+		for _, src := range op.Srcs {
+			if src.Kind == isa.OperandReg && !t.Regs.Valid(src.Reg) {
+				return s.regWaitCause(t, src.Reg), si, src.Reg, true
+			}
+		}
+		for _, d := range op.Dests {
+			if !t.Regs.Valid(d) {
+				return s.regWaitCause(t, d), si, d, true
+			}
+		}
+		switch op.Code {
+		case isa.OpFork:
+			if s.activeCount() >= s.cfg.MaxActiveThreads() {
+				return CauseFork, si, isa.RegRef{}, false
+			}
+			if t.storesOut > 0 || t.syncLoadsOut > 0 {
+				return CauseMemSync, si, isa.RegRef{}, false
+			}
+		case isa.OpStore:
+			if (op.Sync == isa.SyncProduce && t.storesOut > 0) || t.syncLoadsOut > 0 {
+				return CauseMemSync, si, isa.RegRef{}, false
+			}
+		case isa.OpLoad:
+			if t.syncLoadsOut > 0 {
+				return CauseMemSync, si, isa.RegRef{}, false
+			}
+		}
+		if !s.opCachePresent(si, t) {
+			return CauseOpCache, si, isa.RegRef{}, false
+		}
+	}
+	// Every unissued operation was ready and resident: the unit(s) went
+	// to other threads this cycle.
+	return CauseFUBusy, firstUnissued, isa.RegRef{}, false
+}
+
+// regWaitCause refines a presence-bit wait on reg: was the producing
+// result stuck in writeback arbitration, a memory bank queue, a memory
+// synchronization park, or simply still in flight?
+func (s *Sim) regWaitCause(t *Thread, reg isa.RegRef) StallCause {
+	// A queued writeback for this register that was eligible this cycle
+	// (readyAt <= cycle survives drainWritebacks only by losing port/bus
+	// arbitration) is interconnect contention.
+	for i := range s.wbq {
+		wb := &s.wbq[i]
+		if wb.thread == t && wb.dst == reg {
+			if wb.readyAt <= s.cycle {
+				return CauseWriteback
+			}
+			return CausePresence // result still in a unit pipeline
+		}
+	}
+	// No writeback queued: the producer is a memory reference.
+	switch s.mem.FindWait(func(tag any) bool {
+		mt, ok := tag.(memTag)
+		if !ok || mt.thread != t || mt.op == nil {
+			return false
+		}
+		for _, d := range mt.op.Dests {
+			if d == reg {
+				return true
+			}
+		}
+		return false
+	}) {
+	case memsys.WaitParked:
+		return CauseMemSync
+	case memsys.WaitBank:
+		return CauseMemBank
+	}
+	return CausePresence
+}
+
+// opCachePresent is the read-only counterpart of opCacheOK: it reports
+// residency without starting or installing fills (classification must
+// not perturb the machine).
+func (s *Sim) opCachePresent(slot int, t *Thread) bool {
+	if s.opCaches == nil {
+		return true
+	}
+	return s.opCaches[slot].present(t.SegIdx, t.IP)
+}

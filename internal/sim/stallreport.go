@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"pcoup/internal/machine"
+	"pcoup/internal/memsys"
+)
+
+// WriteStallReport renders the run's stall attribution as a set of
+// tables: the aggregate breakdown, per-thread and per-unit histograms,
+// the most-waited-on registers, the memory latency histogram, and the
+// writeback arbitration counters. res.Stalls must be non-nil (run with
+// WithStallAttribution).
+func WriteStallReport(w io.Writer, cfg *machine.Config, res *Result) {
+	st := res.Stalls
+	if st == nil {
+		fmt.Fprintln(w, "stall attribution not enabled")
+		return
+	}
+	pct := func(n int64) float64 {
+		if st.Slots == 0 {
+			return 0
+		}
+		return 100 * float64(n) / float64(st.Slots)
+	}
+
+	fmt.Fprintf(w, "\nstall attribution (%d thread-cycles over %d cycles)\n", st.Slots, res.Cycles)
+	fmt.Fprintf(w, "  %-14s %12s %7s\n", "cause", "cycles", "%")
+	for _, c := range StallCauses() {
+		fmt.Fprintf(w, "  %-14s %12d %6.1f%%\n", c, st.Total[c], pct(st.Total[c]))
+	}
+	fmt.Fprintf(w, "  %-14s %12d\n", "total", st.Total.Total())
+
+	fmt.Fprintf(w, "\nper-thread breakdown\n")
+	fmt.Fprintf(w, "  %-4s %-20s", "tid", "segment")
+	for _, c := range StallCauses() {
+		fmt.Fprintf(w, " %12s", c)
+	}
+	fmt.Fprintln(w)
+	for _, t := range res.Threads {
+		if t.Stalls == nil {
+			continue
+		}
+		fmt.Fprintf(w, "  t%-3d %-20s", t.ID, t.Segment)
+		for _, c := range StallCauses() {
+			fmt.Fprintf(w, " %12d", t.Stalls[c])
+		}
+		fmt.Fprintln(w)
+	}
+
+	units := cfg.Units()
+	fmt.Fprintf(w, "\nper-unit blocking operation (stalled thread-cycles by the unit of the blocked op)\n")
+	fmt.Fprintf(w, "  %-16s", "unit")
+	for _, c := range StallCauses() {
+		if c == CauseIssued {
+			continue
+		}
+		fmt.Fprintf(w, " %12s", c)
+	}
+	fmt.Fprintln(w)
+	for gi, b := range st.PerUnit {
+		if b.Total() == 0 {
+			continue
+		}
+		name := fmt.Sprintf("u%d", gi)
+		if gi < len(units) {
+			name = fmt.Sprintf("u%d %s c%d", gi, units[gi].Kind, units[gi].Cluster)
+		}
+		fmt.Fprintf(w, "  %-16s", name)
+		for _, c := range StallCauses() {
+			if c == CauseIssued {
+				continue
+			}
+			fmt.Fprintf(w, " %12d", b[c])
+		}
+		fmt.Fprintln(w)
+	}
+
+	if len(st.WaitRegs) > 0 {
+		type rw struct {
+			reg string
+			n   int64
+		}
+		regs := make([]rw, 0, len(st.WaitRegs))
+		for r, n := range st.WaitRegs {
+			regs = append(regs, rw{r, n})
+		}
+		sort.Slice(regs, func(i, j int) bool {
+			if regs[i].n != regs[j].n {
+				return regs[i].n > regs[j].n
+			}
+			return regs[i].reg < regs[j].reg
+		})
+		if len(regs) > 8 {
+			regs = regs[:8]
+		}
+		fmt.Fprintf(w, "\nmost-waited registers\n")
+		for _, r := range regs {
+			fmt.Fprintf(w, "  %-8s %12d cycles\n", r.reg, r.n)
+		}
+	}
+
+	fmt.Fprintf(w, "\nmemory latency (issue to presence-bit set, cycles)\n")
+	for i := 0; i < memsys.NumLatencyBuckets; i++ {
+		if res.Mem.LatencyHist[i] == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  %-8s %12d refs\n", memsys.LatencyBucketLabel(i), res.Mem.LatencyHist[i])
+	}
+
+	ic := res.Interconnect
+	fmt.Fprintf(w, "\nwriteback arbitration: %d grants, %d rejects", ic.Grants, ic.Rejects)
+	if ic.Rejects > 0 {
+		fmt.Fprintf(w, " (by cluster: %v)", ic.RejectsByCluster)
+	}
+	fmt.Fprintln(w)
+}

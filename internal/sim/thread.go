@@ -30,6 +30,12 @@ type Thread struct {
 	HaltAt  int64 // cycle the thread issued halt
 
 	OpsIssued int64
+	// lastIssue is the most recent cycle in which the thread issued at
+	// least one operation (stall attribution's "issued" test).
+	lastIssue int64
+	// stalls accumulates the thread's per-cycle classifications; nil
+	// unless stall attribution is enabled.
+	stalls *StallBreakdown
 	// storesOut counts the thread's ordinary stores still in flight in
 	// the memory system. Producing stores (SyncProduce) have release
 	// semantics: they issue only once this count reaches zero, so a
@@ -121,4 +127,8 @@ type ThreadStats struct {
 	OpsIssued int64
 	// PeakRegs is the peak register usage per cluster.
 	PeakRegs []int
+	// Stalls is the thread's per-cycle classification histogram; nil
+	// unless stall attribution was enabled. Its Total() equals
+	// HaltAt - SpawnAt (one classification per active cycle).
+	Stalls *StallBreakdown
 }

@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"pcoup/internal/isa"
+	"pcoup/internal/machine"
+)
+
+// Pseudo-process ids in the emitted trace: one "process" groups the
+// function-unit tracks, the other the per-thread stall tracks.
+const (
+	tracePidUnits   = 1
+	tracePidThreads = 2
+)
+
+// traceEvent is one record of the Chrome trace-event format ("X"
+// complete events and "M" metadata), as consumed by chrome://tracing and
+// Perfetto. Timestamps are in microseconds; the tracer maps one
+// simulated cycle to one microsecond.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// stallSpan is an open run of identical per-cycle classifications for
+// one thread, flushed as a single span when the classification changes.
+type stallSpan struct {
+	cause StallCause
+	start int64
+	last  int64
+}
+
+// JSONTracer records a machine-readable execution trace in Chrome
+// trace-event format: one track per function unit (each issued operation
+// is a span of the unit's pipeline occupancy) and one track per thread
+// (contiguous spans of the thread's per-cycle stall classification).
+// Install it with WithJSONTrace — which also enables stall attribution —
+// and call Write after the run.
+type JSONTracer struct {
+	events []traceEvent
+	open   map[int]*stallSpan
+	end    int64
+}
+
+// NewJSONTracer prepares a tracer for a machine configuration (the
+// configuration provides the unit-track names).
+func NewJSONTracer(cfg *machine.Config) *JSONTracer {
+	tr := &JSONTracer{open: map[int]*stallSpan{}}
+	tr.meta("process_name", tracePidUnits, 0, map[string]any{"name": "function units"})
+	tr.meta("process_name", tracePidThreads, 0, map[string]any{"name": "threads"})
+	for _, u := range cfg.Units() {
+		tr.meta("thread_name", tracePidUnits, u.Global,
+			map[string]any{"name": fmt.Sprintf("u%d %s (cluster %d)", u.Global, u.Kind, u.Cluster)})
+	}
+	return tr
+}
+
+// WithJSONTrace installs tr on the simulation and enables the stall
+// attribution that feeds its per-thread tracks.
+func WithJSONTrace(tr *JSONTracer) Option {
+	return func(s *Sim) {
+		s.jsonTrace = tr
+		s.ensureAttrib()
+	}
+}
+
+func (tr *JSONTracer) meta(name string, pid, tid int, args map[string]any) {
+	tr.events = append(tr.events, traceEvent{Name: name, Ph: "M", Pid: pid, Tid: tid, Args: args})
+}
+
+// thread names a thread's track as the thread spawns.
+func (tr *JSONTracer) thread(id int, segment string) {
+	tr.meta("thread_name", tracePidThreads, id,
+		map[string]any{"name": fmt.Sprintf("t%d %s", id, segment)})
+}
+
+// issue records one operation issue on its unit's track. Compute
+// operations span their unit's pipeline latency; memory, branch, and
+// thread operations span their single issue cycle.
+func (tr *JSONTracer) issue(cycle int64, slot, thread int, op *isa.Op, u machine.UnitRef) {
+	dur := int64(1)
+	if op.Code.Pure() {
+		dur = int64(u.Latency)
+	}
+	tr.events = append(tr.events, traceEvent{
+		Name: op.Code.String(), Ph: "X", Ts: cycle, Dur: dur,
+		Pid: tracePidUnits, Tid: slot,
+		Args: map[string]any{"thread": thread, "op": op.String()},
+	})
+}
+
+// classify extends or rolls the thread's current classification span.
+func (tr *JSONTracer) classify(cycle int64, thread int, cause StallCause) {
+	sp := tr.open[thread]
+	if sp != nil && sp.cause == cause && sp.last == cycle-1 {
+		sp.last = cycle
+		return
+	}
+	if sp != nil {
+		tr.closeSpan(thread, sp)
+	}
+	tr.open[thread] = &stallSpan{cause: cause, start: cycle, last: cycle}
+}
+
+func (tr *JSONTracer) closeSpan(thread int, sp *stallSpan) {
+	tr.events = append(tr.events, traceEvent{
+		Name: sp.cause.String(), Ph: "X", Ts: sp.start, Dur: sp.last - sp.start + 1,
+		Pid: tracePidThreads, Tid: thread,
+	})
+}
+
+// finish flushes open spans at the end of the run.
+func (tr *JSONTracer) finish(finalCycle int64) {
+	tr.end = finalCycle
+	for id, sp := range tr.open {
+		tr.closeSpan(id, sp)
+		delete(tr.open, id)
+	}
+}
+
+// Write emits the collected trace as a JSON object with a
+// "traceEvents" array, sorted by timestamp (metadata first), ready for
+// chrome://tracing or Perfetto.
+func (tr *JSONTracer) Write(w io.Writer) error {
+	events := append([]traceEvent(nil), tr.events...)
+	sort.SliceStable(events, func(i, j int) bool {
+		mi, mj := events[i].Ph == "M", events[j].Ph == "M"
+		if mi != mj {
+			return mi
+		}
+		return events[i].Ts < events[j].Ts
+	})
+	doc := struct {
+		TraceEvents     []traceEvent `json:"traceEvents"`
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+	}{TraceEvents: events, DisplayTimeUnit: "ms"}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
