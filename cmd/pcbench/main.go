@@ -4,9 +4,9 @@
 // computed results against Go reference implementations, and prints the
 // table/figure data.
 //
-// Usage:
-//
-//	pcbench -exp table2|figure4|figure5|table3|figure6|figure7|figure8|registers|scaling|unroll|threadcap|stalls|feasibility|all
+// The experiment menu comes from the shared registry in
+// internal/experiments (also served over HTTP by pcserved); run with an
+// unknown -exp value to list every experiment with a description.
 package main
 
 import (
@@ -16,17 +16,19 @@ import (
 	"os"
 
 	"pcoup/internal/experiments"
-	"pcoup/internal/feasibility"
 	"pcoup/internal/machine"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table2, figure4, figure5, table3, figure6, figure7, figure8, registers, scaling, unroll, threadcap, stalls, feasibility, all)")
+	exp := flag.String("exp", "all", "experiment to run ("+experiments.UsageNames()+")")
 	machinePath := flag.String("machine", "", "machine configuration JSON file (default: baseline; Figure 8 always sweeps its own machines)")
 	asJSON := flag.Bool("json", false, "emit raw experiment rows as JSON instead of formatted tables")
 	flag.Parse()
 
-	baseCfg := machine.Baseline()
+	// A nil base config selects each driver's own default (the baseline
+	// machine for the paper's experiments; threadcap defaults to the
+	// long-latency Mem1 machine).
+	var baseCfg *machine.Config
 	if *machinePath != "" {
 		var err error
 		baseCfg, err = machine.Load(*machinePath)
@@ -36,110 +38,40 @@ func main() {
 		}
 	}
 
-	emit := func(rows any, write func()) error {
-		if *asJSON {
-			enc := json.NewEncoder(os.Stdout)
-			enc.SetIndent("", "  ")
-			return enc.Encode(rows)
-		}
-		write()
-		return nil
-	}
-
-	run := func(name string) error {
-		cfg := baseCfg
-		switch name {
-		case "table2":
-			rows, err := experiments.Table2(cfg)
-			if err != nil {
-				return err
-			}
-			return emit(rows, func() { experiments.WriteTable2(os.Stdout, rows) })
-		case "figure4":
-			rows, err := experiments.Table2(cfg)
-			if err != nil {
-				return err
-			}
-			return emit(rows, func() { experiments.WriteFigure4(os.Stdout, rows) })
-		case "figure5":
-			rows, err := experiments.Figure5(cfg)
-			if err != nil {
-				return err
-			}
-			return emit(rows, func() { experiments.WriteFigure5(os.Stdout, rows) })
-		case "table3":
-			res, err := experiments.Table3(cfg)
-			if err != nil {
-				return err
-			}
-			return emit(res, func() { experiments.WriteTable3(os.Stdout, res) })
-		case "figure6":
-			rows, err := experiments.Figure6(cfg)
-			if err != nil {
-				return err
-			}
-			return emit(rows, func() { experiments.WriteFigure6(os.Stdout, rows) })
-		case "figure7":
-			rows, err := experiments.Figure7(cfg)
-			if err != nil {
-				return err
-			}
-			return emit(rows, func() { experiments.WriteFigure7(os.Stdout, rows) })
-		case "figure8":
-			rows, err := experiments.Figure8()
-			if err != nil {
-				return err
-			}
-			return emit(rows, func() { experiments.WriteFigure8(os.Stdout, rows) })
-		case "registers":
-			rows, err := experiments.Registers(cfg)
-			if err != nil {
-				return err
-			}
-			return emit(rows, func() { experiments.WriteRegisters(os.Stdout, rows) })
-		case "scaling":
-			rows, err := experiments.Scaling(cfg)
-			if err != nil {
-				return err
-			}
-			return emit(rows, func() { experiments.WriteScaling(os.Stdout, rows) })
-		case "unroll":
-			rows, err := experiments.Unrolling(cfg)
-			if err != nil {
-				return err
-			}
-			return emit(rows, func() { experiments.WriteUnrolling(os.Stdout, rows) })
-		case "threadcap":
-			rows, err := experiments.ThreadCap(nil)
-			if err != nil {
-				return err
-			}
-			return emit(rows, func() { experiments.WriteThreadCap(os.Stdout, rows) })
-		case "stalls":
-			rows, err := experiments.Stalls(cfg)
-			if err != nil {
-				return err
-			}
-			return emit(rows, func() { experiments.WriteStalls(os.Stdout, rows) })
-		case "feasibility":
-			reports := feasibility.Compare(cfg, feasibility.DefaultParams())
-			return emit(reports, func() { feasibility.Write(os.Stdout, cfg, reports) })
-		default:
-			return fmt.Errorf("unknown experiment %q", name)
-		}
-	}
-
-	names := []string{*exp}
+	var list []experiments.Experiment
 	if *exp == "all" {
-		names = []string{"table2", "figure4", "figure5", "table3", "figure6", "figure7", "figure8", "registers", "scaling", "unroll", "threadcap", "stalls", "feasibility"}
+		list = experiments.Registry()
+	} else {
+		e, ok := experiments.Lookup(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "pcbench: %v\n\nexperiments:\n", experiments.UnknownExperimentError(*exp))
+			for _, e := range experiments.Registry() {
+				fmt.Fprintf(os.Stderr, "  %-12s %s\n", e.Name, e.Brief)
+			}
+			os.Exit(1)
+		}
+		list = []experiments.Experiment{*e}
 	}
-	for i, n := range names {
+
+	rc := &experiments.RunContext{Cfg: baseCfg}
+	for i, e := range list {
 		if i > 0 {
 			fmt.Println()
 		}
-		if err := run(n); err != nil {
-			fmt.Fprintf(os.Stderr, "pcbench: %s: %v\n", n, err)
+		rows, err := e.Run(rc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pcbench: %s: %v\n", e.Name, err)
 			os.Exit(1)
 		}
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rows); err != nil {
+				fmt.Fprintf(os.Stderr, "pcbench: %s: %v\n", e.Name, err)
+				os.Exit(1)
+			}
+			continue
+		}
+		e.Write(os.Stdout, baseCfg, rows)
 	}
 }

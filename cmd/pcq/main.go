@@ -1,0 +1,324 @@
+// Command pcq is the client for pcserved. It submits simulation jobs,
+// polls them to completion, streams sweep cells as NDJSON, and scrapes
+// the daemon's health and metrics endpoints.
+//
+// Usage:
+//
+//	pcq [-server URL] submit (-exp NAME | -bench NAME [-mode MODE] | -sweep MIN:MAX) [flags]
+//	pcq [-server URL] get|wait|cancel|stream JOB-ID
+//	pcq [-server URL] list|metrics|health
+//
+// Examples:
+//
+//	pcq submit -exp figure8 -wait     # full Figure 8 grid; cached on repeat
+//	pcq submit -bench fft -mode TPE -trace -wait
+//	pcq submit -sweep 1:4 -benches fft,matrix
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"pcoup/internal/machine"
+	"pcoup/internal/service"
+)
+
+func main() {
+	server := flag.String("server", "http://127.0.0.1:8091", "pcserved base URL")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() == 0 {
+		usage()
+		os.Exit(2)
+	}
+	c := &client{base: strings.TrimRight(*server, "/")}
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	var err error
+	switch cmd {
+	case "submit":
+		err = c.submit(args)
+	case "get":
+		err = c.getCmd(args)
+	case "wait":
+		err = c.waitCmd(args)
+	case "cancel":
+		err = c.cancel(args)
+	case "stream":
+		err = c.stream(args)
+	case "list":
+		err = c.list()
+	case "metrics":
+		err = c.text("/metrics")
+	case "health":
+		err = c.text("/healthz")
+	default:
+		fmt.Fprintf(os.Stderr, "pcq: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pcq: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: pcq [-server URL] COMMAND [flags]
+
+commands:
+  submit    submit a job (-exp NAME | -bench NAME | -sweep MIN:MAX | -f spec.json)
+  get       print a job's status and result
+  wait      poll a job until it finishes; non-zero exit on failure
+  cancel    cancel a queued or running job
+  stream    follow a job's per-cell results as NDJSON
+  list      list all jobs
+  metrics   dump Prometheus metrics
+  health    check daemon health
+`)
+}
+
+type client struct{ base string }
+
+// do performs one API call, decoding the error body on non-2xx.
+func (c *client) do(method, path string, body io.Reader) (*http.Response, error) {
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 300 {
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		var eb struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
+			return nil, fmt.Errorf("%s: %s", resp.Status, eb.Error)
+		}
+		return nil, fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(data)))
+	}
+	return resp, nil
+}
+
+// getJSON decodes a 2xx response into v.
+func (c *client) getJSON(method, path string, body io.Reader, v any) error {
+	resp, err := c.do(method, path, body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func printJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (c *client) submit(args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	specFile := fs.String("f", "", "job spec JSON file (\"-\" for stdin); overrides other spec flags")
+	exp := fs.String("exp", "", "experiment name (see pcbench -exp)")
+	benchName := fs.String("bench", "", "single-cell benchmark name")
+	mode := fs.String("mode", "Coupled", "machine mode for -bench (SEQ|STS|TPE|Coupled|Ideal)")
+	sweep := fs.String("sweep", "", "unit-mix sweep IU range MIN:MAX (FPU range mirrors it)")
+	fpus := fs.String("fpus", "", "sweep FPU range MIN:MAX (defaults to -sweep)")
+	benches := fs.String("benches", "", "comma-separated benchmarks for -sweep (default: all)")
+	preset := fs.String("preset", "", "named machine preset on the server")
+	machineFile := fs.String("machine", "", "machine config JSON file, sent inline")
+	maxCycles := fs.Int64("max-cycles", 0, "per-cell cycle budget (0: simulator default)")
+	trace := fs.Bool("trace", false, "include a Chrome trace document in the cell result")
+	timeoutMS := fs.Int64("timeout-ms", 0, "job deadline in milliseconds (0: server default)")
+	wait := fs.Bool("wait", false, "poll until the job finishes and print the final state")
+	poll := fs.Duration("poll", 150*time.Millisecond, "poll interval for -wait")
+	fs.Parse(args)
+
+	var spec service.JobSpec
+	if *specFile != "" {
+		data, err := readFileOrStdin(*specFile)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(data, &spec); err != nil {
+			return fmt.Errorf("parsing %s: %w", *specFile, err)
+		}
+	} else {
+		switch {
+		case *exp != "":
+			spec.Experiment = *exp
+		case *benchName != "":
+			spec.Cell = &service.CellSpec{Bench: *benchName, Mode: *mode}
+		case *sweep != "":
+			sw := &service.SweepSpec{}
+			var err error
+			if sw.MinIU, sw.MaxIU, err = parseRange(*sweep); err != nil {
+				return fmt.Errorf("-sweep: %w", err)
+			}
+			if *fpus != "" {
+				if sw.MinFPU, sw.MaxFPU, err = parseRange(*fpus); err != nil {
+					return fmt.Errorf("-fpus: %w", err)
+				}
+			}
+			if *benches != "" {
+				sw.Benches = strings.Split(*benches, ",")
+			}
+			spec.Sweep = sw
+		default:
+			return fmt.Errorf("submit needs one of -f, -exp, -bench, -sweep")
+		}
+		spec.Preset = *preset
+		if *machineFile != "" {
+			cfg, err := machine.Load(*machineFile)
+			if err != nil {
+				return err
+			}
+			spec.Machine = cfg
+		}
+		spec.Options = service.SimOptions{MaxCycles: *maxCycles, Trace: *trace}
+		spec.TimeoutMS = *timeoutMS
+	}
+
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	var view service.JobView
+	if err := c.getJSON("POST", "/v1/jobs", bytes.NewReader(body), &view); err != nil {
+		return err
+	}
+	if !*wait {
+		printJSON(view)
+		return nil
+	}
+	return c.waitFor(view.ID, *poll)
+}
+
+func parseRange(s string) (min, max int, err error) {
+	lo, hi, ok := strings.Cut(s, ":")
+	if !ok {
+		hi = lo
+	}
+	if min, err = strconv.Atoi(lo); err != nil {
+		return 0, 0, fmt.Errorf("bad range %q", s)
+	}
+	if max, err = strconv.Atoi(hi); err != nil {
+		return 0, 0, fmt.Errorf("bad range %q", s)
+	}
+	return min, max, nil
+}
+
+func readFileOrStdin(path string) ([]byte, error) {
+	if path == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(path)
+}
+
+// needID pulls the job id argument off args.
+func needID(cmd string, args []string) (string, error) {
+	if len(args) != 1 {
+		return "", fmt.Errorf("usage: pcq %s JOB-ID", cmd)
+	}
+	return args[0], nil
+}
+
+func (c *client) getCmd(args []string) error {
+	id, err := needID("get", args)
+	if err != nil {
+		return err
+	}
+	var view service.JobView
+	if err := c.getJSON("GET", "/v1/jobs/"+id, nil, &view); err != nil {
+		return err
+	}
+	printJSON(view)
+	return nil
+}
+
+func (c *client) waitCmd(args []string) error {
+	id, err := needID("wait", args)
+	if err != nil {
+		return err
+	}
+	return c.waitFor(id, 150*time.Millisecond)
+}
+
+// waitFor polls until the job is terminal; failure and cancellation are
+// process failures.
+func (c *client) waitFor(id string, interval time.Duration) error {
+	for {
+		var view service.JobView
+		if err := c.getJSON("GET", "/v1/jobs/"+id, nil, &view); err != nil {
+			return err
+		}
+		if view.State.Terminal() {
+			printJSON(view)
+			if view.State != service.JobDone {
+				return fmt.Errorf("job %s %s: %s", id, view.State, view.Error)
+			}
+			return nil
+		}
+		time.Sleep(interval)
+	}
+}
+
+func (c *client) cancel(args []string) error {
+	id, err := needID("cancel", args)
+	if err != nil {
+		return err
+	}
+	var view service.JobView
+	if err := c.getJSON("DELETE", "/v1/jobs/"+id, nil, &view); err != nil {
+		return err
+	}
+	printJSON(view)
+	return nil
+}
+
+func (c *client) stream(args []string) error {
+	id, err := needID("stream", args)
+	if err != nil {
+		return err
+	}
+	resp, err := c.do("GET", "/v1/jobs/"+id+"/stream", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, err = io.Copy(os.Stdout, resp.Body)
+	return err
+}
+
+func (c *client) list() error {
+	var views []service.JobView
+	if err := c.getJSON("GET", "/v1/jobs", nil, &views); err != nil {
+		return err
+	}
+	printJSON(views)
+	return nil
+}
+
+func (c *client) text(path string) error {
+	resp, err := c.do("GET", path, nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, err = io.Copy(os.Stdout, resp.Body)
+	return err
+}

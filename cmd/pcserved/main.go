@@ -1,0 +1,107 @@
+// Command pcserved is the processor-coupling simulation daemon: it
+// serves the internal/experiments suite over an HTTP JSON API with a
+// bounded worker pool, a content-addressed result cache, and Prometheus
+// metrics. See docs/ARCHITECTURE.md (service layer) and cmd/pcq for the
+// matching client.
+//
+// Usage:
+//
+//	pcserved -addr :8091 -cache-file pcserved.cache.json
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: new submissions are
+// refused, queued and running jobs drain (bounded by -drain-timeout),
+// and the cache is persisted.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"pcoup/internal/machine"
+	"pcoup/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8091", "listen address")
+	workers := flag.Int("workers", 0, "worker pool size (0: GOMAXPROCS)")
+	queueCap := flag.Int("queue", 256, "job queue capacity")
+	cacheFile := flag.String("cache-file", "", "persist the result cache to this file across restarts")
+	presetDir := flag.String("presets", "", "directory of machine config JSON files served as presets (by file stem)")
+	jobTimeout := flag.Duration("job-timeout", 10*time.Minute, "default per-job deadline (jobs may set timeout_ms)")
+	drainTimeout := flag.Duration("drain-timeout", time.Minute, "how long shutdown waits for in-flight jobs before cancelling them")
+	flag.Parse()
+
+	presets, err := loadPresets(*presetDir)
+	if err != nil {
+		log.Fatalf("pcserved: %v", err)
+	}
+
+	srv := service.New(service.Options{
+		Workers:        *workers,
+		QueueCap:       *queueCap,
+		CacheFile:      *cacheFile,
+		DefaultTimeout: *jobTimeout,
+		Presets:        presets,
+	})
+	if err := srv.Start(); err != nil {
+		log.Fatalf("pcserved: %v", err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("pcserved: %v", err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	log.Printf("pcserved: listening on http://%s", ln.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("pcserved: %s: draining (up to %s)", s, *drainTimeout)
+	case err := <-errCh:
+		log.Fatalf("pcserved: serve: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("pcserved: drain incomplete: %v (in-flight jobs cancelled)", err)
+	}
+	httpSrv.Shutdown(context.Background())
+	log.Printf("pcserved: stopped")
+}
+
+// loadPresets reads every *.json machine config in dir, keyed by file
+// stem (figure8.json -> preset "figure8").
+func loadPresets(dir string) (map[string]*machine.Config, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]*machine.Config{}
+	for _, p := range paths {
+		cfg, err := machine.Load(p)
+		if err != nil {
+			return nil, fmt.Errorf("preset %s: %w", p, err)
+		}
+		name := strings.TrimSuffix(filepath.Base(p), ".json")
+		out[name] = cfg
+	}
+	return out, nil
+}

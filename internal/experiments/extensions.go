@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -25,7 +26,7 @@ type UnrollRow struct {
 }
 
 // executeWith runs one cell with explicit compiler options.
-func executeWith(benchName string, mode Mode, cfg *machine.Config, opts compiler.Options) (int64, error) {
+func executeWith(ctx context.Context, benchName string, mode Mode, cfg *machine.Config, opts compiler.Options) (int64, error) {
 	b, err := bench.Get(benchName, sourceKind(mode))
 	if err != nil {
 		return 0, err
@@ -34,7 +35,7 @@ func executeWith(benchName string, mode Mode, cfg *machine.Config, opts compiler
 	if err != nil {
 		return 0, err
 	}
-	s, err := sim.New(cfg, prog)
+	s, err := sim.New(cfg, prog, sim.WithContext(ctx))
 	if err != nil {
 		return 0, err
 	}
@@ -51,6 +52,11 @@ func executeWith(benchName string, mode Mode, cfg *machine.Config, opts compiler
 // Unrolling measures the effect of automatic loop unrolling (up to 32
 // expanded iterations per loop) on STS and Coupled execution.
 func Unrolling(cfg *machine.Config) ([]UnrollRow, error) {
+	return UnrollingCtx(context.Background(), cfg)
+}
+
+// UnrollingCtx is Unrolling under a cancellation context.
+func UnrollingCtx(ctx context.Context, cfg *machine.Config) ([]UnrollRow, error) {
 	if cfg == nil {
 		cfg = machine.Baseline()
 	}
@@ -66,10 +72,10 @@ func Unrolling(cfg *machine.Config) ([]UnrollRow, error) {
 		}
 	}
 	cycles := make([]int64, len(cells))
-	err := runParallel(len(cells), func(i int) error {
+	err := runParallelCtx(ctx, len(cells), func(i int) error {
 		c := cells[i]
 		opts := compiler.Options{Mode: compilerMode(c.mode), AutoUnroll: c.unroll}
-		n, err := executeWith(c.bench, c.mode, cfg, opts)
+		n, err := executeWith(ctx, c.bench, c.mode, cfg, opts)
 		cycles[i] = n
 		return err
 	})
@@ -108,6 +114,11 @@ type ThreadCapRow struct {
 // the long-latency Mem1 memory model — how many resident threads does
 // latency hiding actually need?
 func ThreadCap(cfg *machine.Config) ([]ThreadCapRow, error) {
+	return ThreadCapCtx(context.Background(), cfg)
+}
+
+// ThreadCapCtx is ThreadCap under a cancellation context.
+func ThreadCapCtx(ctx context.Context, cfg *machine.Config) ([]ThreadCapRow, error) {
 	if cfg == nil {
 		cfg = machine.Baseline().WithMemory(machine.Mem1).WithSeed(17)
 	}
@@ -123,11 +134,11 @@ func ThreadCap(cfg *machine.Config) ([]ThreadCapRow, error) {
 		}
 	}
 	rows := make([]ThreadCapRow, len(cells))
-	err := runParallel(len(cells), func(i int) error {
+	err := runParallelCtx(ctx, len(cells), func(i int) error {
 		c := cells[i]
 		cc := cfg.Clone()
 		cc.MaxThreads = c.cap
-		r, err := Execute(c.bench, COUPLED, cc)
+		r, err := ExecuteCtx(ctx, c.bench, COUPLED, cc)
 		if err != nil {
 			return fmt.Errorf("threadcap %s/%d: %w", c.bench, c.cap, err)
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -19,13 +20,18 @@ type Figure5Row struct {
 // Figure5 reproduces Figure 5: FPU, IU, MEM, and BR utilization for every
 // benchmark and machine mode on the baseline machine.
 func Figure5(cfg *machine.Config) ([]Figure5Row, error) {
+	return Figure5Ctx(context.Background(), cfg)
+}
+
+// Figure5Ctx is Figure5 under a cancellation context.
+func Figure5Ctx(ctx context.Context, cfg *machine.Config) ([]Figure5Row, error) {
 	if cfg == nil {
 		cfg = machine.Baseline()
 	}
 	cells := benchModeCells([]Mode{SEQ, STS, TPE, COUPLED, IDEAL})
 	rows := make([]Figure5Row, len(cells))
-	err := runParallel(len(cells), func(i int) error {
-		r, err := Execute(cells[i].bench, cells[i].mode, cfg)
+	err := runParallelCtx(ctx, len(cells), func(i int) error {
+		r, err := ExecuteCtx(ctx, cells[i].bench, cells[i].mode, cfg)
 		if err != nil {
 			return err
 		}

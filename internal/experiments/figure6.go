@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -23,6 +24,11 @@ type Figure6Row struct {
 // benchmark runs in Coupled mode under the Full, Tri-Port, Dual-Port,
 // Single-Port, and Shared-Bus interconnection schemes.
 func Figure6(cfg *machine.Config) ([]Figure6Row, error) {
+	return Figure6Ctx(context.Background(), cfg)
+}
+
+// Figure6Ctx is Figure6 under a cancellation context.
+func Figure6Ctx(ctx context.Context, cfg *machine.Config) ([]Figure6Row, error) {
 	if cfg == nil {
 		cfg = machine.Baseline()
 	}
@@ -37,9 +43,9 @@ func Figure6(cfg *machine.Config) ([]Figure6Row, error) {
 		}
 	}
 	rows := make([]Figure6Row, len(cells))
-	err := runParallel(len(cells), func(i int) error {
+	err := runParallelCtx(ctx, len(cells), func(i int) error {
 		c := cells[i]
-		r, err := Execute(c.bench, COUPLED, cfg.WithInterconnect(c.ic))
+		r, err := ExecuteCtx(ctx, c.bench, COUPLED, cfg.WithInterconnect(c.ic))
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -27,6 +28,11 @@ var figure7Seeds = []uint64{11, 23, 47}
 // penalty), and Mem2 (10% miss) memory models. Multithreaded modes hide
 // the long latencies; statically scheduled modes stall.
 func Figure7(cfg *machine.Config) ([]Figure7Row, error) {
+	return Figure7Ctx(context.Background(), cfg)
+}
+
+// Figure7Ctx is Figure7 under a cancellation context.
+func Figure7Ctx(ctx context.Context, cfg *machine.Config) ([]Figure7Row, error) {
 	if cfg == nil {
 		cfg = machine.Baseline()
 	}
@@ -47,9 +53,9 @@ func Figure7(cfg *machine.Config) ([]Figure7Row, error) {
 		}
 	}
 	rows := make([]Figure7Row, len(cells))
-	err := runParallel(len(cells), func(i int) error {
+	err := runParallelCtx(ctx, len(cells), func(i int) error {
 		c := cells[i]
-		cycles, err := averageCycles(c.bench, c.mode, cfg.WithMemory(c.mem))
+		cycles, err := averageCycles(ctx, c.bench, c.mode, cfg.WithMemory(c.mem))
 		if err != nil {
 			return err
 		}
@@ -73,9 +79,9 @@ func Figure7(cfg *machine.Config) ([]Figure7Row, error) {
 
 // averageCycles runs one cell under each seed and averages the cycle
 // counts (results are verified on every run).
-func averageCycles(b string, m Mode, cfg *machine.Config) (int64, error) {
+func averageCycles(ctx context.Context, b string, m Mode, cfg *machine.Config) (int64, error) {
 	if cfg.Memory.MissRate == 0 {
-		r, err := Execute(b, m, cfg)
+		r, err := ExecuteCtx(ctx, b, m, cfg)
 		if err != nil {
 			return 0, err
 		}
@@ -83,7 +89,7 @@ func averageCycles(b string, m Mode, cfg *machine.Config) (int64, error) {
 	}
 	var sum int64
 	for _, seed := range figure7Seeds {
-		r, err := Execute(b, m, cfg.WithSeed(seed))
+		r, err := ExecuteCtx(ctx, b, m, cfg.WithSeed(seed))
 		if err != nil {
 			return 0, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -21,6 +22,11 @@ type Figure8Row struct {
 // all Coupled configurations with 1-4 IUs and 1-4 FPUs, keeping four
 // memory units and a single branch unit.
 func Figure8() ([]Figure8Row, error) {
+	return Figure8Ctx(context.Background())
+}
+
+// Figure8Ctx is Figure8 under a cancellation context.
+func Figure8Ctx(ctx context.Context) ([]Figure8Row, error) {
 	type f8cell struct {
 		bench   string
 		iu, fpu int
@@ -34,9 +40,9 @@ func Figure8() ([]Figure8Row, error) {
 		}
 	}
 	rows := make([]Figure8Row, len(cells))
-	err := runParallel(len(cells), func(i int) error {
+	err := runParallelCtx(ctx, len(cells), func(i int) error {
 		c := cells[i]
-		r, err := Execute(c.bench, COUPLED, machine.Mix(c.iu, c.fpu))
+		r, err := ExecuteCtx(ctx, c.bench, COUPLED, machine.Mix(c.iu, c.fpu))
 		if err != nil {
 			return fmt.Errorf("figure8 %s %diu %dfpu: %w", c.bench, c.iu, c.fpu, err)
 		}

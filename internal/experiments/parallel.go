@@ -1,23 +1,34 @@
 package experiments
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
 
-// runParallel executes fn(i) for every i in [0, n) over a bounded pool of
-// host goroutines. Each experiment cell is an independent deterministic
-// simulation, so fan-out changes wall-clock time only; results are
-// written by index, keeping output order stable. The first error wins and
-// cancels the sweep: no new cells are dispatched after it is recorded
-// (cells already running finish, since simulations cannot be preempted).
+// runParallel is runParallelCtx without external cancellation.
 func runParallel(n int, fn func(i int) error) error {
+	return runParallelCtx(context.Background(), n, fn)
+}
+
+// runParallelCtx executes fn(i) for every i in [0, n) over a bounded pool
+// of host goroutines. Each experiment cell is an independent
+// deterministic simulation, so fan-out changes wall-clock time only;
+// results are written by index, keeping output order stable. The first
+// error wins and cancels the sweep: no new cells are dispatched after it
+// is recorded (cells already running finish, since in-cell cancellation
+// is the simulator context's job). Cancelling ctx likewise stops
+// dispatch; if no cell failed first, ctx.Err() is returned.
+func runParallelCtx(ctx context.Context, n int, fn func(i int) error) error {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -53,11 +64,16 @@ feed:
 		case next <- i:
 		case <-done:
 			break feed
+		case <-ctx.Done():
+			break feed
 		}
 	}
 	close(next)
 	wg.Wait()
-	return first
+	if first != nil {
+		return first
+	}
+	return ctx.Err()
 }
 
 // cell identifies one (benchmark, mode, config) execution of a sweep.

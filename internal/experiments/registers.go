@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -25,13 +26,18 @@ type RegisterRow struct {
 
 // Registers reports register usage for every benchmark and mode.
 func Registers(cfg *machine.Config) ([]RegisterRow, error) {
+	return RegistersCtx(context.Background(), cfg)
+}
+
+// RegistersCtx is Registers under a cancellation context.
+func RegistersCtx(ctx context.Context, cfg *machine.Config) ([]RegisterRow, error) {
 	if cfg == nil {
 		cfg = machine.Baseline()
 	}
 	cells := benchModeCells([]Mode{SEQ, STS, TPE, COUPLED, IDEAL})
 	rows := make([]RegisterRow, len(cells))
-	err := runParallel(len(cells), func(i int) error {
-		r, err := Execute(cells[i].bench, cells[i].mode, cfg)
+	err := runParallelCtx(ctx, len(cells), func(i int) error {
+		r, err := ExecuteCtx(ctx, cells[i].bench, cells[i].mode, cfg)
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -35,6 +36,11 @@ var scalingSizes = map[string][]int{
 // persists across sizes: it comes from interleaving threads over shared
 // units, not from a particular problem dimension.
 func Scaling(cfg *machine.Config) ([]ScalingRow, error) {
+	return ScalingCtx(context.Background(), cfg)
+}
+
+// ScalingCtx is Scaling under a cancellation context.
+func ScalingCtx(ctx context.Context, cfg *machine.Config) ([]ScalingRow, error) {
 	if cfg == nil {
 		cfg = machine.Baseline()
 	}
@@ -50,7 +56,7 @@ func Scaling(cfg *machine.Config) ([]ScalingRow, error) {
 		}
 	}
 	cycles := make([]int64, len(cells))
-	err := runParallel(len(cells), func(i int) error {
+	err := runParallelCtx(ctx, len(cells), func(i int) error {
 		c := cells[i]
 		bm, err := bench.GetN(c.bench, sourceKind(c.mode), c.size)
 		if err != nil {
@@ -60,7 +66,7 @@ func Scaling(cfg *machine.Config) ([]ScalingRow, error) {
 		if err != nil {
 			return fmt.Errorf("scaling %s/%d/%s: %w", c.bench, c.size, c.mode, err)
 		}
-		s, err := sim.New(cfg, prog)
+		s, err := sim.New(cfg, prog, sim.WithContext(ctx))
 		if err != nil {
 			return err
 		}

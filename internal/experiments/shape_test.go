@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"pcoup/internal/bench"
@@ -166,7 +167,7 @@ func TestFigure7Shape(t *testing.T) {
 	}
 	cfg := machine.Baseline()
 	cell := func(m Mode, mem machine.MemoryModel) int64 {
-		cycles, err := averageCycles("matrix", m, cfg.WithMemory(mem))
+		cycles, err := averageCycles(context.Background(), "matrix", m, cfg.WithMemory(mem))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -30,13 +31,18 @@ type StallRow struct {
 // differences (Table 2) by cause: where SEQ and STS lose their cycles,
 // and what the coupled machine's threads hide.
 func Stalls(cfg *machine.Config) ([]StallRow, error) {
+	return StallsCtx(context.Background(), cfg)
+}
+
+// StallsCtx is Stalls under a cancellation context.
+func StallsCtx(ctx context.Context, cfg *machine.Config) ([]StallRow, error) {
 	if cfg == nil {
 		cfg = machine.Baseline()
 	}
 	cells := benchModeCells(Modes())
 	rows := make([]StallRow, len(cells))
-	err := runParallel(len(cells), func(i int) error {
-		r, err := Execute(cells[i].bench, cells[i].mode, cfg, sim.WithStallAttribution())
+	err := runParallelCtx(ctx, len(cells), func(i int) error {
+		r, err := ExecuteCtx(ctx, cells[i].bench, cells[i].mode, cfg, sim.WithStallAttribution())
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -24,13 +25,18 @@ type Table2Row struct {
 // for each benchmark under SEQ, STS, TPE, Coupled, and Ideal on the
 // baseline machine.
 func Table2(cfg *machine.Config) ([]Table2Row, error) {
+	return Table2Ctx(context.Background(), cfg)
+}
+
+// Table2Ctx is Table2 under a cancellation context.
+func Table2Ctx(ctx context.Context, cfg *machine.Config) ([]Table2Row, error) {
 	if cfg == nil {
 		cfg = machine.Baseline()
 	}
 	cells := benchModeCells([]Mode{SEQ, STS, TPE, COUPLED, IDEAL})
 	runs := make([]*Run, len(cells))
-	err := runParallel(len(cells), func(i int) error {
-		r, err := Execute(cells[i].bench, cells[i].mode, cfg)
+	err := runParallelCtx(ctx, len(cells), func(i int) error {
+		r, err := ExecuteCtx(ctx, cells[i].bench, cells[i].mode, cfg)
 		runs[i] = r
 		return err
 	})

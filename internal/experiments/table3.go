@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -37,6 +38,11 @@ type Table3Result struct {
 // different priorities. Lower-priority threads dilate relative to their
 // compile-time schedule; the aggregate coupled run is still shorter.
 func Table3(cfg *machine.Config) (*Table3Result, error) {
+	return Table3Ctx(context.Background(), cfg)
+}
+
+// Table3Ctx is Table3 under a cancellation context.
+func Table3Ctx(ctx context.Context, cfg *machine.Config) (*Table3Result, error) {
 	if cfg == nil {
 		cfg = machine.Baseline()
 	}
@@ -52,7 +58,7 @@ func Table3(cfg *machine.Config) (*Table3Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		s, err := sim.New(cfg, prog)
+		s, err := sim.New(cfg, prog, sim.WithContext(ctx))
 		if err != nil {
 			return nil, err
 		}
@@ -83,7 +89,7 @@ func Table3(cfg *machine.Config) (*Table3Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		s, err := sim.New(cfg, prog)
+		s, err := sim.New(cfg, prog, sim.WithContext(ctx))
 		if err != nil {
 			return nil, err
 		}

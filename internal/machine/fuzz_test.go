@@ -1,0 +1,131 @@
+package machine
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// seedConfigs reads the checked-in machine configuration files, which
+// seed the fuzz corpus and anchor the round-trip properties to real
+// inputs.
+func seedConfigs(t testing.TB) map[string][]byte {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("..", "..", "configs", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no seed configs found under configs/")
+	}
+	out := map[string][]byte{}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[filepath.Base(p)] = data
+	}
+	return out
+}
+
+// FuzzConfigRoundTrip checks, for any parseable and valid configuration:
+// Save/Load (via MarshalJSON/UnmarshalJSON) reproduces the config
+// exactly, a second round trip is byte-stable, and the canonical hash
+// survives the trip (the content-addressed cache key may not depend on
+// serialization round trips).
+func FuzzConfigRoundTrip(f *testing.F) {
+	for _, data := range seedConfigs(f) {
+		f.Add(data)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var c Config
+		if err := json.Unmarshal(data, &c); err != nil {
+			t.Skip()
+		}
+		if err := c.Validate(); err != nil {
+			t.Skip()
+		}
+		hash1, err := c.Hash()
+		if err != nil {
+			t.Fatalf("Hash: %v", err)
+		}
+
+		enc1, err := c.MarshalJSON()
+		if err != nil {
+			t.Fatalf("MarshalJSON: %v", err)
+		}
+		var back Config
+		if err := json.Unmarshal(enc1, &back); err != nil {
+			t.Fatalf("round trip failed to parse: %v\n%s", err, enc1)
+		}
+		if !reflect.DeepEqual(&c, &back) {
+			t.Fatalf("round trip changed the config:\nbefore: %+v\nafter:  %+v", c, back)
+		}
+		enc2, err := back.MarshalJSON()
+		if err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("serialization is not byte-stable:\nfirst:  %s\nsecond: %s", enc1, enc2)
+		}
+
+		hash2, err := back.Hash()
+		if err != nil {
+			t.Fatalf("Hash after round trip: %v", err)
+		}
+		if hash1 != hash2 {
+			t.Fatalf("canonical hash changed across round trip: %s != %s", hash1, hash2)
+		}
+	})
+}
+
+// TestConfigFileRoundTrip exercises the full Save/Load file path on every
+// checked-in config, including hash stability and rename-invariance of
+// the canonical hash.
+func TestConfigFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	for name, data := range seedConfigs(t) {
+		var c Config
+		if err := json.Unmarshal(data, &c); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("%s: checked-in config invalid: %v", name, err)
+		}
+		path := filepath.Join(dir, name)
+		if err := c.Save(path); err != nil {
+			t.Fatalf("%s: Save: %v", name, err)
+		}
+		loaded, err := Load(path)
+		if err != nil {
+			t.Fatalf("%s: Load: %v", name, err)
+		}
+		if !reflect.DeepEqual(&c, loaded) {
+			t.Errorf("%s: Save/Load changed the config", name)
+		}
+		h1, _ := c.Hash()
+		h2, _ := loaded.Hash()
+		if h1 != h2 {
+			t.Errorf("%s: canonical hash changed across Save/Load: %s != %s", name, h1, h2)
+		}
+
+		renamed := c.Clone()
+		renamed.Name = "renamed"
+		renamed.Memory.Name = "renamed-mem"
+		h3, _ := renamed.Hash()
+		if h3 != h1 {
+			t.Errorf("%s: canonical hash depends on display names", name)
+		}
+
+		mutated := c.Clone()
+		mutated.Clusters[0].Units[0].Latency++
+		h4, _ := mutated.Hash()
+		if h4 == h1 {
+			t.Errorf("%s: canonical hash ignored a latency change", name)
+		}
+	}
+}

@@ -257,59 +257,106 @@ func (c *Config) CountUnits(k UnitKind) int {
 	return n
 }
 
-// Validate checks structural invariants of the configuration.
+// Validation bounds. Configs now also arrive over the network (the
+// pcserved job API), so structural limits are enforced here rather than
+// trusted: instruction words carry one operation slot per function unit,
+// and pipeline/penalty latencies bound per-op simulation work.
+const (
+	// MaxTotalUnits bounds the machine's function-unit (instruction word
+	// slot) count.
+	MaxTotalUnits = 64
+	// MaxClusters bounds the cluster count.
+	MaxClusters = 32
+	// MaxLatency bounds unit pipeline depth and memory latencies/penalties.
+	MaxLatency = 1 << 20
+)
+
+// Validate checks structural invariants of the configuration. Errors name
+// the offending field using the JSON configuration spelling (for example
+// "clusters[2].units[0].latency") so that callers feeding configs from
+// files or the network can report precise diagnostics.
 func (c *Config) Validate() error {
 	if len(c.Clusters) == 0 {
-		return errors.New("machine: config has no clusters")
+		return errors.New("machine: clusters: config has no clusters")
+	}
+	if len(c.Clusters) > MaxClusters {
+		return fmt.Errorf("machine: clusters: %d clusters (max %d)", len(c.Clusters), MaxClusters)
 	}
 	for ci, cl := range c.Clusters {
 		if len(cl.Units) == 0 {
-			return fmt.Errorf("machine: cluster %d has no units", ci)
+			return fmt.Errorf("machine: clusters[%d].units: cluster has no units", ci)
 		}
+		branches := 0
 		for li, u := range cl.Units {
 			if u.Kind < 0 || int(u.Kind) >= NumUnitKinds {
-				return fmt.Errorf("machine: cluster %d unit %d has invalid kind", ci, li)
+				return fmt.Errorf("machine: clusters[%d].units[%d].kind: invalid unit kind %d", ci, li, int(u.Kind))
 			}
 			if u.Latency < 1 {
-				return fmt.Errorf("machine: cluster %d unit %d has latency %d (< 1)", ci, li, u.Latency)
+				return fmt.Errorf("machine: clusters[%d].units[%d].latency: %d (must be >= 1)", ci, li, u.Latency)
+			}
+			if u.Latency > MaxLatency {
+				return fmt.Errorf("machine: clusters[%d].units[%d].latency: %d (max %d)", ci, li, u.Latency, MaxLatency)
+			}
+			if u.Kind == BR {
+				branches++
+				if branches > 1 {
+					return fmt.Errorf("machine: clusters[%d].units[%d]: duplicate BR slot (a cluster sequences at most one branch unit)", ci, li)
+				}
 			}
 		}
 		if cl.Registers < 0 {
-			return fmt.Errorf("machine: cluster %d has negative register capacity", ci)
+			return fmt.Errorf("machine: clusters[%d].registers: %d (must be >= 0)", ci, cl.Registers)
 		}
 		// A cluster with a memory unit but no arithmetic unit could load
 		// values it can never forward (register reads are local and only
 		// IU/FPU operations can copy a register to another cluster).
 		if cl.Has(MEM) && !cl.Has(IU) && !cl.Has(FPU) {
-			return fmt.Errorf("machine: cluster %d has a memory unit but no IU or FPU to forward loaded values", ci)
+			return fmt.Errorf("machine: clusters[%d].units: a memory unit needs an IU or FPU in the same cluster to forward loaded values", ci)
 		}
 	}
+	if n := c.NumUnits(); n > MaxTotalUnits {
+		return fmt.Errorf("machine: clusters: %d function units in total (max %d)", n, MaxTotalUnits)
+	}
 	if c.CountUnits(BR) == 0 {
-		return errors.New("machine: config has no branch unit")
+		return errors.New("machine: clusters: config has no branch unit")
 	}
 	if c.CountUnits(MEM) == 0 {
-		return errors.New("machine: config has no memory unit")
+		return errors.New("machine: clusters: config has no memory unit")
 	}
 	if c.MaxDests < 1 {
-		return errors.New("machine: MaxDests must be >= 1")
+		return fmt.Errorf("machine: max_dests: %d (must be >= 1)", c.MaxDests)
 	}
 	if c.Memory.HitLatency < 1 {
-		return errors.New("machine: memory hit latency must be >= 1")
+		return fmt.Errorf("machine: memory.hit_latency: %d (must be >= 1)", c.Memory.HitLatency)
+	}
+	if c.Memory.HitLatency > MaxLatency {
+		return fmt.Errorf("machine: memory.hit_latency: %d (max %d)", c.Memory.HitLatency, MaxLatency)
 	}
 	if c.Memory.MissRate < 0 || c.Memory.MissRate > 1 {
-		return errors.New("machine: memory miss rate must be in [0,1]")
+		return fmt.Errorf("machine: memory.miss_rate: %g (must be in [0,1])", c.Memory.MissRate)
 	}
-	if c.Memory.MissRate > 0 && c.Memory.MissPenaltyMax < c.Memory.MissPenaltyMin {
-		return errors.New("machine: memory miss penalty range is inverted")
+	if c.Memory.MissRate > 0 {
+		if c.Memory.MissPenaltyMin < 0 {
+			return fmt.Errorf("machine: memory.miss_penalty_min: %d (must be >= 0)", c.Memory.MissPenaltyMin)
+		}
+		if c.Memory.MissPenaltyMax < c.Memory.MissPenaltyMin {
+			return fmt.Errorf("machine: memory.miss_penalty_max: %d below miss_penalty_min %d", c.Memory.MissPenaltyMax, c.Memory.MissPenaltyMin)
+		}
+		if c.Memory.MissPenaltyMax > MaxLatency {
+			return fmt.Errorf("machine: memory.miss_penalty_max: %d (max %d)", c.Memory.MissPenaltyMax, MaxLatency)
+		}
 	}
 	if c.Memory.Banks < 1 {
-		return errors.New("machine: memory must have >= 1 bank")
+		return fmt.Errorf("machine: memory.banks: %d (must be >= 1)", c.Memory.Banks)
 	}
 	if c.MaxThreads < 0 {
-		return errors.New("machine: MaxThreads must be >= 0")
+		return fmt.Errorf("machine: max_threads: %d (must be >= 0)", c.MaxThreads)
 	}
-	if c.OpCache.Entries < 0 || (c.OpCache.Entries > 0 && c.OpCache.MissPenalty < 1) {
-		return errors.New("machine: operation cache needs positive entries and a miss penalty >= 1")
+	if c.OpCache.Entries < 0 {
+		return fmt.Errorf("machine: op_cache.entries: %d (must be >= 0)", c.OpCache.Entries)
+	}
+	if c.OpCache.Entries > 0 && c.OpCache.MissPenalty < 1 {
+		return fmt.Errorf("machine: op_cache.miss_penalty: %d (must be >= 1 when the cache is enabled)", c.OpCache.MissPenalty)
 	}
 	return nil
 }

@@ -1,0 +1,138 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// cacheFileVersion guards the persisted cache format; a mismatch makes
+// LoadFile start empty rather than serve results computed by an
+// incompatible build.
+const cacheFileVersion = 1
+
+// Cache is the content-addressed result cache: payload bytes keyed by
+// the SHA-256 of everything that determines them (benchmark sources,
+// mode, canonical machine configuration, simulation options — see
+// key.go). Because simulations are deterministic, a hit returns a
+// byte-identical payload to the run it replaces, in O(1).
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string][]byte
+	hits    int64
+	misses  int64
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{entries: map[string][]byte{}}
+}
+
+// Get returns the payload for key, counting a hit or a miss.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	payload, ok := c.entries[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return payload, ok
+}
+
+// Peek is Get without touching the hit/miss counters (used when a lookup
+// is speculative and should not skew the ratio).
+func (c *Cache) Peek(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	payload, ok := c.entries[key]
+	return payload, ok
+}
+
+// Put stores payload under key. The caller must not mutate payload after
+// handing it over.
+func (c *Cache) Put(key string, payload []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[key] = payload
+}
+
+// Len returns the number of resident entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats returns the lifetime hit and miss counts.
+func (c *Cache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// cacheFile is the on-disk representation. []byte values JSON-encode as
+// base64, keeping the file self-contained and diff-friendly enough.
+type cacheFile struct {
+	Version int               `json:"version"`
+	Entries map[string][]byte `json:"entries"`
+}
+
+// SaveFile persists the entries to path atomically (write to a temp file
+// in the same directory, then rename).
+func (c *Cache) SaveFile(path string) error {
+	c.mu.Lock()
+	doc := cacheFile{Version: cacheFileVersion, Entries: make(map[string][]byte, len(c.entries))}
+	for k, v := range c.entries {
+		doc.Entries[k] = v
+	}
+	c.mu.Unlock()
+
+	data, err := json.Marshal(doc)
+	if err != nil {
+		return fmt.Errorf("service: encoding cache: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".pcserved-cache-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadFile restores entries from path. A missing file or a version
+// mismatch leaves the cache empty and returns nil: a cold cache is a
+// correct cache.
+func (c *Cache) LoadFile(path string) error {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var doc cacheFile
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("service: parsing cache %s: %w", path, err)
+	}
+	if doc.Version != cacheFileVersion {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, v := range doc.Entries {
+		c.entries[k] = v
+	}
+	return nil
+}

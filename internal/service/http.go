@@ -1,0 +1,162 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST   /v1/jobs             submit a job (202 + job view)
+//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs/{id}        job status; includes result when done
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /v1/jobs/{id}/stream NDJSON: per-cell results as they finish
+//	GET    /healthz             liveness + accepting flag
+//	GET    /metrics             Prometheus text exposition
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// writeJSON renders v with a stable, readable encoding.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	job, err := s.Submit(spec)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, job.view(false))
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusServiceUnavailable, err)
+	default:
+		writeError(w, http.StatusBadRequest, err)
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.List())
+}
+
+// jobFor resolves {id}, writing a 404 on miss.
+func (s *Server) jobFor(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	job, err := s.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return nil, false
+	}
+	return job, true
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	if job, ok := s.jobFor(w, r); ok {
+		writeJSON(w, http.StatusOK, job.view(true))
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job, err := s.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, job.view(false))
+}
+
+// handleStream writes NDJSON: one line per completed sweep cell (in grid
+// order), then a terminal status line {"state":...}. Non-sweep jobs get
+// their whole result as the single data line once done. The stream
+// follows a live job until it reaches a terminal state or the client
+// goes away.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobFor(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	sent := 0
+	for {
+		job.mu.Lock()
+		cells := job.cells[sent:]
+		state := job.state
+		result := job.result
+		errMsg := job.errMsg
+		updated := job.updated
+		job.mu.Unlock()
+
+		for _, cell := range cells {
+			w.Write(cell)
+			w.Write([]byte("\n"))
+			sent++
+		}
+		if state.Terminal() {
+			if sent == 0 && len(result) > 0 {
+				w.Write(result)
+				w.Write([]byte("\n"))
+			}
+			final, _ := json.Marshal(struct {
+				State JobState `json:"state"`
+				Error string   `json:"error,omitempty"`
+			}{state, errMsg})
+			w.Write(final)
+			w.Write([]byte("\n"))
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		select {
+		case <-updated:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	accepting := s.accepting
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, struct {
+		Status    string `json:"status"`
+		Accepting bool   `json:"accepting"`
+	}{"ok", accepting})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WriteText(w, s.gauges())
+}

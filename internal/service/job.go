@@ -1,0 +1,341 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"pcoup/internal/bench"
+	"pcoup/internal/experiments"
+	"pcoup/internal/machine"
+)
+
+// JobState is a job's lifecycle state.
+type JobState string
+
+const (
+	// JobQueued: accepted, waiting for a worker.
+	JobQueued JobState = "queued"
+	// JobRunning: a worker is executing it.
+	JobRunning JobState = "running"
+	// JobDone: finished with a result.
+	JobDone JobState = "done"
+	// JobFailed: finished with an error.
+	JobFailed JobState = "failed"
+	// JobCancelled: cancelled before or during execution.
+	JobCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCancelled
+}
+
+// CellSpec selects a single (benchmark, mode) simulation.
+type CellSpec struct {
+	Bench string `json:"bench"`
+	Mode  string `json:"mode"`
+}
+
+// SweepSpec selects a function-unit mix sweep (the paper's Figure 8
+// geometry, parameterized): every (bench, nIU, nFPU) cell in the given
+// ranges runs on machine.Mix(nIU, nFPU). Cells stream as they finish and
+// are cached individually.
+type SweepSpec struct {
+	// Benches defaults to the full suite.
+	Benches []string `json:"benches,omitempty"`
+	// Mode defaults to Coupled.
+	Mode  string `json:"mode,omitempty"`
+	MinIU int    `json:"min_iu"`
+	MaxIU int    `json:"max_iu"`
+	// MinFPU/MaxFPU default to the IU range when zero.
+	MinFPU int `json:"min_fpu,omitempty"`
+	MaxFPU int `json:"max_fpu,omitempty"`
+}
+
+// maxSweepCells bounds a single sweep job's size (the API is
+// network-facing; a runaway spec must not pin the pool forever).
+const maxSweepCells = 1024
+
+// JobSpec is the POST /v1/jobs request body. Exactly one of Experiment,
+// Cell, or Sweep selects the work; Machine (inline) or Preset (by name)
+// selects the machine configuration, defaulting to the paper's baseline.
+type JobSpec struct {
+	// Experiment names a registry experiment (see pcbench -exp).
+	Experiment string `json:"experiment,omitempty"`
+	// Cell runs a single benchmark x mode simulation.
+	Cell *CellSpec `json:"cell,omitempty"`
+	// Sweep runs a unit-mix sweep with per-cell streaming and caching.
+	Sweep *SweepSpec `json:"sweep,omitempty"`
+
+	// Machine is an inline machine configuration; it is validated before
+	// the job is accepted.
+	Machine *machine.Config `json:"machine,omitempty"`
+	// Preset names a configuration registered with the daemon
+	// ("baseline" is always available; -presets adds a directory of
+	// config files by file stem).
+	Preset string `json:"preset,omitempty"`
+
+	// Options are the simulation knobs that also key the result cache.
+	Options SimOptions `json:"options,omitempty"`
+	// TimeoutMS bounds the job's wall-clock execution (0: server
+	// default).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// normalize validates the spec against the registry, the benchmark
+// suite, and the preset table, and fills defaults. It returns the
+// resolved machine config (nil meaning "driver default").
+func (spec *JobSpec) normalize(presets map[string]*machine.Config) (*machine.Config, error) {
+	selected := 0
+	if spec.Experiment != "" {
+		selected++
+	}
+	if spec.Cell != nil {
+		selected++
+	}
+	if spec.Sweep != nil {
+		selected++
+	}
+	if selected != 1 {
+		return nil, fmt.Errorf("spec must set exactly one of experiment, cell, sweep (got %d)", selected)
+	}
+	if spec.Machine != nil && spec.Preset != "" {
+		return nil, fmt.Errorf("spec sets both machine and preset")
+	}
+	if spec.TimeoutMS < 0 {
+		return nil, fmt.Errorf("timeout_ms: must be >= 0")
+	}
+	if spec.Options.MaxCycles < 0 {
+		return nil, fmt.Errorf("options.max_cycles: must be >= 0")
+	}
+
+	var cfg *machine.Config
+	switch {
+	case spec.Machine != nil:
+		if err := spec.Machine.Validate(); err != nil {
+			return nil, err
+		}
+		cfg = spec.Machine
+	case spec.Preset != "":
+		p, ok := presets[spec.Preset]
+		if !ok {
+			return nil, fmt.Errorf("unknown preset %q (valid: %s)", spec.Preset, presetNames(presets))
+		}
+		cfg = p
+	}
+
+	switch {
+	case spec.Experiment != "":
+		if _, ok := experiments.Lookup(spec.Experiment); !ok {
+			return nil, experiments.UnknownExperimentError(spec.Experiment)
+		}
+		if spec.Options.Trace {
+			return nil, fmt.Errorf("options.trace applies to cell jobs only")
+		}
+	case spec.Cell != nil:
+		mode, err := experiments.ParseMode(spec.Cell.Mode)
+		if err != nil {
+			return nil, err
+		}
+		spec.Cell.Mode = string(mode)
+		if _, err := bench.Get(spec.Cell.Bench, bench.Sequential); err != nil {
+			return nil, err
+		}
+		if !experiments.ModeSupported(spec.Cell.Bench, mode) {
+			return nil, fmt.Errorf("benchmark %q has no %s variant", spec.Cell.Bench, mode)
+		}
+	case spec.Sweep != nil:
+		if err := spec.Sweep.normalize(); err != nil {
+			return nil, err
+		}
+		if cfg != nil {
+			return nil, fmt.Errorf("sweep jobs build their own machines (machine/preset must be unset)")
+		}
+		if spec.Options.Trace {
+			return nil, fmt.Errorf("options.trace applies to cell jobs only")
+		}
+	}
+	return cfg, nil
+}
+
+// normalize fills sweep defaults and bounds the geometry.
+func (sw *SweepSpec) normalize() error {
+	if len(sw.Benches) == 0 {
+		sw.Benches = bench.Names()
+	}
+	for _, b := range sw.Benches {
+		if _, err := bench.Get(b, bench.Sequential); err != nil {
+			return err
+		}
+	}
+	if sw.Mode == "" {
+		sw.Mode = string(experiments.COUPLED)
+	}
+	mode, err := experiments.ParseMode(sw.Mode)
+	if err != nil {
+		return err
+	}
+	sw.Mode = string(mode)
+	if sw.MinFPU == 0 && sw.MaxFPU == 0 {
+		sw.MinFPU, sw.MaxFPU = sw.MinIU, sw.MaxIU
+	}
+	for _, b := range [...]struct {
+		name     string
+		min, max int
+	}{{"iu", sw.MinIU, sw.MaxIU}, {"fpu", sw.MinFPU, sw.MaxFPU}} {
+		if b.min < 1 || b.max < b.min {
+			return fmt.Errorf("sweep: %s range [%d,%d] invalid (need 1 <= min <= max)", b.name, b.min, b.max)
+		}
+		// Mix spreads units over max(nIU, nFPU) clusters plus a branch
+		// cluster; keep within the machine package's cluster bound.
+		if b.max >= machine.MaxClusters {
+			return fmt.Errorf("sweep: %s max %d too large (max %d)", b.name, b.max, machine.MaxClusters-1)
+		}
+	}
+	if n := len(sw.Benches) * (sw.MaxIU - sw.MinIU + 1) * (sw.MaxFPU - sw.MinFPU + 1); n > maxSweepCells {
+		return fmt.Errorf("sweep: %d cells exceeds the %d-cell limit", n, maxSweepCells)
+	}
+	return nil
+}
+
+// cells enumerates the sweep's (bench, iu, fpu) grid in a stable order.
+func (sw *SweepSpec) cells() []sweepCell {
+	var out []sweepCell
+	for _, b := range sw.Benches {
+		for iu := sw.MinIU; iu <= sw.MaxIU; iu++ {
+			for fpu := sw.MinFPU; fpu <= sw.MaxFPU; fpu++ {
+				out = append(out, sweepCell{Bench: b, IU: iu, FPU: fpu})
+			}
+		}
+	}
+	return out
+}
+
+type sweepCell struct {
+	Bench string
+	IU    int
+	FPU   int
+}
+
+// Job is one submitted unit of work and its full lifecycle.
+type Job struct {
+	mu sync.Mutex
+
+	id      string
+	spec    JobSpec
+	cfg     *machine.Config // resolved from spec; nil = driver default
+	state   JobState
+	errMsg  string
+	result  json.RawMessage
+	cells   []json.RawMessage // per-cell payloads (sweep jobs)
+	total   int               // expected cell count (sweep jobs)
+	hit     bool              // served from the whole-job cache entry
+	created time.Time
+	started time.Time
+	ended   time.Time
+
+	cancelled bool // DELETE received
+	cancel    context.CancelFunc
+	// updated is closed and replaced whenever cells/state change, waking
+	// stream subscribers; done is closed once on reaching a terminal
+	// state.
+	updated chan struct{}
+	done    chan struct{}
+}
+
+func newJob(id string, spec JobSpec, cfg *machine.Config, now time.Time) *Job {
+	return &Job{
+		id: id, spec: spec, cfg: cfg,
+		state:   JobQueued,
+		created: now,
+		updated: make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// notifyLocked wakes stream subscribers; callers hold j.mu.
+func (j *Job) notifyLocked() {
+	close(j.updated)
+	j.updated = make(chan struct{})
+}
+
+// appendCell records one completed sweep cell and wakes streamers.
+func (j *Job) appendCell(payload json.RawMessage) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.cells = append(j.cells, payload)
+	j.notifyLocked()
+}
+
+// finish moves the job to a terminal state exactly once.
+func (j *Job) finish(state JobState, result json.RawMessage, errMsg string, now time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.state = state
+	j.result = result
+	j.errMsg = errMsg
+	j.ended = now
+	j.notifyLocked()
+	close(j.done)
+}
+
+// JobView is the wire representation of a job.
+type JobView struct {
+	ID       string   `json:"id"`
+	State    JobState `json:"state"`
+	Spec     JobSpec  `json:"spec"`
+	Error    string   `json:"error,omitempty"`
+	CacheHit bool     `json:"cache_hit"`
+	// CellsDone/CellsTotal report sweep progress (0/0 otherwise).
+	CellsDone  int             `json:"cells_done,omitempty"`
+	CellsTotal int             `json:"cells_total,omitempty"`
+	Created    time.Time       `json:"created"`
+	Started    *time.Time      `json:"started,omitempty"`
+	Finished   *time.Time      `json:"finished,omitempty"`
+	Result     json.RawMessage `json:"result,omitempty"`
+}
+
+// view snapshots the job. withResult controls whether the (possibly
+// large) result payload is included.
+func (j *Job) view(withResult bool) JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID: j.id, State: j.state, Spec: j.spec, Error: j.errMsg,
+		CacheHit: j.hit, CellsDone: len(j.cells), CellsTotal: j.total,
+		Created: j.created,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.ended.IsZero() {
+		t := j.ended
+		v.Finished = &t
+	}
+	if withResult {
+		v.Result = j.result
+	}
+	return v
+}
+
+func presetNames(presets map[string]*machine.Config) string {
+	names := sortedKeys(presets)
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += ", "
+		}
+		out += n
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"pcoup/internal/bench"
+	"pcoup/internal/experiments"
+	"pcoup/internal/machine"
+)
+
+// SimOptions are the simulation knobs that participate in cache keys.
+type SimOptions struct {
+	// MaxCycles bounds each cell's simulation (0: simulator default).
+	MaxCycles int64 `json:"max_cycles,omitempty"`
+	// Trace includes a Chrome trace-event document in cell results.
+	Trace bool `json:"trace,omitempty"`
+}
+
+// keyDoc is the canonical pre-image of a cache key. Field order is fixed
+// by the struct, so equal work produces byte-identical pre-images.
+type keyDoc struct {
+	Kind       string     `json:"kind"` // "cell", "experiment", or "sweep"
+	Name       string     `json:"name,omitempty"`
+	Mode       string     `json:"mode,omitempty"`
+	SourceSHA  string     `json:"source_sha256,omitempty"`
+	MachineSHA string     `json:"machine_sha256"`
+	Options    SimOptions `json:"options"`
+	Extra      string     `json:"extra,omitempty"`
+}
+
+func (d keyDoc) hash() string {
+	data, err := json.Marshal(d)
+	if err != nil {
+		// keyDoc contains only strings and scalars; Marshal cannot fail.
+		panic(err)
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// sourceSHA hashes one benchmark's generated source for the variant a
+// mode runs.
+func sourceSHA(benchName string, mode experiments.Mode) (string, error) {
+	kind := bench.Threaded
+	switch mode {
+	case experiments.SEQ, experiments.STS:
+		kind = bench.Sequential
+	case experiments.IDEAL:
+		kind = bench.Ideal
+	}
+	b, err := bench.Get(benchName, kind)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256([]byte(b.Source))
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// suiteDigest hashes every benchmark source variant the experiments can
+// touch. Experiment-level cache keys include it so that any benchmark
+// generator change invalidates cached experiment results. Sources are
+// deterministic generators, so this is computed once.
+var suiteDigest = sync.OnceValue(func() string {
+	h := sha256.New()
+	names := append(bench.Names(), "modelq")
+	for _, name := range names {
+		for _, kind := range []bench.SourceKind{bench.Sequential, bench.Threaded, bench.Ideal} {
+			b, err := bench.Get(name, kind)
+			if err != nil {
+				continue // variant does not exist (e.g. lud/ideal)
+			}
+			fmt.Fprintf(h, "%s/%s\x00%s\x00", name, kind, b.Source)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+})
+
+// machineSHA returns the canonical hash of cfg (nil selects the
+// baseline, matching the drivers' defaulting).
+func machineSHA(cfg *machine.Config) (string, error) {
+	if cfg == nil {
+		cfg = machine.Baseline()
+	}
+	return cfg.Hash()
+}
+
+// cellKey keys one (benchmark, mode, machine, options) simulation.
+func cellKey(benchName string, mode experiments.Mode, cfg *machine.Config, o SimOptions) (string, error) {
+	src, err := sourceSHA(benchName, mode)
+	if err != nil {
+		return "", err
+	}
+	msha, err := machineSHA(cfg)
+	if err != nil {
+		return "", err
+	}
+	return keyDoc{Kind: "cell", Name: benchName, Mode: string(mode), SourceSHA: src, MachineSHA: msha, Options: o}.hash(), nil
+}
+
+// experimentKey keys a whole registry experiment under a machine config.
+func experimentKey(name string, cfg *machine.Config, o SimOptions) (string, error) {
+	msha, err := machineSHA(cfg)
+	if err != nil {
+		return "", err
+	}
+	return keyDoc{Kind: "experiment", Name: name, SourceSHA: suiteDigest(), MachineSHA: msha, Options: o}.hash(), nil
+}
+
+// sweepKey keys a whole unit-mix sweep job (per-cell results are
+// additionally cached under their own cellKeys; Mix builds its own
+// machines, so the key hashes the sweep geometry instead of a config).
+func sweepKey(sw *SweepSpec, o SimOptions) (string, error) {
+	geom, err := json.Marshal(sw)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(geom)
+	return keyDoc{Kind: "sweep", SourceSHA: suiteDigest(), MachineSHA: "mix", Options: o, Extra: hex.EncodeToString(sum[:])}.hash(), nil
+}

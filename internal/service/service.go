@@ -1,0 +1,539 @@
+// Package service is the simulation-as-a-service layer: a job queue, a
+// bounded worker pool, and a content-addressed result cache behind an
+// HTTP JSON API (see http.go for the routes). It turns the one-shot
+// experiment drivers of internal/experiments into a long-lived daemon
+// (cmd/pcserved) that serves repeated sweeps in O(1) via caching,
+// supports per-job deadlines and cancellation threaded down into the
+// simulator's cycle loop, and drains gracefully on shutdown.
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"pcoup/internal/experiments"
+	"pcoup/internal/machine"
+	"pcoup/internal/sim"
+)
+
+// Submission errors distinguished by the HTTP layer.
+var (
+	// ErrDraining: the daemon is shutting down and accepts no new jobs.
+	ErrDraining = errors.New("service: shutting down, not accepting jobs")
+	// ErrQueueFull: the FIFO queue is at capacity.
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrNotFound: no such job.
+	ErrNotFound = errors.New("service: no such job")
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers is the worker pool size (default GOMAXPROCS). Each job
+	// occupies one worker; experiment drivers additionally parallelize
+	// across cells internally.
+	Workers int
+	// QueueCap bounds the FIFO queue (default 256).
+	QueueCap int
+	// CacheFile, when set, is loaded at Start and persisted on Shutdown.
+	CacheFile string
+	// DefaultTimeout bounds jobs that set no timeout_ms (default 10m;
+	// negative disables).
+	DefaultTimeout time.Duration
+	// Presets are named machine configurations offered to job specs, in
+	// addition to the always-present "baseline".
+	Presets map[string]*machine.Config
+}
+
+// Server owns the queue, the pool, the cache, and the job table.
+type Server struct {
+	opts    Options
+	cache   *Cache
+	metrics *Metrics
+	presets map[string]*machine.Config
+
+	queue      chan *Job
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+
+	mu        sync.Mutex
+	jobs      map[string]*Job
+	order     []*Job
+	nextID    int
+	accepting bool
+	started   bool
+}
+
+// New builds a Server; call Start before serving its Handler.
+func New(opts Options) *Server {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.QueueCap <= 0 {
+		opts.QueueCap = 256
+	}
+	if opts.DefaultTimeout == 0 {
+		opts.DefaultTimeout = 10 * time.Minute
+	}
+	presets := map[string]*machine.Config{"baseline": machine.Baseline()}
+	for name, cfg := range opts.Presets {
+		presets[name] = cfg
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		opts:       opts,
+		cache:      NewCache(),
+		metrics:    NewMetrics(),
+		presets:    presets,
+		queue:      make(chan *Job, opts.QueueCap),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       map[string]*Job{},
+		accepting:  true,
+	}
+}
+
+// Cache exposes the result cache (tests and tooling).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// Start loads the persisted cache (if configured) and launches the
+// worker pool.
+func (s *Server) Start() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return errors.New("service: already started")
+	}
+	s.started = true
+	if s.opts.CacheFile != "" {
+		if err := s.cache.LoadFile(s.opts.CacheFile); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < s.opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return nil
+}
+
+// Shutdown gracefully stops the daemon: new submissions are refused
+// immediately, queued and running jobs drain, and the cache is persisted.
+// If ctx expires before the drain completes, in-flight simulations are
+// cancelled (they observe the context within a few thousand cycles) and
+// finish in the cancelled state. The cache is persisted in either case.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	wasAccepting := s.accepting
+	s.accepting = false
+	if wasAccepting && s.started {
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	waited := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(waited)
+	}()
+	var drainErr error
+	select {
+	case <-waited:
+	case <-ctx.Done():
+		s.baseCancel()
+		<-waited
+		drainErr = ctx.Err()
+	}
+	s.baseCancel()
+
+	if s.opts.CacheFile != "" {
+		if err := s.cache.SaveFile(s.opts.CacheFile); err != nil {
+			return err
+		}
+	}
+	return drainErr
+}
+
+// Submit validates spec and enqueues a job.
+func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	cfg, err := spec.normalize(s.presets)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.accepting {
+		return nil, ErrDraining
+	}
+	s.nextID++
+	job := newJob(fmt.Sprintf("j-%06d", s.nextID), spec, cfg, time.Now())
+	select {
+	case s.queue <- job:
+	default:
+		s.nextID--
+		return nil, ErrQueueFull
+	}
+	s.jobs[job.id] = job
+	s.order = append(s.order, job)
+	s.metrics.JobState(string(JobQueued))
+	return job, nil
+}
+
+// Get returns a job by id.
+func (s *Server) Get(id string) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return job, nil
+}
+
+// List snapshots all jobs in submission order.
+func (s *Server) List() []JobView {
+	s.mu.Lock()
+	jobs := append([]*Job(nil), s.order...)
+	s.mu.Unlock()
+	out := make([]JobView, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.view(false)
+	}
+	return out
+}
+
+// Cancel requests cancellation of a job. A queued job transitions to
+// cancelled immediately; a running job's context is cancelled and the
+// simulator aborts within a few thousand simulated cycles. Cancelling a
+// terminal job is a no-op.
+func (s *Server) Cancel(id string) (*Job, error) {
+	job, err := s.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	job.mu.Lock()
+	job.cancelled = true
+	state := job.state
+	cancel := job.cancel
+	job.mu.Unlock()
+
+	switch state {
+	case JobQueued:
+		s.finishJob(job, JobCancelled, nil, "cancelled before execution")
+	case JobRunning:
+		if cancel != nil {
+			cancel()
+		}
+	}
+	return job, nil
+}
+
+// finishJob moves a job to a terminal state (once) and keeps the metrics
+// in step.
+func (s *Server) finishJob(job *Job, state JobState, result json.RawMessage, errMsg string) {
+	job.mu.Lock()
+	if job.state.Terminal() {
+		job.mu.Unlock()
+		return
+	}
+	job.mu.Unlock()
+	job.finish(state, result, errMsg, time.Now())
+	s.metrics.JobState(string(state))
+}
+
+// worker drains the queue until Shutdown closes it.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.runJob(job)
+	}
+}
+
+// runJob executes one job end to end.
+func (s *Server) runJob(job *Job) {
+	job.mu.Lock()
+	if job.state.Terminal() { // cancelled while queued
+		job.mu.Unlock()
+		return
+	}
+	job.state = JobRunning
+	job.started = time.Now()
+	queueWait := job.started.Sub(job.created)
+	timeout := s.opts.DefaultTimeout
+	if job.spec.TimeoutMS > 0 {
+		timeout = time.Duration(job.spec.TimeoutMS) * time.Millisecond
+	}
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(s.baseCtx, timeout)
+	} else {
+		ctx, cancel = context.WithCancel(s.baseCtx)
+	}
+	job.cancel = cancel
+	alreadyCancelled := job.cancelled
+	job.notifyLocked()
+	job.mu.Unlock()
+	defer cancel()
+
+	s.metrics.JobState(string(JobRunning))
+	s.metrics.Observe("queue", queueWait.Seconds())
+	if alreadyCancelled {
+		cancel()
+	}
+
+	payload, err := s.execute(ctx, job)
+	runDur := time.Since(job.started)
+	s.metrics.Observe("run", runDur.Seconds())
+
+	switch {
+	case err == nil:
+		s.finishJob(job, JobDone, payload, "")
+	case isCancellation(err) && jobWasCancelled(job):
+		s.finishJob(job, JobCancelled, nil, "cancelled")
+	case errors.Is(err, context.DeadlineExceeded):
+		s.finishJob(job, JobFailed, nil, fmt.Sprintf("deadline exceeded after %s", runDur.Round(time.Millisecond)))
+	case isCancellation(err):
+		// Shutdown cancelled the base context.
+		s.finishJob(job, JobCancelled, nil, "cancelled by shutdown")
+	default:
+		s.finishJob(job, JobFailed, nil, err.Error())
+	}
+}
+
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+func jobWasCancelled(job *Job) bool {
+	job.mu.Lock()
+	defer job.mu.Unlock()
+	return job.cancelled
+}
+
+// execute produces the job's result payload, consulting the cache first.
+func (s *Server) execute(ctx context.Context, job *Job) (json.RawMessage, error) {
+	switch {
+	case job.spec.Experiment != "":
+		return s.runExperiment(ctx, job)
+	case job.spec.Cell != nil:
+		return s.runCellJob(ctx, job)
+	case job.spec.Sweep != nil:
+		return s.runSweep(ctx, job)
+	}
+	return nil, errors.New("service: empty job spec")
+}
+
+// markHit flags the job as cache-served.
+func markHit(job *Job) {
+	job.mu.Lock()
+	job.hit = true
+	job.mu.Unlock()
+}
+
+// experimentResult is the payload of an experiment job.
+type experimentResult struct {
+	Experiment string `json:"experiment"`
+	MachineSHA string `json:"machine_sha256"`
+	Rows       any    `json:"rows"`
+}
+
+func (s *Server) runExperiment(ctx context.Context, job *Job) (json.RawMessage, error) {
+	key, err := experimentKey(job.spec.Experiment, job.cfg, job.spec.Options)
+	if err != nil {
+		return nil, err
+	}
+	if payload, ok := s.cache.Get(key); ok {
+		markHit(job)
+		return payload, nil
+	}
+	e, ok := experiments.Lookup(job.spec.Experiment)
+	if !ok {
+		return nil, experiments.UnknownExperimentError(job.spec.Experiment)
+	}
+	rows, err := e.Run(&experiments.RunContext{Ctx: ctx, Cfg: job.cfg})
+	if err != nil {
+		return nil, err
+	}
+	msha, err := machineSHA(job.cfg)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := json.Marshal(experimentResult{Experiment: e.Name, MachineSHA: msha, Rows: rows})
+	if err != nil {
+		return nil, err
+	}
+	s.cache.Put(key, payload)
+	return payload, nil
+}
+
+// CellResult is the payload of a single simulation cell (standalone cell
+// jobs and each streamed cell of a sweep).
+type CellResult struct {
+	Bench string `json:"bench"`
+	Mode  string `json:"mode"`
+	// IUs/FPUs describe the swept machine (sweep cells only).
+	IUs        int                `json:"ius,omitempty"`
+	FPUs       int                `json:"fpus,omitempty"`
+	MachineSHA string             `json:"machine_sha256"`
+	Cycles     int64              `json:"cycles"`
+	Ops        int64              `json:"ops"`
+	Threads    int                `json:"threads"`
+	Util       map[string]float64 `json:"utilization"`
+	WBRetries  int64              `json:"writeback_retries"`
+	Trace      json.RawMessage    `json:"trace,omitempty"`
+}
+
+// runCell simulates one (bench, mode, cfg) cell and encodes its payload.
+func (s *Server) runCell(ctx context.Context, benchName string, mode experiments.Mode, cfg *machine.Config, o SimOptions, ius, fpus int) (json.RawMessage, error) {
+	if cfg == nil {
+		cfg = machine.Baseline()
+	}
+	var opts []sim.Option
+	if o.MaxCycles > 0 {
+		opts = append(opts, sim.WithMaxCycles(o.MaxCycles))
+	}
+	var tracer *sim.JSONTracer
+	if o.Trace {
+		tracer = sim.NewJSONTracer(cfg)
+		opts = append(opts, sim.WithJSONTrace(tracer))
+	}
+	r, err := experiments.ExecuteCtx(ctx, benchName, mode, cfg, opts...)
+	if err != nil {
+		return nil, err
+	}
+	msha, err := cfg.Hash()
+	if err != nil {
+		return nil, err
+	}
+	out := CellResult{
+		Bench: benchName, Mode: string(mode), IUs: ius, FPUs: fpus,
+		MachineSHA: msha,
+		Cycles:     r.Cycles, Ops: r.Result.Ops, Threads: len(r.Result.Threads),
+		Util:      map[string]float64{},
+		WBRetries: r.Result.WritebackRetries,
+	}
+	for k := 0; k < machine.NumUnitKinds; k++ {
+		kind := machine.UnitKind(k)
+		out.Util[kind.String()] = r.Utilization(kind)
+	}
+	if tracer != nil {
+		var buf bytes.Buffer
+		if err := tracer.Write(&buf); err != nil {
+			return nil, err
+		}
+		out.Trace = buf.Bytes()
+	}
+	return json.Marshal(out)
+}
+
+func (s *Server) runCellJob(ctx context.Context, job *Job) (json.RawMessage, error) {
+	mode, err := experiments.ParseMode(job.spec.Cell.Mode)
+	if err != nil {
+		return nil, err
+	}
+	key, err := cellKey(job.spec.Cell.Bench, mode, job.cfg, job.spec.Options)
+	if err != nil {
+		return nil, err
+	}
+	if payload, ok := s.cache.Get(key); ok {
+		markHit(job)
+		return payload, nil
+	}
+	payload, err := s.runCell(ctx, job.spec.Cell.Bench, mode, job.cfg, job.spec.Options, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	s.cache.Put(key, payload)
+	return payload, nil
+}
+
+// sweepResult is the payload of a sweep job: the cells in stable grid
+// order (bench-major, then IU, then FPU — the order they also stream).
+type sweepResult struct {
+	Sweep SweepSpec         `json:"sweep"`
+	Cells []json.RawMessage `json:"cells"`
+}
+
+func (s *Server) runSweep(ctx context.Context, job *Job) (json.RawMessage, error) {
+	sw := job.spec.Sweep
+	cells := sw.cells()
+	job.mu.Lock()
+	job.total = len(cells)
+	job.mu.Unlock()
+
+	jobKey, err := sweepKey(sw, job.spec.Options)
+	if err != nil {
+		return nil, err
+	}
+	if payload, ok := s.cache.Get(jobKey); ok {
+		// Replay the cached cells to any stream subscribers.
+		var res sweepResult
+		if err := json.Unmarshal(payload, &res); err == nil {
+			for _, cell := range res.Cells {
+				job.appendCell(cell)
+			}
+		}
+		markHit(job)
+		return payload, nil
+	}
+
+	mode := experiments.Mode(sw.Mode)
+	res := sweepResult{Sweep: *sw, Cells: make([]json.RawMessage, 0, len(cells))}
+	for _, c := range cells {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		cfg := machine.Mix(c.IU, c.FPU)
+		key, err := cellKey(c.Bench, mode, cfg, job.spec.Options)
+		if err != nil {
+			return nil, err
+		}
+		payload, ok := s.cache.Get(key)
+		if !ok {
+			payload, err = s.runCell(ctx, c.Bench, mode, cfg, job.spec.Options, c.IU, c.FPU)
+			if err != nil {
+				return nil, fmt.Errorf("sweep %s %diu %dfpu: %w", c.Bench, c.IU, c.FPU, err)
+			}
+			s.cache.Put(key, payload)
+		}
+		res.Cells = append(res.Cells, payload)
+		job.appendCell(payload)
+	}
+	payload, err := json.Marshal(res)
+	if err != nil {
+		return nil, err
+	}
+	s.cache.Put(jobKey, payload)
+	return payload, nil
+}
+
+// gauges samples the live state for /metrics.
+func (s *Server) gauges() Gauges {
+	s.mu.Lock()
+	byState := map[string]int{}
+	for _, j := range s.order {
+		j.mu.Lock()
+		byState[string(j.state)]++
+		j.mu.Unlock()
+	}
+	accepting := s.accepting
+	depth := len(s.queue)
+	s.mu.Unlock()
+	hits, misses := s.cache.Stats()
+	return Gauges{
+		QueueDepth:   depth,
+		Workers:      s.opts.Workers,
+		JobsByState:  byState,
+		CacheEntries: s.cache.Len(),
+		CacheHits:    hits,
+		CacheMisses:  misses,
+		Accepting:    accepting,
+	}
+}

@@ -8,6 +8,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -103,6 +104,15 @@ type Sim struct {
 	trace     io.Writer
 	issueHook func(cycle int64, unit int, thread int, op *isa.Op)
 
+	// ctx, when set, is polled by the cycle loop so long simulations can
+	// be cancelled or deadlined from outside (the service layer's per-job
+	// contexts). Nil means never cancelled.
+	ctx context.Context
+
+	// maxCycles, when positive, is the default cycle budget used by Run(0)
+	// in place of the built-in default.
+	maxCycles int64
+
 	// attrib accumulates per-cycle stall attribution; nil unless
 	// enabled, so the default path pays only a nil check per cycle.
 	attrib *stallAttrib
@@ -123,6 +133,27 @@ func WithTrace(w io.Writer) Option { return func(s *Sim) { s.trace = w } }
 func WithIssueHook(f func(cycle int64, unit int, thread int, op *isa.Op)) Option {
 	return func(s *Sim) { s.issueHook = f }
 }
+
+// WithContext attaches a context to the simulation. Run polls it
+// periodically (every cancelCheckMask+1 cycles, so the hot loop pays no
+// per-cycle cost) and returns the context's error once it is cancelled or
+// its deadline passes.
+func WithContext(ctx context.Context) Option {
+	return func(s *Sim) { s.ctx = ctx }
+}
+
+// WithMaxCycles sets the cycle budget Run uses when called with no
+// explicit budget (Run's own positive argument still takes precedence).
+// Callers that cannot reach the Run call directly — e.g. the service
+// layer going through experiments.ExecuteCtx — use this to bound a cell.
+func WithMaxCycles(n int64) Option {
+	return func(s *Sim) { s.maxCycles = n }
+}
+
+// cancelCheckMask controls how often Run polls the attached context: on
+// cycles where cycle&cancelCheckMask == 0 (every 4096 cycles; well under
+// a millisecond of host time even on slow machines).
+const cancelCheckMask = 1<<12 - 1
 
 // New prepares a simulation of prog on the machine cfg. The program must
 // have been compiled for the same machine configuration.
@@ -267,6 +298,9 @@ func (e *DeadlockError) Error() string {
 // (0 means a large default). It returns the accumulated statistics.
 func (s *Sim) Run(maxCycles int64) (*Result, error) {
 	if maxCycles <= 0 {
+		maxCycles = s.maxCycles
+	}
+	if maxCycles <= 0 {
 		maxCycles = 100_000_000
 	}
 	// The no-progress window is clamped to half the cycle budget so that
@@ -285,6 +319,11 @@ func (s *Sim) Run(maxCycles int64) (*Result, error) {
 		s.step()
 		if err := s.mem.Fault(); err != nil {
 			return nil, fmt.Errorf("sim: cycle %d: %w", s.cycle, err)
+		}
+		if s.ctx != nil && s.cycle&cancelCheckMask == 0 {
+			if err := s.ctx.Err(); err != nil {
+				return nil, fmt.Errorf("sim: cancelled at cycle %d: %w", s.cycle, err)
+			}
 		}
 		if s.cycle-s.lastProgress > stallLimit {
 			return nil, s.deadlock()

@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"pcoup/internal/isa"
+)
+
+// traceDoc mirrors the Chrome trace-event envelope for shape checks.
+type traceDoc struct {
+	TraceEvents []map[string]any `json:"traceEvents"`
+	DisplayUnit string           `json:"displayTimeUnit"`
+}
+
+// runTraced executes a small program with the JSON tracer attached and
+// returns the parsed trace document.
+func runTraced(t *testing.T) traceDoc {
+	t.Helper()
+	cfg := miniMachine()
+	main := &isa.ThreadCode{Name: "main", Instrs: []isa.Instruction{
+		word(opAdd(uIU0, r(0, 0), isa.ImmInt(1), isa.ImmInt(2))),
+		word(opAdd(uIU0, r(0, 1), isa.Reg(r(0, 0)), isa.ImmInt(3))),
+		word(opStore(uMEM0, isa.Reg(r(0, 1)), 8)),
+		word(opHalt()),
+	}}
+	tr := NewJSONTracer(cfg)
+	s, err := New(cfg, prog(main), WithJSONTrace(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(10000); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("emitted trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	return doc
+}
+
+// TestJSONTraceShape asserts the emitted Chrome trace-event JSON is
+// well-formed: it parses, every event carries the required keys, complete
+// events have positive durations, metadata precedes spans, and span
+// timestamps are monotonic (the viewer's assumption after Write's sort).
+func TestJSONTraceShape(t *testing.T) {
+	doc := runTraced(t)
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+
+	seenSpan := false
+	var lastTs float64
+	var spans, metas int
+	for i, ev := range doc.TraceEvents {
+		ph, ok := ev["ph"].(string)
+		if !ok {
+			t.Fatalf("event %d: missing ph: %v", i, ev)
+		}
+		if _, ok := ev["name"].(string); !ok {
+			t.Fatalf("event %d: missing name: %v", i, ev)
+		}
+		for _, key := range []string{"pid", "tid"} {
+			if _, ok := ev[key].(float64); !ok {
+				t.Fatalf("event %d: missing %s: %v", i, key, ev)
+			}
+		}
+		switch ph {
+		case "M":
+			metas++
+			if seenSpan {
+				t.Errorf("event %d: metadata after span events", i)
+			}
+			if _, ok := ev["args"].(map[string]any); !ok {
+				t.Errorf("metadata event %d has no args: %v", i, ev)
+			}
+		case "X":
+			spans++
+			ts, ok := ev["ts"].(float64)
+			if !ok {
+				t.Fatalf("span event %d: missing ts: %v", i, ev)
+			}
+			if ts < 0 {
+				t.Errorf("span event %d: negative ts %v", i, ts)
+			}
+			if seenSpan && ts < lastTs {
+				t.Errorf("span event %d: ts %v below previous %v (not monotonic)", i, ts, lastTs)
+			}
+			dur, ok := ev["dur"].(float64)
+			if !ok || dur < 1 {
+				t.Errorf("span event %d: dur %v, want >= 1", i, ev["dur"])
+			}
+			lastTs = ts
+			seenSpan = true
+		default:
+			t.Errorf("event %d: unexpected phase %q", i, ph)
+		}
+	}
+	if spans == 0 {
+		t.Error("trace has no span (ph=X) events")
+	}
+	if metas == 0 {
+		t.Error("trace has no metadata (ph=M) events")
+	}
+}
+
+// TestJSONTraceContent pins the semantic content for the known program:
+// unit tracks carry the issued opcodes, thread tracks carry stall
+// classifications, and track-naming metadata covers every unit.
+func TestJSONTraceContent(t *testing.T) {
+	doc := runTraced(t)
+	unitOps := map[string]int{}
+	threadSpans := 0
+	namedTracks := 0
+	for _, ev := range doc.TraceEvents {
+		name, _ := ev["name"].(string)
+		pid, _ := ev["pid"].(float64)
+		switch {
+		case ev["ph"] == "M" && name == "thread_name":
+			namedTracks++
+		case ev["ph"] == "X" && int(pid) == tracePidUnits:
+			unitOps[name]++
+			args, ok := ev["args"].(map[string]any)
+			if !ok {
+				t.Errorf("unit span %v lacks args", ev)
+				continue
+			}
+			if _, ok := args["thread"]; !ok {
+				t.Errorf("unit span %v lacks issuing thread", ev)
+			}
+		case ev["ph"] == "X" && int(pid) == tracePidThreads:
+			threadSpans++
+		}
+	}
+	// The program issues two adds, a store, and a halt.
+	if unitOps["add"] != 2 && unitOps["ADD"] != 2 && unitOps[isa.OpAdd.String()] != 2 {
+		t.Errorf("expected 2 add spans, got %v", unitOps)
+	}
+	if threadSpans == 0 {
+		t.Error("no per-thread classification spans emitted")
+	}
+	// 5 unit tracks + 1 thread track.
+	if namedTracks < 6 {
+		t.Errorf("expected >= 6 named tracks, got %d", namedTracks)
+	}
+}
