@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"os"
 	"strconv"
@@ -33,13 +34,15 @@ import (
 
 func main() {
 	server := flag.String("server", "http://127.0.0.1:8091", "pcserved base URL")
+	retries := flag.Int("retries", 3, "retries per request on transient failures (connection errors, 429, 5xx)")
+	retryMaxWait := flag.Duration("retry-max-wait", 10*time.Second, "cap on a single retry backoff sleep")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() == 0 {
 		usage()
 		os.Exit(2)
 	}
-	c := &client{base: strings.TrimRight(*server, "/")}
+	c := &client{base: strings.TrimRight(*server, "/"), retries: *retries, maxWait: *retryMaxWait}
 	cmd, args := flag.Arg(0), flag.Args()[1:]
 	var err error
 	switch cmd {
@@ -85,37 +88,118 @@ commands:
 `)
 }
 
-type client struct{ base string }
+type client struct {
+	base    string
+	retries int           // additional attempts after the first
+	maxWait time.Duration // cap on any single backoff sleep
+	backoff time.Duration // base backoff (exposed for tests)
+}
 
 // do performs one API call, decoding the error body on non-2xx.
-func (c *client) do(method, path string, body io.Reader) (*http.Response, error) {
-	req, err := http.NewRequest(method, c.base+path, body)
-	if err != nil {
-		return nil, err
-	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode >= 300 {
-		defer resp.Body.Close()
-		data, _ := io.ReadAll(resp.Body)
-		var eb struct {
-			Error string `json:"error"`
+// Transient failures — transport errors (connection refused or reset
+// while the daemon restarts), 429, and 5xx responses — are retried up to
+// c.retries times with exponential backoff plus jitter; a Retry-After
+// header on 429/503 is honored when it asks for longer. The request body
+// is replayed from bytes on every attempt.
+func (c *client) do(method, path string, body []byte) (*http.Response, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
 		}
-		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
-			return nil, fmt.Errorf("%s: %s", resp.Status, eb.Error)
+		req, err := http.NewRequest(method, c.base+path, rd)
+		if err != nil {
+			return nil, err
 		}
-		return nil, fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(data)))
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := http.DefaultClient.Do(req)
+		var after time.Duration
+		switch {
+		case err != nil:
+			lastErr = err
+		case transientStatus(resp.StatusCode):
+			after = retryAfter(resp)
+			lastErr = apiError(resp)
+		case resp.StatusCode >= 300:
+			return nil, apiError(resp)
+		default:
+			return resp, nil
+		}
+		if attempt >= c.retries {
+			if attempt > 0 {
+				return nil, fmt.Errorf("after %d attempts: %w", attempt+1, lastErr)
+			}
+			return nil, lastErr
+		}
+		time.Sleep(c.sleepFor(attempt, after))
 	}
-	return resp, nil
+}
+
+// transientStatus reports whether a response status is worth retrying:
+// the daemon shedding load (429), or server-side failures (5xx) such as
+// 503 while draining.
+func transientStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code >= 500
+}
+
+// apiError reads, closes, and renders a non-2xx response body.
+func apiError(resp *http.Response) error {
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	var eb struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
+		return fmt.Errorf("%s: %s", resp.Status, eb.Error)
+	}
+	return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(data)))
+}
+
+// retryAfter parses a Retry-After header (delay-seconds or HTTP-date).
+func retryAfter(resp *http.Response) time.Duration {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	if at, err := http.ParseTime(v); err == nil {
+		if d := time.Until(at); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+// sleepFor computes the backoff before retry number attempt+1: an
+// exponentially growing base with ±50% jitter (decorrelating clients
+// that all watched the same daemon die), raised to the server's
+// Retry-After when it asks for longer, capped at maxWait.
+func (c *client) sleepFor(attempt int, after time.Duration) time.Duration {
+	base := c.backoff
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	d := base << uint(attempt)
+	if d > c.maxWait {
+		d = c.maxWait
+	}
+	d = d/2 + time.Duration(rand.Int64N(int64(d)/2+1)) // [d/2, d]
+	if after > d {
+		d = after
+	}
+	if d > c.maxWait {
+		d = c.maxWait
+	}
+	return d
 }
 
 // getJSON decodes a 2xx response into v.
-func (c *client) getJSON(method, path string, body io.Reader, v any) error {
+func (c *client) getJSON(method, path string, body []byte, v any) error {
 	resp, err := c.do(method, path, body)
 	if err != nil {
 		return err
@@ -198,7 +282,7 @@ func (c *client) submit(args []string) error {
 		return err
 	}
 	var view service.JobView
-	if err := c.getJSON("POST", "/v1/jobs", bytes.NewReader(body), &view); err != nil {
+	if err := c.getJSON("POST", "/v1/jobs", body, &view); err != nil {
 		return err
 	}
 	if !*wait {

@@ -1,0 +1,193 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func listenAt(addr string) (net.Listener, error) { return net.Listen("tcp", addr) }
+
+// testClient points at ts with fast, deterministic-enough backoff.
+func testClient(ts *httptest.Server, retries int) *client {
+	return &client{base: ts.URL, retries: retries, maxWait: 50 * time.Millisecond, backoff: time.Millisecond}
+}
+
+func TestDoRetriesServerErrors(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		io.WriteString(w, `{"ok":true}`)
+	}))
+	defer ts.Close()
+
+	resp, err := testClient(ts, 3).do("GET", "/", nil)
+	if err != nil {
+		t.Fatalf("do after flaky 500s: %v", err)
+	}
+	resp.Body.Close()
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d calls, want 3 (two 500s then success)", got)
+	}
+}
+
+func TestDoRetries429HonoringRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	var firstRetryGap atomic.Int64
+	var last atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		now := time.Now().UnixNano()
+		if prev := last.Swap(now); prev != 0 && firstRetryGap.Load() == 0 {
+			firstRetryGap.Store(now - prev)
+		}
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "slow down", http.StatusTooManyRequests)
+			return
+		}
+		io.WriteString(w, "{}")
+	}))
+	defer ts.Close()
+
+	c := testClient(ts, 2)
+	c.maxWait = 2 * time.Second // must not truncate the server's ask
+	resp, err := c.do("GET", "/", nil)
+	if err != nil {
+		t.Fatalf("do after 429: %v", err)
+	}
+	resp.Body.Close()
+	if got := calls.Load(); got != 2 {
+		t.Errorf("server saw %d calls, want 2", got)
+	}
+	if gap := time.Duration(firstRetryGap.Load()); gap < 900*time.Millisecond {
+		t.Errorf("retry came after %v, want >= ~1s per Retry-After", gap)
+	}
+}
+
+func TestDoDoesNotRetryClientErrors(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(map[string]string{"error": "bad spec"})
+	}))
+	defer ts.Close()
+
+	_, err := testClient(ts, 5).do("POST", "/v1/jobs", []byte("{}"))
+	if err == nil || !strings.Contains(err.Error(), "bad spec") {
+		t.Fatalf("err = %v, want the decoded 400 error", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("server saw %d calls, want 1 (400 is not transient)", got)
+	}
+}
+
+func TestDoExhaustsRetries(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	_, err := testClient(ts, 2).do("GET", "/", nil)
+	if err == nil || !strings.Contains(err.Error(), "after 3 attempts") {
+		t.Fatalf("err = %v, want exhaustion after 3 attempts", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d calls, want 3", got)
+	}
+}
+
+func TestDoRetriesConnectionRefused(t *testing.T) {
+	// A daemon restarting mid-request: the first attempts hit a closed
+	// port, then the server comes up at the same address.
+	ts := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "{}")
+	}))
+	addr := ts.Listener.Addr().String()
+	ts.Listener.Close() // connection refused until restarted below
+
+	c := &client{base: "http://" + addr, retries: 10, maxWait: 50 * time.Millisecond, backoff: 5 * time.Millisecond}
+	restarted := make(chan *httptest.Server, 1)
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		s2 := httptest.NewUnstartedServer(ts.Config.Handler)
+		s2.Listener.Close()
+		var err error
+		s2.Listener, err = listenAt(addr)
+		if err != nil {
+			restarted <- nil
+			return
+		}
+		s2.Start()
+		restarted <- s2
+	}()
+
+	resp, err := c.do("GET", "/healthz", nil)
+	s2 := <-restarted
+	if s2 == nil {
+		t.Skip("could not rebind the test port")
+	}
+	defer s2.Close()
+	if err != nil {
+		t.Fatalf("do across restart: %v", err)
+	}
+	resp.Body.Close()
+}
+
+func TestDoReplaysBodyOnRetry(t *testing.T) {
+	var calls atomic.Int64
+	var bodies []string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		data, _ := io.ReadAll(r.Body)
+		bodies = append(bodies, string(data))
+		if calls.Add(1) == 1 {
+			http.Error(w, "boom", http.StatusBadGateway)
+			return
+		}
+		io.WriteString(w, "{}")
+	}))
+	defer ts.Close()
+
+	resp, err := testClient(ts, 2).do("POST", "/v1/jobs", []byte(`{"experiment":"table2"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(bodies) != 2 || bodies[0] != bodies[1] || bodies[1] != `{"experiment":"table2"}` {
+		t.Errorf("bodies = %q, want the same full body on both attempts", bodies)
+	}
+}
+
+func TestRetryAfterParsing(t *testing.T) {
+	mk := func(v string) *http.Response {
+		h := http.Header{}
+		if v != "" {
+			h.Set("Retry-After", v)
+		}
+		return &http.Response{Header: h}
+	}
+	if d := retryAfter(mk("")); d != 0 {
+		t.Errorf("no header: %v, want 0", d)
+	}
+	if d := retryAfter(mk("7")); d != 7*time.Second {
+		t.Errorf("seconds: %v, want 7s", d)
+	}
+	date := time.Now().Add(5 * time.Second).UTC().Format(http.TimeFormat)
+	if d := retryAfter(mk(date)); d <= 0 || d > 5*time.Second {
+		t.Errorf("http-date: %v, want (0, 5s]", d)
+	}
+	if d := retryAfter(mk("garbage")); d != 0 {
+		t.Errorf("garbage: %v, want 0", d)
+	}
+}

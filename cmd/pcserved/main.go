@@ -36,6 +36,9 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool size (0: GOMAXPROCS)")
 	queueCap := flag.Int("queue", 256, "job queue capacity")
 	cacheFile := flag.String("cache-file", "", "persist the result cache to this file across restarts")
+	journalFile := flag.String("journal", "", "write-ahead job journal: a daemon killed mid-job resumes interrupted jobs on restart")
+	retryBudget := flag.Int("retry-budget", 3, "max re-executions of a journal-recovered job before it is failed")
+	retryBackoff := flag.Duration("retry-backoff", time.Second, "base backoff before re-running a repeatedly interrupted job (doubles per interruption)")
 	presetDir := flag.String("presets", "", "directory of machine config JSON files served as presets (by file stem)")
 	jobTimeout := flag.Duration("job-timeout", 10*time.Minute, "default per-job deadline (jobs may set timeout_ms)")
 	drainTimeout := flag.Duration("drain-timeout", time.Minute, "how long shutdown waits for in-flight jobs before cancelling them")
@@ -50,6 +53,9 @@ func main() {
 		Workers:        *workers,
 		QueueCap:       *queueCap,
 		CacheFile:      *cacheFile,
+		JournalFile:    *journalFile,
+		RetryBudget:    *retryBudget,
+		RetryBackoff:   *retryBackoff,
 		DefaultTimeout: *jobTimeout,
 		Presets:        presets,
 	})

@@ -6,17 +6,23 @@
 // Usage:
 //
 //	pcsim [-machine config.json] [-trace] [-max N] [-dump global[:count]] prog.pca
+//
+// Exit codes: 0 success, 1 simulation error (including deadlock),
+// 2 usage, 3 memory addressing fault (out-of-range access).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
 
+	"pcoup/internal/faults"
 	"pcoup/internal/isa"
 	"pcoup/internal/machine"
+	"pcoup/internal/memsys"
 	"pcoup/internal/sim"
 )
 
@@ -29,6 +35,10 @@ func main() {
 	traceJSON := flag.String("trace-json", "", "write a Chrome trace-event JSON file (chrome://tracing, Perfetto)")
 	interleave := flag.Int64("interleave", 0, "render the unit-to-thread interleaving for the first N cycles (the paper's Figure 1/2 view)")
 	timeline := flag.Int64("timeline", 0, "render per-class utilization over time in buckets of N cycles")
+	faultSpec := flag.String("faults", "", "fault injection spec, e.g. seed=7,mem-drop=0.01,mem-delay=0.02:8,unit=0.001:4,port=0.001:2 (overrides the machine config)")
+	ckptEvery := flag.Int64("checkpoint-every", 0, "snapshot full simulator state every N cycles to -checkpoint")
+	ckptPath := flag.String("checkpoint", "pcsim.ckpt.json", "checkpoint file for -checkpoint-every (latest snapshot wins)")
+	resume := flag.String("resume", "", "resume from a checkpoint file instead of starting at cycle 0")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -44,6 +54,13 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+	}
+	if *faultSpec != "" {
+		m, err := faults.ParseSpec(*faultSpec)
+		if err != nil {
+			fatal(err)
+		}
+		cfg = cfg.WithFaults(m)
 	}
 
 	f, err := os.Open(flag.Arg(0))
@@ -78,12 +95,40 @@ func main() {
 		tracer = sim.NewJSONTracer(cfg)
 		opts = append(opts, sim.WithJSONTrace(tracer))
 	}
+	if *ckptEvery > 0 {
+		opts = append(opts, sim.WithCheckpointEvery(*ckptEvery, func(ck *sim.Checkpoint) error {
+			return ck.WriteFile(*ckptPath)
+		}))
+	}
 	s, err := sim.New(cfg, prog, opts...)
 	if err != nil {
 		fatal(err)
 	}
+	if *resume != "" {
+		ck, err := sim.LoadCheckpoint(*resume)
+		if err != nil {
+			fatal(err)
+		}
+		if err := s.Restore(ck); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "pcsim: resumed from %s at cycle %d\n", *resume, ck.Cycle)
+	}
 	res, err := s.Run(*maxCycles)
 	if err != nil {
+		var ae *memsys.AddressError
+		if errors.As(err, &ae) {
+			fmt.Fprintln(os.Stderr, "pcsim:", err)
+			os.Exit(3)
+		}
+		var de *sim.DeadlockError
+		if errors.As(err, &de) {
+			fmt.Fprintln(os.Stderr, "pcsim:", err)
+			for _, line := range de.Threads {
+				fmt.Fprintln(os.Stderr, "pcsim:   "+line)
+			}
+			os.Exit(1)
+		}
 		fatal(err)
 	}
 
@@ -97,6 +142,11 @@ func main() {
 	}
 	fmt.Printf("memory:   %d loads, %d stores, %d misses, %d parked\n",
 		res.Mem.Loads, res.Mem.Stores, res.Mem.Misses, res.Mem.Parked)
+	if fs := res.Faults; fs != nil {
+		fmt.Printf("faults:   %d wakeups dropped (%d recovered in %d watchdog retries), %d delayed, %d unit outages, %d port outages (%d writebacks rejected)\n",
+			fs.MemDropped, fs.WakeupsRecovered, fs.WakeupRetries, fs.MemDelayed,
+			fs.UnitOutages, fs.PortOutages, fs.OutageRejects)
+	}
 	fmt.Printf("threads:  %d\n", len(res.Threads))
 	for _, t := range res.Threads {
 		fmt.Printf("  t%-3d %-24s spawn=%-7d halt=%-7d ops=%d\n",

@@ -105,6 +105,12 @@ var registry = []Experiment{
 		Write: func(w io.Writer, _ *machine.Config, rows any) { WriteStalls(w, rows.([]StallRow)) },
 	},
 	{
+		Name:  "degradation",
+		Brief: "fault-injection rate vs slowdown per configuration (extension)",
+		Run:   func(rc *RunContext) (any, error) { return DegradationCtx(rc.Context(), rc.Config()) },
+		Write: func(w io.Writer, _ *machine.Config, rows any) { WriteDegradation(w, rows.([]DegradationRow)) },
+	},
+	{
 		Name:  "feasibility",
 		Brief: "silicon-cost model of the communication schemes (Sections 5-6)",
 		Run: func(rc *RunContext) (any, error) {

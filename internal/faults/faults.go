@@ -1,0 +1,420 @@
+// Package faults is the deterministic fault-injection subsystem: a
+// seeded model of the transient disturbances a coupled node must ride
+// out — delayed or dropped split-transaction reactivations (lost
+// presence-bit wakeups) in the memory system, per-cluster register-file
+// port outages in the interconnect, and per-unit degradation windows
+// during which a function unit is offline. Every fault is drawn from a
+// splitmix64 stream derived from the model's seed, so two runs of the
+// same program on the same configuration observe the identical fault
+// schedule; the simulator's forward-progress watchdog provides the
+// matching recovery (bounded deterministic retry of lost wakeups).
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"pcoup/internal/rng"
+)
+
+// Model configures fault injection. The zero value disables every fault
+// class. It lives in machine.Config (JSON section "faults") so that a
+// fault schedule is part of the machine description, participates in
+// config canonicalization/hashing, and travels over the pcserved API
+// like every other simulation knob.
+type Model struct {
+	// Seed seeds the injector's generators (decoupled from the memory
+	// model's statistical seed so enabling faults does not perturb the
+	// hit/miss sequence).
+	Seed uint64
+	// MemDelayRate is the probability that a split-transaction
+	// reactivation (the wakeup servicing a parked reference after a
+	// presence-bit transition) is delayed by up to MemDelayMax extra
+	// cycles instead of the usual one-cycle latency.
+	MemDelayRate float64
+	// MemDelayMax is the maximum extra reactivation delay in cycles.
+	MemDelayMax int
+	// MemDropRate is the probability that a reactivation is lost
+	// outright: the parked reference stays parked until the simulator's
+	// watchdog retries the wakeup. Without recovery a dropped wakeup is
+	// a livelock.
+	MemDropRate float64
+	// PortOutageRate is the per-queried-cycle probability that a
+	// cluster's register-file write ports go down for PortOutageCycles
+	// cycles (writebacks retry until the window passes).
+	PortOutageRate   float64
+	PortOutageCycles int
+	// UnitOutageRate is the per-cycle probability that a function unit
+	// goes offline for UnitOutageCycles cycles (an FPU losing cycles
+	// [a,b): no operation issues on it during the window).
+	UnitOutageRate   float64
+	UnitOutageCycles int
+}
+
+// Enabled reports whether any fault class can fire.
+func (m *Model) Enabled() bool {
+	return m.MemDelayRate > 0 || m.MemDropRate > 0 || m.PortOutageRate > 0 || m.UnitOutageRate > 0
+}
+
+// Validate checks the model's bounds. Field names use the JSON config
+// spelling under the given prefix (for example "faults.").
+func (m *Model) Validate(prefix string) error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{
+		{"mem_delay_rate", m.MemDelayRate},
+		{"mem_drop_rate", m.MemDropRate},
+		{"port_outage_rate", m.PortOutageRate},
+		{"unit_outage_rate", m.UnitOutageRate},
+	} {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("%s%s: %g (must be in [0,1])", prefix, r.name, r.v)
+		}
+	}
+	if m.MemDelayRate > 0 && m.MemDelayMax < 1 {
+		return fmt.Errorf("%smem_delay_max: %d (must be >= 1 when mem_delay_rate > 0)", prefix, m.MemDelayMax)
+	}
+	if m.PortOutageRate > 0 && m.PortOutageCycles < 1 {
+		return fmt.Errorf("%sport_outage_cycles: %d (must be >= 1 when port_outage_rate > 0)", prefix, m.PortOutageCycles)
+	}
+	if m.UnitOutageRate > 0 && m.UnitOutageCycles < 1 {
+		return fmt.Errorf("%sunit_outage_cycles: %d (must be >= 1 when unit_outage_rate > 0)", prefix, m.UnitOutageCycles)
+	}
+	const maxLen = 1 << 20
+	for _, l := range []struct {
+		name string
+		v    int
+	}{
+		{"mem_delay_max", m.MemDelayMax},
+		{"port_outage_cycles", m.PortOutageCycles},
+		{"unit_outage_cycles", m.UnitOutageCycles},
+	} {
+		if l.v < 0 {
+			return fmt.Errorf("%s%s: %d (must be >= 0)", prefix, l.name, l.v)
+		}
+		if l.v > maxLen {
+			return fmt.Errorf("%s%s: %d (max %d)", prefix, l.name, l.v, maxLen)
+		}
+	}
+	return nil
+}
+
+// Canonical normalizes the model for content addressing: lengths whose
+// rate is zero can never be observed and are cleared, and a fully
+// disabled model clears its seed.
+func (m Model) Canonical() Model {
+	if m.MemDelayRate == 0 {
+		m.MemDelayMax = 0
+	}
+	if m.PortOutageRate == 0 {
+		m.PortOutageCycles = 0
+	}
+	if m.UnitOutageRate == 0 {
+		m.UnitOutageCycles = 0
+	}
+	if !m.Enabled() {
+		m.Seed = 0
+	}
+	return m
+}
+
+// ParseSpec parses the CLI fault specification: a comma-separated list
+// of key=value items. Keys:
+//
+//	seed=N            injector seed
+//	mem-delay=R:MAX   delayed reactivations (rate, max extra cycles)
+//	mem-drop=R        dropped reactivations (lost wakeups)
+//	port=R:LEN        per-cluster write-port outages (rate, window)
+//	unit=R:LEN        per-unit degradation windows (rate, window)
+//
+// Example: "mem-drop=0.01,unit=0.002:25,seed=7".
+func ParseSpec(spec string) (Model, error) {
+	var m Model
+	if strings.TrimSpace(spec) == "" {
+		return m, nil
+	}
+	for _, item := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(item), "=")
+		if !ok {
+			return m, fmt.Errorf("faults: bad item %q (want key=value)", item)
+		}
+		switch key {
+		case "seed":
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return m, fmt.Errorf("faults: seed: %v", err)
+			}
+			m.Seed = n
+		case "mem-delay":
+			r, l, err := parseRateLen(val)
+			if err != nil {
+				return m, fmt.Errorf("faults: mem-delay: %v", err)
+			}
+			m.MemDelayRate, m.MemDelayMax = r, l
+		case "mem-drop":
+			r, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return m, fmt.Errorf("faults: mem-drop: %v", err)
+			}
+			m.MemDropRate = r
+		case "port":
+			r, l, err := parseRateLen(val)
+			if err != nil {
+				return m, fmt.Errorf("faults: port: %v", err)
+			}
+			m.PortOutageRate, m.PortOutageCycles = r, l
+		case "unit":
+			r, l, err := parseRateLen(val)
+			if err != nil {
+				return m, fmt.Errorf("faults: unit: %v", err)
+			}
+			m.UnitOutageRate, m.UnitOutageCycles = r, l
+		default:
+			return m, fmt.Errorf("faults: unknown key %q (valid: seed, mem-delay, mem-drop, port, unit)", key)
+		}
+	}
+	if err := m.Validate("faults: "); err != nil {
+		return m, err
+	}
+	return m, nil
+}
+
+// parseRateLen parses "RATE:LEN".
+func parseRateLen(s string) (float64, int, error) {
+	rs, ls, ok := strings.Cut(s, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("bad value %q (want rate:cycles)", s)
+	}
+	r, err := strconv.ParseFloat(rs, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad rate %q", rs)
+	}
+	l, err := strconv.Atoi(ls)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad cycle count %q", ls)
+	}
+	return r, l, nil
+}
+
+// Stats counts the faults actually injected over a run.
+type Stats struct {
+	// MemDelayed counts reactivations delayed beyond the normal
+	// one-cycle split-transaction latency.
+	MemDelayed int64 `json:"mem_delayed"`
+	// MemDropped counts reactivations lost outright (each needs a
+	// watchdog retry to recover).
+	MemDropped int64 `json:"mem_dropped"`
+	// PortOutages counts port-outage windows opened, per cluster sum.
+	PortOutages int64 `json:"port_outages"`
+	// UnitOutages counts unit degradation windows opened.
+	UnitOutages int64 `json:"unit_outages"`
+}
+
+// windowGen produces deterministic outage windows for one resource: an
+// alternating up/down process where each queried up-cycle goes down
+// with the configured rate for a fixed-length window. Cycles are only
+// sampled when queried, so the schedule depends solely on the seed and
+// the (deterministic) query sequence.
+type windowGen struct {
+	rnd    rng.Source
+	rate   float64
+	length int64
+
+	downUntil  int64 // resource is down for cycles [downUntil-length, downUntil)
+	lastDraw   int64 // most recent cycle sampled (one draw per cycle)
+	lastResult bool
+	opened     int64 // windows opened
+}
+
+// GenState is a windowGen's serializable state (checkpointing).
+type GenState struct {
+	Rnd        uint64 `json:"rnd"`
+	DownUntil  int64  `json:"down_until"`
+	LastDraw   int64  `json:"last_draw"`
+	LastResult bool   `json:"last_result"`
+	Opened     int64  `json:"opened"`
+}
+
+func (g *windowGen) down(cycle int64) bool {
+	if g.rate <= 0 {
+		return false
+	}
+	if cycle < g.downUntil {
+		return true
+	}
+	if cycle == g.lastDraw {
+		return g.lastResult
+	}
+	g.lastDraw = cycle
+	if g.rnd.Float64() < g.rate {
+		g.downUntil = cycle + g.length
+		g.opened++
+		g.lastResult = true
+		return true
+	}
+	g.lastResult = false
+	return false
+}
+
+// peek reports whether the resource is down at cycle without sampling
+// (read-only probe for stall attribution and deadlock diagnosis; valid
+// for cycles already queried via down).
+func (g *windowGen) peek(cycle int64) bool {
+	if cycle < g.downUntil {
+		return true
+	}
+	return cycle == g.lastDraw && g.lastResult
+}
+
+// Injector draws the fault schedule for one simulation. It is created
+// per-Sim from the machine's fault model and consulted from the memory
+// system, the interconnect arbiter, and the issue logic. All methods
+// are deterministic given the seed and the caller's query order.
+type Injector struct {
+	model Model
+	mem   *rng.Source // reactivation delay/drop draws
+	ports []windowGen // per destination cluster
+	units []windowGen // per global unit slot
+
+	memDelayed int64
+	memDropped int64
+}
+
+// NewInjector builds an injector for a machine of numClusters clusters
+// and numUnits function units.
+func NewInjector(model Model, numClusters, numUnits int) *Injector {
+	// Derive independent sub-seeds so the fault domains do not share a
+	// stream (adding a port fault must not reshuffle unit outages).
+	seeder := rng.New(model.Seed ^ 0x666c745f70636f75) // "flt_pcou"
+	inj := &Injector{
+		model: model,
+		mem:   rng.New(seeder.Uint64()),
+		ports: make([]windowGen, numClusters),
+		units: make([]windowGen, numUnits),
+	}
+	for i := range inj.ports {
+		inj.ports[i] = windowGen{rnd: *rng.New(seeder.Uint64()), rate: model.PortOutageRate, length: int64(model.PortOutageCycles)}
+	}
+	for i := range inj.units {
+		inj.units[i] = windowGen{rnd: *rng.New(seeder.Uint64()), rate: model.UnitOutageRate, length: int64(model.UnitOutageCycles)}
+	}
+	return inj
+}
+
+// Model returns the injector's configuration.
+func (inj *Injector) Model() Model { return inj.model }
+
+// ReactivationFault draws the fate of one split-transaction
+// reactivation: dropped entirely, or delayed by extra cycles (0 means
+// the wakeup proceeds normally).
+func (inj *Injector) ReactivationFault() (extraDelay int, dropped bool) {
+	if inj.model.MemDropRate > 0 && inj.mem.Float64() < inj.model.MemDropRate {
+		inj.memDropped++
+		return 0, true
+	}
+	if inj.model.MemDelayRate > 0 && inj.mem.Float64() < inj.model.MemDelayRate {
+		inj.memDelayed++
+		return inj.mem.Range(1, inj.model.MemDelayMax), false
+	}
+	return 0, false
+}
+
+// PortDown reports (sampling at most once per cycle per cluster)
+// whether cluster's register-file write ports are inside an outage
+// window at cycle.
+func (inj *Injector) PortDown(cluster int, cycle int64) bool {
+	if cluster < 0 || cluster >= len(inj.ports) {
+		return false
+	}
+	return inj.ports[cluster].down(cycle)
+}
+
+// UnitDown reports (sampling at most once per cycle per unit) whether
+// global unit slot is inside a degradation window at cycle.
+func (inj *Injector) UnitDown(slot int, cycle int64) bool {
+	if slot < 0 || slot >= len(inj.units) {
+		return false
+	}
+	return inj.units[slot].down(cycle)
+}
+
+// UnitDownQuiet is the read-only probe of UnitDown: it never samples,
+// so stall attribution and deadlock diagnosis may call it without
+// perturbing the fault schedule.
+func (inj *Injector) UnitDownQuiet(slot int, cycle int64) bool {
+	if slot < 0 || slot >= len(inj.units) {
+		return false
+	}
+	return inj.units[slot].peek(cycle)
+}
+
+// Stats returns the injected-fault counters.
+func (inj *Injector) Stats() Stats {
+	s := Stats{MemDelayed: inj.memDelayed, MemDropped: inj.memDropped}
+	for i := range inj.ports {
+		s.PortOutages += inj.ports[i].opened
+	}
+	for i := range inj.units {
+		s.UnitOutages += inj.units[i].opened
+	}
+	return s
+}
+
+// State is the injector's complete serializable state (checkpointing).
+type State struct {
+	Mem        uint64     `json:"mem"`
+	MemDelayed int64      `json:"mem_delayed"`
+	MemDropped int64      `json:"mem_dropped"`
+	Ports      []GenState `json:"ports"`
+	Units      []GenState `json:"units"`
+}
+
+// Snapshot captures the injector's state.
+func (inj *Injector) Snapshot() *State {
+	st := &State{
+		Mem:        inj.mem.State(),
+		MemDelayed: inj.memDelayed,
+		MemDropped: inj.memDropped,
+		Ports:      make([]GenState, len(inj.ports)),
+		Units:      make([]GenState, len(inj.units)),
+	}
+	for i := range inj.ports {
+		st.Ports[i] = inj.ports[i].state()
+	}
+	for i := range inj.units {
+		st.Units[i] = inj.units[i].state()
+	}
+	return st
+}
+
+// Restore resets the injector to a snapshotted state.
+func (inj *Injector) Restore(st *State) error {
+	if len(st.Ports) != len(inj.ports) || len(st.Units) != len(inj.units) {
+		return fmt.Errorf("faults: snapshot shape %d ports/%d units, injector has %d/%d",
+			len(st.Ports), len(st.Units), len(inj.ports), len(inj.units))
+	}
+	inj.mem.SetState(st.Mem)
+	inj.memDelayed = st.MemDelayed
+	inj.memDropped = st.MemDropped
+	for i := range inj.ports {
+		inj.ports[i].setState(st.Ports[i])
+	}
+	for i := range inj.units {
+		inj.units[i].setState(st.Units[i])
+	}
+	return nil
+}
+
+func (g *windowGen) state() GenState {
+	return GenState{Rnd: g.rnd.State(), DownUntil: g.downUntil, LastDraw: g.lastDraw, LastResult: g.lastResult, Opened: g.opened}
+}
+
+func (g *windowGen) setState(st GenState) {
+	g.rnd.SetState(st.Rnd)
+	g.downUntil = st.DownUntil
+	g.lastDraw = st.LastDraw
+	g.lastResult = st.LastResult
+	g.opened = st.Opened
+}

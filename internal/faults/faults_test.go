@@ -1,0 +1,171 @@
+package faults
+
+import "testing"
+
+func TestParseSpec(t *testing.T) {
+	m, err := ParseSpec("seed=7,mem-drop=0.01,mem-delay=0.02:40,port=0.001:10,unit=0.002:25")
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	want := Model{
+		Seed: 7, MemDropRate: 0.01, MemDelayRate: 0.02, MemDelayMax: 40,
+		PortOutageRate: 0.001, PortOutageCycles: 10,
+		UnitOutageRate: 0.002, UnitOutageCycles: 25,
+	}
+	if m != want {
+		t.Fatalf("ParseSpec = %+v, want %+v", m, want)
+	}
+	if !m.Enabled() {
+		t.Fatal("model should be enabled")
+	}
+
+	if m, err := ParseSpec(""); err != nil || m.Enabled() {
+		t.Fatalf("empty spec: %+v, %v", m, err)
+	}
+	for _, bad := range []string{
+		"bogus=1", "mem-drop=2", "mem-delay=0.1", "mem-delay=0.1:0",
+		"port=0.1:x", "seed=-1", "unit", "unit=0.1:-2",
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestValidateBounds(t *testing.T) {
+	m := Model{MemDelayRate: 0.5, MemDelayMax: 10}
+	if err := m.Validate("faults."); err != nil {
+		t.Fatalf("valid model rejected: %v", err)
+	}
+	m.MemDelayMax = 0
+	if err := m.Validate("faults."); err == nil {
+		t.Fatal("mem_delay_max=0 with rate>0 accepted")
+	}
+	m = Model{PortOutageRate: 1.5}
+	if err := m.Validate("faults."); err == nil {
+		t.Fatal("rate > 1 accepted")
+	}
+}
+
+func TestCanonicalClearsUnused(t *testing.T) {
+	m := Model{Seed: 9, MemDelayMax: 40, PortOutageCycles: 10, UnitOutageCycles: 5}
+	c := m.Canonical()
+	if c != (Model{}) {
+		t.Fatalf("fully disabled model should canonicalize to zero, got %+v", c)
+	}
+	m = Model{Seed: 9, MemDropRate: 0.1, PortOutageCycles: 7}
+	c = m.Canonical()
+	if c.PortOutageCycles != 0 || c.Seed != 9 || c.MemDropRate != 0.1 {
+		t.Fatalf("canonical = %+v", c)
+	}
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	model := Model{
+		Seed: 42, MemDropRate: 0.05, MemDelayRate: 0.1, MemDelayMax: 8,
+		PortOutageRate: 0.01, PortOutageCycles: 5,
+		UnitOutageRate: 0.01, UnitOutageCycles: 5,
+	}
+	run := func() ([]bool, []int, Stats) {
+		inj := NewInjector(model, 3, 6)
+		var downs []bool
+		var delays []int
+		for cycle := int64(0); cycle < 2000; cycle++ {
+			for c := 0; c < 3; c++ {
+				downs = append(downs, inj.PortDown(c, cycle))
+			}
+			for u := 0; u < 6; u++ {
+				downs = append(downs, inj.UnitDown(u, cycle))
+			}
+			if cycle%3 == 0 {
+				d, dropped := inj.ReactivationFault()
+				if dropped {
+					d = -1
+				}
+				delays = append(delays, d)
+			}
+		}
+		return downs, delays, inj.Stats()
+	}
+	d1, dl1, s1 := run()
+	d2, dl2, s2 := run()
+	if s1 != s2 {
+		t.Fatalf("stats differ: %+v vs %+v", s1, s2)
+	}
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatalf("outage schedule diverges at index %d", i)
+		}
+	}
+	for i := range dl1 {
+		if dl1[i] != dl2[i] {
+			t.Fatalf("reactivation schedule diverges at index %d", i)
+		}
+	}
+	if s1.MemDropped == 0 || s1.MemDelayed == 0 || s1.PortOutages == 0 || s1.UnitOutages == 0 {
+		t.Fatalf("expected every fault class to fire at these rates: %+v", s1)
+	}
+}
+
+func TestInjectorSnapshotRestore(t *testing.T) {
+	model := Model{Seed: 1, MemDropRate: 0.1, UnitOutageRate: 0.05, UnitOutageCycles: 4}
+	inj := NewInjector(model, 2, 4)
+	for cycle := int64(0); cycle < 500; cycle++ {
+		inj.UnitDown(int(cycle)%4, cycle)
+		inj.ReactivationFault()
+	}
+	snap := inj.Snapshot()
+
+	// Continue the original; replay a restored copy; both must match.
+	cont := func(i *Injector) ([]bool, Stats) {
+		var out []bool
+		for cycle := int64(500); cycle < 1500; cycle++ {
+			out = append(out, i.UnitDown(int(cycle)%4, cycle))
+			_, dropped := i.ReactivationFault()
+			out = append(out, dropped)
+		}
+		return out, i.Stats()
+	}
+	a, sa := cont(inj)
+
+	inj2 := NewInjector(model, 2, 4)
+	if err := inj2.Restore(snap); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	b, sb := cont(inj2)
+	if sa != sb {
+		t.Fatalf("stats differ after restore: %+v vs %+v", sa, sb)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("restored schedule diverges at index %d", i)
+		}
+	}
+
+	bad := NewInjector(model, 1, 1)
+	if err := bad.Restore(snap); err == nil {
+		t.Fatal("shape-mismatched restore accepted")
+	}
+}
+
+func TestWindowGenPeekIsReadOnly(t *testing.T) {
+	model := Model{Seed: 3, UnitOutageRate: 0.2, UnitOutageCycles: 3}
+	inj := NewInjector(model, 0, 1)
+	for cycle := int64(0); cycle < 200; cycle++ {
+		// Peek before sampling must not consume randomness: a fresh
+		// injector driven only by down() must agree cycle for cycle.
+		_ = inj.UnitDownQuiet(0, cycle)
+		got := inj.UnitDown(0, cycle)
+		if peek := inj.UnitDownQuiet(0, cycle); peek != got {
+			t.Fatalf("cycle %d: peek %v after down %v", cycle, peek, got)
+		}
+	}
+	ref := NewInjector(model, 0, 1)
+	inj2 := NewInjector(model, 0, 1)
+	for cycle := int64(0); cycle < 200; cycle++ {
+		_ = inj2.UnitDownQuiet(0, cycle)
+		if ref.UnitDown(0, cycle) != inj2.UnitDown(0, cycle) {
+			t.Fatalf("peek perturbed the schedule at cycle %d", cycle)
+		}
+	}
+}

@@ -24,6 +24,9 @@ type Stats struct {
 	Rejects int64
 	// RejectsByCluster counts rejections per destination cluster.
 	RejectsByCluster []int64
+	// OutageRejects counts rejections caused by injected write-port
+	// outage windows rather than capacity (subset of Rejects).
+	OutageRejects int64
 }
 
 // Arbiter grants writeback requests subject to the configured scheme's
@@ -37,8 +40,15 @@ type Arbiter struct {
 	totalUsed  []int
 	sharedBus  int
 
-	grants  int64
-	rejects []int64
+	// outage, when set, reports whether a destination cluster's write
+	// ports are inside an injected outage window this cycle; cycle is
+	// maintained by BeginCycle.
+	outage func(cluster int, cycle int64) bool
+	cycle  int64
+
+	grants        int64
+	rejects       []int64
+	outageRejects int64
 }
 
 // New creates an arbiter for the given scheme and cluster count.
@@ -55,30 +65,51 @@ func New(kind machine.InterconnectKind, numClusters int) *Arbiter {
 
 // Stats returns a copy of the accumulated grant/reject counters.
 func (a *Arbiter) Stats() Stats {
-	s := Stats{Grants: a.grants, RejectsByCluster: append([]int64(nil), a.rejects...)}
+	s := Stats{Grants: a.grants, RejectsByCluster: append([]int64(nil), a.rejects...), OutageRejects: a.outageRejects}
 	for _, r := range a.rejects {
 		s.Rejects += r
 	}
 	return s
 }
 
+// RestoreStats resets the accumulated counters from a snapshot
+// (checkpoint restore).
+func (a *Arbiter) RestoreStats(s Stats) {
+	a.grants = s.Grants
+	a.outageRejects = s.OutageRejects
+	a.rejects = make([]int64, a.numClusters)
+	copy(a.rejects, s.RejectsByCluster)
+}
+
+// SetOutage installs the fault-injection probe consulted per grant: a
+// destination cluster whose probe reports true rejects every writeback
+// that cycle. Pass nil to disable.
+func (a *Arbiter) SetOutage(f func(cluster int, cycle int64) bool) { a.outage = f }
+
 // Kind returns the arbitration scheme.
 func (a *Arbiter) Kind() machine.InterconnectKind { return a.kind }
 
-// BeginCycle resets all port and bus occupancy for a new cycle.
-func (a *Arbiter) BeginCycle() {
+// BeginCycle resets all port and bus occupancy for a new cycle. The
+// cycle number feeds the injected-outage probe.
+func (a *Arbiter) BeginCycle(cycle int64) {
 	for i := range a.localUsed {
 		a.localUsed[i] = 0
 		a.remoteUsed[i] = 0
 		a.totalUsed[i] = 0
 	}
 	a.sharedBus = 0
+	a.cycle = cycle
 }
 
 // TryGrant attempts to reserve the ports/buses needed by req. Callers
 // present requests in priority order; a granted request consumes capacity
 // immediately. It returns false when the request must retry next cycle.
 func (a *Arbiter) TryGrant(req Request) bool {
+	if a.outage != nil && a.outage(req.DstCluster, a.cycle) {
+		a.rejects[req.DstCluster]++
+		a.outageRejects++
+		return false
+	}
 	ok := a.tryGrant(req)
 	if ok {
 		a.grants++

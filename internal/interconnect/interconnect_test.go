@@ -17,7 +17,7 @@ func grants(a *Arbiter, reqs []Request) []bool {
 
 func TestFullGrantsEverything(t *testing.T) {
 	a := New(machine.Full, 4)
-	a.BeginCycle()
+	a.BeginCycle(0)
 	for i := 0; i < 100; i++ {
 		if !a.TryGrant(Request{SrcCluster: i % 4, DstCluster: (i + 1) % 4}) {
 			t.Fatal("full interconnect refused a write")
@@ -27,7 +27,7 @@ func TestFullGrantsEverything(t *testing.T) {
 
 func TestTriPortCapacities(t *testing.T) {
 	a := New(machine.TriPort, 4)
-	a.BeginCycle()
+	a.BeginCycle(0)
 	// One local write per cycle per file.
 	if !a.TryGrant(Request{SrcCluster: 0, DstCluster: 0}) {
 		t.Error("first local write refused")
@@ -47,7 +47,7 @@ func TestTriPortCapacities(t *testing.T) {
 		t.Error("write to another file refused")
 	}
 	// New cycle resets capacity.
-	a.BeginCycle()
+	a.BeginCycle(0)
 	if !a.TryGrant(Request{SrcCluster: 0, DstCluster: 0}) {
 		t.Error("capacity not reset by BeginCycle")
 	}
@@ -55,7 +55,7 @@ func TestTriPortCapacities(t *testing.T) {
 
 func TestDualPortCapacities(t *testing.T) {
 	a := New(machine.DualPort, 4)
-	a.BeginCycle()
+	a.BeginCycle(0)
 	got := grants(a, []Request{
 		{0, 0}, {0, 0}, // local: 1 allowed
 		{1, 0}, {2, 0}, // remote: 1 allowed
@@ -70,7 +70,7 @@ func TestDualPortCapacities(t *testing.T) {
 
 func TestSinglePortCapacities(t *testing.T) {
 	a := New(machine.SinglePort, 4)
-	a.BeginCycle()
+	a.BeginCycle(0)
 	// One write total per file per cycle, local or remote.
 	if !a.TryGrant(Request{SrcCluster: 1, DstCluster: 0}) {
 		t.Error("first write refused")
@@ -85,7 +85,7 @@ func TestSinglePortCapacities(t *testing.T) {
 
 func TestSharedBusCapacities(t *testing.T) {
 	a := New(machine.SharedBus, 4)
-	a.BeginCycle()
+	a.BeginCycle(0)
 	// Local writes use per-file ports.
 	if !a.TryGrant(Request{SrcCluster: 0, DstCluster: 0}) || !a.TryGrant(Request{SrcCluster: 1, DstCluster: 1}) {
 		t.Error("local writes refused")
@@ -97,7 +97,7 @@ func TestSharedBusCapacities(t *testing.T) {
 	if a.TryGrant(Request{SrcCluster: 1, DstCluster: 3}) {
 		t.Error("second remote write granted on the shared bus")
 	}
-	a.BeginCycle()
+	a.BeginCycle(0)
 	if !a.TryGrant(Request{SrcCluster: 1, DstCluster: 3}) {
 		t.Error("bus not released at cycle start")
 	}

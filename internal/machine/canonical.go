@@ -24,6 +24,7 @@ func (c *Config) Canonical() *Config {
 	if out.OpCache.Entries == 0 {
 		out.OpCache.MissPenalty = 0
 	}
+	out.Faults = out.Faults.Canonical()
 	return out
 }
 

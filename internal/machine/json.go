@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+
+	"pcoup/internal/faults"
 )
 
 // jsonConfig is the on-disk representation of a Config. Unit kinds and the
@@ -20,6 +22,18 @@ type jsonConfig struct {
 	LockStep     bool          `json:"lock_step_issue,omitempty"`
 	MaxThreads   int           `json:"max_threads,omitempty"`
 	OpCache      *jsonOpCache  `json:"op_cache,omitempty"`
+	Faults       *jsonFaults   `json:"faults,omitempty"`
+}
+
+type jsonFaults struct {
+	Seed             uint64  `json:"seed,omitempty"`
+	MemDelayRate     float64 `json:"mem_delay_rate,omitempty"`
+	MemDelayMax      int     `json:"mem_delay_max,omitempty"`
+	MemDropRate      float64 `json:"mem_drop_rate,omitempty"`
+	PortOutageRate   float64 `json:"port_outage_rate,omitempty"`
+	PortOutageCycles int     `json:"port_outage_cycles,omitempty"`
+	UnitOutageRate   float64 `json:"unit_outage_rate,omitempty"`
+	UnitOutageCycles int     `json:"unit_outage_cycles,omitempty"`
 }
 
 type jsonOpCache struct {
@@ -65,6 +79,18 @@ func (c *Config) MarshalJSON() ([]byte, error) {
 	jc.Interconnect = interconnectToken(c.Interconnect)
 	if c.OpCache.Entries > 0 {
 		jc.OpCache = &jsonOpCache{Entries: c.OpCache.Entries, MissPenalty: c.OpCache.MissPenalty}
+	}
+	if c.Faults != (faults.Model{}) {
+		jc.Faults = &jsonFaults{
+			Seed:             c.Faults.Seed,
+			MemDelayRate:     c.Faults.MemDelayRate,
+			MemDelayMax:      c.Faults.MemDelayMax,
+			MemDropRate:      c.Faults.MemDropRate,
+			PortOutageRate:   c.Faults.PortOutageRate,
+			PortOutageCycles: c.Faults.PortOutageCycles,
+			UnitOutageRate:   c.Faults.UnitOutageRate,
+			UnitOutageCycles: c.Faults.UnitOutageCycles,
+		}
 	}
 	jc.Memory = jsonMemory{
 		Name:           c.Memory.Name,
@@ -113,6 +139,18 @@ func (c *Config) UnmarshalJSON(data []byte) error {
 	out.Interconnect = ic
 	if jc.OpCache != nil {
 		out.OpCache = OpCacheModel{Entries: jc.OpCache.Entries, MissPenalty: jc.OpCache.MissPenalty}
+	}
+	if jc.Faults != nil {
+		out.Faults = faults.Model{
+			Seed:             jc.Faults.Seed,
+			MemDelayRate:     jc.Faults.MemDelayRate,
+			MemDelayMax:      jc.Faults.MemDelayMax,
+			MemDropRate:      jc.Faults.MemDropRate,
+			PortOutageRate:   jc.Faults.PortOutageRate,
+			PortOutageCycles: jc.Faults.PortOutageCycles,
+			UnitOutageRate:   jc.Faults.UnitOutageRate,
+			UnitOutageCycles: jc.Faults.UnitOutageCycles,
+		}
 	}
 	out.Memory = MemoryModel{
 		Name:               jc.Memory.Name,

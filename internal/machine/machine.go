@@ -10,6 +10,8 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+
+	"pcoup/internal/faults"
 )
 
 // UnitKind identifies the class of a function unit.
@@ -210,6 +212,11 @@ type Config struct {
 
 	// MaxThreads bounds the active thread set. Zero means 64.
 	MaxThreads int
+
+	// Faults configures deterministic fault injection (lost/delayed
+	// split-transaction wakeups, register-file port outages, function
+	// unit degradation windows). The zero value disables it.
+	Faults faults.Model
 }
 
 // UnitRef identifies one function unit within a Config.
@@ -357,6 +364,9 @@ func (c *Config) Validate() error {
 	}
 	if c.OpCache.Entries > 0 && c.OpCache.MissPenalty < 1 {
 		return fmt.Errorf("machine: op_cache.miss_penalty: %d (must be >= 1 when the cache is enabled)", c.OpCache.MissPenalty)
+	}
+	if err := c.Faults.Validate("machine: faults."); err != nil {
+		return err
 	}
 	return nil
 }

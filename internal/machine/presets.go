@@ -1,6 +1,10 @@
 package machine
 
-import "fmt"
+import (
+	"fmt"
+
+	"pcoup/internal/faults"
+)
 
 // arithCluster builds the paper's standard arithmetic cluster: an integer
 // unit, a floating-point unit, and a memory unit sharing one register file,
@@ -60,6 +64,13 @@ func (c *Config) WithMemory(m MemoryModel) *Config {
 func (c *Config) WithSeed(seed uint64) *Config {
 	out := c.Clone()
 	out.Seed = seed
+	return out
+}
+
+// WithFaults returns a copy of c with the given fault-injection model.
+func (c *Config) WithFaults(m faults.Model) *Config {
+	out := c.Clone()
+	out.Faults = m
 	return out
 }
 

@@ -7,13 +7,32 @@
 package memsys
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 
+	"pcoup/internal/faults"
 	"pcoup/internal/isa"
 	"pcoup/internal/machine"
 	"pcoup/internal/rng"
 )
+
+// AddressError is an addressing fault: a reference outside the node's
+// memory. It aborts the simulated run (distinct from transient injected
+// faults, which the machine recovers from).
+type AddressError struct {
+	Addr    int64 `json:"addr"`
+	Size    int64 `json:"size"`
+	IsStore bool  `json:"is_store"`
+}
+
+func (e *AddressError) Error() string {
+	kind := "load"
+	if e.IsStore {
+		kind = "store"
+	}
+	return fmt.Sprintf("memsys: %s address %d out of range [0,%d)", kind, e.Addr, e.Size)
+}
 
 // Request describes one memory reference issued by a memory unit.
 type Request struct {
@@ -108,9 +127,17 @@ type Memory struct {
 	// dueService lists addresses whose parked queue is re-examined this
 	// tick; nextService collects addresses enabled by this tick's commits
 	// (one-cycle split-transaction reactivation latency). Both are kept
-	// sorted and deduplicated for deterministic service order.
+	// sorted and deduplicated for deterministic service order. delayed
+	// holds reactivations pushed out by injected faults, sorted by
+	// (due, addr).
 	dueService  []int64
 	nextService []int64
+	delayed     []delayedService
+
+	// inj, when set, injects reactivation faults: a scheduled service
+	// may be delayed beyond the usual one-cycle latency or dropped
+	// outright (a lost wakeup, healed only by RecoverLostWakeups).
+	inj *faults.Injector
 
 	// bankQueue holds references not yet started because their bank
 	// already accepted one this cycle (only when ModelBankConflicts).
@@ -123,6 +150,12 @@ type Memory struct {
 
 	stats Stats
 	fault error
+}
+
+// delayedService is a reactivation postponed by an injected fault.
+type delayedService struct {
+	Addr int64 `json:"addr"`
+	Due  int64 `json:"due"` // tick at which the address is serviced
 }
 
 // New creates a memory of size words using the given model and seed.
@@ -164,6 +197,10 @@ func (m *Memory) LoadImage(segs []isa.DataSegment) error {
 	}
 	return nil
 }
+
+// SetFaults installs a fault injector consulted when split-transaction
+// reactivations are scheduled. Pass nil to disable injection.
+func (m *Memory) SetFaults(inj *faults.Injector) { m.inj = inj }
 
 // Size returns the memory size in words.
 func (m *Memory) Size() int64 { return int64(len(m.words)) }
@@ -214,7 +251,7 @@ func (m *Memory) latency() int {
 // evaluated on arrival.
 func (m *Memory) Issue(req *Request) error {
 	if req.Addr < 0 || req.Addr >= int64(len(m.words)) {
-		err := fmt.Errorf("memsys: address %d out of range [0,%d)", req.Addr, len(m.words))
+		err := &AddressError{Addr: req.Addr, Size: int64(len(m.words)), IsStore: req.IsStore}
 		if m.fault == nil {
 			m.fault = err
 		}
@@ -295,7 +332,12 @@ func (m *Memory) Tick() []Completion {
 	for _, req := range arrivals {
 		done = m.arrive(req, done)
 	}
-	// Commits made this tick re-examine their queues next tick.
+	// Fault-delayed reactivations whose time has come join the commits
+	// made this tick; both re-examine their queues next tick.
+	for len(m.delayed) > 0 && m.delayed[0].Due <= m.tick+1 {
+		m.nextService = append(m.nextService, m.delayed[0].Addr)
+		m.delayed = m.delayed[1:]
+	}
 	if len(m.nextService) > 0 {
 		sort.Slice(m.nextService, func(i, j int) bool { return m.nextService[i] < m.nextService[j] })
 		for _, a := range m.nextService {
@@ -354,10 +396,29 @@ func (m *Memory) arrive(req *Request, done []Completion) []Completion {
 }
 
 // scheduleService arranges for the parked queues at addr to be
-// re-examined after the split-transaction reactivation latency.
+// re-examined after the split-transaction reactivation latency. With a
+// fault injector installed the reactivation may be delayed by extra
+// cycles or lost outright; a lost wakeup leaves the parked references
+// stranded until the simulator's watchdog calls RecoverLostWakeups.
 func (m *Memory) scheduleService(addr int64) {
 	if len(m.parkedFull[addr]) == 0 && len(m.parkedEmpty[addr]) == 0 {
 		return
+	}
+	if m.inj != nil {
+		extra, dropped := m.inj.ReactivationFault()
+		if dropped {
+			return
+		}
+		if extra > 0 {
+			m.delayed = append(m.delayed, delayedService{Addr: addr, Due: m.tick + 1 + int64(extra)})
+			sort.Slice(m.delayed, func(i, j int) bool {
+				if m.delayed[i].Due != m.delayed[j].Due {
+					return m.delayed[i].Due < m.delayed[j].Due
+				}
+				return m.delayed[i].Addr < m.delayed[j].Addr
+			})
+			return
+		}
 	}
 	m.nextService = append(m.nextService, addr)
 }
@@ -442,31 +503,310 @@ const (
 // (parked, then bank-queued, then in flight). Used by the simulator's
 // stall attribution; read-only.
 func (m *Memory) FindWait(match func(tag any) bool) WaitState {
+	st, _ := m.FindWaitAddr(match)
+	return st
+}
+
+// FindWaitAddr is FindWait plus the waited-on address (valid unless the
+// state is WaitNone). Used by deadlock diagnosis to name the memory
+// word blocking a stalled thread.
+func (m *Memory) FindWaitAddr(match func(tag any) bool) (WaitState, int64) {
 	for _, q := range m.parkedFull {
 		for _, r := range q {
 			if match(r.Tag) {
-				return WaitParked
+				return WaitParked, r.Addr
 			}
 		}
 	}
 	for _, q := range m.parkedEmpty {
 		for _, r := range q {
 			if match(r.Tag) {
-				return WaitParked
+				return WaitParked, r.Addr
 			}
 		}
 	}
 	for _, q := range m.bankQueue {
 		for _, r := range q {
 			if match(r.Tag) {
-				return WaitBank
+				return WaitBank, r.Addr
 			}
 		}
 	}
 	for i := range m.pending {
 		if match(m.pending[i].req.Tag) {
-			return WaitInFlight
+			return WaitInFlight, m.pending[i].req.Addr
 		}
 	}
-	return WaitNone
+	return WaitNone, 0
+}
+
+// serviceScheduled reports whether a reactivation for addr is already
+// queued (due this tick, enabled this tick, or fault-delayed).
+func (m *Memory) serviceScheduled(addr int64) bool {
+	for _, a := range m.dueService {
+		if a == addr {
+			return true
+		}
+	}
+	for _, a := range m.nextService {
+		if a == addr {
+			return true
+		}
+	}
+	for _, d := range m.delayed {
+		if d.Addr == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// RecoverLostWakeups re-schedules service for every address whose
+// parked queue in the direction enabled by the word's current presence
+// state is non-empty but has no reactivation queued — the signature of
+// a dropped wakeup. On a healthy machine this is a no-op: every commit
+// that leaves parked references behind schedules a service, and a
+// direction-mismatched queue is a genuine unsatisfied precondition, not
+// a lost wakeup. Returns the number of addresses recovered. Called by
+// the simulator's forward-progress watchdog between cycles.
+func (m *Memory) RecoverLostWakeups() int {
+	var addrs []int64
+	for addr, q := range m.parkedFull {
+		if len(q) > 0 && m.full[addr] && !m.serviceScheduled(addr) {
+			addrs = append(addrs, addr)
+		}
+	}
+	for addr, q := range m.parkedEmpty {
+		if len(q) > 0 && !m.full[addr] && !m.serviceScheduled(addr) {
+			addrs = append(addrs, addr)
+		}
+	}
+	if len(addrs) == 0 {
+		return 0
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	// Retried wakeups bypass the injector: re-faulting a recovery would
+	// let an unlucky stream livelock the watchdog's bounded retries.
+	merged := append(m.dueService, addrs...)
+	sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
+	m.dueService = merged[:0]
+	for _, a := range merged {
+		if len(m.dueService) == 0 || m.dueService[len(m.dueService)-1] != a {
+			m.dueService = append(m.dueService, a)
+		}
+	}
+	return len(addrs)
+}
+
+// ReqState is a Request's serializable form; the opaque Tag is encoded
+// by the caller (the simulator knows its own tag type).
+type ReqState struct {
+	IsStore  bool            `json:"is_store,omitempty"`
+	Sync     int             `json:"sync"`
+	Addr     int64           `json:"addr"`
+	Store    isa.Value       `json:"store"`
+	Tag      json.RawMessage `json:"tag,omitempty"`
+	IssuedAt int64           `json:"issued_at"`
+}
+
+// PendingState is an in-flight reference's serializable form.
+type PendingState struct {
+	Req       ReqState `json:"req"`
+	Remaining int      `json:"remaining"`
+}
+
+// QueueState is one parked-queue (per address, per direction) in
+// serializable form; queue order is preserved.
+type QueueState struct {
+	Addr int64      `json:"addr"`
+	Reqs []ReqState `json:"reqs"`
+}
+
+// State is the memory's complete serializable state for cycle-boundary
+// checkpoints.
+type State struct {
+	Words       []isa.Value      `json:"words"`
+	Full        []bool           `json:"full"`
+	Pending     []PendingState   `json:"pending,omitempty"`
+	ParkedFull  []QueueState     `json:"parked_full,omitempty"`
+	ParkedEmpty []QueueState     `json:"parked_empty,omitempty"`
+	DueService  []int64          `json:"due_service,omitempty"`
+	NextService []int64          `json:"next_service,omitempty"`
+	Delayed     []delayedService `json:"delayed,omitempty"`
+	BankQueues  [][]ReqState     `json:"bank_queues,omitempty"`
+	BankBusy    []bool           `json:"bank_busy,omitempty"`
+	Tick        int64            `json:"tick"`
+	Stats       Stats            `json:"stats"`
+	Rnd         uint64           `json:"rnd"`
+	Fault       *AddressError    `json:"fault,omitempty"`
+}
+
+// TagCodec translates the simulator's opaque request tags to and from
+// JSON for checkpointing.
+type TagCodec struct {
+	Encode func(tag any) (json.RawMessage, error)
+	Decode func(data json.RawMessage) (any, error)
+}
+
+func (m *Memory) encodeReq(r *Request, codec TagCodec) (ReqState, error) {
+	tag, err := codec.Encode(r.Tag)
+	if err != nil {
+		return ReqState{}, err
+	}
+	return ReqState{
+		IsStore: r.IsStore, Sync: int(r.Sync), Addr: r.Addr,
+		Store: r.Store, Tag: tag, IssuedAt: r.issuedAt,
+	}, nil
+}
+
+func decodeReq(rs ReqState, codec TagCodec) (*Request, error) {
+	tag, err := codec.Decode(rs.Tag)
+	if err != nil {
+		return nil, err
+	}
+	return &Request{
+		IsStore: rs.IsStore, Sync: isa.SyncFlavor(rs.Sync), Addr: rs.Addr,
+		Store: rs.Store, Tag: tag, issuedAt: rs.IssuedAt,
+	}, nil
+}
+
+func (m *Memory) encodeQueues(queues map[int64][]*Request, codec TagCodec) ([]QueueState, error) {
+	addrs := make([]int64, 0, len(queues))
+	for addr := range queues {
+		addrs = append(addrs, addr)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	var out []QueueState
+	for _, addr := range addrs {
+		qs := QueueState{Addr: addr}
+		for _, r := range queues[addr] {
+			rs, err := m.encodeReq(r, codec)
+			if err != nil {
+				return nil, err
+			}
+			qs.Reqs = append(qs.Reqs, rs)
+		}
+		out = append(out, qs)
+	}
+	return out, nil
+}
+
+// Snapshot captures the memory's complete state at a tick boundary.
+func (m *Memory) Snapshot(codec TagCodec) (*State, error) {
+	st := &State{
+		Words:       append([]isa.Value(nil), m.words...),
+		Full:        append([]bool(nil), m.full...),
+		DueService:  append([]int64(nil), m.dueService...),
+		NextService: append([]int64(nil), m.nextService...),
+		Delayed:     append([]delayedService(nil), m.delayed...),
+		BankBusy:    append([]bool(nil), m.bankBusy...),
+		Tick:        m.tick,
+		Stats:       m.stats,
+		Rnd:         m.rnd.State(),
+	}
+	if m.fault != nil {
+		if ae, ok := m.fault.(*AddressError); ok {
+			st.Fault = ae
+		} else {
+			return nil, fmt.Errorf("memsys: cannot snapshot non-address fault: %v", m.fault)
+		}
+	}
+	for _, f := range m.pending {
+		rs, err := m.encodeReq(f.req, codec)
+		if err != nil {
+			return nil, err
+		}
+		st.Pending = append(st.Pending, PendingState{Req: rs, Remaining: f.remaining})
+	}
+	var err error
+	if st.ParkedFull, err = m.encodeQueues(m.parkedFull, codec); err != nil {
+		return nil, err
+	}
+	if st.ParkedEmpty, err = m.encodeQueues(m.parkedEmpty, codec); err != nil {
+		return nil, err
+	}
+	for _, q := range m.bankQueue {
+		var bq []ReqState
+		for _, r := range q {
+			rs, err := m.encodeReq(r, codec)
+			if err != nil {
+				return nil, err
+			}
+			bq = append(bq, rs)
+		}
+		st.BankQueues = append(st.BankQueues, bq)
+	}
+	return st, nil
+}
+
+func decodeQueues(states []QueueState, codec TagCodec) (map[int64][]*Request, int, error) {
+	out := make(map[int64][]*Request)
+	n := 0
+	for _, qs := range states {
+		var q []*Request
+		for _, rs := range qs.Reqs {
+			r, err := decodeReq(rs, codec)
+			if err != nil {
+				return nil, 0, err
+			}
+			q = append(q, r)
+			n++
+		}
+		out[qs.Addr] = q
+	}
+	return out, n, nil
+}
+
+// Restore resets the memory to a snapshotted state. The memory must
+// have been built from the same machine model and size.
+func (m *Memory) Restore(st *State, codec TagCodec) error {
+	if int64(len(st.Words)) != int64(len(m.words)) {
+		return fmt.Errorf("memsys: snapshot has %d words, memory has %d", len(st.Words), len(m.words))
+	}
+	if len(st.BankQueues) > 0 && m.bankQueue == nil {
+		return fmt.Errorf("memsys: snapshot models bank conflicts, memory does not")
+	}
+	copy(m.words, st.Words)
+	copy(m.full, st.Full)
+	m.pending = nil
+	for _, ps := range st.Pending {
+		r, err := decodeReq(ps.Req, codec)
+		if err != nil {
+			return err
+		}
+		m.pending = append(m.pending, inflight{req: r, remaining: ps.Remaining})
+	}
+	var nFull, nEmpty int
+	var err error
+	if m.parkedFull, nFull, err = decodeQueues(st.ParkedFull, codec); err != nil {
+		return err
+	}
+	if m.parkedEmpty, nEmpty, err = decodeQueues(st.ParkedEmpty, codec); err != nil {
+		return err
+	}
+	m.nPark = nFull + nEmpty
+	m.dueService = append([]int64(nil), st.DueService...)
+	m.nextService = append([]int64(nil), st.NextService...)
+	m.delayed = append([]delayedService(nil), st.Delayed...)
+	if m.bankQueue != nil {
+		m.bankQueue = make([][]*Request, len(m.bankQueue))
+		for b, bq := range st.BankQueues {
+			for _, rs := range bq {
+				r, err := decodeReq(rs, codec)
+				if err != nil {
+					return err
+				}
+				m.bankQueue[b] = append(m.bankQueue[b], r)
+			}
+		}
+		copy(m.bankBusy, st.BankBusy)
+	}
+	m.tick = st.Tick
+	m.stats = st.Stats
+	m.rnd.SetState(st.Rnd)
+	m.fault = nil
+	if st.Fault != nil {
+		m.fault = st.Fault
+	}
+	return nil
 }

@@ -80,6 +80,29 @@ func (f *File) PendingCount() int {
 	return n
 }
 
+// FileState is a File's complete serializable state (checkpointing).
+type FileState struct {
+	Vals  []isa.Value `json:"vals,omitempty"`
+	Valid []bool      `json:"valid,omitempty"`
+	Peak  int         `json:"peak,omitempty"`
+}
+
+// State captures the file's state.
+func (f *File) State() FileState {
+	return FileState{
+		Vals:  append([]isa.Value(nil), f.vals...),
+		Valid: append([]bool(nil), f.valid...),
+		Peak:  f.peak,
+	}
+}
+
+// SetState restores state previously captured with State.
+func (f *File) SetState(st FileState) {
+	f.vals = append([]isa.Value(nil), st.Vals...)
+	f.valid = append([]bool(nil), st.Valid...)
+	f.peak = st.Peak
+}
+
 // Set is one thread's complete register state: one File per cluster.
 type Set struct {
 	files []*File
@@ -148,4 +171,24 @@ func (s *Set) PendingCount() int {
 		n += f.PendingCount()
 	}
 	return n
+}
+
+// State captures every cluster file's state.
+func (s *Set) State() []FileState {
+	out := make([]FileState, len(s.files))
+	for i, f := range s.files {
+		out[i] = f.State()
+	}
+	return out
+}
+
+// SetState restores a state previously captured with State.
+func (s *Set) SetState(states []FileState) error {
+	if len(states) != len(s.files) {
+		return fmt.Errorf("regfile: snapshot has %d clusters, set has %d", len(states), len(s.files))
+	}
+	for i := range s.files {
+		s.files[i].SetState(states[i])
+	}
+	return nil
 }

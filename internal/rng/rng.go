@@ -18,6 +18,12 @@ func New(seed uint64) *Source {
 // Seed resets the generator state.
 func (s *Source) Seed(seed uint64) { s.state = seed }
 
+// State exports the generator's internal state for checkpointing.
+func (s *Source) State() uint64 { return s.state }
+
+// SetState restores a state previously captured with State.
+func (s *Source) SetState(state uint64) { s.state = state }
+
 // Uint64 returns the next 64 pseudo-random bits.
 func (s *Source) Uint64() uint64 {
 	s.state += 0x9e3779b97f4a7c15

@@ -230,9 +230,10 @@ type Job struct {
 	state   JobState
 	errMsg  string
 	result  json.RawMessage
-	cells   []json.RawMessage // per-cell payloads (sweep jobs)
-	total   int               // expected cell count (sweep jobs)
-	hit     bool              // served from the whole-job cache entry
+	cells    []json.RawMessage // per-cell payloads (sweep jobs)
+	total    int               // expected cell count (sweep jobs)
+	hit      bool              // served from the whole-job cache entry
+	attempts int               // executions after journal recoveries (0: first run)
 	created time.Time
 	started time.Time
 	ended   time.Time
@@ -295,6 +296,9 @@ type JobView struct {
 	Spec     JobSpec  `json:"spec"`
 	Error    string   `json:"error,omitempty"`
 	CacheHit bool     `json:"cache_hit"`
+	// Attempts counts journal-recovery re-executions (0: never
+	// interrupted).
+	Attempts int `json:"attempts,omitempty"`
 	// CellsDone/CellsTotal report sweep progress (0/0 otherwise).
 	CellsDone  int             `json:"cells_done,omitempty"`
 	CellsTotal int             `json:"cells_total,omitempty"`
@@ -311,7 +315,8 @@ func (j *Job) view(withResult bool) JobView {
 	defer j.mu.Unlock()
 	v := JobView{
 		ID: j.id, State: j.state, Spec: j.spec, Error: j.errMsg,
-		CacheHit: j.hit, CellsDone: len(j.cells), CellsTotal: j.total,
+		CacheHit: j.hit, Attempts: j.attempts,
+		CellsDone: len(j.cells), CellsTotal: j.total,
 		Created: j.created,
 	}
 	if !j.started.IsZero() {

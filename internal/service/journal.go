@@ -1,0 +1,158 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// The write-ahead job journal makes accepted jobs durable: every
+// submission appends a record before the job is visible, every terminal
+// transition appends a matching finish record. A pcserved killed
+// mid-job (even with SIGKILL — appends go straight to the kernel page
+// cache, which survives process death) restarts, replays the journal,
+// and resubmits every job whose finish record is missing, under the same
+// job ID, so clients polling across the restart see their job complete.
+// Each replay increments the job's attempt count; a job interrupted more
+// often than the retry budget is failed instead of retried, and retries
+// are delayed by exponential backoff so a crash-looping job cannot pin
+// the pool.
+
+// journalRecord is one NDJSON line of the journal.
+type journalRecord struct {
+	// Kind is "submit" or "finish".
+	Kind string `json:"kind"`
+	ID   string `json:"id"`
+	// Spec is the full job specification (submit records).
+	Spec *JobSpec `json:"spec,omitempty"`
+	// Attempts counts prior interrupted executions (submit records).
+	Attempts int `json:"attempts,omitempty"`
+	// State is the terminal state (finish records).
+	State JobState  `json:"state,omitempty"`
+	Time  time.Time `json:"time"`
+}
+
+// pendingJob is a journaled submission with no finish record: work that
+// was accepted but not completed when the previous process died.
+type pendingJob struct {
+	ID       string
+	Spec     JobSpec
+	Attempts int
+}
+
+// journal is the append-only NDJSON write-ahead log. Appends are
+// unbuffered writes to the underlying file so that records survive an
+// abrupt process kill without any flush protocol.
+type journal struct {
+	mu   sync.Mutex
+	file *os.File
+}
+
+// openJournal replays path and reopens it compacted: finished jobs are
+// dropped, and every still-pending job is returned for the caller to
+// resubmit (the caller re-journals what it keeps). A missing file starts
+// an empty journal. Unparsable lines — e.g. a record half-written when
+// the previous process was killed — are skipped, not fatal: the journal
+// must be readable after exactly the crashes it exists to survive.
+func openJournal(path string) (*journal, []pendingJob, error) {
+	byID := map[string]*pendingJob{}
+	var order []string
+	if f, err := os.Open(path); err == nil {
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
+		for sc.Scan() {
+			var rec journalRecord
+			if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+				continue
+			}
+			switch rec.Kind {
+			case "submit":
+				if rec.Spec == nil || rec.ID == "" {
+					continue
+				}
+				if _, seen := byID[rec.ID]; !seen {
+					order = append(order, rec.ID)
+				}
+				byID[rec.ID] = &pendingJob{ID: rec.ID, Spec: *rec.Spec, Attempts: rec.Attempts}
+			case "finish":
+				delete(byID, rec.ID)
+			}
+		}
+		f.Close()
+		if err := sc.Err(); err != nil {
+			return nil, nil, fmt.Errorf("service: reading journal %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, nil, err
+	}
+
+	var pending []pendingJob
+	for _, id := range order {
+		if p, ok := byID[id]; ok {
+			pending = append(pending, *p)
+		}
+	}
+	sort.Slice(pending, func(i, j int) bool { return pending[i].ID < pending[j].ID })
+
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &journal{file: f}, pending, nil
+}
+
+// append writes one record as a single NDJSON line.
+func (j *journal) append(rec journalRecord) error {
+	rec.Time = time.Now().UTC()
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	_, err = j.file.Write(append(data, '\n'))
+	return err
+}
+
+// submit journals an accepted job before it becomes visible.
+func (j *journal) submit(id string, spec JobSpec, attempts int) error {
+	return j.append(journalRecord{Kind: "submit", ID: id, Spec: &spec, Attempts: attempts})
+}
+
+// finish journals a terminal transition; the job will not be replayed.
+func (j *journal) finish(id string, state JobState) error {
+	return j.append(journalRecord{Kind: "finish", ID: id, State: state})
+}
+
+// Close closes the underlying file.
+func (j *journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.file.Close()
+}
+
+// retryDelay computes the exponential backoff before re-running a job on
+// its nth attempt (attempts >= 1), capped at maxRetryBackoff.
+func retryDelay(base time.Duration, attempts int) time.Duration {
+	if base <= 0 || attempts <= 1 {
+		return 0
+	}
+	d := base
+	for i := 2; i < attempts; i++ {
+		d *= 2
+		if d >= maxRetryBackoff {
+			return maxRetryBackoff
+		}
+	}
+	if d > maxRetryBackoff {
+		d = maxRetryBackoff
+	}
+	return d
+}
+
+// maxRetryBackoff caps the exponential retry delay.
+const maxRetryBackoff = 30 * time.Second

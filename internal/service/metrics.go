@@ -45,6 +45,9 @@ type Metrics struct {
 	mu        sync.Mutex
 	jobsTotal map[string]int64      // submissions and state transitions
 	stages    map[string]*histogram // per-stage latency
+
+	journalRecovered int64 // jobs resubmitted from the journal at start
+	retriesExhausted int64 // recovered jobs failed for exceeding the budget
 }
 
 // NewMetrics returns an empty metrics registry.
@@ -74,6 +77,22 @@ func (m *Metrics) Observe(stage string, seconds float64) {
 		m.stages[stage] = h
 	}
 	h.observe(seconds)
+}
+
+// JournalRecovered counts one job resubmitted from the write-ahead
+// journal after a restart.
+func (m *Metrics) JournalRecovered() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.journalRecovered++
+}
+
+// RetryBudgetExhausted counts one recovered job failed instead of
+// retried because it exceeded the per-job retry budget.
+func (m *Metrics) RetryBudgetExhausted() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.retriesExhausted++
 }
 
 // Gauges is the live state sampled by the server at scrape time.
@@ -124,6 +143,13 @@ func (m *Metrics) WriteText(w io.Writer, g Gauges) {
 	fmt.Fprintf(w, "# HELP pcserved_accepting Whether new jobs are accepted (0 during drain).\n")
 	fmt.Fprintf(w, "# TYPE pcserved_accepting gauge\n")
 	fmt.Fprintf(w, "pcserved_accepting %d\n", accepting)
+
+	fmt.Fprintf(w, "# HELP pcserved_journal_recovered_total Jobs resubmitted from the write-ahead journal after a restart.\n")
+	fmt.Fprintf(w, "# TYPE pcserved_journal_recovered_total counter\n")
+	fmt.Fprintf(w, "pcserved_journal_recovered_total %d\n", m.journalRecovered)
+	fmt.Fprintf(w, "# HELP pcserved_retry_budget_exhausted_total Recovered jobs failed for exceeding the retry budget.\n")
+	fmt.Fprintf(w, "# TYPE pcserved_retry_budget_exhausted_total counter\n")
+	fmt.Fprintf(w, "pcserved_retry_budget_exhausted_total %d\n", m.retriesExhausted)
 
 	fmt.Fprintf(w, "# HELP pcserved_cache_hits_total Result cache hits.\n")
 	fmt.Fprintf(w, "# TYPE pcserved_cache_hits_total counter\n")

@@ -42,6 +42,17 @@ type Options struct {
 	QueueCap int
 	// CacheFile, when set, is loaded at Start and persisted on Shutdown.
 	CacheFile string
+	// JournalFile, when set, enables the write-ahead job journal: every
+	// accepted job is durable, and a daemon killed mid-job resumes the
+	// interrupted jobs (same IDs) on restart.
+	JournalFile string
+	// RetryBudget bounds how many times an interrupted job is re-run
+	// before it is failed instead (default 3).
+	RetryBudget int
+	// RetryBackoff is the base delay before re-running a job that was
+	// already interrupted more than once; it doubles per additional
+	// interruption, capped at maxRetryBackoff (default 1s).
+	RetryBackoff time.Duration
 	// DefaultTimeout bounds jobs that set no timeout_ms (default 10m;
 	// negative disables).
 	DefaultTimeout time.Duration
@@ -56,6 +67,7 @@ type Server struct {
 	cache   *Cache
 	metrics *Metrics
 	presets map[string]*machine.Config
+	journal *journal
 
 	queue      chan *Job
 	baseCtx    context.Context
@@ -81,6 +93,12 @@ func New(opts Options) *Server {
 	if opts.DefaultTimeout == 0 {
 		opts.DefaultTimeout = 10 * time.Minute
 	}
+	if opts.RetryBudget <= 0 {
+		opts.RetryBudget = 3
+	}
+	if opts.RetryBackoff <= 0 {
+		opts.RetryBackoff = time.Second
+	}
 	presets := map[string]*machine.Config{"baseline": machine.Baseline()}
 	for name, cfg := range opts.Presets {
 		presets[name] = cfg
@@ -102,8 +120,9 @@ func New(opts Options) *Server {
 // Cache exposes the result cache (tests and tooling).
 func (s *Server) Cache() *Cache { return s.cache }
 
-// Start loads the persisted cache (if configured) and launches the
-// worker pool.
+// Start loads the persisted cache (if configured), replays the job
+// journal (resubmitting work interrupted by a previous crash), and
+// launches the worker pool.
 func (s *Server) Start() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -116,11 +135,89 @@ func (s *Server) Start() error {
 			return err
 		}
 	}
+	if s.opts.JournalFile != "" {
+		j, pending, err := openJournal(s.opts.JournalFile)
+		if err != nil {
+			return err
+		}
+		s.journal = j
+		for _, p := range pending {
+			s.recoverLocked(p)
+		}
+	}
 	for i := 0; i < s.opts.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
 	return nil
+}
+
+// recoverLocked resubmits one journaled job that the previous process
+// never finished, under its original ID so clients polling across the
+// restart see it complete. Called from Start with s.mu held.
+func (s *Server) recoverLocked(p pendingJob) {
+	spec := p.Spec
+	cfg, specErr := spec.normalize(s.presets)
+	attempts := p.Attempts + 1
+	job := newJob(p.ID, spec, cfg, time.Now())
+	job.attempts = attempts
+	s.jobs[p.ID] = job
+	s.order = append(s.order, job)
+	if n := jobIDNumber(p.ID); n > s.nextID {
+		s.nextID = n
+	}
+	s.metrics.JournalRecovered()
+	s.metrics.JobState(string(JobQueued))
+	switch {
+	case specErr != nil:
+		// The spec no longer validates (e.g. a preset directory changed
+		// across the restart): surface the error on the job itself.
+		s.finishJob(job, JobFailed, nil, specErr.Error())
+	case attempts > s.opts.RetryBudget:
+		s.metrics.RetryBudgetExhausted()
+		s.finishJob(job, JobFailed, nil,
+			fmt.Sprintf("retry budget exhausted: interrupted %d times (budget %d)", p.Attempts, s.opts.RetryBudget))
+	default:
+		if err := s.journal.submit(p.ID, spec, attempts); err != nil {
+			s.finishJob(job, JobFailed, nil, fmt.Sprintf("journal: %v", err))
+			return
+		}
+		go s.enqueueAfter(job, retryDelay(s.opts.RetryBackoff, attempts))
+	}
+}
+
+// enqueueAfter places a recovered job on the queue once its retry
+// backoff elapses. Shutdown during the wait cancels the job instead.
+func (s *Server) enqueueAfter(job *Job, delay time.Duration) {
+	if delay > 0 {
+		select {
+		case <-time.After(delay):
+		case <-s.baseCtx.Done():
+		}
+	}
+	s.mu.Lock()
+	if !s.accepting {
+		s.mu.Unlock()
+		s.finishJob(job, JobCancelled, nil, "cancelled by shutdown")
+		return
+	}
+	select {
+	case s.queue <- job:
+		s.mu.Unlock()
+	default:
+		s.mu.Unlock()
+		s.finishJob(job, JobFailed, nil, "queue full during journal recovery")
+	}
+}
+
+// jobIDNumber parses the numeric part of a "j-%06d" job ID (0 if the ID
+// has another shape).
+func jobIDNumber(id string) int {
+	var n int
+	if _, err := fmt.Sscanf(id, "j-%d", &n); err != nil {
+		return 0
+	}
+	return n
 }
 
 // Shutdown gracefully stops the daemon: new submissions are refused
@@ -157,6 +254,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			return err
 		}
 	}
+	if s.journal != nil {
+		if err := s.journal.Close(); err != nil && drainErr == nil {
+			drainErr = err
+		}
+	}
 	return drainErr
 }
 
@@ -173,10 +275,21 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	}
 	s.nextID++
 	job := newJob(fmt.Sprintf("j-%06d", s.nextID), spec, cfg, time.Now())
+	// Journal before enqueue: a crash between the two replays the job on
+	// restart (at-least-once), never loses an accepted one.
+	if s.journal != nil {
+		if err := s.journal.submit(job.id, spec, 0); err != nil {
+			s.nextID--
+			return nil, fmt.Errorf("service: journal: %w", err)
+		}
+	}
 	select {
 	case s.queue <- job:
 	default:
 		s.nextID--
+		if s.journal != nil {
+			s.journal.finish(job.id, JobFailed)
+		}
 		return nil, ErrQueueFull
 	}
 	s.jobs[job.id] = job
@@ -245,6 +358,9 @@ func (s *Server) finishJob(job *Job, state JobState, result json.RawMessage, err
 	job.mu.Unlock()
 	job.finish(state, result, errMsg, time.Now())
 	s.metrics.JobState(string(state))
+	if s.journal != nil {
+		s.journal.finish(job.id, state)
+	}
 }
 
 // worker drains the queue until Shutdown closes it.

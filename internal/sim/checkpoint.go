@@ -1,0 +1,399 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"pcoup/internal/faults"
+	"pcoup/internal/interconnect"
+	"pcoup/internal/isa"
+	"pcoup/internal/machine"
+	"pcoup/internal/memsys"
+	"pcoup/internal/regfile"
+)
+
+// CheckpointVersion identifies the checkpoint encoding; Restore rejects
+// other versions.
+const CheckpointVersion = 1
+
+// Checkpoint is the complete simulator state at a cycle boundary. A run
+// restored from a checkpoint is byte-identical (cycle counts and every
+// statistic) to the uninterrupted run, provided the same machine
+// configuration and program are supplied; Restore verifies both. Trace
+// writers (WithTrace, the JSON tracer) are not part of the state: a
+// resumed run re-emits events only from the resume point.
+type Checkpoint struct {
+	Version int    `json:"version"`
+	Machine string `json:"machine"` // machine.Config.Hash()
+	Program string `json:"program"`
+
+	Cycle        int64 `json:"cycle"`
+	LastProgress int64 `json:"last_progress"`
+	NextTID      int   `json:"next_tid"`
+	WbSeq        int64 `json:"wb_seq"`
+
+	WatchWindow      int64 `json:"watch_window"`
+	WatchRetries     int64 `json:"watch_retries"`
+	WakeupRetries    int64 `json:"wakeup_retries"`
+	WakeupsRecovered int64 `json:"wakeups_recovered"`
+
+	Ops              int64                       `json:"ops"`
+	IssuedByKind     [machine.NumUnitKinds]int64 `json:"issued_by_kind"`
+	IssuedByUnit     []int64                     `json:"issued_by_unit"`
+	WritebackRetries int64                       `json:"writeback_retries"`
+
+	Threads []threadState `json:"threads"`
+	// PendingSpawns lists (by thread ID, in spawn order) threads created
+	// this cycle and not yet activated.
+	PendingSpawns []int `json:"pending_spawns,omitempty"`
+
+	Writebacks []wbState `json:"writebacks,omitempty"`
+
+	Mem          *memsys.State      `json:"mem"`
+	Interconnect interconnect.Stats `json:"interconnect"`
+	Faults       *faults.State      `json:"faults,omitempty"`
+	OpCaches     []opCacheState     `json:"op_caches,omitempty"`
+	Attrib       *attribState       `json:"attrib,omitempty"`
+}
+
+// threadState is one thread's serializable state.
+type threadState struct {
+	ID           int                 `json:"id"`
+	Priority     int                 `json:"priority"`
+	SegIdx       int                 `json:"seg_idx"`
+	IP           int                 `json:"ip"`
+	Issued       []bool              `json:"issued,omitempty"`
+	BranchTaken  bool                `json:"branch_taken,omitempty"`
+	BranchTarget int                 `json:"branch_target"`
+	Halted       bool                `json:"halted,omitempty"`
+	SpawnAt      int64               `json:"spawn_at"`
+	HaltAt       int64               `json:"halt_at"`
+	OpsIssued    int64               `json:"ops_issued"`
+	LastIssue    int64               `json:"last_issue"`
+	StoresOut    int                 `json:"stores_out"`
+	SyncLoadsOut int                 `json:"sync_loads_out"`
+	Regs         []regfile.FileState `json:"regs"`
+	Stalls       *StallBreakdown     `json:"stalls,omitempty"`
+}
+
+// wbState is one queued register writeback's serializable state.
+type wbState struct {
+	Thread     int        `json:"thread"`
+	Dst        isa.RegRef `json:"dst"`
+	Val        isa.Value  `json:"val"`
+	SrcCluster int        `json:"src_cluster"`
+	ReadyAt    int64      `json:"ready_at"`
+	Seq        int64      `json:"seq"`
+}
+
+// opCacheState is one unit's operation-cache serializable state.
+type opCacheState struct {
+	Tags      []int64 `json:"tags"`
+	FillTag   int64   `json:"fill_tag"`
+	FillReady int64   `json:"fill_ready"`
+	Filling   bool    `json:"filling,omitempty"`
+	Misses    int64   `json:"misses"`
+}
+
+// attribState is the stall-attribution accumulator's serializable state.
+type attribState struct {
+	Slots    int64            `json:"slots"`
+	PerUnit  []StallBreakdown `json:"per_unit"`
+	WaitRegs map[string]int64 `json:"wait_regs"`
+}
+
+// tagState is a memory request's memTag in serializable form: the op is
+// re-linked from its (segment, word, slot) program coordinates.
+type tagState struct {
+	Thread     int `json:"t"`
+	SegIdx     int `json:"seg"`
+	IP         int `json:"ip"`
+	Slot       int `json:"slot"`
+	SrcCluster int `json:"c"`
+}
+
+// tagCodec translates memTags to/from JSON. byID maps thread IDs to the
+// (restored) thread objects; nil is fine for encoding.
+func (s *Sim) tagCodec(byID map[int]*Thread) memsys.TagCodec {
+	return memsys.TagCodec{
+		Encode: func(tag any) (json.RawMessage, error) {
+			mt, ok := tag.(memTag)
+			if !ok {
+				return nil, fmt.Errorf("sim: unexpected memory tag %T", tag)
+			}
+			return json.Marshal(tagState{
+				Thread: mt.thread.ID, SegIdx: mt.segIdx, IP: mt.ip,
+				Slot: mt.slot, SrcCluster: mt.srcCluster,
+			})
+		},
+		Decode: func(data json.RawMessage) (any, error) {
+			var ts tagState
+			if err := json.Unmarshal(data, &ts); err != nil {
+				return nil, err
+			}
+			t := byID[ts.Thread]
+			if t == nil {
+				return nil, fmt.Errorf("sim: checkpoint references unknown thread %d", ts.Thread)
+			}
+			if ts.SegIdx < 0 || ts.SegIdx >= len(s.prog.Segments) {
+				return nil, fmt.Errorf("sim: checkpoint tag segment %d out of range", ts.SegIdx)
+			}
+			seg := s.prog.Segments[ts.SegIdx]
+			if ts.IP < 0 || ts.IP >= len(seg.Instrs) {
+				return nil, fmt.Errorf("sim: checkpoint tag word %d out of range in %s", ts.IP, seg.Name)
+			}
+			w := seg.Instrs[ts.IP]
+			if ts.Slot < 0 || ts.Slot >= len(w.Ops) || w.Ops[ts.Slot] == nil {
+				return nil, fmt.Errorf("sim: checkpoint tag slot %d has no op at %s word %d", ts.Slot, seg.Name, ts.IP)
+			}
+			return memTag{
+				thread: t, op: w.Ops[ts.Slot], srcCluster: ts.SrcCluster,
+				segIdx: ts.SegIdx, ip: ts.IP, slot: ts.Slot,
+			}, nil
+		},
+	}
+}
+
+func snapshotThread(t *Thread) threadState {
+	return threadState{
+		ID: t.ID, Priority: t.Priority, SegIdx: t.SegIdx, IP: t.IP,
+		Issued:      append([]bool(nil), t.issued...),
+		BranchTaken: t.branchTaken, BranchTarget: t.branchTarget,
+		Halted: t.Halted, SpawnAt: t.SpawnAt, HaltAt: t.HaltAt,
+		OpsIssued: t.OpsIssued, LastIssue: t.lastIssue,
+		StoresOut: t.storesOut, SyncLoadsOut: t.syncLoadsOut,
+		Regs:   t.Regs.State(),
+		Stalls: cloneBreakdown(t.stalls),
+	}
+}
+
+func cloneBreakdown(b *StallBreakdown) *StallBreakdown {
+	if b == nil {
+		return nil
+	}
+	c := *b
+	return &c
+}
+
+// Snapshot captures the simulator's complete state. Call it only at a
+// cycle boundary (between Run steps); Run's WithCheckpointEvery hook
+// guarantees this.
+func (s *Sim) Snapshot() (*Checkpoint, error) {
+	hash, err := s.cfg.Hash()
+	if err != nil {
+		return nil, err
+	}
+	ck := &Checkpoint{
+		Version: CheckpointVersion,
+		Machine: hash,
+		Program: s.prog.Name,
+
+		Cycle:        s.cycle,
+		LastProgress: s.lastProgress,
+		NextTID:      s.nextTID,
+		WbSeq:        s.wbSeq,
+
+		WatchWindow:      s.watchWindow,
+		WatchRetries:     s.watchRetries,
+		WakeupRetries:    s.wakeupRetries,
+		WakeupsRecovered: s.wakeupsRecovered,
+
+		Ops:              s.stats.Ops,
+		IssuedByKind:     s.stats.IssuedByKind,
+		IssuedByUnit:     append([]int64(nil), s.stats.IssuedByUnit...),
+		WritebackRetries: s.stats.WritebackRetries,
+
+		Interconnect: s.arb.Stats(),
+	}
+	for _, t := range s.threads {
+		ck.Threads = append(ck.Threads, snapshotThread(t))
+	}
+	for _, t := range s.pendingSpawns {
+		ck.Threads = append(ck.Threads, snapshotThread(t))
+		ck.PendingSpawns = append(ck.PendingSpawns, t.ID)
+	}
+	for i := range s.wbq {
+		wb := &s.wbq[i]
+		ck.Writebacks = append(ck.Writebacks, wbState{
+			Thread: wb.thread.ID, Dst: wb.dst, Val: wb.val,
+			SrcCluster: wb.srcCluster, ReadyAt: wb.readyAt, Seq: wb.seq,
+		})
+	}
+	if ck.Mem, err = s.mem.Snapshot(s.tagCodec(nil)); err != nil {
+		return nil, err
+	}
+	if s.inj != nil {
+		ck.Faults = s.inj.Snapshot()
+	}
+	for _, c := range s.opCaches {
+		ck.OpCaches = append(ck.OpCaches, opCacheState{
+			Tags:    append([]int64(nil), c.tags...),
+			FillTag: c.fillTag, FillReady: c.fillReady, Filling: c.filling,
+			Misses: c.misses,
+		})
+	}
+	if s.attrib != nil {
+		st := &attribState{
+			Slots:    s.attrib.slots,
+			PerUnit:  append([]StallBreakdown(nil), s.attrib.perUnit...),
+			WaitRegs: make(map[string]int64, len(s.attrib.waitRegs)),
+		}
+		for k, v := range s.attrib.waitRegs {
+			st.WaitRegs[k] = v
+		}
+		ck.Attrib = st
+	}
+	return ck, nil
+}
+
+// Restore resets the simulator to a checkpointed state. The Sim must
+// have been built (via New) from the same machine configuration and
+// program the checkpoint was taken from; both are verified. Stall
+// attribution is restored exactly as recorded: a checkpoint taken with
+// attribution carries it, one taken without does not, regardless of the
+// restored Sim's own options.
+func (s *Sim) Restore(ck *Checkpoint) error {
+	if ck.Version != CheckpointVersion {
+		return fmt.Errorf("sim: checkpoint version %d, want %d", ck.Version, CheckpointVersion)
+	}
+	hash, err := s.cfg.Hash()
+	if err != nil {
+		return err
+	}
+	if ck.Machine != hash {
+		return fmt.Errorf("sim: checkpoint is for machine %.12s, this machine is %.12s", ck.Machine, hash)
+	}
+	if ck.Program != s.prog.Name {
+		return fmt.Errorf("sim: checkpoint is for program %q, this program is %q", ck.Program, s.prog.Name)
+	}
+	if len(ck.IssuedByUnit) != len(s.units) {
+		return fmt.Errorf("sim: checkpoint has %d units, machine has %d", len(ck.IssuedByUnit), len(s.units))
+	}
+	if (ck.Faults != nil) != (s.inj != nil) {
+		return fmt.Errorf("sim: checkpoint and machine disagree on fault injection")
+	}
+	if len(ck.OpCaches) != len(s.opCaches) {
+		return fmt.Errorf("sim: checkpoint has %d op caches, machine has %d", len(ck.OpCaches), len(s.opCaches))
+	}
+
+	// Attribution follows the checkpoint, not the restored Sim's options.
+	if ck.Attrib != nil {
+		if len(ck.Attrib.PerUnit) != len(s.units) {
+			return fmt.Errorf("sim: checkpoint attribution has %d units, machine has %d", len(ck.Attrib.PerUnit), len(s.units))
+		}
+		s.attrib = &stallAttrib{
+			slots:    ck.Attrib.Slots,
+			perUnit:  append([]StallBreakdown(nil), ck.Attrib.PerUnit...),
+			waitRegs: make(map[string]int64, len(ck.Attrib.WaitRegs)),
+		}
+		for k, v := range ck.Attrib.WaitRegs {
+			s.attrib.waitRegs[k] = v
+		}
+	} else {
+		s.attrib = nil
+	}
+
+	pending := make(map[int]bool, len(ck.PendingSpawns))
+	for _, id := range ck.PendingSpawns {
+		pending[id] = true
+	}
+	s.threads = nil
+	s.pendingSpawns = nil
+	byID := make(map[int]*Thread, len(ck.Threads))
+	for _, ts := range ck.Threads {
+		if ts.SegIdx < 0 || ts.SegIdx >= len(s.prog.Segments) {
+			return fmt.Errorf("sim: checkpoint thread %d has segment %d out of range", ts.ID, ts.SegIdx)
+		}
+		t := &Thread{
+			ID: ts.ID, Priority: ts.Priority, SegIdx: ts.SegIdx,
+			Seg:  s.prog.Segments[ts.SegIdx],
+			Regs: regfile.NewSet(len(s.cfg.Clusters)),
+			IP:   ts.IP, issued: append([]bool(nil), ts.Issued...),
+			branchTaken: ts.BranchTaken, branchTarget: ts.BranchTarget,
+			Halted: ts.Halted, SpawnAt: ts.SpawnAt, HaltAt: ts.HaltAt,
+			OpsIssued: ts.OpsIssued, lastIssue: ts.LastIssue,
+			storesOut: ts.StoresOut, syncLoadsOut: ts.SyncLoadsOut,
+			stalls: cloneBreakdown(ts.Stalls),
+		}
+		if err := t.Regs.SetState(ts.Regs); err != nil {
+			return fmt.Errorf("sim: thread %d: %w", ts.ID, err)
+		}
+		if byID[t.ID] != nil {
+			return fmt.Errorf("sim: checkpoint has duplicate thread %d", t.ID)
+		}
+		byID[t.ID] = t
+		if pending[t.ID] {
+			s.pendingSpawns = append(s.pendingSpawns, t)
+		} else {
+			s.threads = append(s.threads, t)
+		}
+	}
+
+	s.wbq = nil
+	for _, ws := range ck.Writebacks {
+		t := byID[ws.Thread]
+		if t == nil {
+			return fmt.Errorf("sim: checkpoint writeback references unknown thread %d", ws.Thread)
+		}
+		s.wbq = append(s.wbq, writeback{
+			thread: t, dst: ws.Dst, val: ws.Val,
+			srcCluster: ws.SrcCluster, readyAt: ws.ReadyAt, seq: ws.Seq,
+		})
+	}
+
+	if err := s.mem.Restore(ck.Mem, s.tagCodec(byID)); err != nil {
+		return err
+	}
+	if s.inj != nil {
+		if err := s.inj.Restore(ck.Faults); err != nil {
+			return err
+		}
+	}
+	s.arb.RestoreStats(ck.Interconnect)
+	for i, cs := range ck.OpCaches {
+		c := s.opCaches[i]
+		if len(cs.Tags) != len(c.tags) {
+			return fmt.Errorf("sim: checkpoint op cache %d has %d entries, machine has %d", i, len(cs.Tags), len(c.tags))
+		}
+		copy(c.tags, cs.Tags)
+		c.fillTag, c.fillReady, c.filling = cs.FillTag, cs.FillReady, cs.Filling
+		c.misses = cs.Misses
+	}
+
+	s.cycle = ck.Cycle
+	s.lastProgress = ck.LastProgress
+	s.nextTID = ck.NextTID
+	s.wbSeq = ck.WbSeq
+	s.watchWindow = ck.WatchWindow
+	s.watchRetries = ck.WatchRetries
+	s.wakeupRetries = ck.WakeupRetries
+	s.wakeupsRecovered = ck.WakeupsRecovered
+	s.stats.Ops = ck.Ops
+	s.stats.IssuedByKind = ck.IssuedByKind
+	s.stats.IssuedByUnit = append([]int64(nil), ck.IssuedByUnit...)
+	s.stats.WritebackRetries = ck.WritebackRetries
+	return nil
+}
+
+// WriteFile serializes the checkpoint as JSON to path.
+func (ck *Checkpoint) WriteFile(path string) error {
+	data, err := json.Marshal(ck)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadCheckpoint reads a checkpoint written by WriteFile.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var ck Checkpoint
+	if err := json.Unmarshal(data, &ck); err != nil {
+		return nil, fmt.Errorf("sim: parsing checkpoint %s: %w", path, err)
+	}
+	return &ck, nil
+}

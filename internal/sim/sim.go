@@ -14,6 +14,7 @@ import (
 	"sort"
 	"strings"
 
+	"pcoup/internal/faults"
 	"pcoup/internal/interconnect"
 	"pcoup/internal/isa"
 	"pcoup/internal/machine"
@@ -32,11 +33,16 @@ type writeback struct {
 	seq        int64 // global order tiebreaker
 }
 
-// memTag links a memory completion back to the issuing op.
+// memTag links a memory completion back to the issuing op. The
+// (segIdx, ip, slot) coordinates locate op inside the program so a
+// checkpointed tag can be re-linked on restore.
 type memTag struct {
 	thread     *Thread
 	op         *isa.Op
 	srcCluster int
+	segIdx     int
+	ip         int
+	slot       int
 }
 
 // Result summarizes one simulation run.
@@ -66,6 +72,27 @@ type Result struct {
 	// Stalls is the per-cycle stall attribution; nil unless
 	// WithStallAttribution (or a JSON tracer) was enabled.
 	Stalls *StallStats
+	// Faults summarizes injected faults and watchdog recoveries; nil
+	// unless the machine's fault model is enabled.
+	Faults *FaultStats
+}
+
+// FaultStats summarizes fault injection and recovery over a run.
+type FaultStats struct {
+	// MemDelayed/MemDropped count split-transaction reactivations
+	// delayed or lost by injection.
+	MemDelayed int64 `json:"mem_delayed"`
+	MemDropped int64 `json:"mem_dropped"`
+	// PortOutages/UnitOutages count outage windows opened.
+	PortOutages int64 `json:"port_outages"`
+	UnitOutages int64 `json:"unit_outages"`
+	// OutageRejects counts writebacks turned away by port outages.
+	OutageRejects int64 `json:"outage_rejects"`
+	// WakeupRetries counts watchdog retry sweeps that recovered at
+	// least one lost wakeup; WakeupsRecovered counts the addresses
+	// recovered across them.
+	WakeupRetries    int64 `json:"wakeup_retries"`
+	WakeupsRecovered int64 `json:"wakeups_recovered"`
 }
 
 // Utilization returns the average operations per cycle executed by units
@@ -118,6 +145,24 @@ type Sim struct {
 	attrib *stallAttrib
 	// jsonTrace receives structured trace events; nil unless enabled.
 	jsonTrace *JSONTracer
+
+	// inj injects deterministic faults; nil unless the machine's fault
+	// model is enabled.
+	inj *faults.Injector
+
+	// Forward-progress watchdog: when no thread progresses for
+	// watchWindow cycles, lost split-transaction wakeups are retried
+	// (bounded by watchRetries). On a healthy machine retries are
+	// provably no-ops, so the watchdog never perturbs fault-free runs.
+	watchWindow      int64
+	watchRetries     int64
+	wakeupRetries    int64
+	wakeupsRecovered int64
+
+	// Checkpointing: every ckptEvery cycles Run snapshots the complete
+	// simulator state and hands it to ckptSink.
+	ckptEvery int64
+	ckptSink  func(*Checkpoint) error
 }
 
 // Option configures a Sim.
@@ -150,6 +195,36 @@ func WithMaxCycles(n int64) Option {
 	return func(s *Sim) { s.maxCycles = n }
 }
 
+// WithWatchdog configures the forward-progress watchdog: after window
+// cycles with no progress, lost split-transaction wakeups are retried,
+// up to retries total sweeps. retries == 0 disables the watchdog (lost
+// wakeups then surface as DeadlockError). Defaults: window 1024,
+// retries defaultWatchdogRetries.
+func WithWatchdog(window int64, retries int64) Option {
+	return func(s *Sim) {
+		s.watchWindow = window
+		s.watchRetries = retries
+	}
+}
+
+// WithCheckpointEvery arranges for a full-state checkpoint every n
+// cycles, delivered to sink. A sink error aborts the run.
+func WithCheckpointEvery(n int64, sink func(*Checkpoint) error) Option {
+	return func(s *Sim) {
+		s.ckptEvery = n
+		s.ckptSink = sink
+	}
+}
+
+// Watchdog defaults: the window is several times the deepest plausible
+// healthy latency chain (memory miss penalties reach ~100 cycles) so
+// genuine waits never trigger a sweep, and the retry budget bounds the
+// total recovery work on a persistently faulty machine.
+const (
+	defaultWatchdogWindow  = 1024
+	defaultWatchdogRetries = 1 << 20
+)
+
 // cancelCheckMask controls how often Run polls the attached context: on
 // cycles where cycle&cancelCheckMask == 0 (every 4096 cycles; well under
 // a millisecond of host time even on slow machines).
@@ -169,17 +244,26 @@ func New(cfg *machine.Config, prog *isa.Program, opts ...Option) (*Sim, error) {
 		memWords = 1
 	}
 	s := &Sim{
-		cfg:   cfg,
-		prog:  prog,
-		units: cfg.Units(),
-		mem:   memsys.New(cfg.Memory, cfg.Seed, memWords),
-		arb:   interconnect.New(cfg.Interconnect, len(cfg.Clusters)),
+		cfg:          cfg,
+		prog:         prog,
+		units:        cfg.Units(),
+		mem:          memsys.New(cfg.Memory, cfg.Seed, memWords),
+		arb:          interconnect.New(cfg.Interconnect, len(cfg.Clusters)),
+		watchWindow:  defaultWatchdogWindow,
+		watchRetries: defaultWatchdogRetries,
 	}
 	if err := s.mem.LoadImage(prog.Data); err != nil {
 		return nil, err
 	}
 	if err := s.checkLocality(); err != nil {
 		return nil, err
+	}
+	if cfg.Faults.Enabled() {
+		s.inj = faults.NewInjector(cfg.Faults, len(cfg.Clusters), len(s.units))
+		s.mem.SetFaults(s.inj)
+		if cfg.Faults.PortOutageRate > 0 {
+			s.arb.SetOutage(s.inj.PortDown)
+		}
 	}
 	for _, o := range opts {
 		o(s)
@@ -325,6 +409,26 @@ func (s *Sim) Run(maxCycles int64) (*Result, error) {
 				return nil, fmt.Errorf("sim: cancelled at cycle %d: %w", s.cycle, err)
 			}
 		}
+		if s.ckptSink != nil && s.ckptEvery > 0 && s.cycle%s.ckptEvery == 0 {
+			ck, err := s.Snapshot()
+			if err != nil {
+				return nil, fmt.Errorf("sim: checkpoint at cycle %d: %w", s.cycle, err)
+			}
+			if err := s.ckptSink(ck); err != nil {
+				return nil, fmt.Errorf("sim: checkpoint at cycle %d: %w", s.cycle, err)
+			}
+		}
+		// Forward-progress watchdog: a stall past the window with parked
+		// references but no scheduled reactivation is the signature of an
+		// injection-dropped wakeup; retry it deterministically. On a
+		// healthy machine the sweep finds nothing and changes nothing.
+		if s.watchRetries > 0 && s.cycle-s.lastProgress > s.watchWindow {
+			if n := s.mem.RecoverLostWakeups(); n > 0 {
+				s.wakeupRetries++
+				s.wakeupsRecovered += int64(n)
+				s.watchRetries--
+			}
+		}
 		if s.cycle-s.lastProgress > stallLimit {
 			return nil, s.deadlock()
 		}
@@ -368,7 +472,14 @@ func (s *Sim) deadlock() error {
 		}
 		causes = append(causes, fmt.Sprintf("t%d=%s", t.ID, stall))
 		w := t.word()
-		desc := fmt.Sprintf("thread %d (%s) at word %d [stall: %s]", t.ID, t.Seg.Name, t.IP, stall)
+		desc := fmt.Sprintf("thread %d (%s) pc=%d [stall: %s]", t.ID, t.Seg.Name, t.IP, stall)
+		// Name the blocking memory word, if the thread is waiting on one.
+		if state, addr := s.mem.FindWaitAddr(func(tag any) bool {
+			mt, ok := tag.(memTag)
+			return ok && mt.thread == t
+		}); state == memsys.WaitParked {
+			desc += fmt.Sprintf(" [waiting addr %d]", addr)
+		}
 		if w != nil {
 			for slot, op := range w.Ops {
 				if op == nil || (slot < len(t.issued) && t.issued[slot]) {
@@ -460,7 +571,7 @@ func (s *Sim) drainWritebacks() {
 	if len(s.wbq) == 0 {
 		return
 	}
-	s.arb.BeginCycle()
+	s.arb.BeginCycle(s.cycle)
 	sort.SliceStable(s.wbq, func(i, j int) bool {
 		a, b := &s.wbq[i], &s.wbq[j]
 		if a.readyAt != b.readyAt {
@@ -589,6 +700,12 @@ func (s *Sim) opCacheOK(slot int, t *Thread) bool {
 func (s *Sim) issueCoupled() {
 	order := s.threadOrder()
 	for slot := range s.units {
+		// Degradation windows: a down unit issues nothing this cycle.
+		// Every slot is probed every cycle, so the injector's per-cycle
+		// cache is always populated before stall classification reads it.
+		if s.inj != nil && s.inj.UnitDown(slot, s.cycle) {
+			continue
+		}
 		for _, ti := range order {
 			t := s.threads[ti]
 			w := t.word()
@@ -613,6 +730,11 @@ func (s *Sim) issueCoupled() {
 func (s *Sim) issueLockStep() {
 	order := s.threadOrder()
 	unitBusy := make([]bool, len(s.units))
+	if s.inj != nil {
+		for slot := range unitBusy {
+			unitBusy[slot] = s.inj.UnitDown(slot, s.cycle)
+		}
+	}
 	for _, ti := range order {
 		t := s.threads[ti]
 		w := t.word()
@@ -683,7 +805,7 @@ func (s *Sim) issueOp(t *Thread, slot int, op *isa.Op) {
 		}
 		req := &memsys.Request{
 			Sync: op.Sync, Addr: addr,
-			Tag: memTag{thread: t, op: op, srcCluster: u.Cluster},
+			Tag: memTag{thread: t, op: op, srcCluster: u.Cluster, segIdx: t.SegIdx, ip: t.IP, slot: slot},
 		}
 		if op.Sync != isa.SyncNone {
 			t.syncLoadsOut++
@@ -696,7 +818,7 @@ func (s *Sim) issueOp(t *Thread, slot int, op *isa.Op) {
 		}
 		req := &memsys.Request{
 			IsStore: true, Sync: op.Sync, Addr: addr, Store: vals[0],
-			Tag: memTag{thread: t, op: op, srcCluster: u.Cluster},
+			Tag: memTag{thread: t, op: op, srcCluster: u.Cluster, segIdx: t.SegIdx, ip: t.IP, slot: slot},
 		}
 		t.storesOut++
 		_ = s.mem.Issue(req)
@@ -740,6 +862,16 @@ func (s *Sim) finalize() {
 	s.stats.Cycles = s.cycle
 	s.stats.Mem = s.mem.Stats()
 	s.stats.Interconnect = s.arb.Stats()
+	if s.inj != nil {
+		fs := s.inj.Stats()
+		s.stats.Faults = &FaultStats{
+			MemDelayed: fs.MemDelayed, MemDropped: fs.MemDropped,
+			PortOutages: fs.PortOutages, UnitOutages: fs.UnitOutages,
+			OutageRejects:    s.stats.Interconnect.OutageRejects,
+			WakeupRetries:    s.wakeupRetries,
+			WakeupsRecovered: s.wakeupsRecovered,
+		}
+	}
 	for _, c := range s.opCaches {
 		s.stats.OpCacheMisses += c.misses
 	}

@@ -41,14 +41,18 @@ const (
 	CauseOpCache
 	// CauseFork: a fork is throttled by the active-thread limit.
 	CauseFork
+	// CauseFault: the blocking operation was ready and resident but its
+	// function unit is inside an injected degradation window (fault
+	// injection only; never occurs on a healthy machine).
+	CauseFault
 
 	// NumStallCauses is the number of distinct per-cycle classifications
 	// (including CauseIssued).
-	NumStallCauses = int(CauseFork) + 1
+	NumStallCauses = int(CauseFault) + 1
 )
 
 var stallCauseNames = [NumStallCauses]string{
-	"issued", "presence", "fu-busy", "writeback", "mem-bank", "mem-sync", "opcache", "fork-throttle",
+	"issued", "presence", "fu-busy", "writeback", "mem-bank", "mem-sync", "opcache", "fork-throttle", "fault",
 }
 
 func (c StallCause) String() string {
@@ -217,6 +221,13 @@ func (s *Sim) classify(t *Thread) (cause StallCause, slot int, reg isa.RegRef, h
 		}
 		if !s.opCachePresent(si, t) {
 			return CauseOpCache, si, isa.RegRef{}, false
+		}
+		// Ready and resident: if the unit is inside an injected
+		// degradation window, that — not arbitration — gated issue.
+		// UnitDownQuiet is a read-only probe of this cycle's already
+		// sampled schedule, so classification stays side-effect free.
+		if s.inj != nil && s.inj.UnitDownQuiet(si, s.cycle) {
+			return CauseFault, si, isa.RegRef{}, false
 		}
 	}
 	// Every unissued operation was ready and resident: the unit(s) went

@@ -144,8 +144,9 @@ func TestDeadlockNamesWaitingRegister(t *testing.T) {
 	if !ok {
 		t.Fatalf("error = %v (%T), want *DeadlockError", err, err)
 	}
-	// Each blocked thread's diagnostic must carry its stall cause and the
-	// register it is waiting on.
+	// Each blocked thread's diagnostic must carry its PC, its stall
+	// cause, and the blocking resource: the register it is waiting on
+	// and the memory address its reference is parked at.
 	all := strings.Join(de.Threads, "\n")
 	for _, wantReg := range []string{"c0.r0", "c1.r0"} {
 		if !strings.Contains(all, wantReg) {
@@ -154,6 +155,12 @@ func TestDeadlockNamesWaitingRegister(t *testing.T) {
 	}
 	if !strings.Contains(all, "mem-sync") {
 		t.Errorf("thread diagnostics missing stall cause:\n%s", all)
+	}
+	if !strings.Contains(all, "pc=") {
+		t.Errorf("thread diagnostics missing pc:\n%s", all)
+	}
+	if !strings.Contains(all, "waiting addr 8") {
+		t.Errorf("thread diagnostics missing blocking memory address:\n%s", all)
 	}
 	if !strings.Contains(de.Detail, "stalls:") {
 		t.Errorf("Detail missing stall summary: %s", de.Detail)
