@@ -7,6 +7,10 @@
 // The experiment menu comes from the shared registry in
 // internal/experiments (also served over HTTP by pcserved); run with an
 // unknown -exp value to list every experiment with a description.
+//
+// Performance tooling: -cpuprofile/-memprofile write pprof profiles of
+// the run, and `-exp perf -out BENCH_sim.json` records the simulator's
+// own throughput measurements in machine-readable form.
 package main
 
 import (
@@ -14,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"pcoup/internal/experiments"
 	"pcoup/internal/machine"
@@ -23,37 +29,77 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run ("+experiments.UsageNames()+")")
 	machinePath := flag.String("machine", "", "machine configuration JSON file (default: baseline; Figure 8 always sweeps its own machines)")
 	asJSON := flag.Bool("json", false, "emit raw experiment rows as JSON instead of formatted tables")
+	outPath := flag.String("out", "", "also write the experiment rows as JSON to this file (e.g. -exp perf -out BENCH_sim.json)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	os.Exit(run(*exp, *machinePath, *asJSON, *outPath, *cpuProfile, *memProfile))
+}
+
+// run holds the tool body so deferred profile writers execute before the
+// process exits.
+func run(exp, machinePath string, asJSON bool, outPath, cpuProfile, memProfile string) int {
+	if cpuProfile != "" {
+		f, err := os.Create(cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pcbench:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "pcbench:", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if memProfile != "" {
+		defer func() {
+			f, err := os.Create(memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pcbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "pcbench:", err)
+			}
+		}()
+	}
 
 	// A nil base config selects each driver's own default (the baseline
 	// machine for the paper's experiments; threadcap defaults to the
 	// long-latency Mem1 machine).
 	var baseCfg *machine.Config
-	if *machinePath != "" {
+	if machinePath != "" {
 		var err error
-		baseCfg, err = machine.Load(*machinePath)
+		baseCfg, err = machine.Load(machinePath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "pcbench:", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 
 	var list []experiments.Experiment
-	if *exp == "all" {
+	if exp == "all" {
 		list = experiments.Registry()
 	} else {
-		e, ok := experiments.Lookup(*exp)
+		e, ok := experiments.Lookup(exp)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "pcbench: %v\n\nexperiments:\n", experiments.UnknownExperimentError(*exp))
+			fmt.Fprintf(os.Stderr, "pcbench: %v\n\nexperiments:\n", experiments.UnknownExperimentError(exp))
 			for _, e := range experiments.Registry() {
 				fmt.Fprintf(os.Stderr, "  %-12s %s\n", e.Name, e.Brief)
 			}
-			os.Exit(1)
+			return 1
 		}
 		list = []experiments.Experiment{*e}
 	}
 
 	rc := &experiments.RunContext{Cfg: baseCfg}
+	allRows := make(map[string]any, len(list))
 	for i, e := range list {
 		if i > 0 {
 			fmt.Println()
@@ -61,17 +107,37 @@ func main() {
 		rows, err := e.Run(rc)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pcbench: %s: %v\n", e.Name, err)
-			os.Exit(1)
+			return 1
 		}
-		if *asJSON {
+		allRows[e.Name] = rows
+		if asJSON {
 			enc := json.NewEncoder(os.Stdout)
 			enc.SetIndent("", "  ")
 			if err := enc.Encode(rows); err != nil {
 				fmt.Fprintf(os.Stderr, "pcbench: %s: %v\n", e.Name, err)
-				os.Exit(1)
+				return 1
 			}
 			continue
 		}
 		e.Write(os.Stdout, baseCfg, rows)
 	}
+
+	if outPath != "" {
+		// A single experiment writes its rows directly; a multi-experiment
+		// run writes a name-keyed object.
+		var payload any = allRows
+		if len(list) == 1 {
+			payload = allRows[list[0].Name]
+		}
+		data, err := json.MarshalIndent(payload, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pcbench:", err)
+			return 1
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "pcbench:", err)
+			return 1
+		}
+	}
+	return 0
 }

@@ -12,10 +12,13 @@
 package main
 
 import (
+	"bufio"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -27,6 +30,13 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run is the tool body. It returns the process exit code so deferred
+// cleanup (trace flush, profile writers) executes on every path,
+// including simulation errors.
+func run() int {
 	machinePath := flag.String("machine", "", "machine configuration JSON file (default: baseline)")
 	trace := flag.Bool("trace", false, "print an issue/writeback trace to stderr")
 	maxCycles := flag.Int64("max", 0, "abort after N cycles (0 = default limit)")
@@ -39,12 +49,42 @@ func main() {
 	ckptEvery := flag.Int64("checkpoint-every", 0, "snapshot full simulator state every N cycles to -checkpoint")
 	ckptPath := flag.String("checkpoint", "pcsim.ckpt.json", "checkpoint file for -checkpoint-every (latest snapshot wins)")
 	resume := flag.String("resume", "", "resume from a checkpoint file instead of starting at cycle 0")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: pcsim [flags] prog.pca")
 		flag.Usage()
-		os.Exit(2)
+		return 2
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fail(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pcsim:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "pcsim:", err)
+			}
+		}()
 	}
 
 	cfg := machine.Baseline()
@@ -52,30 +92,36 @@ func main() {
 		var err error
 		cfg, err = machine.Load(*machinePath)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 	}
 	if *faultSpec != "" {
 		m, err := faults.ParseSpec(*faultSpec)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		cfg = cfg.WithFaults(m)
 	}
 
 	f, err := os.Open(flag.Arg(0))
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	prog, err := isa.ParseText(f)
 	f.Close()
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
 	var opts []sim.Option
 	if *trace {
-		opts = append(opts, sim.WithTrace(os.Stderr))
+		// The trace emits a handful of lines per simulated cycle; writing
+		// them unbuffered to stderr dominated traced-run wall-clock. The
+		// deferred flush runs on every exit path, including deadlock and
+		// address-fault reports below.
+		tw := bufio.NewWriterSize(os.Stderr, 1<<16)
+		defer tw.Flush()
+		opts = append(opts, sim.WithTrace(tw))
 	}
 	var rec *sim.InterleaveRecorder
 	if *interleave > 0 {
@@ -102,15 +148,15 @@ func main() {
 	}
 	s, err := sim.New(cfg, prog, opts...)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	if *resume != "" {
 		ck, err := sim.LoadCheckpoint(*resume)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		if err := s.Restore(ck); err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		fmt.Fprintf(os.Stderr, "pcsim: resumed from %s at cycle %d\n", *resume, ck.Cycle)
 	}
@@ -119,7 +165,7 @@ func main() {
 		var ae *memsys.AddressError
 		if errors.As(err, &ae) {
 			fmt.Fprintln(os.Stderr, "pcsim:", err)
-			os.Exit(3)
+			return 3
 		}
 		var de *sim.DeadlockError
 		if errors.As(err, &de) {
@@ -127,9 +173,9 @@ func main() {
 			for _, line := range de.Threads {
 				fmt.Fprintln(os.Stderr, "pcsim:   "+line)
 			}
-			os.Exit(1)
+			return 1
 		}
-		fatal(err)
+		return fail(err)
 	}
 
 	fmt.Printf("program:  %s on %s\n", prog.Name, cfg)
@@ -166,14 +212,14 @@ func main() {
 	if tracer != nil {
 		out, err := os.Create(*traceJSON)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		if err := tracer.Write(out); err != nil {
 			out.Close()
-			fatal(err)
+			return fail(err)
 		}
 		if err := out.Close(); err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		fmt.Fprintf(os.Stderr, "pcsim: wrote trace to %s\n", *traceJSON)
 	}
@@ -184,7 +230,7 @@ func main() {
 			name = (*dump)[:i]
 			n, err := strconv.ParseInt((*dump)[i+1:], 10, 64)
 			if err != nil {
-				fatal(fmt.Errorf("bad -dump count: %v", err))
+				return fail(fmt.Errorf("bad -dump count: %v", err))
 			}
 			count = n
 		}
@@ -207,9 +253,11 @@ func main() {
 			}
 		}
 	}
+	return 0
 }
 
-func fatal(err error) {
+// fail reports err and returns the generic error exit code.
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "pcsim:", err)
-	os.Exit(1)
+	return 1
 }

@@ -1,0 +1,49 @@
+package experiments
+
+// Sweep-level benchmarks: the full Table 2 grid (every benchmark x mode
+// cell) and a bare compile. BenchmarkTable2 exercises the compiled-
+// program cache: after the first iteration every cell reuses its cached
+// program, so the steady state measures pure simulation.
+//
+//	go test ./internal/experiments/ -bench . -benchmem
+
+import (
+	"testing"
+
+	"pcoup/internal/bench"
+	"pcoup/internal/compiler"
+	"pcoup/internal/machine"
+)
+
+// BenchmarkTable2 runs the complete Table 2 sweep per iteration (18
+// cells, warm program cache after the first iteration).
+func BenchmarkTable2(b *testing.B) {
+	cfg := machine.Baseline()
+	if _, err := Table2(cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Table2(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompiler measures one cold compile (LUD, the largest
+// benchmark program) — the cost the program cache saves per warm cell.
+func BenchmarkCompiler(b *testing.B) {
+	cfg := machine.Baseline()
+	bm, err := bench.Get("lud", bench.Threaded)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := compiler.Compile(bm.Source, cfg, compiler.Options{Mode: compiler.Unrestricted}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

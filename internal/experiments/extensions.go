@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"io"
 
-	"pcoup/internal/bench"
 	"pcoup/internal/compiler"
 	"pcoup/internal/machine"
 	"pcoup/internal/sim"
@@ -27,11 +26,7 @@ type UnrollRow struct {
 
 // executeWith runs one cell with explicit compiler options.
 func executeWith(ctx context.Context, benchName string, mode Mode, cfg *machine.Config, opts compiler.Options) (int64, error) {
-	b, err := bench.Get(benchName, sourceKind(mode))
-	if err != nil {
-		return 0, err
-	}
-	prog, _, err := compiler.Compile(b.Source, cfg, opts)
+	b, prog, _, err := compileCached(benchName, sourceKind(mode), 0, cfg, opts)
 	if err != nil {
 		return 0, err
 	}
@@ -46,6 +41,7 @@ func executeWith(ctx context.Context, benchName string, mode Mode, cfg *machine.
 	if err := b.Verify(peeker(s, prog)); err != nil {
 		return 0, fmt.Errorf("%s/%s: wrong result: %w", benchName, mode, err)
 	}
+	s.Release()
 	return res.Cycles, nil
 }
 

@@ -1,0 +1,171 @@
+package experiments
+
+// The perf experiment measures the simulator itself rather than the
+// simulated machine: per-benchmark kernel throughput (simulated cycles
+// per wall-clock second under Coupled mode), the wall-clock cost of the
+// full Table 2 sweep (first pass compiles, warm passes hit the compiled-
+// program cache), and amortized heap allocations per simulated cycle.
+// `pcbench -exp perf -json` emits the machine-readable form recorded in
+// BENCH_sim.json.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"pcoup/internal/compiler"
+	"pcoup/internal/isa"
+	"pcoup/internal/machine"
+	"pcoup/internal/sim"
+)
+
+// PerfBench is one benchmark's kernel throughput under Coupled mode.
+type PerfBench struct {
+	Bench        string  `json:"bench"`
+	Cycles       int64   `json:"cycles"`         // simulated cycles per run
+	Runs         int     `json:"runs"`           // timed repetitions
+	NsPerRun     float64 `json:"ns_per_run"`     // wall-clock per run
+	CyclesPerSec float64 `json:"cycles_per_sec"` // simulated cycles per second
+}
+
+// PerfResult is the perf experiment's machine-readable output.
+type PerfResult struct {
+	Benches []PerfBench `json:"benches"`
+	// Table2FirstMs is the wall-clock of the first full Table 2 sweep in
+	// this process (includes any compiles the program cache has not seen).
+	Table2FirstMs float64 `json:"table2_first_ms"`
+	// Table2WarmMs is the best warm-cache sweep wall-clock.
+	Table2WarmMs float64 `json:"table2_warm_ms"`
+	// AllocsPerCycle is amortized heap allocations per simulated cycle
+	// over repeated matrix/Coupled runs (includes Sim construction).
+	AllocsPerCycle float64 `json:"allocs_per_cycle"`
+}
+
+// perfReps picks a repetition count that keeps each timing section
+// around ~100ms without unbounded work on slow machines.
+func perfReps(perRun time.Duration) int {
+	if perRun <= 0 {
+		return 50
+	}
+	n := int(100 * time.Millisecond / perRun)
+	if n < 3 {
+		return 3
+	}
+	if n > 200 {
+		return 200
+	}
+	return n
+}
+
+// Perf runs the simulator performance measurements on cfg (nil = the
+// baseline machine).
+func Perf(cfg *machine.Config) (*PerfResult, error) {
+	return PerfCtx(context.Background(), cfg)
+}
+
+// PerfCtx is Perf under a cancellation context.
+func PerfCtx(ctx context.Context, cfg *machine.Config) (*PerfResult, error) {
+	if cfg == nil {
+		cfg = machine.Baseline()
+	}
+	res := &PerfResult{}
+
+	// Table 2 sweep wall-clock: the first pass compiles whatever the
+	// program cache is missing; subsequent passes are fully warm.
+	start := time.Now()
+	if _, err := Table2Ctx(ctx, cfg); err != nil {
+		return nil, err
+	}
+	res.Table2FirstMs = float64(time.Since(start).Nanoseconds()) / 1e6
+	res.Table2WarmMs = res.Table2FirstMs
+	for i := 0; i < 3; i++ {
+		start = time.Now()
+		if _, err := Table2Ctx(ctx, cfg); err != nil {
+			return nil, err
+		}
+		if ms := float64(time.Since(start).Nanoseconds()) / 1e6; ms < res.Table2WarmMs {
+			res.Table2WarmMs = ms
+		}
+	}
+
+	// Per-benchmark kernel throughput under Coupled mode: simulation
+	// only (the program is cached; verification is excluded).
+	for _, b := range []string{"matrix", "fft", "model", "lud"} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		_, prog, _, err := compileCached(b, sourceKind(COUPLED), 0, cfg, compiler.Options{Mode: compilerMode(COUPLED)})
+		if err != nil {
+			return nil, err
+		}
+		cycles, elapsed, err := timedRun(cfg, prog)
+		if err != nil {
+			return nil, fmt.Errorf("perf %s: %w", b, err)
+		}
+		reps := perfReps(elapsed)
+		start = time.Now()
+		for i := 0; i < reps; i++ {
+			if _, _, err := timedRun(cfg, prog); err != nil {
+				return nil, fmt.Errorf("perf %s: %w", b, err)
+			}
+		}
+		total := time.Since(start)
+		perRun := float64(total.Nanoseconds()) / float64(reps)
+		res.Benches = append(res.Benches, PerfBench{
+			Bench: b, Cycles: cycles, Runs: reps,
+			NsPerRun:     perRun,
+			CyclesPerSec: float64(cycles) / (perRun / 1e9),
+		})
+	}
+
+	// Amortized allocations per simulated cycle (matrix/Coupled).
+	_, prog, _, err := compileCached("matrix", sourceKind(COUPLED), 0, cfg, compiler.Options{Mode: compilerMode(COUPLED)})
+	if err != nil {
+		return nil, err
+	}
+	cycles, _, err := timedRun(cfg, prog) // warm the memory-image pool
+	if err != nil {
+		return nil, err
+	}
+	const allocReps = 10
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < allocReps; i++ {
+		if _, _, err := timedRun(cfg, prog); err != nil {
+			return nil, err
+		}
+	}
+	runtime.ReadMemStats(&after)
+	res.AllocsPerCycle = float64(after.Mallocs-before.Mallocs) / (float64(cycles) * allocReps)
+	return res, nil
+}
+
+// timedRun is one cell's simulation work: build, run, recycle.
+func timedRun(cfg *machine.Config, prog *isa.Program) (int64, time.Duration, error) {
+	start := time.Now()
+	s, err := sim.New(cfg, prog)
+	if err != nil {
+		return 0, 0, err
+	}
+	r, err := s.Run(0)
+	if err != nil {
+		return 0, 0, err
+	}
+	s.Release()
+	return r.Cycles, time.Since(start), nil
+}
+
+// WritePerf renders the perf measurements for terminals.
+func WritePerf(w io.Writer, res *PerfResult) {
+	fmt.Fprintln(w, "Simulator performance (this build, this machine):")
+	fmt.Fprintf(w, "  %-8s %10s %8s %14s\n", "bench", "cycles", "runs", "simcycles/s")
+	for _, b := range res.Benches {
+		fmt.Fprintf(w, "  %-8s %10d %8d %14.0f\n", b.Bench, b.Cycles, b.Runs, b.CyclesPerSec)
+	}
+	fmt.Fprintf(w, "  Table 2 sweep: %.1f ms first pass, %.1f ms warm (compiled-program cache)\n",
+		res.Table2FirstMs, res.Table2WarmMs)
+	fmt.Fprintf(w, "  allocations:   %.3f per simulated cycle (matrix/Coupled, steady state)\n",
+		res.AllocsPerCycle)
+}

@@ -127,6 +127,12 @@ var registry = []Experiment{
 			feasibility.Write(w, cfg, rows.([]feasibility.Report))
 		},
 	},
+	{
+		Name:  "perf",
+		Brief: "simulator throughput: cycles/sec, sweep wall-clock, allocs/cycle",
+		Run:   func(rc *RunContext) (any, error) { return PerfCtx(rc.Context(), rc.Config()) },
+		Write: func(w io.Writer, _ *machine.Config, rows any) { WritePerf(w, rows.(*PerfResult)) },
+	},
 }
 
 // Registry returns all experiments in presentation order. The returned

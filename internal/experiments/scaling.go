@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"io"
 
-	"pcoup/internal/bench"
 	"pcoup/internal/compiler"
 	"pcoup/internal/machine"
 	"pcoup/internal/sim"
@@ -58,11 +57,7 @@ func ScalingCtx(ctx context.Context, cfg *machine.Config) ([]ScalingRow, error) 
 	cycles := make([]int64, len(cells))
 	err := runParallelCtx(ctx, len(cells), func(i int) error {
 		c := cells[i]
-		bm, err := bench.GetN(c.bench, sourceKind(c.mode), c.size)
-		if err != nil {
-			return err
-		}
-		prog, _, err := compiler.Compile(bm.Source, cfg, compiler.Options{Mode: compilerMode(c.mode)})
+		bm, prog, _, err := compileCached(c.bench, sourceKind(c.mode), c.size, cfg, compiler.Options{Mode: compilerMode(c.mode)})
 		if err != nil {
 			return fmt.Errorf("scaling %s/%d/%s: %w", c.bench, c.size, c.mode, err)
 		}
@@ -77,6 +72,7 @@ func ScalingCtx(ctx context.Context, cfg *machine.Config) ([]ScalingRow, error) 
 		if err := bm.Verify(peeker(s, prog)); err != nil {
 			return fmt.Errorf("scaling %s/%d/%s: wrong result: %w", c.bench, c.size, c.mode, err)
 		}
+		s.Release()
 		cycles[i] = res.Cycles
 		return nil
 	})

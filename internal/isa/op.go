@@ -66,7 +66,8 @@ const (
 	numOpcodes
 )
 
-var opcodeInfo = map[Opcode]struct {
+// opcodeDesc describes one opcode's static properties.
+type opcodeDesc struct {
 	name string
 	unit machine.UnitKind
 	// nsrc is the required operand count; -1 means variable (memory ops).
@@ -74,7 +75,12 @@ var opcodeInfo = map[Opcode]struct {
 	// pure marks side-effect-free value operations that the compiler may
 	// constant-fold.
 	pure bool
-}{
+}
+
+// opcodeInfo is indexed by Opcode (a dense enum); undefined opcodes have
+// an empty name. An array keeps the per-issue lookups in the simulator's
+// hot path free of map hashing.
+var opcodeInfo = [numOpcodes]opcodeDesc{
 	OpAdd:   {"add", machine.IU, 2, true},
 	OpSub:   {"sub", machine.IU, 2, true},
 	OpMul:   {"mul", machine.IU, 2, true},
@@ -118,27 +124,36 @@ var opcodeInfo = map[Opcode]struct {
 	OpHalt:  {"halt", machine.BR, 0, false},
 }
 
+// info returns the opcode's descriptor (the zero descriptor for
+// out-of-range or undefined opcodes, mirroring the former map lookup).
+func (o Opcode) info() opcodeDesc {
+	if o <= OpInvalid || o >= numOpcodes {
+		return opcodeDesc{}
+	}
+	return opcodeInfo[o]
+}
+
 func (o Opcode) String() string {
-	if info, ok := opcodeInfo[o]; ok {
+	if info := o.info(); info.name != "" {
 		return info.name
 	}
 	return fmt.Sprintf("Opcode(%d)", int(o))
 }
 
 // Unit returns the function unit class that executes the opcode.
-func (o Opcode) Unit() machine.UnitKind { return opcodeInfo[o].unit }
+func (o Opcode) Unit() machine.UnitKind { return o.info().unit }
 
 // Pure reports whether the opcode is a side-effect-free value computation.
-func (o Opcode) Pure() bool { return opcodeInfo[o].pure }
+func (o Opcode) Pure() bool { return o.info().pure }
 
 // NumSrcs returns the operand count required by the opcode, or -1 if
 // variable.
-func (o Opcode) NumSrcs() int { return opcodeInfo[o].nsrc }
+func (o Opcode) NumSrcs() int { return o.info().nsrc }
 
 // ParseOpcode converts an assembly mnemonic into an Opcode.
 func ParseOpcode(name string) (Opcode, error) {
-	for op, info := range opcodeInfo {
-		if info.name == name {
+	for op := Opcode(1); op < numOpcodes; op++ {
+		if opcodeInfo[op].name == name {
 			return op, nil
 		}
 	}
@@ -147,9 +162,9 @@ func ParseOpcode(name string) (Opcode, error) {
 
 // Opcodes returns every defined opcode (for exhaustive tests).
 func Opcodes() []Opcode {
-	out := make([]Opcode, 0, len(opcodeInfo))
+	out := make([]Opcode, 0, int(numOpcodes))
 	for op := Opcode(1); op < numOpcodes; op++ {
-		if _, ok := opcodeInfo[op]; ok {
+		if opcodeInfo[op].name != "" {
 			out = append(out, op)
 		}
 	}
@@ -195,8 +210,8 @@ func ParseSyncFlavor(s string) (SyncFlavor, error) {
 // division or modulus by zero yields zero (the simulated machine does not
 // trap); float division by zero follows IEEE semantics.
 func Eval(op Opcode, srcs []Value) (Value, error) {
-	info, ok := opcodeInfo[op]
-	if !ok || !info.pure {
+	info := op.info()
+	if !info.pure {
 		return Value{}, fmt.Errorf("isa: opcode %s is not evaluable", op)
 	}
 	if info.nsrc >= 0 && len(srcs) != info.nsrc {

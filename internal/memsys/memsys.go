@@ -7,9 +7,10 @@
 package memsys
 
 import (
-	"encoding/json"
 	"fmt"
+	"slices"
 	"sort"
+	"sync"
 
 	"pcoup/internal/faults"
 	"pcoup/internal/isa"
@@ -34,14 +35,28 @@ func (e *AddressError) Error() string {
 	return fmt.Sprintf("memsys: %s address %d out of range [0,%d)", kind, e.Addr, e.Size)
 }
 
+// Tag links a memory reference back to the issuing operation: the
+// issuing thread's ID and the operation's (segment, word, slot) program
+// coordinates, plus the cluster the reference issued from. It is carried
+// by value (no boxing) and returned with the Completion. The JSON field
+// names match the simulator's historical checkpoint tag encoding, so
+// checkpoints taken before the tag became typed still decode.
+type Tag struct {
+	Thread     int `json:"t"`
+	SegIdx     int `json:"seg"`
+	IP         int `json:"ip"`
+	Slot       int `json:"slot"`
+	SrcCluster int `json:"c"`
+}
+
 // Request describes one memory reference issued by a memory unit.
 type Request struct {
 	IsStore bool
 	Sync    isa.SyncFlavor
 	Addr    int64
 	Store   isa.Value // value to write (stores only)
-	// Tag is opaque caller context, returned with the Completion.
-	Tag any
+	// Tag is caller context, returned with the Completion.
+	Tag Tag
 
 	// issuedAt records the tick the reference entered the memory system
 	// (latency histogram bookkeeping).
@@ -148,6 +163,13 @@ type Memory struct {
 	// per-reference latency including queueing and park time).
 	tick int64
 
+	// doneScratch and arrivalsScratch are per-Memory scratch buffers
+	// reused across Tick calls so the steady-state cycle path allocates
+	// nothing. The slice Tick returns aliases doneScratch and is valid
+	// only until the next Tick call.
+	doneScratch     []Completion
+	arrivalsScratch []*Request
+
 	stats Stats
 	fault error
 }
@@ -158,16 +180,57 @@ type delayedService struct {
 	Due  int64 `json:"due"` // tick at which the address is serviced
 }
 
+// backing is a recycled words/presence-bits pair held by backingPool.
+type backing struct {
+	words []isa.Value
+	full  []bool
+}
+
+// backingPool recycles the memory image arrays — the single largest
+// allocation of a simulation cell — across Memories (see Recycle).
+var backingPool sync.Pool
+
+// newBacking returns zeroed word and presence arrays of the given size,
+// reusing a pooled backing when one is large enough. Reused arrays are
+// cleared to exactly the state make() would produce, so pooling can
+// never change simulation results.
+func newBacking(size int64) ([]isa.Value, []bool) {
+	if b, _ := backingPool.Get().(*backing); b != nil && int64(cap(b.words)) >= size && int64(cap(b.full)) >= size {
+		words := b.words[:size]
+		full := b.full[:size]
+		for i := range words {
+			words[i] = isa.Value{}
+		}
+		for i := range full {
+			full[i] = false
+		}
+		return words, full
+	}
+	return make([]isa.Value, size), make([]bool, size)
+}
+
+// Recycle returns the memory's image arrays to the package pool for
+// reuse by a future New. The Memory (including values previously
+// returned by Peek-style inspection of it) must not be used afterwards.
+func (m *Memory) Recycle() {
+	if m.words == nil {
+		return
+	}
+	backingPool.Put(&backing{words: m.words, full: m.full})
+	m.words, m.full = nil, nil
+}
+
 // New creates a memory of size words using the given model and seed.
 func New(model machine.MemoryModel, seed uint64, size int64) *Memory {
 	if size < 1 {
 		size = 1
 	}
+	words, full := newBacking(size)
 	m := &Memory{
 		model:       model,
 		rnd:         rng.New(seed),
-		words:       make([]isa.Value, size),
-		full:        make([]bool, size),
+		words:       words,
+		full:        full,
 		parkedFull:  make(map[int64][]*Request),
 		parkedEmpty: make(map[int64][]*Request),
 	}
@@ -291,13 +354,15 @@ func (m *Memory) start(req *Request) {
 }
 
 // Tick advances the memory one cycle and returns the references that
-// completed this cycle.
+// completed this cycle. The returned slice aliases an internal scratch
+// buffer: it is valid only until the next Tick call, and callers must
+// consume (or copy) it immediately.
 func (m *Memory) Tick() []Completion {
 	m.tick++
-	var done []Completion
+	done := m.doneScratch[:0]
 	// Age in-flight references; arrivals are processed in issue order.
 	next := m.pending[:0]
-	var arrivals []*Request
+	arrivals := m.arrivalsScratch[:0]
 	for _, f := range m.pending {
 		f.remaining--
 		if f.remaining <= 0 {
@@ -307,11 +372,15 @@ func (m *Memory) Tick() []Completion {
 		}
 	}
 	m.pending = next
+	m.arrivalsScratch = arrivals[:0]
 	// Service parked queues scheduled by earlier commits: commit the
 	// front of the queue matching the word's current state (one
 	// reference per address per cycle, strict FIFO per direction).
+	// The due list's backing is reused for the next tick's schedule:
+	// nothing appends to dueService until the merge below, after this
+	// loop has finished reading it.
 	due := m.dueService
-	m.dueService = nil
+	m.dueService = due[:0]
 	for _, addr := range due {
 		queues := m.parkedEmpty
 		if m.full[addr] {
@@ -339,7 +408,7 @@ func (m *Memory) Tick() []Completion {
 		m.delayed = m.delayed[1:]
 	}
 	if len(m.nextService) > 0 {
-		sort.Slice(m.nextService, func(i, j int) bool { return m.nextService[i] < m.nextService[j] })
+		slices.Sort(m.nextService)
 		for _, a := range m.nextService {
 			if len(m.dueService) == 0 || m.dueService[len(m.dueService)-1] != a {
 				m.dueService = append(m.dueService, a)
@@ -359,6 +428,7 @@ func (m *Memory) Tick() []Completion {
 			}
 		}
 	}
+	m.doneScratch = done
 	return done
 }
 
@@ -502,7 +572,7 @@ const (
 // satisfies match currently waits, preferring the most specific state
 // (parked, then bank-queued, then in flight). Used by the simulator's
 // stall attribution; read-only.
-func (m *Memory) FindWait(match func(tag any) bool) WaitState {
+func (m *Memory) FindWait(match func(Tag) bool) WaitState {
 	st, _ := m.FindWaitAddr(match)
 	return st
 }
@@ -510,7 +580,7 @@ func (m *Memory) FindWait(match func(tag any) bool) WaitState {
 // FindWaitAddr is FindWait plus the waited-on address (valid unless the
 // state is WaitNone). Used by deadlock diagnosis to name the memory
 // word blocking a stalled thread.
-func (m *Memory) FindWaitAddr(match func(tag any) bool) (WaitState, int64) {
+func (m *Memory) FindWaitAddr(match func(Tag) bool) (WaitState, int64) {
 	for _, q := range m.parkedFull {
 		for _, r := range q {
 			if match(r.Tag) {
@@ -598,15 +668,14 @@ func (m *Memory) RecoverLostWakeups() int {
 	return len(addrs)
 }
 
-// ReqState is a Request's serializable form; the opaque Tag is encoded
-// by the caller (the simulator knows its own tag type).
+// ReqState is a Request's serializable form.
 type ReqState struct {
-	IsStore  bool            `json:"is_store,omitempty"`
-	Sync     int             `json:"sync"`
-	Addr     int64           `json:"addr"`
-	Store    isa.Value       `json:"store"`
-	Tag      json.RawMessage `json:"tag,omitempty"`
-	IssuedAt int64           `json:"issued_at"`
+	IsStore  bool      `json:"is_store,omitempty"`
+	Sync     int       `json:"sync"`
+	Addr     int64     `json:"addr"`
+	Store    isa.Value `json:"store"`
+	Tag      Tag       `json:"tag"`
+	IssuedAt int64     `json:"issued_at"`
 }
 
 // PendingState is an in-flight reference's serializable form.
@@ -641,36 +710,21 @@ type State struct {
 	Fault       *AddressError    `json:"fault,omitempty"`
 }
 
-// TagCodec translates the simulator's opaque request tags to and from
-// JSON for checkpointing.
-type TagCodec struct {
-	Encode func(tag any) (json.RawMessage, error)
-	Decode func(data json.RawMessage) (any, error)
-}
-
-func (m *Memory) encodeReq(r *Request, codec TagCodec) (ReqState, error) {
-	tag, err := codec.Encode(r.Tag)
-	if err != nil {
-		return ReqState{}, err
-	}
+func encodeReq(r *Request) ReqState {
 	return ReqState{
 		IsStore: r.IsStore, Sync: int(r.Sync), Addr: r.Addr,
-		Store: r.Store, Tag: tag, IssuedAt: r.issuedAt,
-	}, nil
+		Store: r.Store, Tag: r.Tag, IssuedAt: r.issuedAt,
+	}
 }
 
-func decodeReq(rs ReqState, codec TagCodec) (*Request, error) {
-	tag, err := codec.Decode(rs.Tag)
-	if err != nil {
-		return nil, err
-	}
+func decodeReq(rs ReqState) *Request {
 	return &Request{
 		IsStore: rs.IsStore, Sync: isa.SyncFlavor(rs.Sync), Addr: rs.Addr,
-		Store: rs.Store, Tag: tag, issuedAt: rs.IssuedAt,
-	}, nil
+		Store: rs.Store, Tag: rs.Tag, issuedAt: rs.IssuedAt,
+	}
 }
 
-func (m *Memory) encodeQueues(queues map[int64][]*Request, codec TagCodec) ([]QueueState, error) {
+func encodeQueues(queues map[int64][]*Request) []QueueState {
 	addrs := make([]int64, 0, len(queues))
 	for addr := range queues {
 		addrs = append(addrs, addr)
@@ -680,19 +734,15 @@ func (m *Memory) encodeQueues(queues map[int64][]*Request, codec TagCodec) ([]Qu
 	for _, addr := range addrs {
 		qs := QueueState{Addr: addr}
 		for _, r := range queues[addr] {
-			rs, err := m.encodeReq(r, codec)
-			if err != nil {
-				return nil, err
-			}
-			qs.Reqs = append(qs.Reqs, rs)
+			qs.Reqs = append(qs.Reqs, encodeReq(r))
 		}
 		out = append(out, qs)
 	}
-	return out, nil
+	return out
 }
 
 // Snapshot captures the memory's complete state at a tick boundary.
-func (m *Memory) Snapshot(codec TagCodec) (*State, error) {
+func (m *Memory) Snapshot() (*State, error) {
 	st := &State{
 		Words:       append([]isa.Value(nil), m.words...),
 		Full:        append([]bool(nil), m.full...),
@@ -712,54 +762,37 @@ func (m *Memory) Snapshot(codec TagCodec) (*State, error) {
 		}
 	}
 	for _, f := range m.pending {
-		rs, err := m.encodeReq(f.req, codec)
-		if err != nil {
-			return nil, err
-		}
-		st.Pending = append(st.Pending, PendingState{Req: rs, Remaining: f.remaining})
+		st.Pending = append(st.Pending, PendingState{Req: encodeReq(f.req), Remaining: f.remaining})
 	}
-	var err error
-	if st.ParkedFull, err = m.encodeQueues(m.parkedFull, codec); err != nil {
-		return nil, err
-	}
-	if st.ParkedEmpty, err = m.encodeQueues(m.parkedEmpty, codec); err != nil {
-		return nil, err
-	}
+	st.ParkedFull = encodeQueues(m.parkedFull)
+	st.ParkedEmpty = encodeQueues(m.parkedEmpty)
 	for _, q := range m.bankQueue {
 		var bq []ReqState
 		for _, r := range q {
-			rs, err := m.encodeReq(r, codec)
-			if err != nil {
-				return nil, err
-			}
-			bq = append(bq, rs)
+			bq = append(bq, encodeReq(r))
 		}
 		st.BankQueues = append(st.BankQueues, bq)
 	}
 	return st, nil
 }
 
-func decodeQueues(states []QueueState, codec TagCodec) (map[int64][]*Request, int, error) {
+func decodeQueues(states []QueueState) (map[int64][]*Request, int) {
 	out := make(map[int64][]*Request)
 	n := 0
 	for _, qs := range states {
 		var q []*Request
 		for _, rs := range qs.Reqs {
-			r, err := decodeReq(rs, codec)
-			if err != nil {
-				return nil, 0, err
-			}
-			q = append(q, r)
+			q = append(q, decodeReq(rs))
 			n++
 		}
 		out[qs.Addr] = q
 	}
-	return out, n, nil
+	return out, n
 }
 
 // Restore resets the memory to a snapshotted state. The memory must
 // have been built from the same machine model and size.
-func (m *Memory) Restore(st *State, codec TagCodec) error {
+func (m *Memory) Restore(st *State) error {
 	if int64(len(st.Words)) != int64(len(m.words)) {
 		return fmt.Errorf("memsys: snapshot has %d words, memory has %d", len(st.Words), len(m.words))
 	}
@@ -770,20 +803,11 @@ func (m *Memory) Restore(st *State, codec TagCodec) error {
 	copy(m.full, st.Full)
 	m.pending = nil
 	for _, ps := range st.Pending {
-		r, err := decodeReq(ps.Req, codec)
-		if err != nil {
-			return err
-		}
-		m.pending = append(m.pending, inflight{req: r, remaining: ps.Remaining})
+		m.pending = append(m.pending, inflight{req: decodeReq(ps.Req), remaining: ps.Remaining})
 	}
 	var nFull, nEmpty int
-	var err error
-	if m.parkedFull, nFull, err = decodeQueues(st.ParkedFull, codec); err != nil {
-		return err
-	}
-	if m.parkedEmpty, nEmpty, err = decodeQueues(st.ParkedEmpty, codec); err != nil {
-		return err
-	}
+	m.parkedFull, nFull = decodeQueues(st.ParkedFull)
+	m.parkedEmpty, nEmpty = decodeQueues(st.ParkedEmpty)
 	m.nPark = nFull + nEmpty
 	m.dueService = append([]int64(nil), st.DueService...)
 	m.nextService = append([]int64(nil), st.NextService...)
@@ -792,11 +816,7 @@ func (m *Memory) Restore(st *State, codec TagCodec) error {
 		m.bankQueue = make([][]*Request, len(m.bankQueue))
 		for b, bq := range st.BankQueues {
 			for _, rs := range bq {
-				r, err := decodeReq(rs, codec)
-				if err != nil {
-					return err
-				}
-				m.bankQueue[b] = append(m.bankQueue[b], r)
+				m.bankQueue[b] = append(m.bankQueue[b], decodeReq(rs))
 			}
 		}
 		copy(m.bankBusy, st.BankBusy)
@@ -807,6 +827,35 @@ func (m *Memory) Restore(st *State, codec TagCodec) error {
 	m.fault = nil
 	if st.Fault != nil {
 		m.fault = st.Fault
+	}
+	return nil
+}
+
+// ForEachRequest visits every outstanding reference (in flight, bank
+// queued, and parked, in that order), stopping at the first error. The
+// simulator uses it after Restore to validate restored tags against the
+// loaded program.
+func (m *Memory) ForEachRequest(f func(*Request) error) error {
+	for i := range m.pending {
+		if err := f(m.pending[i].req); err != nil {
+			return err
+		}
+	}
+	for _, q := range m.bankQueue {
+		for _, r := range q {
+			if err := f(r); err != nil {
+				return err
+			}
+		}
+	}
+	for _, queues := range []map[int64][]*Request{m.parkedFull, m.parkedEmpty} {
+		for _, q := range queues {
+			for _, r := range q {
+				if err := f(r); err != nil {
+					return err
+				}
+			}
+		}
 	}
 	return nil
 }

@@ -25,17 +25,20 @@ func newMin(t *testing.T, size int64) *Memory {
 	return New(machine.MemMin, 1, size)
 }
 
+// tg builds a distinct Tag for request identification in tests.
+func tg(n int) Tag { return Tag{IP: n} }
+
 func TestPlainStoreLoad(t *testing.T) {
 	m := newMin(t, 16)
-	if err := m.Issue(&Request{IsStore: true, Addr: 3, Store: isa.Int(42), Tag: "s"}); err != nil {
+	if err := m.Issue(&Request{IsStore: true, Addr: 3, Store: isa.Int(42), Tag: tg(1)}); err != nil {
 		t.Fatal(err)
 	}
 	drain(t, m, 1, 10)
-	if err := m.Issue(&Request{Addr: 3, Tag: "l"}); err != nil {
+	if err := m.Issue(&Request{Addr: 3, Tag: tg(2)}); err != nil {
 		t.Fatal(err)
 	}
 	done := drain(t, m, 1, 10)
-	if done[0].Value.AsInt() != 42 || done[0].Req.Tag != "l" {
+	if done[0].Value.AsInt() != 42 || done[0].Req.Tag != tg(2) {
 		t.Errorf("load returned %v (%v)", done[0].Value, done[0].Req.Tag)
 	}
 }
@@ -104,7 +107,7 @@ func TestSplitTransactionWakeup(t *testing.T) {
 	// A consuming load of an empty word parks; a later store wakes it.
 	m := newMin(t, 8)
 	m.Poke(2, isa.Int(0), false)
-	m.Issue(&Request{Addr: 2, Sync: isa.SyncConsume, Tag: "c"})
+	m.Issue(&Request{Addr: 2, Sync: isa.SyncConsume, Tag: tg(1)})
 	for i := 0; i < 5; i++ {
 		if got := m.Tick(); len(got) != 0 {
 			t.Fatalf("parked load completed early: %v", got)
@@ -113,11 +116,11 @@ func TestSplitTransactionWakeup(t *testing.T) {
 	if m.ParkedCount() != 1 {
 		t.Fatalf("parked = %d, want 1", m.ParkedCount())
 	}
-	m.Issue(&Request{IsStore: true, Addr: 2, Store: isa.Int(11), Tag: "s"})
+	m.Issue(&Request{IsStore: true, Addr: 2, Store: isa.Int(11), Tag: tg(2)})
 	done := drain(t, m, 2, 10)
 	var sawLoad bool
 	for _, c := range done {
-		if c.Req.Tag == "c" {
+		if c.Req.Tag == tg(1) {
 			sawLoad = true
 			if c.Value.AsInt() != 11 {
 				t.Errorf("woken load read %v", c.Value)
@@ -136,8 +139,8 @@ func TestProduceConsumeChain(t *testing.T) {
 	// Two producers to the same cell serialize through a consumer.
 	m := newMin(t, 8)
 	m.Poke(0, isa.Int(0), false)
-	m.Issue(&Request{IsStore: true, Addr: 0, Store: isa.Int(1), Sync: isa.SyncProduce, Tag: "p1"})
-	m.Issue(&Request{IsStore: true, Addr: 0, Store: isa.Int(2), Sync: isa.SyncProduce, Tag: "p2"})
+	m.Issue(&Request{IsStore: true, Addr: 0, Store: isa.Int(1), Sync: isa.SyncProduce, Tag: tg(1)})
+	m.Issue(&Request{IsStore: true, Addr: 0, Store: isa.Int(2), Sync: isa.SyncProduce, Tag: tg(2)})
 	// p1 fills the cell; p2 (serialized behind it by the bank) parks.
 	drain(t, m, 1, 10)
 	for i := 0; i < 4; i++ {
@@ -146,20 +149,20 @@ func TestProduceConsumeChain(t *testing.T) {
 	if m.ParkedCount() != 1 {
 		t.Fatalf("second producer should park (parked=%d)", m.ParkedCount())
 	}
-	m.Issue(&Request{Addr: 0, Sync: isa.SyncConsume, Tag: "c1"})
+	m.Issue(&Request{Addr: 0, Sync: isa.SyncConsume, Tag: tg(3)})
 	done := drain(t, m, 2, 20)
 	if len(done) < 2 {
 		t.Fatal("consumer or second producer missing")
 	}
-	m.Issue(&Request{Addr: 0, Sync: isa.SyncConsume, Tag: "c2"})
+	m.Issue(&Request{Addr: 0, Sync: isa.SyncConsume, Tag: tg(4)})
 	final := drain(t, m, 1, 20)
-	vals := map[any]int64{}
+	vals := map[Tag]int64{}
 	for _, c := range append(done, final...) {
 		if !c.Req.IsStore {
 			vals[c.Req.Tag] = c.Value.AsInt()
 		}
 	}
-	if vals["c1"] != 1 || vals["c2"] != 2 {
+	if vals[tg(3)] != 1 || vals[tg(4)] != 2 {
 		t.Errorf("consumers read %v, want c1=1 c2=2", vals)
 	}
 }
@@ -170,7 +173,7 @@ func TestWaitFullLoadsWakeInOrder(t *testing.T) {
 	m := newMin(t, 8)
 	m.Poke(1, isa.Int(0), false)
 	for i := 0; i < 3; i++ {
-		m.Issue(&Request{Addr: 1, Sync: isa.SyncWaitFull, Tag: i})
+		m.Issue(&Request{Addr: 1, Sync: isa.SyncWaitFull, Tag: tg(i)})
 	}
 	for i := 0; i < 3; i++ {
 		m.Tick()
@@ -178,9 +181,9 @@ func TestWaitFullLoadsWakeInOrder(t *testing.T) {
 	if m.ParkedCount() != 3 {
 		t.Fatalf("parked = %d, want 3", m.ParkedCount())
 	}
-	m.Issue(&Request{IsStore: true, Addr: 1, Store: isa.Int(8), Tag: "s"})
+	m.Issue(&Request{IsStore: true, Addr: 1, Store: isa.Int(8), Tag: tg(100)})
 	done := drain(t, m, 4, 30)
-	order := []any{}
+	order := []Tag{}
 	for _, c := range done {
 		if !c.Req.IsStore {
 			order = append(order, c.Req.Tag)
@@ -189,7 +192,7 @@ func TestWaitFullLoadsWakeInOrder(t *testing.T) {
 			}
 		}
 	}
-	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+	if len(order) != 3 || order[0] != tg(0) || order[1] != tg(1) || order[2] != tg(2) {
 		t.Errorf("wake order = %v, want [0 1 2]", order)
 	}
 }
@@ -199,7 +202,7 @@ func TestStatisticalLatencyDeterministic(t *testing.T) {
 		m := New(machine.Mem2, seed, 1024)
 		var latencies []int
 		for a := int64(0); a < 200; a++ {
-			m.Issue(&Request{Addr: a, Tag: a})
+			m.Issue(&Request{Addr: a, Tag: tg(int(a))})
 			lat := 0
 			for len(m.Tick()) == 0 {
 				lat++
@@ -249,14 +252,14 @@ func TestSameAddressStoreOrdering(t *testing.T) {
 	// first draws a long miss latency.
 	m := New(machine.MemoryModel{Name: "allmiss", HitLatency: 1, MissRate: 1,
 		MissPenaltyMin: 30, MissPenaltyMax: 30, Banks: 4}, 1, 64)
-	m.Issue(&Request{IsStore: true, Addr: 5, Store: isa.Int(1), Tag: "first"})
+	m.Issue(&Request{IsStore: true, Addr: 5, Store: isa.Int(1), Tag: tg(1)})
 	// Second store issued later but would complete sooner without the
 	// ordering rule (its latency is drawn independently).
 	m2 := machine.MemMin
 	_ = m2
-	m.Issue(&Request{IsStore: true, Addr: 5, Store: isa.Int(2), Tag: "second"})
+	m.Issue(&Request{IsStore: true, Addr: 5, Store: isa.Int(2), Tag: tg(2)})
 	done := drain(t, m, 2, 200)
-	if done[len(done)-1].Req.Tag != "second" {
+	if done[len(done)-1].Req.Tag != tg(2) {
 		t.Errorf("stores completed out of order: last = %v", done[len(done)-1].Req.Tag)
 	}
 	if v, _ := m.Peek(5); v.AsInt() != 2 {
@@ -271,7 +274,7 @@ func TestBankConflicts(t *testing.T) {
 	m := New(model, 1, 64)
 	// Four refs to the same bank (addresses 0,2,4,6 all hit bank 0).
 	for i := int64(0); i < 4; i++ {
-		m.Issue(&Request{Addr: i * 2, Tag: i})
+		m.Issue(&Request{Addr: i * 2, Tag: tg(int(i))})
 	}
 	if m.Stats().BankConflict != 3 {
 		t.Errorf("bank conflicts = %d, want 3", m.Stats().BankConflict)
@@ -284,7 +287,7 @@ func TestBankConflicts(t *testing.T) {
 	// serialize one per cycle per bank.
 	m2 := New(machine.MemMin, 1, 64)
 	for i := int64(0); i < 4; i++ {
-		m2.Issue(&Request{Addr: i * 2, Tag: i})
+		m2.Issue(&Request{Addr: i * 2, Tag: tg(int(i))})
 	}
 	if got := len(m2.Tick()); got != 4 {
 		t.Errorf("conflict-free model completed %d, want 4", got)

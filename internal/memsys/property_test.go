@@ -69,7 +69,7 @@ func TestPropertyProducerConsumerCounts(t *testing.T) {
 			produced++
 		}
 		if consumed < n && r.Intn(2) == 0 {
-			m.Issue(&Request{Addr: 0, Sync: isa.SyncConsume, Tag: "c"})
+			m.Issue(&Request{Addr: 0, Sync: isa.SyncConsume, Tag: tg(1)})
 			consumed++
 		}
 		for _, c := range m.Tick() {

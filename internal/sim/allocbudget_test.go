@@ -1,0 +1,37 @@
+//go:build !race
+
+package sim_test
+
+// The allocation budget for the steady-state cycle kernel: amortized
+// heap allocations per simulated cycle, measured over a complete run of
+// matrix/Coupled including Sim construction (with a warm memory-image
+// pool, as in a sweep). CI fails if an optimization regresses past the
+// budget. Excluded under -race because race instrumentation changes
+// allocation counts.
+
+import (
+	"testing"
+
+	"pcoup/internal/bench"
+	"pcoup/internal/compiler"
+)
+
+// allocBudgetPerCycle is the checked-in regression budget. The optimized
+// kernel measures ~0.7 allocs/cycle (the residual is per-run Sim and
+// thread construction amortized over the run, not per-cycle work); the
+// pre-optimization kernel measured ~20.
+const allocBudgetPerCycle = 1.0
+
+func TestAllocBudget(t *testing.T) {
+	cfg, prog := compileFor(t, "matrix", bench.Threaded, compiler.Unrestricted)
+	cycles := runOnce(t, cfg, prog) // warm the memory-image pool
+	avg := testing.AllocsPerRun(5, func() {
+		runOnce(t, cfg, prog)
+	})
+	perCycle := avg / float64(cycles)
+	t.Logf("allocs/run = %.1f over %d cycles = %.3f allocs/cycle (budget %.2f)",
+		avg, cycles, perCycle, allocBudgetPerCycle)
+	if perCycle > allocBudgetPerCycle {
+		t.Errorf("steady-state kernel allocates %.3f/cycle, budget is %.2f", perCycle, allocBudgetPerCycle)
+	}
+}

@@ -103,56 +103,25 @@ type attribState struct {
 	WaitRegs map[string]int64 `json:"wait_regs"`
 }
 
-// tagState is a memory request's memTag in serializable form: the op is
-// re-linked from its (segment, word, slot) program coordinates.
-type tagState struct {
-	Thread     int `json:"t"`
-	SegIdx     int `json:"seg"`
-	IP         int `json:"ip"`
-	Slot       int `json:"slot"`
-	SrcCluster int `json:"c"`
-}
-
-// tagCodec translates memTags to/from JSON. byID maps thread IDs to the
-// (restored) thread objects; nil is fine for encoding.
-func (s *Sim) tagCodec(byID map[int]*Thread) memsys.TagCodec {
-	return memsys.TagCodec{
-		Encode: func(tag any) (json.RawMessage, error) {
-			mt, ok := tag.(memTag)
-			if !ok {
-				return nil, fmt.Errorf("sim: unexpected memory tag %T", tag)
-			}
-			return json.Marshal(tagState{
-				Thread: mt.thread.ID, SegIdx: mt.segIdx, IP: mt.ip,
-				Slot: mt.slot, SrcCluster: mt.srcCluster,
-			})
-		},
-		Decode: func(data json.RawMessage) (any, error) {
-			var ts tagState
-			if err := json.Unmarshal(data, &ts); err != nil {
-				return nil, err
-			}
-			t := byID[ts.Thread]
-			if t == nil {
-				return nil, fmt.Errorf("sim: checkpoint references unknown thread %d", ts.Thread)
-			}
-			if ts.SegIdx < 0 || ts.SegIdx >= len(s.prog.Segments) {
-				return nil, fmt.Errorf("sim: checkpoint tag segment %d out of range", ts.SegIdx)
-			}
-			seg := s.prog.Segments[ts.SegIdx]
-			if ts.IP < 0 || ts.IP >= len(seg.Instrs) {
-				return nil, fmt.Errorf("sim: checkpoint tag word %d out of range in %s", ts.IP, seg.Name)
-			}
-			w := seg.Instrs[ts.IP]
-			if ts.Slot < 0 || ts.Slot >= len(w.Ops) || w.Ops[ts.Slot] == nil {
-				return nil, fmt.Errorf("sim: checkpoint tag slot %d has no op at %s word %d", ts.Slot, seg.Name, ts.IP)
-			}
-			return memTag{
-				thread: t, op: w.Ops[ts.Slot], srcCluster: ts.SrcCluster,
-				segIdx: ts.SegIdx, ip: ts.IP, slot: ts.Slot,
-			}, nil
-		},
+// validateTag checks a restored memory tag against the loaded program:
+// the thread must exist and the (segment, word, slot) coordinates must
+// name a real op.
+func (s *Sim) validateTag(ts memsys.Tag, byID map[int]*Thread) error {
+	if byID[ts.Thread] == nil {
+		return fmt.Errorf("sim: checkpoint references unknown thread %d", ts.Thread)
 	}
+	if ts.SegIdx < 0 || ts.SegIdx >= len(s.prog.Segments) {
+		return fmt.Errorf("sim: checkpoint tag segment %d out of range", ts.SegIdx)
+	}
+	seg := s.prog.Segments[ts.SegIdx]
+	if ts.IP < 0 || ts.IP >= len(seg.Instrs) {
+		return fmt.Errorf("sim: checkpoint tag word %d out of range in %s", ts.IP, seg.Name)
+	}
+	w := seg.Instrs[ts.IP]
+	if ts.Slot < 0 || ts.Slot >= len(w.Ops) || w.Ops[ts.Slot] == nil {
+		return fmt.Errorf("sim: checkpoint tag slot %d has no op at %s word %d", ts.Slot, seg.Name, ts.IP)
+	}
+	return nil
 }
 
 func snapshotThread(t *Thread) threadState {
@@ -213,6 +182,11 @@ func (s *Sim) Snapshot() (*Checkpoint, error) {
 		ck.Threads = append(ck.Threads, snapshotThread(t))
 		ck.PendingSpawns = append(ck.PendingSpawns, t.ID)
 	}
+	// Settle the sort drainWritebacks deferred (when it skipped a cycle
+	// with no ready writeback) so the checkpoint's queue order matches a
+	// kernel that sorts every drain. The physical reorder is unobservable
+	// to the simulation itself: the next full drain re-sorts.
+	sortWbq(s.wbq[:s.wbqSorted])
 	for i := range s.wbq {
 		wb := &s.wbq[i]
 		ck.Writebacks = append(ck.Writebacks, wbState{
@@ -220,7 +194,7 @@ func (s *Sim) Snapshot() (*Checkpoint, error) {
 			SrcCluster: wb.srcCluster, ReadyAt: wb.readyAt, Seq: wb.seq,
 		})
 	}
-	if ck.Mem, err = s.mem.Snapshot(s.tagCodec(nil)); err != nil {
+	if ck.Mem, err = s.mem.Snapshot(); err != nil {
 		return nil, err
 	}
 	if s.inj != nil {
@@ -329,8 +303,16 @@ func (s *Sim) Restore(ck *Checkpoint) error {
 			s.threads = append(s.threads, t)
 		}
 	}
+	s.byID = make([]*Thread, ck.NextTID)
+	for id, t := range byID {
+		if id < 0 || id >= ck.NextTID {
+			return fmt.Errorf("sim: checkpoint thread %d outside next_tid %d", id, ck.NextTID)
+		}
+		s.byID[id] = t
+	}
 
 	s.wbq = nil
+	s.wbqSorted = 0
 	for _, ws := range ck.Writebacks {
 		t := byID[ws.Thread]
 		if t == nil {
@@ -342,7 +324,12 @@ func (s *Sim) Restore(ck *Checkpoint) error {
 		})
 	}
 
-	if err := s.mem.Restore(ck.Mem, s.tagCodec(byID)); err != nil {
+	if err := s.mem.Restore(ck.Mem); err != nil {
+		return err
+	}
+	if err := s.mem.ForEachRequest(func(r *memsys.Request) error {
+		return s.validateTag(r.Tag, byID)
+	}); err != nil {
 		return err
 	}
 	if s.inj != nil {

@@ -11,7 +11,6 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"sort"
 	"strings"
 
 	"pcoup/internal/faults"
@@ -33,17 +32,11 @@ type writeback struct {
 	seq        int64 // global order tiebreaker
 }
 
-// memTag links a memory completion back to the issuing op. The
-// (segIdx, ip, slot) coordinates locate op inside the program so a
-// checkpointed tag can be re-linked on restore.
-type memTag struct {
-	thread     *Thread
-	op         *isa.Op
-	srcCluster int
-	segIdx     int
-	ip         int
-	slot       int
-}
+// Memory requests carry a memsys.Tag whose (SegIdx, IP, Slot)
+// coordinates locate the issuing op inside the program and whose Thread
+// field names the issuing thread by ID, so completions re-link without
+// boxing and checkpointed tags re-link on restore. opAt and s.byID
+// resolve a tag back to the op and thread.
 
 // Result summarizes one simulation run.
 type Result struct {
@@ -113,10 +106,30 @@ type Sim struct {
 	arb   *interconnect.Arbiter
 
 	threads []*Thread
+	// byID maps thread ID -> thread; IDs are dense spawn-order indices,
+	// so a slice lookup resolves memory-completion tags.
+	byID    []*Thread
 	nextTID int
 
 	wbq   []writeback
 	wbSeq int64
+	// wbqSorted counts the leading wbq entries already in (readyAt,
+	// priority, seq) order; entries pushed since the last drain follow
+	// unsorted. drainWritebacks and Snapshot use it to avoid (or defer)
+	// re-sorting an already-ordered queue.
+	wbqSorted int
+
+	// Per-cycle scratch buffers, reused across cycles so the steady-state
+	// kernel allocates nothing.
+	orderScratch []int
+	rotScratch   []int
+	busyScratch  []bool
+	valScratch   []isa.Value
+
+	// reqFree recycles memsys.Request objects: a request completes
+	// exactly once (via mem.Tick), after which nothing references it, so
+	// issueOp reuses it instead of allocating one per memory operation.
+	reqFree []*memsys.Request
 
 	// opCaches models per-unit operation caches when enabled (extension).
 	opCaches []*opCache
@@ -269,6 +282,7 @@ func New(cfg *machine.Config, prog *isa.Program, opts ...Option) (*Sim, error) {
 		o(s)
 	}
 	s.stats.IssuedByUnit = make([]int64, len(s.units))
+	s.busyScratch = make([]bool, len(s.units))
 	if cfg.OpCache.Entries > 0 {
 		s.opCaches = make([]*opCache, len(s.units))
 		for i := range s.opCaches {
@@ -312,6 +326,12 @@ func (s *Sim) checkLocality() error {
 // Memory exposes the simulated memory for harness inspection.
 func (s *Sim) Memory() *memsys.Memory { return s.mem }
 
+// Release returns the simulation's large backing arrays (the memory
+// image) to an internal pool for reuse by future Sims. The Sim and its
+// Memory must not be used afterwards. Optional: sweeps that run many
+// cells call it between cells to keep steady-state allocation flat.
+func (s *Sim) Release() { s.mem.Recycle() }
+
 // Cycle returns the current cycle number.
 func (s *Sim) Cycle() int64 { return s.cycle }
 
@@ -327,6 +347,7 @@ func (s *Sim) spawn(segIdx int) *Thread {
 		IP:       -1, // advance() moves to word 0
 	}
 	s.nextTID++
+	s.byID = append(s.byID, t)
 	if s.attrib != nil {
 		t.stalls = new(StallBreakdown)
 	}
@@ -474,9 +495,8 @@ func (s *Sim) deadlock() error {
 		w := t.word()
 		desc := fmt.Sprintf("thread %d (%s) pc=%d [stall: %s]", t.ID, t.Seg.Name, t.IP, stall)
 		// Name the blocking memory word, if the thread is waiting on one.
-		if state, addr := s.mem.FindWaitAddr(func(tag any) bool {
-			mt, ok := tag.(memTag)
-			return ok && mt.thread == t
+		if state, addr := s.mem.FindWaitAddr(func(tag memsys.Tag) bool {
+			return tag.Thread == t.ID
 		}); state == memsys.WaitParked {
 			desc += fmt.Sprintf(" [waiting addr %d]", addr)
 		}
@@ -512,17 +532,19 @@ func (s *Sim) step() {
 
 	// 1. Memory completions become writeback candidates this cycle.
 	for _, c := range s.mem.Tick() {
-		tag := c.Req.Tag.(memTag)
+		tag := c.Req.Tag
+		th := s.byID[tag.Thread]
 		if c.Req.IsStore {
-			tag.thread.storesOut--
+			th.storesOut--
 		} else {
 			if c.Req.Sync != isa.SyncNone {
-				tag.thread.syncLoadsOut--
+				th.syncLoadsOut--
 			}
-			for _, d := range tag.op.Dests {
-				s.pushWriteback(tag.thread, d, c.Value, tag.srcCluster)
+			for _, d := range s.opAt(tag).Dests {
+				s.pushWriteback(th, d, c.Value, tag.SrcCluster, s.cycle)
 			}
 		}
+		s.reqFree = append(s.reqFree, c.Req)
 		s.progress()
 	}
 
@@ -557,31 +579,78 @@ func (s *Sim) step() {
 
 func (s *Sim) progress() { s.lastProgress = s.cycle }
 
-func (s *Sim) pushWriteback(t *Thread, dst isa.RegRef, v isa.Value, srcCluster int) {
+// opAt resolves a memory tag's program coordinates back to its op.
+func (s *Sim) opAt(tag memsys.Tag) *isa.Op {
+	return s.prog.Segments[tag.SegIdx].Instrs[tag.IP].Ops[tag.Slot]
+}
+
+// allocReq returns a recycled (or fresh) request; the caller overwrites
+// every field.
+func (s *Sim) allocReq() *memsys.Request {
+	if n := len(s.reqFree); n > 0 {
+		r := s.reqFree[n-1]
+		s.reqFree = s.reqFree[:n-1]
+		return r
+	}
+	return new(memsys.Request)
+}
+
+func (s *Sim) pushWriteback(t *Thread, dst isa.RegRef, v isa.Value, srcCluster int, readyAt int64) {
 	s.wbSeq++
 	s.wbq = append(s.wbq, writeback{
 		thread: t, dst: dst, val: v, srcCluster: srcCluster,
-		readyAt: s.cycle, seq: s.wbSeq,
+		readyAt: readyAt, seq: s.wbSeq,
 	})
 }
 
+// wbLess orders writebacks by (readyAt, priority, seq). seq is globally
+// unique, so this is a strict total order: every sort of a queue yields
+// the same permutation, regardless of algorithm or starting order.
+func wbLess(a, b *writeback) bool {
+	if a.readyAt != b.readyAt {
+		return a.readyAt < b.readyAt
+	}
+	if a.thread.Priority != b.thread.Priority {
+		return a.thread.Priority < b.thread.Priority
+	}
+	return a.seq < b.seq
+}
+
+// sortWbq insertion-sorts q in wbLess order. The queue is nearly sorted
+// every cycle (a sorted prefix of survivors plus a few fresh pushes), so
+// insertion sort beats sort.SliceStable and allocates nothing.
+func sortWbq(q []writeback) {
+	for i := 1; i < len(q); i++ {
+		for j := i; j > 0 && wbLess(&q[j], &q[j-1]); j-- {
+			q[j], q[j-1] = q[j-1], q[j]
+		}
+	}
+}
+
 // drainWritebacks grants register-file ports in (readyAt, priority, seq)
-// order; ungranted writes retry next cycle.
+// order; ungranted writes retry next cycle. When no queued write is ready
+// this cycle (fault-delayed wakeups, long-latency results in flight),
+// arbitration setup and the sort are skipped entirely; wbqSorted records
+// that the queue still owes a sort, which Snapshot settles if a
+// checkpoint intervenes before the next full drain.
 func (s *Sim) drainWritebacks() {
 	if len(s.wbq) == 0 {
+		s.wbqSorted = 0
+		return
+	}
+	ready := false
+	for i := range s.wbq {
+		if s.wbq[i].readyAt <= s.cycle {
+			ready = true
+			break
+		}
+	}
+	if !ready {
+		s.wbqSorted = len(s.wbq)
 		return
 	}
 	s.arb.BeginCycle(s.cycle)
-	sort.SliceStable(s.wbq, func(i, j int) bool {
-		a, b := &s.wbq[i], &s.wbq[j]
-		if a.readyAt != b.readyAt {
-			return a.readyAt < b.readyAt
-		}
-		if a.thread.Priority != b.thread.Priority {
-			return a.thread.Priority < b.thread.Priority
-		}
-		return a.seq < b.seq
-	})
+	sortWbq(s.wbq)
 	kept := s.wbq[:0]
 	for i := range s.wbq {
 		wb := s.wbq[i]
@@ -601,29 +670,35 @@ func (s *Sim) drainWritebacks() {
 		}
 	}
 	s.wbq = kept
+	s.wbqSorted = len(kept)
 }
 
 // threadOrder returns thread indices in arbitration order for this cycle.
+// The returned slice is scratch owned by the Sim, valid until the next
+// call.
 func (s *Sim) threadOrder() []int {
-	order := make([]int, 0, len(s.threads))
+	order := s.orderScratch[:0]
 	for i := range s.threads {
 		if !s.threads[i].Halted {
 			order = append(order, i)
 		}
 	}
-	switch s.cfg.Arbitration {
-	case machine.PriorityArbitration:
-		sort.Slice(order, func(a, b int) bool {
-			return s.threads[order[a]].Priority < s.threads[order[b]].Priority
-		})
-	case machine.RoundRobinArbitration:
-		sort.Slice(order, func(a, b int) bool {
-			return s.threads[order[a]].Priority < s.threads[order[b]].Priority
-		})
-		if len(order) > 1 {
-			rot := int(s.cycle) % len(order)
-			order = append(order[rot:], order[:rot]...)
+	s.orderScratch = order
+	// Threads are appended in spawn order and Priority == spawn order, so
+	// order is already priority-sorted; the insertion sort below is a
+	// guard for future priority schemes and costs one pass when sorted.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && s.threads[order[j]].Priority < s.threads[order[j-1]].Priority; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
 		}
+	}
+	if s.cfg.Arbitration == machine.RoundRobinArbitration && len(order) > 1 {
+		rot := int(s.cycle) % len(order)
+		rotated := append(s.rotScratch[:0], order[rot:]...)
+		rotated = append(rotated, order[:rot]...)
+		s.rotScratch = order
+		s.orderScratch = rotated
+		return rotated
 	}
 	return order
 }
@@ -729,11 +804,9 @@ func (s *Sim) issueCoupled() {
 // word must issue atomically in a single cycle.
 func (s *Sim) issueLockStep() {
 	order := s.threadOrder()
-	unitBusy := make([]bool, len(s.units))
-	if s.inj != nil {
-		for slot := range unitBusy {
-			unitBusy[slot] = s.inj.UnitDown(slot, s.cycle)
-		}
+	unitBusy := s.busyScratch
+	for slot := range unitBusy {
+		unitBusy[slot] = s.inj != nil && s.inj.UnitDown(slot, s.cycle)
 	}
 	for _, ti := range order {
 		t := s.threads[ti]
@@ -780,10 +853,11 @@ func (s *Sim) issueOp(t *Thread, slot int, op *isa.Op) {
 	s.stats.IssuedByUnit[slot]++
 	s.progress()
 
-	vals := make([]isa.Value, len(op.Srcs))
-	for i, src := range op.Srcs {
-		vals[i] = t.Regs.OperandValue(src)
+	vals := s.valScratch[:0]
+	for _, src := range op.Srcs {
+		vals = append(vals, t.Regs.OperandValue(src))
 	}
+	s.valScratch = vals[:0]
 	for _, d := range op.Dests {
 		t.Regs.ClearValid(d)
 	}
@@ -803,9 +877,10 @@ func (s *Sim) issueOp(t *Thread, slot int, op *isa.Op) {
 		for _, v := range vals {
 			addr += v.AsInt()
 		}
-		req := &memsys.Request{
+		req := s.allocReq()
+		*req = memsys.Request{
 			Sync: op.Sync, Addr: addr,
-			Tag: memTag{thread: t, op: op, srcCluster: u.Cluster, segIdx: t.SegIdx, ip: t.IP, slot: slot},
+			Tag: memsys.Tag{Thread: t.ID, SegIdx: t.SegIdx, IP: t.IP, Slot: slot, SrcCluster: u.Cluster},
 		}
 		if op.Sync != isa.SyncNone {
 			t.syncLoadsOut++
@@ -816,9 +891,10 @@ func (s *Sim) issueOp(t *Thread, slot int, op *isa.Op) {
 		for _, v := range vals[1:] {
 			addr += v.AsInt()
 		}
-		req := &memsys.Request{
+		req := s.allocReq()
+		*req = memsys.Request{
 			IsStore: true, Sync: op.Sync, Addr: addr, Store: vals[0],
-			Tag: memTag{thread: t, op: op, srcCluster: u.Cluster, segIdx: t.SegIdx, ip: t.IP, slot: slot},
+			Tag: memsys.Tag{Thread: t.ID, SegIdx: t.SegIdx, IP: t.IP, Slot: slot, SrcCluster: u.Cluster},
 		}
 		t.storesOut++
 		_ = s.mem.Issue(req)
@@ -848,11 +924,7 @@ func (s *Sim) issueOp(t *Thread, slot int, op *isa.Op) {
 			panic(fmt.Sprintf("sim: cycle %d thread %d: %v", s.cycle, t.ID, err))
 		}
 		for _, d := range op.Dests {
-			s.wbSeq++
-			s.wbq = append(s.wbq, writeback{
-				thread: t, dst: d, val: res, srcCluster: u.Cluster,
-				readyAt: s.cycle + int64(u.Latency), seq: s.wbSeq,
-			})
+			s.pushWriteback(t, d, res, u.Cluster, s.cycle+int64(u.Latency))
 		}
 	}
 }

@@ -252,12 +252,11 @@ func (s *Sim) regWaitCause(t *Thread, reg isa.RegRef) StallCause {
 		}
 	}
 	// No writeback queued: the producer is a memory reference.
-	switch s.mem.FindWait(func(tag any) bool {
-		mt, ok := tag.(memTag)
-		if !ok || mt.thread != t || mt.op == nil {
+	switch s.mem.FindWait(func(tag memsys.Tag) bool {
+		if tag.Thread != t.ID {
 			return false
 		}
-		for _, d := range mt.op.Dests {
+		for _, d := range s.opAt(tag).Dests {
 			if d == reg {
 				return true
 			}
