@@ -22,6 +22,7 @@ import (
 	"runtime/pprof"
 
 	"pcoup/internal/experiments"
+	_ "pcoup/internal/fleet" // registers the fleetscale experiment
 	"pcoup/internal/machine"
 )
 
@@ -85,7 +86,11 @@ func run(exp, machinePath string, asJSON bool, outPath, cpuProfile, memProfile s
 
 	var list []experiments.Experiment
 	if exp == "all" {
-		list = experiments.Registry()
+		for _, e := range experiments.Registry() {
+			if !e.SkipInAll {
+				list = append(list, e)
+			}
+		}
 	} else {
 		e, ok := experiments.Lookup(exp)
 		if !ok {

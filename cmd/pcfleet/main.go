@@ -1,0 +1,111 @@
+// Command pcfleet is the cache-affinity sharded gateway: it fronts a
+// fleet of pcserved backends behind the same HTTP job API (pcq works
+// unchanged), routing each sweep cell to its content-key owner on a
+// consistent-hash ring so every backend's result cache stays hot for a
+// disjoint shard of the key space. Failed backends are ejected and
+// their cells fail over; stragglers past a latency quantile get one
+// hedged duplicate. See docs/ARCHITECTURE.md (fleet layer).
+//
+// Usage:
+//
+//	pcfleet -addr :8090 -backends http://127.0.0.1:8091,http://127.0.0.1:8092
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: new submissions are
+// refused and in-flight jobs drain (bounded by -drain-timeout).
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"pcoup/internal/fleet"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8090", "listen address")
+	backends := flag.String("backends", "", "comma-separated pcserved base URLs (required)")
+	replicas := flag.Int("replicas", 0, "virtual nodes per backend on the hash ring (0: 128)")
+	probeInterval := flag.Duration("probe-interval", 500*time.Millisecond, "health probe cadence per backend")
+	ejectAfter := flag.Int("eject-after", 2, "consecutive probe failures before a backend is ejected")
+	loadFactor := flag.Float64("load-factor", 1.25, "bounded-load factor c: spill past an owner above ceil(c*(inflight+1)/healthy)")
+	maxInflight := flag.Int("max-inflight", 0, "max cells dispatched concurrently across all jobs (0: 8 per backend)")
+	retryBudget := flag.Int("retry-budget", 3, "attempts per cell across backends before the job fails")
+	retryBackoff := flag.Duration("retry-backoff", 200*time.Millisecond, "base backoff between failover attempts of one cell (doubles per attempt)")
+	hedgeQuantile := flag.Float64("hedge-quantile", 0.9, "completed-cell latency quantile past which a straggler is hedged (>=1 disables)")
+	hedgeMinSamples := flag.Int("hedge-min-samples", 8, "completed cells observed before hedging arms")
+	presetNames := flag.String("preset-names", "", "comma-separated preset names the backends serve besides baseline")
+	drainTimeout := flag.Duration("drain-timeout", time.Minute, "how long shutdown waits for in-flight jobs before cancelling them")
+	flag.Parse()
+
+	urls := splitList(*backends)
+	if len(urls) == 0 {
+		log.Fatalf("pcfleet: -backends is required (comma-separated pcserved URLs)")
+	}
+
+	gw, err := fleet.New(fleet.Options{
+		Pool: fleet.PoolOptions{
+			Backends:      urls,
+			Replicas:      *replicas,
+			ProbeInterval: *probeInterval,
+			EjectAfter:    *ejectAfter,
+			LoadFactor:    *loadFactor,
+		},
+		MaxInflight:     *maxInflight,
+		RetryBudget:     *retryBudget,
+		RetryBackoff:    *retryBackoff,
+		HedgeQuantile:   *hedgeQuantile,
+		HedgeMinSamples: *hedgeMinSamples,
+		PresetNames:     splitList(*presetNames),
+	})
+	if err != nil {
+		log.Fatalf("pcfleet: %v", err)
+	}
+	if err := gw.Start(); err != nil {
+		log.Fatalf("pcfleet: %v", err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("pcfleet: %v", err)
+	}
+	httpSrv := &http.Server{Handler: gw.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	log.Printf("pcfleet: listening on http://%s, fronting %d backends", ln.Addr(), len(urls))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("pcfleet: %s: draining (up to %s)", s, *drainTimeout)
+	case err := <-errCh:
+		log.Fatalf("pcfleet: serve: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := gw.Shutdown(ctx); err != nil {
+		log.Printf("pcfleet: drain incomplete: %v (in-flight jobs cancelled)", err)
+	}
+	httpSrv.Shutdown(context.Background())
+	log.Printf("pcfleet: stopped")
+}
+
+// splitList parses a comma-separated flag value, trimming blanks.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,12 +1,14 @@
-// Command pcq is the client for pcserved. It submits simulation jobs,
-// polls them to completion, streams sweep cells as NDJSON, and scrapes
-// the daemon's health and metrics endpoints.
+// Command pcq is the client for pcserved and pcfleet. Both daemons
+// serve the same job API, so -server may point at a single simulation
+// daemon or at the fleet gateway fronting many of them. pcq submits
+// simulation jobs, polls them to completion, streams sweep cells as
+// NDJSON, and scrapes the health, readiness, and metrics endpoints.
 //
 // Usage:
 //
 //	pcq [-server URL] submit (-exp NAME | -bench NAME [-mode MODE] | -sweep MIN:MAX) [flags]
 //	pcq [-server URL] get|wait|cancel|stream JOB-ID
-//	pcq [-server URL] list|metrics|health
+//	pcq [-server URL] list|metrics|health|ready
 //
 // Examples:
 //
@@ -62,6 +64,8 @@ func main() {
 		err = c.text("/metrics")
 	case "health":
 		err = c.text("/healthz")
+	case "ready":
+		err = c.ready()
 	default:
 		fmt.Fprintf(os.Stderr, "pcq: unknown command %q\n", cmd)
 		usage()
@@ -84,7 +88,8 @@ commands:
   stream    follow a job's per-cell results as NDJSON
   list      list all jobs
   metrics   dump Prometheus metrics
-  health    check daemon health
+  health    check daemon liveness (always 200 while serving)
+  ready     check readiness; non-zero exit while draining or unroutable
 `)
 }
 
@@ -394,6 +399,22 @@ func (c *client) list() error {
 		return err
 	}
 	printJSON(views)
+	return nil
+}
+
+// ready probes /readyz once, without the retry loop (a readiness check
+// must report "not ready" promptly, not wait a drain out): prints the
+// body either way and fails the process on a non-200.
+func (c *client) ready() error {
+	resp, err := http.Get(c.base + "/readyz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(os.Stdout, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("not ready: %s", resp.Status)
+	}
 	return nil
 }
 

@@ -36,6 +36,8 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool size (0: GOMAXPROCS)")
 	queueCap := flag.Int("queue", 256, "job queue capacity")
 	cacheFile := flag.String("cache-file", "", "persist the result cache to this file across restarts")
+	cacheMaxEntries := flag.Int("cache-max-entries", 0, "evict least-recently-used cache entries beyond this count (0: unbounded)")
+	cacheMaxBytes := flag.Int64("cache-max-bytes", 0, "evict least-recently-used cache entries beyond this many payload bytes (0: unbounded)")
 	journalFile := flag.String("journal", "", "write-ahead job journal: a daemon killed mid-job resumes interrupted jobs on restart")
 	retryBudget := flag.Int("retry-budget", 3, "max re-executions of a journal-recovered job before it is failed")
 	retryBackoff := flag.Duration("retry-backoff", time.Second, "base backoff before re-running a repeatedly interrupted job (doubles per interruption)")
@@ -50,14 +52,16 @@ func main() {
 	}
 
 	srv := service.New(service.Options{
-		Workers:        *workers,
-		QueueCap:       *queueCap,
-		CacheFile:      *cacheFile,
-		JournalFile:    *journalFile,
-		RetryBudget:    *retryBudget,
-		RetryBackoff:   *retryBackoff,
-		DefaultTimeout: *jobTimeout,
-		Presets:        presets,
+		Workers:         *workers,
+		QueueCap:        *queueCap,
+		CacheFile:       *cacheFile,
+		CacheMaxEntries: *cacheMaxEntries,
+		CacheMaxBytes:   *cacheMaxBytes,
+		JournalFile:     *journalFile,
+		RetryBudget:     *retryBudget,
+		RetryBackoff:    *retryBackoff,
+		DefaultTimeout:  *jobTimeout,
+		Presets:         presets,
 	})
 	if err := srv.Start(); err != nil {
 		log.Fatalf("pcserved: %v", err)

@@ -26,6 +26,9 @@ type Experiment struct {
 	// Write formats rows (as returned by Run) for terminals. cfg is the
 	// base configuration the rows were produced under.
 	Write func(w io.Writer, cfg *machine.Config, rows any)
+	// SkipInAll excludes the experiment from "-exp all" runs (heavy
+	// meta-experiments that spawn their own daemons, like fleetscale).
+	SkipInAll bool
 }
 
 // registry lists every experiment in the paper's presentation order.
@@ -138,6 +141,21 @@ var registry = []Experiment{
 // Registry returns all experiments in presentation order. The returned
 // slice is shared; callers must not modify it.
 func Registry() []Experiment { return registry }
+
+// Register appends an experiment contributed by another package (used
+// by packages that cannot live in this one without an import cycle,
+// e.g. internal/fleet's fleetscale, which drives the service layer and
+// the service layer imports experiments). Call from init; duplicate or
+// unnamed registrations panic.
+func Register(e Experiment) {
+	if e.Name == "" || e.Run == nil {
+		panic("experiments: Register: experiment needs a Name and a Run")
+	}
+	if _, ok := Lookup(e.Name); ok {
+		panic(fmt.Sprintf("experiments: Register: duplicate experiment %q", e.Name))
+	}
+	registry = append(registry, e)
+}
 
 // Lookup finds an experiment by name.
 func Lookup(name string) (*Experiment, bool) {

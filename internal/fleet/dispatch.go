@@ -1,0 +1,594 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"pcoup/internal/machine"
+	"pcoup/internal/service"
+)
+
+// maxDispatchBackoff caps the failover backoff between attempts of one
+// cell (same cap as the service journal's retry backoff).
+const maxDispatchBackoff = 30 * time.Second
+
+// permanentError marks a dispatch failure that would recur on every
+// backend (a deterministic simulation error, a rejected spec): failover
+// must not retry it.
+type permanentError struct{ err error }
+
+func (e permanentError) Error() string { return e.err.Error() }
+func (e permanentError) Unwrap() error { return e.err }
+
+// runJob executes one gateway job end to end.
+func (g *Gateway) runJob(job *fleetJob) {
+	job.mu.Lock()
+	if job.state.Terminal() { // cancelled while queued
+		job.mu.Unlock()
+		return
+	}
+	job.state = service.JobRunning
+	job.started = time.Now()
+	ctx, cancel := context.WithCancel(g.baseCtx)
+	job.cancel = cancel
+	alreadyCancelled := job.cancelled
+	job.notifyLocked()
+	job.mu.Unlock()
+	defer cancel()
+	g.metrics.JobState(string(service.JobRunning))
+	if alreadyCancelled {
+		cancel()
+	}
+
+	var payload json.RawMessage
+	var err error
+	if job.spec.Sweep != nil {
+		payload, err = g.runSweepJob(ctx, job)
+	} else {
+		payload, err = g.runUnitJob(ctx, job)
+	}
+
+	var state service.JobState
+	var errMsg string
+	switch {
+	case err == nil:
+		state = service.JobDone
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		state = service.JobCancelled
+		errMsg = "cancelled"
+	default:
+		state = service.JobFailed
+		errMsg = err.Error()
+	}
+	job.finish(state, payload, errMsg)
+	g.metrics.JobState(string(state))
+}
+
+// runSweepJob scatters the sweep's cells across the ring and gathers
+// them back in grid order, so the merged payload and the NDJSON stream
+// are byte-identical to a single backend's.
+func (g *Gateway) runSweepJob(ctx context.Context, job *fleetJob) (json.RawMessage, error) {
+	sw := job.spec.Sweep
+	cells := sw.Cells()
+	job.mu.Lock()
+	job.total = len(cells)
+	job.mu.Unlock()
+
+	results := make([]json.RawMessage, len(cells))
+	allHit := true
+	nextEmit := 0
+	var mergeMu sync.Mutex
+	// emit appends every contiguous finished cell in grid order; called
+	// under mergeMu after results[i] is set.
+	emit := func() {
+		for nextEmit < len(results) && results[nextEmit] != nil {
+			job.appendCell(results[nextEmit])
+			nextEmit++
+		}
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var firstErr error
+	var errMu sync.Mutex
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		cancel() // abandon the remaining cells
+	}
+
+	var wg sync.WaitGroup
+	for i, c := range cells {
+		specJSON, err := json.Marshal(service.JobSpec{
+			Sweep:     sw.SingleCellSweep(c),
+			Options:   job.spec.Options,
+			TimeoutMS: job.spec.TimeoutMS,
+		})
+		if err != nil {
+			fail(err)
+			break
+		}
+		key, err := service.SweepCellContentKey(c, sw.Mode, job.spec.Options)
+		if err != nil {
+			fail(err)
+			break
+		}
+		select {
+		case g.sem <- struct{}{}:
+		case <-ctx.Done():
+			fail(ctx.Err())
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		wg.Add(1)
+		go func(i int, c service.SweepCell) {
+			defer wg.Done()
+			defer func() { <-g.sem }()
+			payload, hit, err := g.dispatch(ctx, key, specJSON)
+			if err != nil {
+				fail(fmt.Errorf("sweep %s %diu %dfpu: %w", c.Bench, c.IU, c.FPU, err))
+				return
+			}
+			mergeMu.Lock()
+			results[i] = payload
+			if !hit {
+				allHit = false
+			}
+			emit()
+			mergeMu.Unlock()
+		}(i, c)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	job.mu.Lock()
+	job.hit = allHit
+	job.mu.Unlock()
+	return service.MergeSweepPayload(sw, results)
+}
+
+// runUnitJob forwards a whole cell/experiment job to its content-key
+// owner.
+func (g *Gateway) runUnitJob(ctx context.Context, job *fleetJob) (json.RawMessage, error) {
+	specJSON, err := json.Marshal(job.spec)
+	if err != nil {
+		return nil, err
+	}
+	payload, hit, err := g.dispatch(ctx, routeKey(&job.spec), specJSON)
+	if err != nil {
+		return nil, err
+	}
+	job.mu.Lock()
+	job.hit = hit
+	job.mu.Unlock()
+	return payload, nil
+}
+
+// routeKey maps a non-sweep spec to its routing key: the result's
+// content address when the gateway can compute it (so the job lands
+// where its cache entry lives), else a hash of the canonical spec.
+func routeKey(spec *service.JobSpec) string {
+	var cfg *machine.Config
+	resolvable := true
+	switch {
+	case spec.Machine != nil:
+		cfg = spec.Machine
+	case spec.Preset == "" || spec.Preset == "baseline":
+		cfg = nil // backends default to baseline
+	default:
+		resolvable = false // foreign preset: only the backend can resolve it
+	}
+	if resolvable {
+		switch {
+		case spec.Cell != nil:
+			if k, err := service.CellContentKey(spec.Cell.Bench, spec.Cell.Mode, cfg, spec.Options); err == nil {
+				return k
+			}
+		case spec.Experiment != "":
+			if k, err := service.ExperimentContentKey(spec.Experiment, cfg, spec.Options); err == nil {
+				return k
+			}
+		}
+	}
+	data, _ := json.Marshal(spec)
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// dispatch runs one unit of work (a single-cell sweep or a whole
+// forwarded job) against the fleet: consistent-hash pick with
+// bounded-load spill, hedged execution, and failover with backoff
+// across the retry budget.
+func (g *Gateway) dispatch(ctx context.Context, key string, specJSON []byte) (json.RawMessage, bool, error) {
+	exclude := map[string]bool{}
+	var lastErr error
+	for attempt := 0; attempt < g.opts.RetryBudget; attempt++ {
+		if attempt > 0 {
+			g.metrics.Failover()
+			select {
+			case <-time.After(dispatchBackoff(g.opts.RetryBackoff, attempt)):
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+		}
+		backend, spilled, err := g.pool.pick(key, exclude)
+		if errors.Is(err, ErrNoBackends) && len(exclude) > 0 {
+			// Every untried backend is down; widen the net and let the
+			// prober re-admit whatever recovers.
+			exclude = map[string]bool{}
+			backend, spilled, err = g.pool.pick(key, exclude)
+		}
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if spilled {
+			g.metrics.Spilled()
+		}
+		payload, hit, err := g.hedged(ctx, backend, key, specJSON)
+		switch {
+		case err == nil:
+			g.metrics.Affinity(hit)
+			return payload, hit, nil
+		case ctx.Err() != nil:
+			return nil, false, ctx.Err()
+		default:
+			var perm permanentError
+			if errors.As(err, &perm) {
+				return nil, false, perm.err
+			}
+			lastErr = err
+			exclude[backend.URL] = true
+		}
+	}
+	if lastErr == nil {
+		lastErr = ErrNoBackends
+	}
+	return nil, false, fmt.Errorf("after %d attempts: %w", g.opts.RetryBudget, lastErr)
+}
+
+// dispatchBackoff mirrors the service journal's exponential retry
+// backoff: base doubling per extra attempt, capped.
+func dispatchBackoff(base time.Duration, attempt int) time.Duration {
+	d := base
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= maxDispatchBackoff {
+			return maxDispatchBackoff
+		}
+	}
+	if d > maxDispatchBackoff {
+		d = maxDispatchBackoff
+	}
+	return d
+}
+
+// attemptResult is one backend attempt's outcome.
+type attemptResult struct {
+	payload json.RawMessage
+	hit     bool
+	err     error
+	hedge   bool // produced by the hedged duplicate
+}
+
+// hedged runs one attempt on the picked backend and, if it straggles
+// past the hedge quantile of recently completed cells, launches one
+// duplicate on the next ring node. The first result wins; the loser's
+// backend job is cancelled (safe: results are deterministic and
+// content-addressed, so both would return identical bytes).
+func (g *Gateway) hedged(ctx context.Context, primary *Backend, key string, specJSON []byte) (json.RawMessage, bool, error) {
+	start := time.Now()
+	actx, acancel := context.WithCancel(ctx)
+	defer acancel()
+	results := make(chan attemptResult, 2)
+	go func() {
+		payload, hit, err := g.attempt(actx, primary, specJSON)
+		results <- attemptResult{payload, hit, err, false}
+	}()
+
+	hedgeDelay, ok := g.hedgeDelay()
+	if !ok {
+		res := <-results
+		if res.err == nil {
+			g.sampler.record(time.Since(start))
+		}
+		return res.payload, res.hit, res.err
+	}
+
+	timer := time.NewTimer(hedgeDelay)
+	defer timer.Stop()
+	hcancel := context.CancelFunc(nil)
+	launched := false
+	for {
+		select {
+		case res := <-results:
+			if res.err != nil && launched {
+				// One racer failed; wait for the other before giving up.
+				if second := <-results; second.err == nil {
+					res = second
+				}
+			}
+			if res.err == nil {
+				g.sampler.record(time.Since(start))
+				if res.hedge {
+					g.metrics.HedgeWon()
+				}
+				// Cancel the loser: its deferred cleanup DELETEs the
+				// backend job it may still be running.
+				acancel()
+				if hcancel != nil {
+					hcancel()
+				}
+			}
+			return res.payload, res.hit, res.err
+		case <-timer.C:
+			if launched {
+				continue
+			}
+			hedgeBackend, _, err := g.pool.pick(key, map[string]bool{primary.URL: true})
+			if err != nil {
+				continue // nowhere to hedge; keep waiting on the primary
+			}
+			launched = true
+			g.metrics.HedgeFired()
+			var hctx context.Context
+			hctx, hcancel = context.WithCancel(ctx)
+			defer hcancel()
+			go func() {
+				payload, hit, err := g.attempt(hctx, hedgeBackend, specJSON)
+				results <- attemptResult{payload, hit, err, true}
+			}()
+		}
+	}
+}
+
+// hedgeDelay returns how long to wait before duplicating a straggler:
+// the configured quantile of recent cell latencies, once enough samples
+// exist.
+func (g *Gateway) hedgeDelay() (time.Duration, bool) {
+	if g.opts.HedgeQuantile <= 0 || g.opts.HedgeQuantile >= 1 {
+		return 0, false
+	}
+	d, n := g.sampler.quantile(g.opts.HedgeQuantile)
+	if n < g.opts.HedgeMinSamples {
+		return 0, false
+	}
+	if d < g.opts.HedgeMinDelay {
+		d = g.opts.HedgeMinDelay
+	}
+	return d, true
+}
+
+// attempt submits specJSON to one backend, follows its NDJSON stream to
+// the terminal line, and fetches the final view for cache-hit
+// accounting. On cancellation after submission the backend job is
+// cancelled best-effort.
+func (g *Gateway) attempt(ctx context.Context, b *Backend, specJSON []byte) (json.RawMessage, bool, error) {
+	b.acquire()
+	defer b.release()
+	g.metrics.Dispatched(b.URL)
+
+	view, err := g.submitRemote(ctx, b, specJSON)
+	if err != nil {
+		return nil, false, err
+	}
+	remoteID := view.ID
+	defer func() {
+		if ctx.Err() != nil && remoteID != "" {
+			go g.cancelRemote(b, remoteID)
+		}
+	}()
+
+	lines, state, errMsg, err := g.followStream(ctx, b, remoteID)
+	if err != nil {
+		// A dead mid-job stream means the backend is gone — unless we
+		// cancelled the request ourselves (hedge loser, job cancel),
+		// which says nothing about the backend's health.
+		if ctx.Err() == nil {
+			g.pool.markDown(b, err)
+		}
+		return nil, false, err
+	}
+	switch state {
+	case service.JobDone:
+	case service.JobFailed:
+		// Deterministic failure: every backend would fail identically.
+		return nil, false, permanentError{fmt.Errorf("backend %s: %s", b.URL, errMsg)}
+	default: // cancelled remotely (backend draining): retry elsewhere
+		return nil, false, fmt.Errorf("backend %s: job %s", b.URL, state)
+	}
+	if len(lines) != 1 {
+		return nil, false, fmt.Errorf("backend %s: %d data lines, want 1", b.URL, len(lines))
+	}
+	final, err := g.fetchView(ctx, b, remoteID)
+	if err != nil {
+		// The payload is already complete; treat hit accounting as best
+		// effort.
+		return lines[0], false, nil
+	}
+	return lines[0], final.CacheHit, nil
+}
+
+// submitRemote POSTs one job and decodes the accepted view.
+func (g *Gateway) submitRemote(ctx context.Context, b *Backend, specJSON []byte) (*service.JobView, error) {
+	req, err := http.NewRequestWithContext(ctx, "POST", b.URL+"/v1/jobs", bytes.NewReader(specJSON))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := g.client.Do(req)
+	if err != nil {
+		if ctx.Err() == nil {
+			g.pool.markDown(b, err)
+		}
+		return nil, err
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusAccepted:
+	case resp.StatusCode == http.StatusBadRequest:
+		return nil, permanentError{fmt.Errorf("backend %s: %s", b.URL, readError(resp))}
+	default:
+		// 503 (draining, queue full) and 5xx: transient, try elsewhere.
+		return nil, fmt.Errorf("backend %s: %s", b.URL, readError(resp))
+	}
+	var view service.JobView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		return nil, fmt.Errorf("backend %s: decoding submit: %w", b.URL, err)
+	}
+	return &view, nil
+}
+
+// followStream reads a backend job's NDJSON stream to EOF: data lines,
+// then the terminal status line.
+func (g *Gateway) followStream(ctx context.Context, b *Backend, id string) (lines []json.RawMessage, state service.JobState, errMsg string, err error) {
+	req, err := http.NewRequestWithContext(ctx, "GET", b.URL+"/v1/jobs/"+id+"/stream", nil)
+	if err != nil {
+		return nil, "", "", err
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return nil, "", "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, "", "", fmt.Errorf("stream: %s", readError(resp))
+	}
+	rd := bufio.NewReader(resp.Body)
+	var raw [][]byte
+	for {
+		line, err := rd.ReadBytes('\n')
+		line = bytes.TrimSuffix(line, []byte("\n"))
+		if len(line) > 0 {
+			raw = append(raw, line)
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, "", "", err
+		}
+	}
+	if len(raw) == 0 {
+		return nil, "", "", errors.New("stream: empty")
+	}
+	var status struct {
+		State service.JobState `json:"state"`
+		Error string           `json:"error,omitempty"`
+	}
+	last := raw[len(raw)-1]
+	if err := json.Unmarshal(last, &status); err != nil || status.State == "" {
+		return nil, "", "", fmt.Errorf("stream: truncated (no status line)")
+	}
+	for _, l := range raw[:len(raw)-1] {
+		lines = append(lines, json.RawMessage(l))
+	}
+	return lines, status.State, status.Error, nil
+}
+
+// fetchView GETs one backend job view.
+func (g *Gateway) fetchView(ctx context.Context, b *Backend, id string) (*service.JobView, error) {
+	req, err := http.NewRequestWithContext(ctx, "GET", b.URL+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("get %s: %s", id, resp.Status)
+	}
+	var view service.JobView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		return nil, err
+	}
+	return &view, nil
+}
+
+// cancelRemote best-effort DELETEs a backend job (hedge losers, gateway
+// cancellations).
+func (g *Gateway) cancelRemote(b *Backend, id string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "DELETE", b.URL+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return
+	}
+	resp.Body.Close()
+}
+
+// readError renders a non-2xx response body.
+func readError(resp *http.Response) string {
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var eb struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
+		return fmt.Sprintf("%s: %s", resp.Status, eb.Error)
+	}
+	return fmt.Sprintf("%s: %s", resp.Status, bytes.TrimSpace(data))
+}
+
+// latencySampler keeps a sliding window of completed-cell latencies for
+// the hedging quantile.
+type latencySampler struct {
+	mu   sync.Mutex
+	buf  []time.Duration
+	next int
+	n    int
+}
+
+const samplerWindow = 256
+
+func newLatencySampler() *latencySampler {
+	return &latencySampler{buf: make([]time.Duration, samplerWindow)}
+}
+
+func (s *latencySampler) record(d time.Duration) {
+	s.mu.Lock()
+	s.buf[s.next] = d
+	s.next = (s.next + 1) % len(s.buf)
+	if s.n < len(s.buf) {
+		s.n++
+	}
+	s.mu.Unlock()
+}
+
+// quantile returns the q-quantile of the window and the sample count.
+func (s *latencySampler) quantile(q float64) (time.Duration, int) {
+	s.mu.Lock()
+	n := s.n
+	window := append([]time.Duration(nil), s.buf[:n]...)
+	s.mu.Unlock()
+	if n == 0 {
+		return 0, 0
+	}
+	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+	idx := int(q * float64(n))
+	if idx >= n {
+		idx = n - 1
+	}
+	return window[idx], n
+}

@@ -1,0 +1,384 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"pcoup/internal/machine"
+	"pcoup/internal/service"
+)
+
+// Gateway submission errors distinguished by the HTTP layer.
+var (
+	// ErrDraining: the gateway is shutting down.
+	ErrDraining = errors.New("fleet: shutting down, not accepting jobs")
+	// ErrNotFound: no such gateway job.
+	ErrNotFound = errors.New("fleet: no such job")
+)
+
+// Options configures a Gateway.
+type Options struct {
+	// Pool configures the backend set and health checking.
+	Pool PoolOptions
+	// MaxInflight caps concurrently dispatched cells across all jobs
+	// (default 8 per backend).
+	MaxInflight int
+	// RetryBudget is the attempt count per cell across backends before
+	// the job fails (default 3).
+	RetryBudget int
+	// RetryBackoff is the base delay between failover attempts of one
+	// cell; it doubles per attempt, capped at 30s (default 200ms).
+	RetryBackoff time.Duration
+	// HedgeQuantile is the completed-cell latency quantile after which a
+	// straggler gets one hedged duplicate (default 0.9). Zero or >= 1
+	// disables hedging.
+	HedgeQuantile float64
+	// HedgeMinSamples is how many completed cells must be observed
+	// before hedging arms (default 8).
+	HedgeMinSamples int
+	// HedgeMinDelay floors the hedge trigger delay so microsecond cache
+	// hits do not spawn pointless duplicates (default 25ms).
+	HedgeMinDelay time.Duration
+	// PresetNames lists preset names known to the backends besides
+	// "baseline"; specs naming them are forwarded without local
+	// validation (the backend validates).
+	PresetNames []string
+}
+
+func (o *Options) defaults() {
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = 8 * len(o.Pool.Backends)
+	}
+	if o.RetryBudget <= 0 {
+		o.RetryBudget = 3
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 200 * time.Millisecond
+	}
+	if o.HedgeQuantile == 0 {
+		o.HedgeQuantile = 0.9
+	}
+	if o.HedgeMinSamples <= 0 {
+		o.HedgeMinSamples = 8
+	}
+	if o.HedgeMinDelay <= 0 {
+		o.HedgeMinDelay = 25 * time.Millisecond
+	}
+}
+
+// Gateway fronts a pool of pcserved backends behind the same HTTP job
+// API: sweeps scatter across the ring per cell and gather back in grid
+// order (byte-identical to a single backend); other jobs forward whole
+// to their content-key owner.
+type Gateway struct {
+	opts    Options
+	pool    *Pool
+	metrics *Metrics
+	client  *http.Client // dispatch client (no timeout: streams are long)
+	sem     chan struct{}
+	sampler *latencySampler
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+
+	mu        sync.Mutex
+	jobs      map[string]*fleetJob
+	order     []*fleetJob
+	nextID    int
+	accepting bool
+	started   bool
+}
+
+// New builds a Gateway; call Start before serving its Handler.
+func New(opts Options) (*Gateway, error) {
+	opts.defaults()
+	m := NewMetrics()
+	pool, err := newPool(opts.Pool, m)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Gateway{
+		opts:       opts,
+		pool:       pool,
+		metrics:    m,
+		client:     &http.Client{},
+		sem:        make(chan struct{}, opts.MaxInflight),
+		sampler:    newLatencySampler(),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       map[string]*fleetJob{},
+		accepting:  true,
+	}, nil
+}
+
+// Metrics exposes the gateway's counters (tests and tooling).
+func (g *Gateway) Metrics() *Metrics { return g.metrics }
+
+// Pool exposes the backend pool (tests and tooling).
+func (g *Gateway) Pool() *Pool { return g.pool }
+
+// Start probes the backends once and launches the health-check loop.
+func (g *Gateway) Start() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.started {
+		return errors.New("fleet: already started")
+	}
+	g.started = true
+	g.pool.start()
+	return nil
+}
+
+// Shutdown stops the gateway: new submissions are refused, in-flight
+// jobs drain until ctx expires (then their dispatches are cancelled),
+// and the prober stops.
+func (g *Gateway) Shutdown(ctx context.Context) error {
+	g.mu.Lock()
+	g.accepting = false
+	started := g.started
+	g.mu.Unlock()
+
+	waited := make(chan struct{})
+	go func() {
+		g.wg.Wait()
+		close(waited)
+	}()
+	var drainErr error
+	select {
+	case <-waited:
+	case <-ctx.Done():
+		g.baseCancel()
+		<-waited
+		drainErr = ctx.Err()
+	}
+	g.baseCancel()
+	if started {
+		g.pool.close()
+	}
+	return drainErr
+}
+
+// fleetJob is one gateway job: a scattered sweep or a forwarded unit.
+type fleetJob struct {
+	mu sync.Mutex
+
+	id      string
+	spec    service.JobSpec
+	state   service.JobState
+	errMsg  string
+	result  json.RawMessage
+	cells   []json.RawMessage
+	total   int
+	hit     bool // every dispatch was served from a backend cache
+	created time.Time
+	started time.Time
+	ended   time.Time
+
+	cancelled bool
+	cancel    context.CancelFunc
+	updated   chan struct{}
+	done      chan struct{}
+}
+
+func (j *fleetJob) notifyLocked() {
+	close(j.updated)
+	j.updated = make(chan struct{})
+}
+
+// appendCell records one merged cell in grid order and wakes streamers.
+func (j *fleetJob) appendCell(payload json.RawMessage) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.cells = append(j.cells, payload)
+	j.notifyLocked()
+}
+
+func (j *fleetJob) finish(state service.JobState, result json.RawMessage, errMsg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.state = state
+	j.result = result
+	j.errMsg = errMsg
+	j.ended = time.Now()
+	j.notifyLocked()
+	close(j.done)
+}
+
+// view renders the job as the shared wire representation.
+func (j *fleetJob) view(withResult bool) service.JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := service.JobView{
+		ID: j.id, State: j.state, Spec: j.spec, Error: j.errMsg,
+		CacheHit:  j.hit,
+		CellsDone: len(j.cells), CellsTotal: j.total,
+		Created: j.created,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.ended.IsZero() {
+		t := j.ended
+		v.Finished = &t
+	}
+	if withResult {
+		v.Result = j.result
+	}
+	return v
+}
+
+// Submit validates spec (as far as the gateway can without the
+// backends' preset tables) and launches its execution.
+func (g *Gateway) Submit(spec service.JobSpec) (*fleetJob, error) {
+	if err := g.validate(&spec); err != nil {
+		return nil, err
+	}
+	g.mu.Lock()
+	if !g.accepting {
+		g.mu.Unlock()
+		return nil, ErrDraining
+	}
+	g.nextID++
+	job := &fleetJob{
+		id:      fmt.Sprintf("f-%06d", g.nextID),
+		spec:    spec,
+		state:   service.JobQueued,
+		created: time.Now(),
+		updated: make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	g.jobs[job.id] = job
+	g.order = append(g.order, job)
+	g.wg.Add(1)
+	g.mu.Unlock()
+	g.metrics.JobState(string(service.JobQueued))
+
+	go func() {
+		defer g.wg.Done()
+		g.runJob(job)
+	}()
+	return job, nil
+}
+
+// validate mirrors the backend's spec validation where the gateway has
+// the information; preset resolution beyond "baseline" is left to the
+// backend that receives the forwarded job.
+func (g *Gateway) validate(spec *service.JobSpec) error {
+	if spec.Preset != "" && spec.Preset != "baseline" {
+		known := false
+		for _, n := range g.opts.PresetNames {
+			if n == spec.Preset {
+				known = true
+			}
+		}
+		if !known {
+			return fmt.Errorf("unknown preset %q (gateway knows: %s)", spec.Preset, presetList(g.opts.PresetNames))
+		}
+		// Minimal structural checks; the owning backend validates fully.
+		selected := 0
+		if spec.Experiment != "" {
+			selected++
+		}
+		if spec.Cell != nil {
+			selected++
+		}
+		if spec.Sweep != nil {
+			selected++
+		}
+		if selected != 1 {
+			return fmt.Errorf("spec must set exactly one of experiment, cell, sweep (got %d)", selected)
+		}
+		return nil
+	}
+	_, err := spec.Normalize(map[string]*machine.Config{"baseline": machine.Baseline()})
+	return err
+}
+
+func presetList(names []string) string {
+	out := "baseline"
+	for _, n := range names {
+		out += ", " + n
+	}
+	return out
+}
+
+// Get returns a gateway job by id.
+func (g *Gateway) Get(id string) (*fleetJob, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	job, ok := g.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return job, nil
+}
+
+// List snapshots all gateway jobs in submission order.
+func (g *Gateway) List() []service.JobView {
+	g.mu.Lock()
+	jobs := append([]*fleetJob(nil), g.order...)
+	g.mu.Unlock()
+	out := make([]service.JobView, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.view(false)
+	}
+	return out
+}
+
+// Cancel requests cancellation of a gateway job; in-flight backend
+// dispatches observe it through their request contexts.
+func (g *Gateway) Cancel(id string) (*fleetJob, error) {
+	job, err := g.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	job.mu.Lock()
+	job.cancelled = true
+	state := job.state
+	cancel := job.cancel
+	job.mu.Unlock()
+	if state.Terminal() {
+		return job, nil
+	}
+	if cancel != nil {
+		cancel()
+	} else {
+		job.finish(service.JobCancelled, nil, "cancelled before execution")
+		g.metrics.JobState(string(service.JobCancelled))
+	}
+	return job, nil
+}
+
+// gauges samples the live state for /metrics and /healthz.
+func (g *Gateway) gauges() FleetGauges {
+	g.mu.Lock()
+	byState := map[string]int{}
+	for _, j := range g.order {
+		j.mu.Lock()
+		byState[string(j.state)]++
+		j.mu.Unlock()
+	}
+	accepting := g.accepting
+	g.mu.Unlock()
+	var backends []BackendGauge
+	for _, b := range g.pool.all() {
+		b.mu.Lock()
+		backends = append(backends, BackendGauge{
+			URL: b.URL, Healthy: b.healthy, Inflight: b.inflight,
+			QueueDepth: b.load.QueueDepth, RemoteInflight: b.load.Inflight,
+		})
+		b.mu.Unlock()
+	}
+	return FleetGauges{Backends: backends, JobsByState: byState, Accepting: accepting}
+}

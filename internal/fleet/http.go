@@ -1,0 +1,220 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"pcoup/internal/service"
+)
+
+// Handler returns the gateway's HTTP API — the same surface as one
+// pcserved, so pcq and every other client work unchanged:
+//
+//	POST   /v1/jobs             submit a job (202 + job view)
+//	GET    /v1/jobs             list gateway jobs
+//	GET    /v1/jobs/{id}        job status; includes result when done
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /v1/jobs/{id}/stream NDJSON: per-cell results as they finish
+//	GET    /healthz             liveness: always 200, with backend summary
+//	GET    /readyz              readiness: 503 while draining or no backend is healthy
+//	GET    /metrics             Prometheus text exposition
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", g.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", g.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", g.handleGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", g.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", g.handleStream)
+	mux.HandleFunc("GET /healthz", g.handleHealthz)
+	mux.HandleFunc("GET /readyz", g.handleReadyz)
+	mux.HandleFunc("GET /metrics", g.handleMetrics)
+	return mux
+}
+
+// writeJSON mirrors the service daemon's encoding so job views render
+// identically through either front door.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeHTTPError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec service.JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeHTTPError(w, http.StatusBadRequest, err)
+		return
+	}
+	job, err := g.Submit(spec)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, job.view(false))
+	case errors.Is(err, ErrDraining):
+		writeHTTPError(w, http.StatusServiceUnavailable, err)
+	default:
+		writeHTTPError(w, http.StatusBadRequest, err)
+	}
+}
+
+func (g *Gateway) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, g.List())
+}
+
+func (g *Gateway) jobFor(w http.ResponseWriter, r *http.Request) (*fleetJob, bool) {
+	job, err := g.Get(r.PathValue("id"))
+	if err != nil {
+		writeHTTPError(w, http.StatusNotFound, err)
+		return nil, false
+	}
+	return job, true
+}
+
+func (g *Gateway) handleGet(w http.ResponseWriter, r *http.Request) {
+	if job, ok := g.jobFor(w, r); ok {
+		writeJSON(w, http.StatusOK, job.view(true))
+	}
+}
+
+func (g *Gateway) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job, err := g.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeHTTPError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, job.view(false))
+}
+
+// handleStream emits the same NDJSON a single backend would: one line
+// per sweep cell in grid order, then the terminal status line. Because
+// the dispatcher gathers cells back into grid order before appending,
+// the stream through the gateway is byte-identical to a single
+// backend's stream for the same sweep.
+func (g *Gateway) handleStream(w http.ResponseWriter, r *http.Request) {
+	job, ok := g.jobFor(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	sent := 0
+	for {
+		job.mu.Lock()
+		cells := job.cells[sent:]
+		state := job.state
+		result := job.result
+		errMsg := job.errMsg
+		updated := job.updated
+		job.mu.Unlock()
+
+		for _, cell := range cells {
+			w.Write(cell)
+			w.Write([]byte("\n"))
+			sent++
+		}
+		if state.Terminal() {
+			if sent == 0 && len(result) > 0 {
+				w.Write(result)
+				w.Write([]byte("\n"))
+			}
+			final, _ := json.Marshal(struct {
+				State service.JobState `json:"state"`
+				Error string           `json:"error,omitempty"`
+			}{state, errMsg})
+			w.Write(final)
+			w.Write([]byte("\n"))
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		select {
+		case <-updated:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// fleetHealth is the gateway's /healthz and /readyz body.
+type fleetHealth struct {
+	Status          string          `json:"status"`
+	Accepting       bool            `json:"accepting"`
+	BackendsHealthy int             `json:"backends_healthy"`
+	BackendsTotal   int             `json:"backends_total"`
+	Backends        []backendHealth `json:"backends"`
+}
+
+type backendHealth struct {
+	URL        string `json:"url"`
+	Healthy    bool   `json:"healthy"`
+	Inflight   int    `json:"inflight"`
+	QueueDepth int    `json:"queue_depth"`
+	LastError  string `json:"last_error,omitempty"`
+}
+
+func (g *Gateway) health() fleetHealth {
+	g.mu.Lock()
+	accepting := g.accepting
+	g.mu.Unlock()
+	h := fleetHealth{Status: "ok", Accepting: accepting}
+	for _, b := range g.pool.all() {
+		b.mu.Lock()
+		bh := backendHealth{
+			URL: b.URL, Healthy: b.healthy, Inflight: b.inflight,
+			QueueDepth: b.load.QueueDepth, LastError: b.lastErr,
+		}
+		b.mu.Unlock()
+		h.BackendsTotal++
+		if bh.Healthy {
+			h.BackendsHealthy++
+		}
+		h.Backends = append(h.Backends, bh)
+	}
+	return h
+}
+
+// handleHealthz is liveness: the gateway process is up, with a backend
+// summary for operators. Always 200.
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, g.health())
+}
+
+// handleReadyz is readiness: 503 while draining or while no backend is
+// admitted (the gateway cannot place work anywhere).
+func (g *Gateway) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	h := g.health()
+	switch {
+	case !h.Accepting:
+		h.Status = "draining"
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, h)
+	case h.BackendsHealthy == 0:
+		h.Status = "no healthy backends"
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, h)
+	default:
+		h.Status = "ready"
+		writeJSON(w, http.StatusOK, h)
+	}
+}
+
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	g.metrics.WriteText(w, g.gauges())
+}

@@ -1,0 +1,344 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"pcoup/internal/service"
+)
+
+// ErrNoBackends: every backend is ejected (or the pool is empty).
+var ErrNoBackends = errors.New("fleet: no healthy backends")
+
+// Backend is one pcserved process behind the gateway.
+type Backend struct {
+	// URL is the backend's base URL (also its ring member name).
+	URL string
+
+	mu           sync.Mutex
+	healthy      bool
+	consecFails  int
+	probeBackoff time.Duration // readmission probe backoff while ejected
+	nextProbe    time.Time
+	lastErr      string
+	inflight     int            // gateway dispatches in flight to this backend
+	load         service.Health // last load report from /readyz
+}
+
+// Healthy reports whether the backend is currently admitted.
+func (b *Backend) Healthy() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.healthy
+}
+
+// Inflight returns the gateway's in-flight dispatch count to the backend.
+func (b *Backend) Inflight() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.inflight
+}
+
+func (b *Backend) acquire() {
+	b.mu.Lock()
+	b.inflight++
+	b.mu.Unlock()
+}
+
+func (b *Backend) release() {
+	b.mu.Lock()
+	b.inflight--
+	b.mu.Unlock()
+}
+
+// PoolOptions configures the backend pool.
+type PoolOptions struct {
+	// Backends are the pcserved base URLs fronted by the gateway.
+	Backends []string
+	// Replicas is the virtual-node count per backend (default 128).
+	Replicas int
+	// ProbeInterval is the /readyz cadence for healthy backends
+	// (default 500ms).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe request (default 2s).
+	ProbeTimeout time.Duration
+	// EjectAfter ejects a backend after this many consecutive probe
+	// failures (default 2). Dispatch errors eject immediately.
+	EjectAfter int
+	// ReadmitMaxBackoff caps the probe backoff for an ejected backend:
+	// re-admission probes start at ProbeInterval and double up to this
+	// (default 8s), so a flapping backend is not hammered.
+	ReadmitMaxBackoff time.Duration
+	// LoadFactor is the bounded-load constant c: a backend is saturated
+	// when its in-flight count exceeds ceil(c * (total+1) / healthy), and
+	// keys spill to the next ring node (default 1.25).
+	LoadFactor float64
+}
+
+func (o *PoolOptions) defaults() {
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = 500 * time.Millisecond
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = 2 * time.Second
+	}
+	if o.EjectAfter <= 0 {
+		o.EjectAfter = 2
+	}
+	if o.ReadmitMaxBackoff <= 0 {
+		o.ReadmitMaxBackoff = 8 * time.Second
+	}
+	if o.LoadFactor < 1 {
+		o.LoadFactor = 1.25
+	}
+}
+
+// Pool is the health-checked backend set plus the routing ring. The ring
+// holds every configured backend permanently; health filters at
+// selection time, so when an ejected backend is re-admitted its keys
+// route home again and find its cache still hot.
+type Pool struct {
+	opts    PoolOptions
+	client  *http.Client
+	metrics *Metrics
+
+	mu       sync.Mutex
+	ring     *ring
+	backends map[string]*Backend
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+func newPool(opts PoolOptions, m *Metrics) (*Pool, error) {
+	opts.defaults()
+	if len(opts.Backends) == 0 {
+		return nil, errors.New("fleet: no backends configured")
+	}
+	p := &Pool{
+		opts:     opts,
+		client:   &http.Client{Timeout: opts.ProbeTimeout},
+		metrics:  m,
+		ring:     newRing(opts.Replicas),
+		backends: map[string]*Backend{},
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	for _, url := range opts.Backends {
+		if _, ok := p.backends[url]; ok {
+			return nil, fmt.Errorf("fleet: duplicate backend %s", url)
+		}
+		p.backends[url] = &Backend{URL: url}
+		p.ring.add(url)
+	}
+	return p, nil
+}
+
+// start probes every backend once synchronously (so the gateway can
+// route immediately) and launches the periodic prober.
+func (p *Pool) start() {
+	p.probeAll(time.Now())
+	go p.loop()
+}
+
+func (p *Pool) close() {
+	close(p.stop)
+	<-p.done
+}
+
+func (p *Pool) loop() {
+	defer close(p.done)
+	t := time.NewTicker(p.opts.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case now := <-t.C:
+			p.probeAll(now)
+		}
+	}
+}
+
+// probeAll probes, in parallel, every backend whose next probe is due.
+// Healthy backends are due every tick; ejected ones follow their
+// re-admission backoff.
+func (p *Pool) probeAll(now time.Time) {
+	var wg sync.WaitGroup
+	for _, b := range p.all() {
+		b.mu.Lock()
+		due := !b.nextProbe.After(now)
+		b.mu.Unlock()
+		if !due {
+			continue
+		}
+		wg.Add(1)
+		go func(b *Backend) {
+			defer wg.Done()
+			p.probe(b)
+		}(b)
+	}
+	wg.Wait()
+}
+
+// probe hits /readyz once and applies the ejection / re-admission rules.
+// The readyz body doubles as the backend's load report (queue depth,
+// inflight) — one request serves both purposes.
+func (p *Pool) probe(b *Backend) {
+	health, err := p.fetchReadyz(b.URL)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err == nil {
+		if !b.healthy {
+			p.metrics.Readmitted()
+		}
+		b.healthy = true
+		b.consecFails = 0
+		b.probeBackoff = 0
+		b.lastErr = ""
+		b.load = *health
+		b.nextProbe = time.Now().Add(p.opts.ProbeInterval)
+		return
+	}
+	b.consecFails++
+	b.lastErr = err.Error()
+	p.metrics.ProbeFailed()
+	if b.healthy && b.consecFails >= p.opts.EjectAfter {
+		b.healthy = false
+		p.metrics.Ejected()
+	}
+	if !b.healthy {
+		// Ejected: back the probes off (doubling, capped) so a dead
+		// backend is not hammered while it restarts.
+		if b.probeBackoff == 0 {
+			b.probeBackoff = p.opts.ProbeInterval
+		} else if b.probeBackoff < p.opts.ReadmitMaxBackoff {
+			b.probeBackoff *= 2
+			if b.probeBackoff > p.opts.ReadmitMaxBackoff {
+				b.probeBackoff = p.opts.ReadmitMaxBackoff
+			}
+		}
+		b.nextProbe = time.Now().Add(b.probeBackoff)
+	} else {
+		b.nextProbe = time.Now().Add(p.opts.ProbeInterval)
+	}
+}
+
+func (p *Pool) fetchReadyz(base string) (*service.Health, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), p.opts.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", base+"/readyz", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("readyz: %s", resp.Status)
+	}
+	var h service.Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return nil, fmt.Errorf("readyz: %w", err)
+	}
+	return &h, nil
+}
+
+// markDown ejects a backend immediately after a dispatch-path failure
+// (connection refused mid-job): the next cells must not wait for the
+// prober to notice.
+func (p *Pool) markDown(b *Backend, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.healthy {
+		return
+	}
+	b.healthy = false
+	b.consecFails = p.opts.EjectAfter
+	b.probeBackoff = p.opts.ProbeInterval
+	b.nextProbe = time.Now().Add(b.probeBackoff)
+	if err != nil {
+		b.lastErr = err.Error()
+	}
+	p.metrics.Ejected()
+}
+
+// all returns every backend in stable (URL-sorted) order.
+func (p *Pool) all() []*Backend {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	urls := make([]string, 0, len(p.backends))
+	for u := range p.backends {
+		urls = append(urls, u)
+	}
+	sort.Strings(urls)
+	out := make([]*Backend, len(urls))
+	for i, u := range urls {
+		out[i] = p.backends[u]
+	}
+	return out
+}
+
+func (p *Pool) healthyCount() int {
+	n := 0
+	for _, b := range p.all() {
+		if b.Healthy() {
+			n++
+		}
+	}
+	return n
+}
+
+// candidates returns the healthy backends in key's ring order (owner
+// first), excluding the given URLs.
+func (p *Pool) candidates(key string, exclude map[string]bool) []*Backend {
+	p.mu.Lock()
+	seq := p.ring.seq(key)
+	p.mu.Unlock()
+	out := make([]*Backend, 0, len(seq))
+	for _, url := range seq {
+		if exclude[url] {
+			continue
+		}
+		p.mu.Lock()
+		b := p.backends[url]
+		p.mu.Unlock()
+		if b != nil && b.Healthy() {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// pick chooses the backend for key under bounded-load consistent
+// hashing: the first healthy ring node with in-flight work below
+// capacity, spilling clockwise past saturated nodes. The second return
+// reports whether the pick spilled past a saturated candidate.
+func (p *Pool) pick(key string, exclude map[string]bool) (*Backend, bool, error) {
+	cands := p.candidates(key, exclude)
+	if len(cands) == 0 {
+		return nil, false, ErrNoBackends
+	}
+	total := 0
+	for _, b := range cands {
+		total += b.Inflight()
+	}
+	capacity := int(math.Ceil(p.opts.LoadFactor * float64(total+1) / float64(len(cands))))
+	for i, b := range cands {
+		if b.Inflight() < capacity {
+			return b, i > 0, nil
+		}
+	}
+	// Everyone is saturated (possible transiently between the capacity
+	// read and the walk): the owner absorbs the overload.
+	return cands[0], false, nil
+}

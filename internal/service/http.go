@@ -13,7 +13,8 @@ import (
 //	GET    /v1/jobs/{id}        job status; includes result when done
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	GET    /v1/jobs/{id}/stream NDJSON: per-cell results as they finish
-//	GET    /healthz             liveness + accepting flag
+//	GET    /healthz             liveness: always 200 while the process serves, with load detail
+//	GET    /readyz              readiness: 503 + Retry-After while draining
 //	GET    /metrics             Prometheus text exposition
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -23,6 +24,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
@@ -146,14 +148,47 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// Health is the /healthz response body. Liveness is distinct from
+// readiness: a draining daemon is still alive (200 here) but not ready
+// (503 on /readyz), so load balancers and the fleet gateway stop routing
+// to it without a liveness-triggered restart. The load fields
+// (queue depth, inflight) feed the fleet gateway's probes.
+type Health struct {
+	Status     string `json:"status"`
+	Accepting  bool   `json:"accepting"`
+	QueueDepth int    `json:"queue_depth"`
+	Inflight   int    `json:"inflight"`
+	Workers    int    `json:"workers"`
+}
+
+func (s *Server) health() Health {
+	g := s.gauges()
+	return Health{
+		Status:     "ok",
+		Accepting:  g.Accepting,
+		QueueDepth: g.QueueDepth,
+		Inflight:   g.Inflight,
+		Workers:    g.Workers,
+	}
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	accepting := s.accepting
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, struct {
-		Status    string `json:"status"`
-		Accepting bool   `json:"accepting"`
-	}{"ok", accepting})
+	writeJSON(w, http.StatusOK, s.health())
+}
+
+// handleReadyz reports whether the daemon accepts new jobs. During a
+// drain it returns 503 with Retry-After so probes eject the backend and
+// clients back off until the replacement process is up.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	h := s.health()
+	if !h.Accepting {
+		h.Status = "draining"
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, h)
+		return
+	}
+	h.Status = "ready"
+	writeJSON(w, http.StatusOK, h)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -85,9 +85,15 @@ type JobSpec struct {
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
-// normalize validates the spec against the registry, the benchmark
-// suite, and the preset table, and fills defaults. It returns the
-// resolved machine config (nil meaning "driver default").
+// Normalize validates the spec against the registry, the benchmark
+// suite, and the preset table, and fills defaults (exported for the
+// fleet gateway, which validates with the presets it knows). It returns
+// the resolved machine config (nil meaning "driver default").
+func (spec *JobSpec) Normalize(presets map[string]*machine.Config) (*machine.Config, error) {
+	return spec.normalize(presets)
+}
+
+// normalize is Normalize's implementation.
 func (spec *JobSpec) normalize(presets map[string]*machine.Config) (*machine.Config, error) {
 	selected := 0
 	if spec.Experiment != "" {
@@ -148,7 +154,7 @@ func (spec *JobSpec) normalize(presets map[string]*machine.Config) (*machine.Con
 			return nil, fmt.Errorf("benchmark %q has no %s variant", spec.Cell.Bench, mode)
 		}
 	case spec.Sweep != nil:
-		if err := spec.Sweep.normalize(); err != nil {
+		if err := spec.Sweep.Normalize(); err != nil {
 			return nil, err
 		}
 		if cfg != nil {
@@ -161,8 +167,10 @@ func (spec *JobSpec) normalize(presets map[string]*machine.Config) (*machine.Con
 	return cfg, nil
 }
 
-// normalize fills sweep defaults and bounds the geometry.
-func (sw *SweepSpec) normalize() error {
+// Normalize fills sweep defaults and bounds the geometry. The fleet
+// gateway applies the same normalization before splitting a sweep, so
+// its merged payload embeds a spec byte-identical to a single backend's.
+func (sw *SweepSpec) Normalize() error {
 	if len(sw.Benches) == 0 {
 		sw.Benches = bench.Names()
 	}
@@ -201,42 +209,57 @@ func (sw *SweepSpec) normalize() error {
 	return nil
 }
 
-// cells enumerates the sweep's (bench, iu, fpu) grid in a stable order.
-func (sw *SweepSpec) cells() []sweepCell {
-	var out []sweepCell
+// Cells enumerates the sweep's (bench, iu, fpu) grid in a stable order —
+// the order cells stream, merge, and key the sweep payload. Call
+// Normalize first.
+func (sw *SweepSpec) Cells() []SweepCell {
+	var out []SweepCell
 	for _, b := range sw.Benches {
 		for iu := sw.MinIU; iu <= sw.MaxIU; iu++ {
 			for fpu := sw.MinFPU; fpu <= sw.MaxFPU; fpu++ {
-				out = append(out, sweepCell{Bench: b, IU: iu, FPU: fpu})
+				out = append(out, SweepCell{Bench: b, IU: iu, FPU: fpu})
 			}
 		}
 	}
 	return out
 }
 
-type sweepCell struct {
+// SweepCell is one (benchmark, unit mix) coordinate of a sweep grid.
+type SweepCell struct {
 	Bench string
 	IU    int
 	FPU   int
+}
+
+// SingleCellSweep returns the sweep spec that runs exactly cell c — the
+// unit the fleet gateway scatters. Its per-cell payload (and cell cache
+// key) is identical to the same cell inside any larger sweep.
+func (sw *SweepSpec) SingleCellSweep(c SweepCell) *SweepSpec {
+	return &SweepSpec{
+		Benches: []string{c.Bench},
+		Mode:    sw.Mode,
+		MinIU:   c.IU, MaxIU: c.IU,
+		MinFPU: c.FPU, MaxFPU: c.FPU,
+	}
 }
 
 // Job is one submitted unit of work and its full lifecycle.
 type Job struct {
 	mu sync.Mutex
 
-	id      string
-	spec    JobSpec
-	cfg     *machine.Config // resolved from spec; nil = driver default
-	state   JobState
-	errMsg  string
-	result  json.RawMessage
+	id       string
+	spec     JobSpec
+	cfg      *machine.Config // resolved from spec; nil = driver default
+	state    JobState
+	errMsg   string
+	result   json.RawMessage
 	cells    []json.RawMessage // per-cell payloads (sweep jobs)
 	total    int               // expected cell count (sweep jobs)
 	hit      bool              // served from the whole-job cache entry
 	attempts int               // executions after journal recoveries (0: first run)
-	created time.Time
-	started time.Time
-	ended   time.Time
+	created  time.Time
+	started  time.Time
+	ended    time.Time
 
 	cancelled bool // DELETE received
 	cancel    context.CancelFunc

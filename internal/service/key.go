@@ -110,6 +110,29 @@ func experimentKey(name string, cfg *machine.Config, o SimOptions) (string, erro
 	return keyDoc{Kind: "experiment", Name: name, SourceSHA: suiteDigest(), MachineSHA: msha, Options: o}.hash(), nil
 }
 
+// CellContentKey is the exported cell cache key: the SHA-256 content
+// address of one (benchmark, mode, machine, options) simulation. The
+// fleet gateway routes on it so identical cells land on the same
+// backend and find its cache hot.
+func CellContentKey(benchName, modeName string, cfg *machine.Config, o SimOptions) (string, error) {
+	mode, err := experiments.ParseMode(modeName)
+	if err != nil {
+		return "", err
+	}
+	return cellKey(benchName, mode, cfg, o)
+}
+
+// SweepCellContentKey is CellContentKey for one cell of a unit-mix
+// sweep, which runs on machine.Mix(iu, fpu).
+func SweepCellContentKey(c SweepCell, modeName string, o SimOptions) (string, error) {
+	return CellContentKey(c.Bench, modeName, machine.Mix(c.IU, c.FPU), o)
+}
+
+// ExperimentContentKey is the exported experiment cache key.
+func ExperimentContentKey(name string, cfg *machine.Config, o SimOptions) (string, error) {
+	return experimentKey(name, cfg, o)
+}
+
 // sweepKey keys a whole unit-mix sweep job (per-cell results are
 // additionally cached under their own cellKeys; Mix builds its own
 // machines, so the key hashes the sweep geometry instead of a config).

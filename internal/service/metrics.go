@@ -97,13 +97,16 @@ func (m *Metrics) RetryBudgetExhausted() {
 
 // Gauges is the live state sampled by the server at scrape time.
 type Gauges struct {
-	QueueDepth   int
-	Workers      int
-	JobsByState  map[string]int
-	CacheEntries int
-	CacheHits    int64
-	CacheMisses  int64
-	Accepting    bool
+	QueueDepth     int
+	Inflight       int // jobs currently running
+	Workers        int
+	JobsByState    map[string]int
+	CacheEntries   int
+	CacheBytes     int64
+	CacheHits      int64
+	CacheMisses    int64
+	CacheEvictions int64
+	Accepting      bool
 }
 
 // WriteText renders everything in the Prometheus text exposition format.
@@ -131,6 +134,10 @@ func (m *Metrics) WriteText(w io.Writer, g Gauges) {
 	fmt.Fprintf(w, "# HELP pcserved_queue_depth Jobs waiting for a worker.\n")
 	fmt.Fprintf(w, "# TYPE pcserved_queue_depth gauge\n")
 	fmt.Fprintf(w, "pcserved_queue_depth %d\n", g.QueueDepth)
+
+	fmt.Fprintf(w, "# HELP pcserved_inflight Jobs currently executing.\n")
+	fmt.Fprintf(w, "# TYPE pcserved_inflight gauge\n")
+	fmt.Fprintf(w, "pcserved_inflight %d\n", g.Inflight)
 
 	fmt.Fprintf(w, "# HELP pcserved_workers Size of the worker pool.\n")
 	fmt.Fprintf(w, "# TYPE pcserved_workers gauge\n")
@@ -160,6 +167,12 @@ func (m *Metrics) WriteText(w io.Writer, g Gauges) {
 	fmt.Fprintf(w, "# HELP pcserved_cache_entries Result cache entries resident.\n")
 	fmt.Fprintf(w, "# TYPE pcserved_cache_entries gauge\n")
 	fmt.Fprintf(w, "pcserved_cache_entries %d\n", g.CacheEntries)
+	fmt.Fprintf(w, "# HELP pcserved_cache_bytes Result cache payload bytes resident.\n")
+	fmt.Fprintf(w, "# TYPE pcserved_cache_bytes gauge\n")
+	fmt.Fprintf(w, "pcserved_cache_bytes %d\n", g.CacheBytes)
+	fmt.Fprintf(w, "# HELP pcserved_cache_evictions_total Result cache entries evicted by the LRU bounds.\n")
+	fmt.Fprintf(w, "# TYPE pcserved_cache_evictions_total counter\n")
+	fmt.Fprintf(w, "pcserved_cache_evictions_total %d\n", g.CacheEvictions)
 	if total := g.CacheHits + g.CacheMisses; total > 0 {
 		fmt.Fprintf(w, "# HELP pcserved_cache_hit_ratio Hits over lookups since start.\n")
 		fmt.Fprintf(w, "# TYPE pcserved_cache_hit_ratio gauge\n")

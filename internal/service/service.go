@@ -42,6 +42,12 @@ type Options struct {
 	QueueCap int
 	// CacheFile, when set, is loaded at Start and persisted on Shutdown.
 	CacheFile string
+	// CacheMaxEntries bounds the result cache's entry count; beyond it
+	// the least-recently-used entries are evicted (0: unbounded).
+	CacheMaxEntries int
+	// CacheMaxBytes bounds the result cache's payload bytes (0:
+	// unbounded).
+	CacheMaxBytes int64
 	// JournalFile, when set, enables the write-ahead job journal: every
 	// accepted job is durable, and a daemon killed mid-job resumes the
 	// interrupted jobs (same IDs) on restart.
@@ -106,7 +112,7 @@ func New(opts Options) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Server{
 		opts:       opts,
-		cache:      NewCache(),
+		cache:      NewBoundedCache(opts.CacheMaxEntries, opts.CacheMaxBytes),
 		metrics:    NewMetrics(),
 		presets:    presets,
 		queue:      make(chan *Job, opts.QueueCap),
@@ -579,7 +585,7 @@ type sweepResult struct {
 
 func (s *Server) runSweep(ctx context.Context, job *Job) (json.RawMessage, error) {
 	sw := job.spec.Sweep
-	cells := sw.cells()
+	cells := sw.Cells()
 	job.mu.Lock()
 	job.total = len(cells)
 	job.mu.Unlock()
@@ -630,6 +636,14 @@ func (s *Server) runSweep(ctx context.Context, job *Job) (json.RawMessage, error
 	return payload, nil
 }
 
+// MergeSweepPayload reconstitutes a whole-sweep result payload from
+// per-cell payloads in grid order. The fleet gateway uses it to merge a
+// scattered sweep into bytes identical to a single backend's runSweep
+// output (sw must be normalized).
+func MergeSweepPayload(sw *SweepSpec, cells []json.RawMessage) (json.RawMessage, error) {
+	return json.Marshal(sweepResult{Sweep: *sw, Cells: cells})
+}
+
 // gauges samples the live state for /metrics.
 func (s *Server) gauges() Gauges {
 	s.mu.Lock()
@@ -644,12 +658,15 @@ func (s *Server) gauges() Gauges {
 	s.mu.Unlock()
 	hits, misses := s.cache.Stats()
 	return Gauges{
-		QueueDepth:   depth,
-		Workers:      s.opts.Workers,
-		JobsByState:  byState,
-		CacheEntries: s.cache.Len(),
-		CacheHits:    hits,
-		CacheMisses:  misses,
-		Accepting:    accepting,
+		QueueDepth:     depth,
+		Inflight:       byState[string(JobRunning)],
+		Workers:        s.opts.Workers,
+		JobsByState:    byState,
+		CacheEntries:   s.cache.Len(),
+		CacheBytes:     s.cache.Bytes(),
+		CacheHits:      hits,
+		CacheMisses:    misses,
+		CacheEvictions: s.cache.Evictions(),
+		Accepting:      accepting,
 	}
 }

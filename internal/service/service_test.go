@@ -273,8 +273,11 @@ func TestGracefulShutdownDrains(t *testing.T) {
 		t.Fatalf("cache not persisted: %v", err)
 	}
 	var doc struct {
-		Version int                        `json:"version"`
-		Entries map[string]json.RawMessage `json:"entries"`
+		Version int `json:"version"`
+		Entries []struct {
+			Key     string `json:"key"`
+			Payload []byte `json:"payload"`
+		} `json:"entries"`
 	}
 	if err := json.Unmarshal(data, &doc); err != nil {
 		t.Fatalf("cache file: %v", err)

@@ -245,7 +245,7 @@ func TestCheckpointResumeByteIdentical(t *testing.T) {
 	}{
 		{"healthy", miniMachine, nil},
 		{"healthy-attrib", miniMachine, []Option{WithStallAttribution()}},
-		{"faulty", faultyMachine, []Option{WithWatchdog(8, 1 << 20)}},
+		{"faulty", faultyMachine, []Option{WithWatchdog(8, 1<<20)}},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			p := pingPong(30)
