@@ -127,12 +127,21 @@ func (g *Gateway) runSweepJob(ctx context.Context, job *fleetJob) (json.RawMessa
 			fail(err)
 			break
 		}
+		acquired := false
 		select {
 		case g.sem <- struct{}{}:
+			acquired = true
 		case <-ctx.Done():
-			fail(ctx.Err())
 		}
 		if ctx.Err() != nil {
+			// Cancellation may race the acquire (both select cases ready,
+			// or a cell failure cancelling mid-scatter): g.sem is
+			// gateway-global, so a token held past this break would leak a
+			// MaxInflight slot forever.
+			if acquired {
+				<-g.sem
+			}
+			fail(ctx.Err())
 			break
 		}
 		wg.Add(1)
@@ -319,10 +328,20 @@ func (g *Gateway) hedged(ctx context.Context, primary *Backend, key string, spec
 		select {
 		case res := <-results:
 			if res.err != nil && launched {
-				// One racer failed; wait for the other before giving up.
-				if second := <-results; second.err == nil {
-					res = second
+				// One racer failed; give the other a bounded grace to
+				// succeed. The dispatch client has no timeout, so waiting
+				// unboundedly here would let a hung second backend pin the
+				// cell (and its retry budget) until the whole job dies.
+				grace := time.NewTimer(hedgeDelay)
+				select {
+				case second := <-results:
+					if second.err == nil {
+						res = second
+					}
+				case <-grace.C:
+				case <-ctx.Done():
 				}
+				grace.Stop()
 			}
 			if res.err == nil {
 				g.sampler.record(time.Since(start))

@@ -299,6 +299,12 @@ func (g *Gateway) validate(spec *service.JobSpec) error {
 		if selected != 1 {
 			return fmt.Errorf("spec must set exactly one of experiment, cell, sweep (got %d)", selected)
 		}
+		// Mirror the backend rule: a sweep with a preset is always invalid,
+		// and skipping Normalize here would scatter an unnormalized sweep
+		// (empty bench list, unchecked geometry) into zero cells.
+		if spec.Sweep != nil {
+			return fmt.Errorf("sweep jobs build their own machines (machine/preset must be unset)")
+		}
 		return nil
 	}
 	_, err := spec.Normalize(map[string]*machine.Config{"baseline": machine.Baseline()})

@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"regexp"
 	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -298,6 +299,63 @@ func TestFleetFailoverMidSweep(t *testing.T) {
 	}
 	if !bytes.Equal(streamBytes(t, urlA, ref.ID), streamBytes(t, gwTS.URL, job.ID)) {
 		t.Fatal("failover stream differs from single-backend stream")
+	}
+}
+
+// TestSweepFailureDoesNotLeakInflightSlots: cancellation racing the
+// scatter loop's semaphore acquire must release the token — g.sem is
+// gateway-global, so a leaked slot would eventually deadlock all sweep
+// dispatch. A backend that 400s every submission makes each cell an
+// immediate permanent failure, exercising the race on every sweep.
+func TestSweepFailureDoesNotLeakInflightSlots(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(service.Health{Status: "ready", Accepting: true, Workers: 1})
+	})
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"rejected"}`, http.StatusBadRequest)
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	gw, _ := startGateway(t, []string{ts.URL}, func(o *Options) {
+		o.MaxInflight = 2
+	})
+	for i := 0; i < 25; i++ {
+		job, err := gw.Submit(service.JobSpec{Sweep: &testSweep})
+		if err != nil {
+			t.Fatal(err)
+		}
+		<-job.done
+		if v := job.view(false); v.State != service.JobFailed {
+			t.Fatalf("sweep %d: state %s, want %s", i, v.State, service.JobFailed)
+		}
+		if n := len(gw.sem); n != 0 {
+			t.Fatalf("sweep %d leaked %d inflight slot(s)", i, n)
+		}
+	}
+}
+
+// TestValidateRejectsForeignPresetSweep: a sweep naming a backend-only
+// preset must be rejected at the gateway exactly like the backend would
+// reject it, not scattered unnormalized into zero cells.
+func TestValidateRejectsForeignPresetSweep(t *testing.T) {
+	urlA, _, _ := startBackend(t, service.Options{})
+	gw, _ := startGateway(t, []string{urlA}, func(o *Options) {
+		o.PresetNames = []string{"wide"}
+	})
+	sw := testSweep
+	_, err := gw.Submit(service.JobSpec{Preset: "wide", Sweep: &sw})
+	if err == nil {
+		t.Fatal("sweep with foreign preset accepted")
+	}
+	if !strings.Contains(err.Error(), "sweep jobs build their own machines") {
+		t.Fatalf("wrong rejection: %v", err)
+	}
+	// Cell jobs with a known foreign preset still pass the gateway's
+	// structural check (the owning backend validates fully).
+	if _, err := gw.Submit(service.JobSpec{Preset: "wide"}); err == nil {
+		t.Fatal("foreign-preset spec with no work selected was accepted")
 	}
 }
 

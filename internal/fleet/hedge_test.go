@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -19,6 +20,9 @@ import (
 // losers are cancelled.
 type fakeBackend struct {
 	stalled atomic.Bool
+	// failAfter (ns), when set, makes streams report a deterministic
+	// failure after that delay instead of finishing.
+	failAfter atomic.Int64
 
 	mu      sync.Mutex
 	nextID  int
@@ -58,6 +62,15 @@ func (f *fakeBackend) handler() http.Handler {
 				fl.Flush() // headers out, then hang like a straggler
 			}
 			<-r.Context().Done()
+			return
+		}
+		if d := f.failAfter.Load(); d > 0 {
+			select {
+			case <-time.After(time.Duration(d)):
+			case <-r.Context().Done():
+				return
+			}
+			fmt.Fprintf(w, "{\"state\":\"failed\",\"error\":\"injected\"}\n")
 			return
 		}
 		fmt.Fprintf(w, "{\"v\":1}\n{\"state\":\"done\"}\n")
@@ -144,5 +157,65 @@ func TestHedgingFiresAndCancelsLoser(t *testing.T) {
 	// The primary's backend must NOT have been ejected: slow is not dead.
 	if !primary.Healthy() {
 		t.Fatal("straggling backend was ejected by a hedge win")
+	}
+}
+
+// TestHedgeBoundedWaitWhenPrimaryFails: after a hedge is launched, a
+// failing primary must not pin the cell on the hung duplicate forever —
+// the dispatch client has no timeout, so hedged() has to bound its wait
+// for the second racer before surfacing the first error.
+func TestHedgeBoundedWaitWhenPrimaryFails(t *testing.T) {
+	fakes := map[string]*fakeBackend{}
+	var urls []string
+	for i := 0; i < 2; i++ {
+		f := &fakeBackend{}
+		ts := httptest.NewServer(f.handler())
+		t.Cleanup(ts.Close)
+		fakes[ts.URL] = f
+		urls = append(urls, ts.URL)
+	}
+
+	gw, _ := startGateway(t, urls, func(o *Options) {
+		o.HedgeQuantile = 0.5
+		o.HedgeMinSamples = 1
+		o.HedgeMinDelay = time.Millisecond
+	})
+	// Prime the sampler so the hedge arms well before the primary fails.
+	for i := 0; i < 8; i++ {
+		gw.sampler.record(20 * time.Millisecond)
+	}
+
+	spec := service.JobSpec{Cell: &service.CellSpec{Bench: "fft", Mode: "TPE"}}
+	key := routeKey(&spec)
+	primary, _, err := gw.pool.pick(key, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Primary straggles past the hedge delay, then fails; the hedge lands
+	// on the other backend, which hangs forever.
+	fakes[primary.URL].failAfter.Store(int64(200 * time.Millisecond))
+	for u, f := range fakes {
+		if u != primary.URL {
+			f.stalled.Store(true)
+		}
+	}
+
+	specJSON, _ := json.Marshal(spec)
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := gw.hedged(context.Background(), primary, key, specJSON)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("hedged returned success despite the primary failing")
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("hedged blocked unboundedly on the hung hedge after the primary failed")
+	}
+	fired, _ := gw.Metrics().HedgeStats()
+	if fired != 1 {
+		t.Fatalf("hedges fired=%d, want 1", fired)
 	}
 }
