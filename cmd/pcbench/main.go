@@ -10,7 +10,9 @@
 //
 // Performance tooling: -cpuprofile/-memprofile write pprof profiles of
 // the run, and `-exp perf -out BENCH_sim.json` records the simulator's
-// own throughput measurements in machine-readable form.
+// own throughput measurements in machine-readable form. CI regression
+// gating uses `-exp perf -floor lud=150000,...` to fail the run when a
+// bench's simcycles/s drops below a checked-in floor.
 package main
 
 import (
@@ -20,6 +22,8 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 
 	"pcoup/internal/experiments"
 	_ "pcoup/internal/fleet" // registers the fleetscale experiment
@@ -31,16 +35,17 @@ func main() {
 	machinePath := flag.String("machine", "", "machine configuration JSON file (default: baseline; Figure 8 always sweeps its own machines)")
 	asJSON := flag.Bool("json", false, "emit raw experiment rows as JSON instead of formatted tables")
 	outPath := flag.String("out", "", "also write the experiment rows as JSON to this file (e.g. -exp perf -out BENCH_sim.json)")
+	floor := flag.String("floor", "", "comma-separated bench=minCyclesPerSec pairs checked against the perf experiment's rows; exit 1 if any bench falls below its floor (e.g. -exp perf -floor lud=150000,lud@Slow=1000000)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
-	os.Exit(run(*exp, *machinePath, *asJSON, *outPath, *cpuProfile, *memProfile))
+	os.Exit(run(*exp, *machinePath, *asJSON, *outPath, *floor, *cpuProfile, *memProfile))
 }
 
 // run holds the tool body so deferred profile writers execute before the
 // process exits.
-func run(exp, machinePath string, asJSON bool, outPath, cpuProfile, memProfile string) int {
+func run(exp, machinePath string, asJSON bool, outPath, floor, cpuProfile, memProfile string) int {
 	if cpuProfile != "" {
 		f, err := os.Create(cpuProfile)
 		if err != nil {
@@ -144,5 +149,54 @@ func run(exp, machinePath string, asJSON bool, outPath, cpuProfile, memProfile s
 			return 1
 		}
 	}
+
+	if floor != "" {
+		if err := checkFloors(floor, allRows); err != nil {
+			fmt.Fprintln(os.Stderr, "pcbench:", err)
+			return 1
+		}
+	}
 	return 0
+}
+
+// checkFloors enforces -floor: every `bench=minCyclesPerSec` pair must
+// match a perf-experiment row whose event-core throughput is at or above
+// the floor. A missing perf run or an unknown bench name is an error —
+// a floor that silently checks nothing is worse than no floor.
+func checkFloors(spec string, allRows map[string]any) error {
+	perf, ok := allRows["perf"].(*experiments.PerfResult)
+	if !ok {
+		return fmt.Errorf("-floor requires the perf experiment (run with -exp perf or -exp all)")
+	}
+	byName := make(map[string]experiments.PerfBench, len(perf.Benches))
+	for _, b := range perf.Benches {
+		byName[b.Bench] = b
+	}
+	var failures []string
+	for _, pair := range strings.Split(spec, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		name, minStr, ok := strings.Cut(pair, "=")
+		if !ok {
+			return fmt.Errorf("-floor: malformed pair %q (want bench=minCyclesPerSec)", pair)
+		}
+		min, err := strconv.ParseFloat(minStr, 64)
+		if err != nil || min <= 0 {
+			return fmt.Errorf("-floor: bad threshold in %q", pair)
+		}
+		b, ok := byName[name]
+		if !ok {
+			return fmt.Errorf("-floor: no perf row named %q", name)
+		}
+		if b.CyclesPerSec < min {
+			failures = append(failures,
+				fmt.Sprintf("%s: %.0f simcycles/s below floor %.0f", name, b.CyclesPerSec, min))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("throughput floor violated:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
 }

@@ -1,0 +1,69 @@
+package experiments
+
+// Event-core differential suite: every Table 2 cell (benchmark x mode on
+// the baseline machine) is run under the event core and under the ticking
+// kernel (sim.WithCycleSkipping(false)), and the goldenHash digests —
+// Result JSON plus first and last checkpoint bytes — must be identical.
+// Memory-bound Mem2 variants and a fault-injection cell (delayed and
+// dropped wakeups, no unit outages so skipping stays enabled) extend the
+// grid to the regimes where the event core actually jumps.
+
+import (
+	"fmt"
+	"testing"
+
+	"pcoup/internal/faults"
+	"pcoup/internal/machine"
+	"pcoup/internal/sim"
+)
+
+func TestEventCoreDifferential(t *testing.T) {
+	type cell struct {
+		name  string
+		bench string
+		mode  Mode
+		cfg   *machine.Config
+	}
+	var cells []cell
+	for _, c := range benchModeCells(Modes()) {
+		cells = append(cells, cell{
+			name:  fmt.Sprintf("%s/%s", c.bench, c.mode),
+			bench: c.bench,
+			mode:  c.mode,
+			cfg:   machine.Baseline(),
+		})
+	}
+	// Long-latency memory: the event core's common case.
+	for _, b := range []string{"lud", "matrix"} {
+		cells = append(cells, cell{
+			name:  b + "/Coupled@Mem2",
+			bench: b,
+			mode:  COUPLED,
+			cfg:   machine.Baseline().WithMemory(machine.Mem2),
+		})
+	}
+	// Fault injection: delayed/dropped wakeups and port outages must
+	// reproduce bit-for-bit across skips. Unit outages are deliberately
+	// absent — they force per-cycle mode (see sim.skipAllowed).
+	cells = append(cells, cell{
+		name:  "model/Coupled@memfaults",
+		bench: "model",
+		mode:  COUPLED,
+		cfg: machine.Baseline().WithFaults(faults.Model{
+			Seed:        11,
+			MemDropRate: 0.05, MemDelayRate: 0.05, MemDelayMax: 8,
+			PortOutageRate: 0.02, PortOutageCycles: 2,
+		}),
+	})
+	for _, c := range cells {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			event := goldenHashOn(t, c.bench, c.mode, c.cfg)
+			ticking := goldenHashOn(t, c.bench, c.mode, c.cfg, sim.WithCycleSkipping(false))
+			if event != ticking {
+				t.Errorf("event core diverged from ticking kernel:\n  event   %s\n  ticking %s", event, ticking)
+			}
+		})
+	}
+}

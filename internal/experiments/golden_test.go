@@ -43,6 +43,14 @@ const goldenCheckpointEvery = 64
 // goldenHash runs one cell and folds its observable behavior into a hash.
 func goldenHash(t *testing.T, benchName string, mode Mode) string {
 	t.Helper()
+	return goldenHashOn(t, benchName, mode, machine.Baseline())
+}
+
+// goldenHashOn is goldenHash on an arbitrary machine with extra sim
+// options (the event-core differential suite runs cells on both kernels
+// and on non-baseline memory models).
+func goldenHashOn(t *testing.T, benchName string, mode Mode, cfg *machine.Config, extra ...sim.Option) string {
+	t.Helper()
 	var first, last *sim.Checkpoint
 	opts := []sim.Option{
 		sim.WithStallAttribution(),
@@ -54,7 +62,8 @@ func goldenHash(t *testing.T, benchName string, mode Mode) string {
 			return nil
 		}),
 	}
-	r, err := Execute(benchName, mode, machine.Baseline(), opts...)
+	opts = append(opts, extra...)
+	r, err := Execute(benchName, mode, cfg, opts...)
 	if err != nil {
 		t.Fatalf("%s/%s: %v", benchName, mode, err)
 	}

@@ -22,12 +22,19 @@ import (
 )
 
 // PerfBench is one benchmark's kernel throughput under Coupled mode.
+// CyclesPerSec is measured with the event core (the default kernel);
+// TickingCyclesPerSec re-measures the same cell with cycle skipping
+// disabled, making each row a before/after pair.
 type PerfBench struct {
 	Bench        string  `json:"bench"`
 	Cycles       int64   `json:"cycles"`         // simulated cycles per run
 	Runs         int     `json:"runs"`           // timed repetitions
 	NsPerRun     float64 `json:"ns_per_run"`     // wall-clock per run
 	CyclesPerSec float64 `json:"cycles_per_sec"` // simulated cycles per second
+	// TickingCyclesPerSec is the same cell under the ticking kernel
+	// (sim.WithCycleSkipping(false)); Speedup = CyclesPerSec over it.
+	TickingCyclesPerSec float64 `json:"ticking_cycles_per_sec,omitempty"`
+	Speedup             float64 `json:"speedup,omitempty"`
 }
 
 // PerfResult is the perf experiment's machine-readable output.
@@ -91,33 +98,64 @@ func PerfCtx(ctx context.Context, cfg *machine.Config) (*PerfResult, error) {
 	}
 
 	// Per-benchmark kernel throughput under Coupled mode: simulation
-	// only (the program is cached; verification is excluded).
-	for _, b := range []string{"matrix", "fft", "model", "lud"} {
+	// only (the program is cached; verification is excluded). Each cell
+	// is measured twice — event core, then ticking kernel — so the rows
+	// are before/after pairs. The @Mem2 and @Slow cells put lud on the
+	// statistical long-latency memories, where most cycles are idle and
+	// the event core's jumps dominate.
+	perfCells := []struct {
+		name  string
+		bench string
+		mem   *machine.MemoryModel
+	}{
+		{"matrix", "matrix", nil},
+		{"fft", "fft", nil},
+		{"model", "model", nil},
+		{"lud", "lud", nil},
+		{"lud@Mem2", "lud", &machine.Mem2},
+		{"lud@Slow", "lud", &machine.MemSlow},
+	}
+	for _, c := range perfCells {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		_, prog, _, err := compileCached(b, sourceKind(COUPLED), 0, cfg, compiler.Options{Mode: compilerMode(COUPLED)})
+		cellCfg := cfg
+		if c.mem != nil {
+			cellCfg = cfg.WithMemory(*c.mem)
+		}
+		_, prog, _, err := compileCached(c.bench, sourceKind(COUPLED), 0, cellCfg, compiler.Options{Mode: compilerMode(COUPLED)})
 		if err != nil {
 			return nil, err
 		}
-		cycles, elapsed, err := timedRun(cfg, prog)
-		if err != nil {
-			return nil, fmt.Errorf("perf %s: %w", b, err)
-		}
-		reps := perfReps(elapsed)
-		start = time.Now()
-		for i := 0; i < reps; i++ {
-			if _, _, err := timedRun(cfg, prog); err != nil {
-				return nil, fmt.Errorf("perf %s: %w", b, err)
+		pb := PerfBench{Bench: c.name}
+		for _, kernel := range []struct {
+			ticking bool
+			opts    []sim.Option
+		}{
+			{false, nil},
+			{true, []sim.Option{sim.WithCycleSkipping(false)}},
+		} {
+			cycles, elapsed, err := timedRun(cellCfg, prog, kernel.opts...)
+			if err != nil {
+				return nil, fmt.Errorf("perf %s: %w", c.name, err)
+			}
+			reps := perfReps(elapsed)
+			start = time.Now()
+			for i := 0; i < reps; i++ {
+				if _, _, err := timedRun(cellCfg, prog, kernel.opts...); err != nil {
+					return nil, fmt.Errorf("perf %s: %w", c.name, err)
+				}
+			}
+			perRun := float64(time.Since(start).Nanoseconds()) / float64(reps)
+			cps := float64(cycles) / (perRun / 1e9)
+			if kernel.ticking {
+				pb.TickingCyclesPerSec = cps
+			} else {
+				pb.Cycles, pb.Runs, pb.NsPerRun, pb.CyclesPerSec = cycles, reps, perRun, cps
 			}
 		}
-		total := time.Since(start)
-		perRun := float64(total.Nanoseconds()) / float64(reps)
-		res.Benches = append(res.Benches, PerfBench{
-			Bench: b, Cycles: cycles, Runs: reps,
-			NsPerRun:     perRun,
-			CyclesPerSec: float64(cycles) / (perRun / 1e9),
-		})
+		pb.Speedup = pb.CyclesPerSec / pb.TickingCyclesPerSec
+		res.Benches = append(res.Benches, pb)
 	}
 
 	// Amortized allocations per simulated cycle (matrix/Coupled).
@@ -143,9 +181,9 @@ func PerfCtx(ctx context.Context, cfg *machine.Config) (*PerfResult, error) {
 }
 
 // timedRun is one cell's simulation work: build, run, recycle.
-func timedRun(cfg *machine.Config, prog *isa.Program) (int64, time.Duration, error) {
+func timedRun(cfg *machine.Config, prog *isa.Program, opts ...sim.Option) (int64, time.Duration, error) {
 	start := time.Now()
-	s, err := sim.New(cfg, prog)
+	s, err := sim.New(cfg, prog, opts...)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -160,9 +198,13 @@ func timedRun(cfg *machine.Config, prog *isa.Program) (int64, time.Duration, err
 // WritePerf renders the perf measurements for terminals.
 func WritePerf(w io.Writer, res *PerfResult) {
 	fmt.Fprintln(w, "Simulator performance (this build, this machine):")
-	fmt.Fprintf(w, "  %-8s %10s %8s %14s\n", "bench", "cycles", "runs", "simcycles/s")
+	fmt.Fprintf(w, "  %-9s %10s %8s %14s %14s %8s\n", "bench", "cycles", "runs", "simcycles/s", "ticking", "speedup")
 	for _, b := range res.Benches {
-		fmt.Fprintf(w, "  %-8s %10d %8d %14.0f\n", b.Bench, b.Cycles, b.Runs, b.CyclesPerSec)
+		fmt.Fprintf(w, "  %-9s %10d %8d %14.0f", b.Bench, b.Cycles, b.Runs, b.CyclesPerSec)
+		if b.TickingCyclesPerSec > 0 {
+			fmt.Fprintf(w, " %14.0f %7.2fx", b.TickingCyclesPerSec, b.Speedup)
+		}
+		fmt.Fprintln(w)
 	}
 	fmt.Fprintf(w, "  Table 2 sweep: %.1f ms first pass, %.1f ms warm (compiled-program cache)\n",
 		res.Table2FirstMs, res.Table2WarmMs)

@@ -571,18 +571,37 @@ func readError(resp *http.Response) string {
 }
 
 // latencySampler keeps a sliding window of completed-cell latencies for
-// the hedging quantile.
+// the hedging quantile. quantile is consulted once per dispatched cell,
+// so its result is cached and recomputed at most once every
+// samplerRefresh records — the hedge delay tolerates slightly stale
+// estimates, but not a copy+sort of the whole window per cell.
 type latencySampler struct {
 	mu   sync.Mutex
 	buf  []time.Duration
 	next int
 	n    int
+
+	// Quantile cache: valid until samplerRefresh more records arrive or
+	// a different q is requested. scratch is the reusable sort buffer.
+	cacheQ     float64
+	cacheVal   time.Duration
+	cacheValid bool
+	sinceCalc  int
+	scratch    []time.Duration
 }
 
-const samplerWindow = 256
+const (
+	samplerWindow = 256
+	// samplerRefresh bounds cache staleness: at most this many new
+	// samples land between quantile recomputations.
+	samplerRefresh = 16
+)
 
 func newLatencySampler() *latencySampler {
-	return &latencySampler{buf: make([]time.Duration, samplerWindow)}
+	return &latencySampler{
+		buf:     make([]time.Duration, samplerWindow),
+		scratch: make([]time.Duration, 0, samplerWindow),
+	}
 }
 
 func (s *latencySampler) record(d time.Duration) {
@@ -592,22 +611,32 @@ func (s *latencySampler) record(d time.Duration) {
 	if s.n < len(s.buf) {
 		s.n++
 	}
+	s.sinceCalc++
+	if s.sinceCalc >= samplerRefresh {
+		s.cacheValid = false
+	}
 	s.mu.Unlock()
 }
 
-// quantile returns the q-quantile of the window and the sample count.
+// quantile returns the q-quantile of the window and the current sample
+// count. The count is always live (never cached) so HedgeMinSamples
+// gating stays exact; the quantile value may lag by up to
+// samplerRefresh records.
 func (s *latencySampler) quantile(q float64) (time.Duration, int) {
 	s.mu.Lock()
-	n := s.n
-	window := append([]time.Duration(nil), s.buf[:n]...)
-	s.mu.Unlock()
-	if n == 0 {
+	defer s.mu.Unlock()
+	if s.n == 0 {
 		return 0, 0
 	}
-	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
-	idx := int(q * float64(n))
-	if idx >= n {
-		idx = n - 1
+	if s.cacheValid && s.cacheQ == q {
+		return s.cacheVal, s.n
 	}
-	return window[idx], n
+	window := append(s.scratch[:0], s.buf[:s.n]...)
+	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+	idx := int(q * float64(s.n))
+	if idx >= s.n {
+		idx = s.n - 1
+	}
+	s.cacheQ, s.cacheVal, s.cacheValid, s.sinceCalc = q, window[idx], true, 0
+	return window[idx], s.n
 }

@@ -1,0 +1,81 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSamplerQuantileCached(t *testing.T) {
+	s := newLatencySampler()
+	if d, n := s.quantile(0.9); d != 0 || n != 0 {
+		t.Fatalf("empty sampler: quantile = %v, n = %d; want 0, 0", d, n)
+	}
+	for i := 1; i <= 100; i++ {
+		s.record(time.Duration(i) * time.Millisecond)
+	}
+	d, n := s.quantile(0.9)
+	if n != 100 {
+		t.Fatalf("n = %d, want 100", n)
+	}
+	if d != 91*time.Millisecond {
+		t.Fatalf("p90 of 1..100ms = %v, want 91ms", d)
+	}
+
+	// The cached value may lag, but the sample count must always be
+	// live: HedgeMinSamples gating depends on it.
+	s.record(500 * time.Millisecond)
+	if _, n := s.quantile(0.9); n != 101 {
+		t.Fatalf("n = %d after one more record, want live count 101", n)
+	}
+
+	// A different quantile busts the cache immediately.
+	if d, _ := s.quantile(0.0); d != 1*time.Millisecond {
+		t.Fatalf("p0 = %v, want 1ms", d)
+	}
+
+	// After samplerRefresh more records the cache must refresh: flood
+	// the window with a new latency regime and check the quantile moves.
+	for i := 0; i < samplerWindow; i++ {
+		s.record(1 * time.Second)
+	}
+	if d, _ := s.quantile(0.9); d != 1*time.Second {
+		t.Fatalf("p90 after regime change = %v, want 1s", d)
+	}
+}
+
+// BenchmarkSamplerQuantileCached measures the per-cell cost of the hedge
+// delay lookup in steady state: a full 256-sample window, one new record
+// per dispatched cell, fixed quantile. The cache recomputes only every
+// samplerRefresh records.
+func BenchmarkSamplerQuantileCached(b *testing.B) {
+	s := newLatencySampler()
+	for i := 0; i < samplerWindow; i++ {
+		s.record(time.Duration(i) * time.Millisecond)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.record(time.Duration(i) * time.Millisecond)
+		s.quantile(0.9)
+	}
+}
+
+// BenchmarkSamplerQuantileUncached is the pre-cache baseline: alternating
+// quantiles defeat the cache, forcing the full copy+sort of the window on
+// every call — the old per-cell cost.
+func BenchmarkSamplerQuantileUncached(b *testing.B) {
+	s := newLatencySampler()
+	for i := 0; i < samplerWindow; i++ {
+		s.record(time.Duration(i) * time.Millisecond)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.record(time.Duration(i) * time.Millisecond)
+		if i%2 == 0 {
+			s.quantile(0.9)
+		} else {
+			s.quantile(0.5)
+		}
+	}
+}

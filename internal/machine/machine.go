@@ -155,6 +155,12 @@ var (
 	Mem1 = MemoryModel{Name: "Mem1", HitLatency: 1, MissRate: 0.05, MissPenaltyMin: 20, MissPenaltyMax: 100, Banks: 4}
 	// Mem2: like Mem1 with a 10% miss rate.
 	Mem2 = MemoryModel{Name: "Mem2", HitLatency: 1, MissRate: 0.10, MissPenaltyMin: 20, MissPenaltyMax: 100, Banks: 4}
+	// MemSlow: Mem2-style statistical memory with an order-of-magnitude
+	// longer miss tail (200-1000 cycles), modeling DRAM or remote-node
+	// references for the scaling studies. Not part of the paper's Figure 7
+	// sweep (MemoryModels); cells on this model are latency-dominated and
+	// exercise the simulator's event core.
+	MemSlow = MemoryModel{Name: "Slow", HitLatency: 1, MissRate: 0.10, MissPenaltyMin: 200, MissPenaltyMax: 1000, Banks: 4}
 )
 
 // MemoryModels lists the three presets in the order used by Figure 7.

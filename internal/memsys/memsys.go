@@ -537,6 +537,76 @@ func (m *Memory) commit(req *Request) Completion {
 	return c
 }
 
+// SkipBudget returns how many immediately upcoming Ticks are provably
+// no-ops: no arrival completes, no parked queue is serviced, no delayed
+// reactivation is promoted, and no bank starts a queued reference. The
+// simulator's event core uses it to jump over idle stretches; SkipTicks
+// applies the jump. 0 means the next tick may do work and must execute.
+//
+// The delayed bound is tick Due-2, not Due-1: a reactivation due at D is
+// promoted into dueService during Tick(D-1) (the `Due <= tick+1` test)
+// and serviced during Tick(D), so Tick(D-1) must execute normally.
+func (m *Memory) SkipBudget() int64 {
+	if len(m.dueService) > 0 || len(m.nextService) > 0 {
+		return 0
+	}
+	budget := int64(1) << 62
+	for i := range m.pending {
+		if r := int64(m.pending[i].remaining) - 1; r < budget {
+			budget = r
+		}
+	}
+	if len(m.delayed) > 0 {
+		if d := m.delayed[0].Due - m.tick - 2; d < budget {
+			budget = d
+		}
+	}
+	for b := range m.bankQueue {
+		if len(m.bankQueue[b]) > 0 {
+			return 0
+		}
+	}
+	if budget < 0 {
+		return 0
+	}
+	return budget
+}
+
+// SkipTicks advances the memory clock by k ticks at once, equivalent to
+// k consecutive Tick calls under a SkipBudget() >= k guarantee: in-flight
+// references age without arriving, no queue is touched, and busy banks
+// release exactly as the first skipped tick would have released them. The
+// statistical latency stream is untouched (draws happen at Issue, and no
+// reference can issue during a skipped tick).
+func (m *Memory) SkipTicks(k int64) {
+	m.tick += k
+	for i := range m.pending {
+		m.pending[i].remaining -= int(k)
+	}
+	for b := range m.bankBusy {
+		m.bankBusy[b] = false
+	}
+}
+
+// HasLostWakeups is the read-only twin of RecoverLostWakeups' scan: it
+// reports whether any parked queue in the direction enabled by its word's
+// presence state lacks a scheduled reactivation. The event core uses it
+// to decide whether the watchdog window is a real skip horizon (a sweep
+// that would find nothing changes nothing and may be jumped over).
+func (m *Memory) HasLostWakeups() bool {
+	for addr, q := range m.parkedFull {
+		if len(q) > 0 && m.full[addr] && !m.serviceScheduled(addr) {
+			return true
+		}
+	}
+	for addr, q := range m.parkedEmpty {
+		if len(q) > 0 && !m.full[addr] && !m.serviceScheduled(addr) {
+			return true
+		}
+	}
+	return false
+}
+
 // ParkedCount returns the number of references currently waiting on
 // presence bits (for tests and deadlock diagnosis).
 func (m *Memory) ParkedCount() int { return m.nPark }

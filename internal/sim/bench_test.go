@@ -23,7 +23,12 @@ import (
 // compileFor compiles one benchmark variant on the baseline machine.
 func compileFor(tb testing.TB, benchName string, kind bench.SourceKind, mode compiler.Mode) (*machine.Config, *isa.Program) {
 	tb.Helper()
-	cfg := machine.Baseline()
+	return compileOn(tb, machine.Baseline(), benchName, kind, mode)
+}
+
+// compileOn compiles one benchmark variant on an arbitrary machine.
+func compileOn(tb testing.TB, cfg *machine.Config, benchName string, kind bench.SourceKind, mode compiler.Mode) (*machine.Config, *isa.Program) {
+	tb.Helper()
 	bm, err := bench.Get(benchName, kind)
 	if err != nil {
 		tb.Fatal(err)
@@ -37,8 +42,8 @@ func compileFor(tb testing.TB, benchName string, kind bench.SourceKind, mode com
 
 // runOnce builds a Sim, runs it to completion, and recycles its memory
 // image — the exact per-cell work of a sweep with a warm program cache.
-func runOnce(tb testing.TB, cfg *machine.Config, prog *isa.Program) int64 {
-	s, err := sim.New(cfg, prog)
+func runOnce(tb testing.TB, cfg *machine.Config, prog *isa.Program, opts ...sim.Option) int64 {
+	s, err := sim.New(cfg, prog, opts...)
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -67,6 +72,48 @@ func BenchmarkSimulator(b *testing.B) {
 	total := float64(cycles) * float64(b.N)
 	b.ReportMetric(total/b.Elapsed().Seconds(), "simcycles/s")
 	b.ReportMetric(float64(after.Mallocs-before.Mallocs)/total, "allocs/cycle")
+}
+
+// BenchmarkEventCore measures the cycle-skipping win on memory-bound
+// cells: each case runs under the event core and under the ticking
+// kernel (WithCycleSkipping(false)); both report simcycles/s for direct
+// before/after comparison. lud@Mem2 (10% miss, 20-100 cycle penalty) is
+// the paper's memory-bound regime; lud@Slow (200-1000 cycle tail) is the
+// latency-dominated scaling regime and the event core's best case;
+// matrix@Min is the busy-machine case that must not regress.
+func BenchmarkEventCore(b *testing.B) {
+	cases := []struct {
+		name  string
+		bench string
+		cfg   *machine.Config
+	}{
+		{"lud@Min", "lud", machine.Baseline()},
+		{"lud@Mem2", "lud", machine.Baseline().WithMemory(machine.Mem2)},
+		{"lud@Slow", "lud", machine.Baseline().WithMemory(machine.MemSlow)},
+		{"matrix@Min", "matrix", machine.Baseline()},
+	}
+	kernels := []struct {
+		name string
+		opts []sim.Option
+	}{
+		{"event", nil},
+		{"ticking", []sim.Option{sim.WithCycleSkipping(false)}},
+	}
+	for _, c := range cases {
+		cfg, prog := compileOn(b, c.cfg, c.bench, bench.Threaded, compiler.Unrestricted)
+		for _, k := range kernels {
+			b.Run(c.name+"/"+k.name, func(b *testing.B) {
+				cycles := runOnce(b, cfg, prog, k.opts...)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					runOnce(b, cfg, prog, k.opts...)
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(cycles)*float64(b.N)/b.Elapsed().Seconds(), "simcycles/s")
+			})
+		}
+	}
 }
 
 // BenchmarkModes times one full run of matrix under each machine mode.

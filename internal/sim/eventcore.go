@@ -1,0 +1,153 @@
+package sim
+
+// The event core: cycle skipping over provably idle stretches.
+//
+// The ticking kernel executes every cycle even when every thread is
+// blocked on a memory presence bit or a long-latency reference — the
+// common case on memory-bound cells (LUD, the Mem1/Mem2 latency models).
+// The event core jumps over those cycles: immediately after a step in
+// which nothing happened (no memory completion, no writeback
+// arbitration, no issue), the machine state is frozen, so the next cycle
+// that can possibly do work is computable in O(outstanding refs). Run
+// then advances s.cycle (and the memory clock) there directly.
+//
+// Exactness argument, per input of step:
+//
+//   - Issue: issueCoupled/issueLockStep read only registers, presence
+//     bits, thread counters, and word frontiers. A quiet cycle changes
+//     none of them, and the exhaustive per-unit scan found no ready
+//     (unit, thread) pair, so no arbitration order (including the
+//     round-robin rotation, which varies by cycle) could issue anything
+//     on any skipped cycle.
+//   - Memory: memsys.SkipBudget bounds the jump to ticks with no
+//     arrival, no parked-queue service, no delayed-reactivation
+//     promotion, and no bank-queue start; memsys.SkipTicks ages the
+//     in-flight references exactly as that many empty Ticks would.
+//   - Writebacks: the jump stops one cycle before the earliest readyAt,
+//     so drainWritebacks would have early-outed on every skipped cycle
+//     (and a writeback that lost arbitration keeps readyAt <= cycle,
+//     which forces the budget to 0 — port-outage windows therefore
+//     retry cycle by cycle exactly as before).
+//   - Stall attribution: classify() depends on the cycle number only
+//     through `readyAt <= cycle` comparisons, whose verdicts the
+//     writeback bound keeps constant across the skipped range, so one
+//     classification per thread is credited k times (conservation:
+//     every active thread still gets exactly one cause per cycle).
+//   - Side channels: checkpoint cadence, the watchdog window, the
+//     deadlock window, and the cycle budget are skip horizons, so those
+//     events fire at exactly the cycle the ticking kernel fires them.
+//
+// Skipping is disabled by construction when a per-cycle observer or a
+// per-cycle state mutation exists: text traces, issue hooks (the
+// InterleaveRecorder), JSON tracers, operation caches (a lookup per
+// probe mutates fill state), and unit-outage injection (issueCoupled
+// draws the outage RNG for every slot every cycle, so the fault
+// schedule itself is per-cycle). Memory delay/drop faults and port
+// outages draw their RNG only at commits and active drains, which occur
+// on identical cycles in both kernels, so they stay skippable.
+
+// WithCycleSkipping enables or disables the event core's cycle skipping
+// (default: enabled). Results are bit-identical either way; disabling is
+// for differential tests and for measuring the ticking kernel.
+func WithCycleSkipping(enabled bool) Option {
+	return func(s *Sim) { s.skipDisabled = !enabled }
+}
+
+// SkippedCycles returns how many cycles the event core jumped over so
+// far (0 when skipping is disabled or never engaged).
+func (s *Sim) SkippedCycles() int64 { return s.skipped }
+
+// skipAllowed decides once per Run whether cycle skipping is sound for
+// this Sim's configuration and observers.
+func (s *Sim) skipAllowed() bool {
+	if s.skipDisabled {
+		return false
+	}
+	if s.trace != nil || s.issueHook != nil || s.jsonTrace != nil {
+		return false
+	}
+	if s.opCaches != nil {
+		return false
+	}
+	if s.inj != nil && s.inj.Model().UnitOutageRate > 0 {
+		return false
+	}
+	return true
+}
+
+// skipBudget computes, after a quiet step at s.cycle, how many
+// immediately following cycles are provably idle and safe to jump. The
+// next executed cycle is s.cycle + k + 1; every horizon below bounds k
+// so that the first cycle that may do (or observe) work still executes.
+func (s *Sim) skipBudget(stallLimit, maxCycles int64) int64 {
+	if len(s.pendingSpawns) > 0 {
+		return 0
+	}
+	k := s.mem.SkipBudget()
+	if k <= 0 {
+		return 0
+	}
+	for i := range s.wbq {
+		if b := s.wbq[i].readyAt - s.cycle - 1; b < k {
+			k = b
+		}
+	}
+	// Deadlock window: the first check that can fire does so at cycle
+	// lastProgress + stallLimit + 1; executing it there reproduces the
+	// ticking kernel's DeadlockError cycle and bounds every jump.
+	if b := s.lastProgress + stallLimit - s.cycle; b < k {
+		k = b
+	}
+	// Watchdog window: only a sweep that would recover something is an
+	// event (a no-op sweep changes nothing and may be jumped over). The
+	// parked-queue scan is deferred until the jump would actually cross
+	// the window — with recent progress it never runs.
+	if s.watchRetries > 0 {
+		if b := s.lastProgress + s.watchWindow - s.cycle; b < k && s.mem.HasLostWakeups() {
+			k = b
+		}
+	}
+	// Checkpoint boundary: land exactly on the next multiple so the
+	// checkpoint stream stays byte-identical.
+	if s.nextCkpt > 0 {
+		if b := s.nextCkpt - s.cycle - 1; b < k {
+			k = b
+		}
+	}
+	// Cycle budget: the budget check must still observe cycle maxCycles.
+	if b := maxCycles - s.cycle - 1; b < k {
+		k = b
+	}
+	if k < 1 {
+		return 0
+	}
+	return k
+}
+
+// skipCycles jumps the machine over k provably idle cycles, crediting
+// each skipped cycle's stall classification so the attribution
+// histograms are identical to the ticking kernel's.
+func (s *Sim) skipCycles(k int64) {
+	if s.attrib != nil {
+		for _, t := range s.threads {
+			if t.Halted {
+				continue
+			}
+			// The classification is constant across the skipped range:
+			// machine state is frozen and every queued writeback's readyAt
+			// lies beyond the jump (see the file comment).
+			cause, slot, reg, hasReg := s.classify(t)
+			s.attrib.slots += k
+			t.stalls[cause] += k
+			if slot >= 0 {
+				s.attrib.perUnit[slot][cause] += k
+			}
+			if hasReg {
+				s.attrib.waitRegs[reg.String()] += k
+			}
+		}
+	}
+	s.cycle += k
+	s.mem.SkipTicks(k)
+	s.skipped += k
+}

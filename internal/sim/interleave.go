@@ -11,33 +11,62 @@ import (
 // InterleaveRecorder captures the per-cycle mapping of function units to
 // threads — the view of the paper's Figures 1 and 2, where several
 // threads' statically scheduled instruction streams interleave over the
-// shared units at runtime.
+// shared units at runtime. Installing its hook forces the ticking kernel
+// (skipAllowed): the recorder is a per-cycle observer.
 type InterleaveRecorder struct {
 	cfg      *machine.Config
 	maxCycle int64
-	// grid[cycle][unit] = thread id + 1 (0 = idle).
-	grid map[int64][]int
+	stride   int
+	// grid holds one row per recorded cycle, flattened: the row for
+	// cycle c (cycles are 1-based; step increments before issue) is
+	// grid[(c-1)*stride : c*stride], each cell thread id + 1 (0 = idle).
+	// A flat slice replaces the old map[int64][]int, which allocated a
+	// fresh row per cycle and hashed on every probe.
+	grid []int
+	// recorded is the highest cycle with a recorded row; the guard in
+	// Hook keeps it <= maxCycle when a cap is set.
+	recorded int64
 }
 
-// NewInterleaveRecorder records the first maxCycle cycles (0 = all; be
-// careful with long runs).
+// NewInterleaveRecorder records the first maxCycle cycles — exactly
+// cycles 1..maxCycle, never maxCycle+1 rows (0 = all; be careful with
+// long runs).
 func NewInterleaveRecorder(cfg *machine.Config, maxCycle int64) *InterleaveRecorder {
-	return &InterleaveRecorder{cfg: cfg, maxCycle: maxCycle, grid: map[int64][]int{}}
+	return &InterleaveRecorder{cfg: cfg, maxCycle: maxCycle, stride: cfg.NumUnits()}
 }
+
+// RecordedCycles returns how many cycles have recorded rows (trailing
+// all-idle cycles never reach the hook and are not counted).
+func (ir *InterleaveRecorder) RecordedCycles() int64 { return ir.recorded }
 
 // Hook returns the issue hook to install with WithIssueHook.
 func (ir *InterleaveRecorder) Hook() Option {
 	return WithIssueHook(func(cycle int64, unit, thread int, _ *isa.Op) {
-		if ir.maxCycle > 0 && cycle > ir.maxCycle {
+		if cycle < 1 || (ir.maxCycle > 0 && cycle > ir.maxCycle) {
 			return
 		}
-		row := ir.grid[cycle]
-		if row == nil {
-			row = make([]int, ir.cfg.NumUnits())
-			ir.grid[cycle] = row
+		if need := int(cycle) * ir.stride; len(ir.grid) < need {
+			if cap(ir.grid) < need {
+				grown := make([]int, need, need*2)
+				copy(grown, ir.grid)
+				ir.grid = grown
+			} else {
+				ir.grid = ir.grid[:need]
+			}
 		}
-		row[unit] = thread + 1
+		if cycle > ir.recorded {
+			ir.recorded = cycle
+		}
+		ir.grid[(int(cycle)-1)*ir.stride+unit] = thread + 1
 	})
+}
+
+// row returns the recorded row for a cycle, or nil.
+func (ir *InterleaveRecorder) row(cycle int64) []int {
+	if cycle < 1 || cycle > ir.recorded {
+		return nil
+	}
+	return ir.grid[(int(cycle)-1)*ir.stride : int(cycle)*ir.stride]
 }
 
 // Write renders the recorded interleaving: one row per cycle, one column
@@ -52,18 +81,12 @@ func (ir *InterleaveRecorder) Write(w io.Writer) {
 		counts[u.Kind]++
 	}
 	fmt.Fprintln(w)
-	var last int64
-	for c := range ir.grid {
-		if c > last {
-			last = c
-		}
-	}
-	for c := int64(1); c <= last; c++ {
+	for c := int64(1); c <= ir.recorded; c++ {
 		fmt.Fprintf(w, "%7d", c)
-		row := ir.grid[c]
+		row := ir.row(c)
 		for u := range units {
 			cell := "."
-			if row != nil && row[u] != 0 {
+			if row[u] != 0 {
 				cell = fmt.Sprintf("%d", row[u]-1)
 			}
 			fmt.Fprintf(w, " %5s", cell)
@@ -75,7 +98,7 @@ func (ir *InterleaveRecorder) Write(w io.Writer) {
 // Busy returns, for a cycle, how many units issued operations.
 func (ir *InterleaveRecorder) Busy(cycle int64) int {
 	n := 0
-	for _, t := range ir.grid[cycle] {
+	for _, t := range ir.row(cycle) {
 		if t != 0 {
 			n++
 		}
@@ -87,7 +110,7 @@ func (ir *InterleaveRecorder) Busy(cycle int64) int {
 func (ir *InterleaveRecorder) ThreadsActive(cycle int64) []int {
 	seen := map[int]bool{}
 	var out []int
-	for _, t := range ir.grid[cycle] {
+	for _, t := range ir.row(cycle) {
 		if t != 0 && !seen[t-1] {
 			seen[t-1] = true
 			out = append(out, t-1)

@@ -90,4 +90,46 @@ func TestInterleaveRecorderCap(t *testing.T) {
 	if rec.Busy(1) == 0 {
 		t.Error("recorder missed cycle 1")
 	}
+	// Pin the contract: a cap of maxCycle records exactly maxCycle
+	// cycles (1..maxCycle), never maxCycle+1.
+	if got := rec.RecordedCycles(); got != 2 {
+		t.Errorf("RecordedCycles() = %d with cap 2, want exactly 2", got)
+	}
+}
+
+func TestInterleaveRecorderCountPinned(t *testing.T) {
+	// An uncapped recorder on a busy run records exactly the cycles that
+	// issued — here a dependent chain issues every cycle through the
+	// halt, so RecordedCycles must equal the halt cycle and the recorded
+	// issue total must equal the op count.
+	cfg := miniMachine()
+	instrs := []isa.Instruction{word(opAdd(uIU0, r(0, 0), isa.ImmInt(1), isa.ImmInt(1)))}
+	for i := 1; i < 20; i++ {
+		instrs = append(instrs, word(opAdd(uIU0, r(0, i%4), isa.Reg(r(0, (i-1)%4)), isa.ImmInt(1))))
+	}
+	instrs = append(instrs, word(opHalt()))
+	main := &isa.ThreadCode{Name: "main", Instrs: instrs}
+	rec := NewInterleaveRecorder(cfg, 0)
+	s, err := New(cfg, prog(main), rec.Hook())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastIssue int64
+	total := 0
+	for c := int64(1); c <= res.Cycles; c++ {
+		if n := rec.Busy(c); n > 0 {
+			lastIssue = c
+			total += n
+		}
+	}
+	if got := rec.RecordedCycles(); got != lastIssue {
+		t.Errorf("RecordedCycles() = %d, want last issuing cycle %d", got, lastIssue)
+	}
+	if int64(total) != res.Ops {
+		t.Errorf("recorded %d issues, run had %d ops", total, res.Ops)
+	}
 }

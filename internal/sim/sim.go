@@ -138,6 +138,16 @@ type Sim struct {
 	lastProgress int64
 	stats        Result
 
+	// Event-core state (see eventcore.go): quiet records that the last
+	// step executed no work; skipOK caches the per-Run soundness
+	// decision; nextCkpt is the next checkpoint boundary (0 = none);
+	// skipped counts jumped cycles for tests and benchmarks.
+	skipDisabled bool
+	skipOK       bool
+	quiet        bool
+	nextCkpt     int64
+	skipped      int64
+
 	// pendingSpawns created this cycle become active next cycle.
 	pendingSpawns []*Thread
 
@@ -420,17 +430,31 @@ func (s *Sim) Run(maxCycles int64) (*Result, error) {
 			stallLimit = 1
 		}
 	}
+	s.skipOK = s.skipAllowed()
+	// Cycle-granularity side channels are boundary-crossing thresholds,
+	// not exact-modulo tests: the event core advances s.cycle by more
+	// than 1, and a modulo test would silently miss its boundary. Under
+	// the ticking kernel the thresholds fire at the identical cycles the
+	// old modulo tests fired at.
+	const cancelEvery = cancelCheckMask + 1
+	nextCancel := (s.cycle/cancelEvery + 1) * cancelEvery
+	s.nextCkpt = 0
+	if s.ckptSink != nil && s.ckptEvery > 0 {
+		s.nextCkpt = (s.cycle/s.ckptEvery + 1) * s.ckptEvery
+	}
 	for !s.finished() {
 		s.step()
 		if err := s.mem.Fault(); err != nil {
 			return nil, fmt.Errorf("sim: cycle %d: %w", s.cycle, err)
 		}
-		if s.ctx != nil && s.cycle&cancelCheckMask == 0 {
+		if s.ctx != nil && s.cycle >= nextCancel {
+			nextCancel = (s.cycle/cancelEvery + 1) * cancelEvery
 			if err := s.ctx.Err(); err != nil {
 				return nil, fmt.Errorf("sim: cancelled at cycle %d: %w", s.cycle, err)
 			}
 		}
-		if s.ckptSink != nil && s.ckptEvery > 0 && s.cycle%s.ckptEvery == 0 {
+		if s.nextCkpt > 0 && s.cycle >= s.nextCkpt {
+			s.nextCkpt = (s.cycle/s.ckptEvery + 1) * s.ckptEvery
 			ck, err := s.Snapshot()
 			if err != nil {
 				return nil, fmt.Errorf("sim: checkpoint at cycle %d: %w", s.cycle, err)
@@ -458,6 +482,11 @@ func (s *Sim) Run(maxCycles int64) (*Result, error) {
 				break
 			}
 			return nil, fmt.Errorf("sim: exceeded %d cycles without completing", maxCycles)
+		}
+		if s.quiet && s.skipOK {
+			if k := s.skipBudget(stallLimit, maxCycles); k > 0 {
+				s.skipCycles(k)
+			}
 		}
 	}
 	s.finalize()
@@ -525,15 +554,21 @@ func (s *Sim) deadlock() error {
 	return &DeadlockError{Cycle: s.cycle, Detail: detail, Threads: lines}
 }
 
-// step advances the machine by one cycle.
+// step advances the machine by one cycle. It records in s.quiet whether
+// the cycle did any work at all (memory completion, writeback
+// arbitration, issue); after a quiet cycle the machine state is frozen
+// and the event core may jump to the next interesting cycle.
 func (s *Sim) step() {
 	s.cycle++
 	s.activateSpawns()
+	busy := false
 
 	// 1. Memory completions become writeback candidates this cycle.
 	for _, c := range s.mem.Tick() {
+		busy = true
 		tag := c.Req.Tag
 		th := s.byID[tag.Thread]
+		th.stalled = false
 		if c.Req.IsStore {
 			th.storesOut--
 		} else {
@@ -549,15 +584,22 @@ func (s *Sim) step() {
 	}
 
 	// 2. Writeback: completed results contend for register write ports.
-	s.drainWritebacks()
+	if s.drainWritebacks() {
+		busy = true
+	}
 
 	// 3. Issue: per-unit arbitration among ready operations of all
 	// active threads.
+	opsBefore := s.stats.Ops
 	if s.cfg.LockStepIssue {
 		s.issueLockStep()
 	} else {
 		s.issueCoupled()
 	}
+	if s.stats.Ops != opsBefore {
+		busy = true
+	}
+	s.quiet = !busy
 
 	// 4. Stall attribution: classify what every active thread did (or
 	// why it could not issue) this cycle, before frontiers move.
@@ -575,6 +617,38 @@ func (s *Sim) step() {
 			t.HaltAt = s.cycle
 		}
 	}
+
+	// 6. Settle the per-thread ready caches: a thread that did not issue
+	// and has no ready unissued operation is marked stalled and drops
+	// out of issue arbitration until an event clears the flag (see
+	// Thread.stalled). Threads that issued (or just advanced — advance
+	// only fires on the final issue's cycle) stay hot.
+	for _, t := range s.threads {
+		if t.stalled || t.lastIssue == s.cycle {
+			continue
+		}
+		t.stalled = !s.anyReady(t)
+	}
+}
+
+// anyReady reports whether any unissued operation of the thread's
+// current word is ready to issue. Operation-cache misses are deliberately
+// ignored: a fill completes on its own schedule, so a fill-blocked thread
+// must keep getting scanned.
+func (s *Sim) anyReady(t *Thread) bool {
+	w := t.word()
+	if w == nil {
+		return false
+	}
+	for slot, op := range w.Ops {
+		if op == nil || (slot < len(t.issued) && t.issued[slot]) {
+			continue
+		}
+		if s.ready(t, op) {
+			return true
+		}
+	}
+	return false
 }
 
 func (s *Sim) progress() { s.lastProgress = s.cycle }
@@ -632,11 +706,13 @@ func sortWbq(q []writeback) {
 // this cycle (fault-delayed wakeups, long-latency results in flight),
 // arbitration setup and the sort are skipped entirely; wbqSorted records
 // that the queue still owes a sort, which Snapshot settles if a
-// checkpoint intervenes before the next full drain.
-func (s *Sim) drainWritebacks() {
+// checkpoint intervenes before the next full drain. The return value
+// reports whether arbitration ran at all (the event core treats both
+// early-outs as idle).
+func (s *Sim) drainWritebacks() bool {
 	if len(s.wbq) == 0 {
 		s.wbqSorted = 0
-		return
+		return false
 	}
 	ready := false
 	for i := range s.wbq {
@@ -647,7 +723,7 @@ func (s *Sim) drainWritebacks() {
 	}
 	if !ready {
 		s.wbqSorted = len(s.wbq)
-		return
+		return false
 	}
 	s.arb.BeginCycle(s.cycle)
 	sortWbq(s.wbq)
@@ -660,6 +736,7 @@ func (s *Sim) drainWritebacks() {
 		}
 		if s.arb.TryGrant(interconnect.Request{SrcCluster: wb.srcCluster, DstCluster: wb.dst.Cluster}) {
 			wb.thread.Regs.Write(wb.dst, wb.val)
+			wb.thread.stalled = false
 			if s.trace != nil {
 				fmt.Fprintf(s.trace, "[%6d] t%d wb %s = %s\n", s.cycle, wb.thread.ID, wb.dst, wb.val)
 			}
@@ -671,6 +748,7 @@ func (s *Sim) drainWritebacks() {
 	}
 	s.wbq = kept
 	s.wbqSorted = len(kept)
+	return true
 }
 
 // threadOrder returns thread indices in arbitration order for this cycle.
@@ -783,6 +861,9 @@ func (s *Sim) issueCoupled() {
 		}
 		for _, ti := range order {
 			t := s.threads[ti]
+			if t.stalled {
+				continue
+			}
 			w := t.word()
 			if w == nil || slot >= len(w.Ops) {
 				continue
@@ -810,6 +891,9 @@ func (s *Sim) issueLockStep() {
 	}
 	for _, ti := range order {
 		t := s.threads[ti]
+		if t.stalled {
+			continue
+		}
 		w := t.word()
 		if w == nil {
 			continue
@@ -916,6 +1000,12 @@ func (s *Sim) issueOp(t *Thread, slot int, op *isa.Op) {
 	case isa.OpHalt:
 		t.Halted = true
 		t.HaltAt = s.cycle
+		// A halt frees a thread slot mid-cycle: forks blocked on
+		// MaxActiveThreads become ready for the units arbitrated after
+		// this one, exactly as under the uncached scan.
+		for _, other := range s.threads {
+			other.stalled = false
+		}
 	default:
 		// Pure compute: result known now, written back after the unit's
 		// pipeline latency.

@@ -48,6 +48,14 @@ type Thread struct {
 	// of this thread issues until they complete, so data guarded by a
 	// flag is never read before the flag.
 	syncLoadsOut int
+	// stalled caches "no unissued operation of the current word is
+	// ready": issue arbitration skips the thread until an event that can
+	// change its readiness clears the flag — a register writeback, a
+	// memory completion, a frontier move, or any thread halting (halts
+	// free a thread slot, which is what a blocked fork waits on).
+	// Readiness depends on nothing else, so skipping a stalled thread
+	// cannot change any arbitration outcome.
+	stalled bool
 }
 
 // word returns the current instruction word, or nil if the thread has run
@@ -93,6 +101,7 @@ func (t *Thread) resetWord() {
 	}
 	t.branchTaken = false
 	t.branchTarget = -1
+	t.stalled = false
 }
 
 // advance moves the thread to its next instruction word after the current
