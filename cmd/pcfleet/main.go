@@ -4,11 +4,17 @@
 // consistent-hash ring so every backend's result cache stays hot for a
 // disjoint shard of the key space. Failed backends are ejected and
 // their cells fail over; stragglers past a latency quantile get one
-// hedged duplicate. See docs/ARCHITECTURE.md (fleet layer).
+// hedged duplicate. With -tenants, submitters authenticate by API key
+// and dispatch switches from FIFO to weighted deficit round-robin:
+// interactive-class cells preempt batch backlogs, per-tenant quotas
+// return 429 + Retry-After, idle backends steal queued cells from
+// saturated ones, and warm peer caches are probed before computing.
+// See docs/ARCHITECTURE.md (fleet layer).
 //
 // Usage:
 //
-//	pcfleet -addr :8090 -backends http://127.0.0.1:8091,http://127.0.0.1:8092
+//	pcfleet -addr :8090 -backends http://127.0.0.1:8091,http://127.0.0.1:8092 \
+//	        -tenants configs/tenants/example.json
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: new submissions are
 // refused and in-flight jobs drain (bounded by -drain-timeout).
@@ -27,6 +33,7 @@ import (
 	"time"
 
 	"pcoup/internal/fleet"
+	"pcoup/internal/tenant"
 )
 
 func main() {
@@ -36,7 +43,12 @@ func main() {
 	probeInterval := flag.Duration("probe-interval", 500*time.Millisecond, "health probe cadence per backend")
 	ejectAfter := flag.Int("eject-after", 2, "consecutive probe failures before a backend is ejected")
 	loadFactor := flag.Float64("load-factor", 1.25, "bounded-load factor c: spill past an owner above ceil(c*(inflight+1)/healthy)")
-	maxInflight := flag.Int("max-inflight", 0, "max cells dispatched concurrently across all jobs (0: 8 per backend)")
+	tenantsFile := flag.String("tenants", "", "tenant config file (JSON array of specs); empty: open access, no auth")
+	scheduling := flag.String("scheduling", "drr", "dispatch scheduling: drr (weighted fair) or fifo")
+	backendConcurrency := flag.Int("backend-concurrency", 0, "dispatch workers per backend (0: 8)")
+	stealChunk := flag.Int("steal-chunk", 0, "max cells stolen per steal from another backend's queue tail (0: 8)")
+	peerFill := flag.Bool("peer-fill", true, "probe the cache owner before computing a cell elsewhere")
+	highWatermark := flag.Int("high-watermark", 0, "total queued cells past which batch submissions shed (0: 4096, negative: disabled)")
 	retryBudget := flag.Int("retry-budget", 3, "attempts per cell across backends before the job fails")
 	retryBackoff := flag.Duration("retry-backoff", 200*time.Millisecond, "base backoff between failover attempts of one cell (doubles per attempt)")
 	hedgeQuantile := flag.Float64("hedge-quantile", 0.9, "completed-cell latency quantile past which a straggler is hedged (>=1 disables)")
@@ -50,6 +62,15 @@ func main() {
 		log.Fatalf("pcfleet: -backends is required (comma-separated pcserved URLs)")
 	}
 
+	var tenants *tenant.Registry
+	if *tenantsFile != "" {
+		var err error
+		if tenants, err = tenant.Load(*tenantsFile); err != nil {
+			log.Fatalf("pcfleet: %v", err)
+		}
+		log.Printf("pcfleet: loaded %d tenants from %s (auth required)", len(tenants.All()), *tenantsFile)
+	}
+
 	gw, err := fleet.New(fleet.Options{
 		Pool: fleet.PoolOptions{
 			Backends:      urls,
@@ -58,12 +79,17 @@ func main() {
 			EjectAfter:    *ejectAfter,
 			LoadFactor:    *loadFactor,
 		},
-		MaxInflight:     *maxInflight,
-		RetryBudget:     *retryBudget,
-		RetryBackoff:    *retryBackoff,
-		HedgeQuantile:   *hedgeQuantile,
-		HedgeMinSamples: *hedgeMinSamples,
-		PresetNames:     splitList(*presetNames),
+		Tenants:            tenants,
+		Scheduling:         *scheduling,
+		BackendConcurrency: *backendConcurrency,
+		StealChunk:         *stealChunk,
+		NoPeerFill:         !*peerFill,
+		HighWatermark:      *highWatermark,
+		RetryBudget:        *retryBudget,
+		RetryBackoff:       *retryBackoff,
+		HedgeQuantile:      *hedgeQuantile,
+		HedgeMinSamples:    *hedgeMinSamples,
+		PresetNames:        splitList(*presetNames),
 	})
 	if err != nil {
 		log.Fatalf("pcfleet: %v", err)

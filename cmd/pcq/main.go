@@ -38,13 +38,18 @@ func main() {
 	server := flag.String("server", "http://127.0.0.1:8091", "pcserved base URL")
 	retries := flag.Int("retries", 3, "retries per request on transient failures (connection errors, 429, 5xx)")
 	retryMaxWait := flag.Duration("retry-max-wait", 10*time.Second, "cap on a single retry backoff sleep")
+	tenantKey := flag.String("tenant-key", "", "tenant API key for an authenticated gateway (default: $PCQ_TENANT_KEY)")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() == 0 {
 		usage()
 		os.Exit(2)
 	}
-	c := &client{base: strings.TrimRight(*server, "/"), retries: *retries, maxWait: *retryMaxWait}
+	key := *tenantKey
+	if key == "" {
+		key = os.Getenv("PCQ_TENANT_KEY")
+	}
+	c := &client{base: strings.TrimRight(*server, "/"), retries: *retries, maxWait: *retryMaxWait, tenantKey: key}
 	cmd, args := flag.Arg(0), flag.Args()[1:]
 	var err error
 	switch cmd {
@@ -94,10 +99,11 @@ commands:
 }
 
 type client struct {
-	base    string
-	retries int           // additional attempts after the first
-	maxWait time.Duration // cap on any single backoff sleep
-	backoff time.Duration // base backoff (exposed for tests)
+	base      string
+	retries   int           // additional attempts after the first
+	maxWait   time.Duration // cap on any single backoff sleep
+	backoff   time.Duration // base backoff (exposed for tests)
+	tenantKey string        // sent as Authorization: Bearer on every request
 }
 
 // do performs one API call, decoding the error body on non-2xx.
@@ -120,6 +126,7 @@ func (c *client) do(method, path string, body []byte) (*http.Response, error) {
 		if body != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
+		c.authorize(req)
 		resp, err := http.DefaultClient.Do(req)
 		var after time.Duration
 		switch {
@@ -402,11 +409,25 @@ func (c *client) list() error {
 	return nil
 }
 
+// authorize attaches the tenant API key, when configured. Every
+// command sends it — the gateway's health endpoints ignore it, and a
+// keyed gateway rejects unauthenticated job requests.
+func (c *client) authorize(req *http.Request) {
+	if c.tenantKey != "" {
+		req.Header.Set("Authorization", "Bearer "+c.tenantKey)
+	}
+}
+
 // ready probes /readyz once, without the retry loop (a readiness check
 // must report "not ready" promptly, not wait a drain out): prints the
 // body either way and fails the process on a non-200.
 func (c *client) ready() error {
-	resp, err := http.Get(c.base + "/readyz")
+	req, err := http.NewRequest("GET", c.base+"/readyz", nil)
+	if err != nil {
+		return err
+	}
+	c.authorize(req)
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		return err
 	}

@@ -44,6 +44,7 @@ func main() {
 	presetDir := flag.String("presets", "", "directory of machine config JSON files served as presets (by file stem)")
 	jobTimeout := flag.Duration("job-timeout", 10*time.Minute, "default per-job deadline (jobs may set timeout_ms)")
 	drainTimeout := flag.Duration("drain-timeout", time.Minute, "how long shutdown waits for in-flight jobs before cancelling them")
+	accessLog := flag.Bool("access-log", false, "log one structured line per HTTP request (method, path, tenant, status, duration, cache)")
 	flag.Parse()
 
 	presets, err := loadPresets(*presetDir)
@@ -71,7 +72,11 @@ func main() {
 	if err != nil {
 		log.Fatalf("pcserved: %v", err)
 	}
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *accessLog {
+		handler = service.AccessLog(handler, log.Printf)
+	}
+	httpSrv := &http.Server{Handler: handler}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
 	log.Printf("pcserved: listening on http://%s", ln.Addr())

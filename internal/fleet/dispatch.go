@@ -75,9 +75,10 @@ func (g *Gateway) runJob(job *fleetJob) {
 	g.metrics.JobState(string(state))
 }
 
-// runSweepJob scatters the sweep's cells across the ring and gathers
-// them back in grid order, so the merged payload and the NDJSON stream
-// are byte-identical to a single backend's.
+// runSweepJob scatters the sweep's cells into the tenant-fair dispatch
+// queues (each cell at its content key's ring owner) and gathers the
+// results back in grid order, so the merged payload and the NDJSON
+// stream are byte-identical to a single backend's.
 func (g *Gateway) runSweepJob(ctx context.Context, job *fleetJob) (json.RawMessage, error) {
 	sw := job.spec.Sweep
 	cells := sw.Cells()
@@ -85,33 +86,13 @@ func (g *Gateway) runSweepJob(ctx context.Context, job *fleetJob) (json.RawMessa
 	job.total = len(cells)
 	job.mu.Unlock()
 
-	results := make([]json.RawMessage, len(cells))
-	allHit := true
-	nextEmit := 0
-	var mergeMu sync.Mutex
-	// emit appends every contiguous finished cell in grid order; called
-	// under mergeMu after results[i] is set.
-	emit := func() {
-		for nextEmit < len(results) && results[nextEmit] != nil {
-			job.appendCell(results[nextEmit])
-			nextEmit++
-		}
-	}
-
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	var firstErr error
-	var errMu sync.Mutex
-	fail := func(err error) {
-		errMu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		errMu.Unlock()
-		cancel() // abandon the remaining cells
-	}
 
-	var wg sync.WaitGroup
+	// Buffered to len(cells): workers never block delivering, even if
+	// this consumer has already bailed.
+	resCh := make(chan taskResult, len(cells))
+	tasks := make([]*task, 0, len(cells))
 	for i, c := range cells {
 		specJSON, err := json.Marshal(service.JobSpec{
 			Sweep:     sw.SingleCellSweep(c),
@@ -119,50 +100,48 @@ func (g *Gateway) runSweepJob(ctx context.Context, job *fleetJob) (json.RawMessa
 			TimeoutMS: job.spec.TimeoutMS,
 		})
 		if err != nil {
-			fail(err)
-			break
+			job.tenant.SubQueued(len(cells)) // nothing was enqueued
+			return nil, err
 		}
 		key, err := service.SweepCellContentKey(c, sw.Mode, job.spec.Options)
 		if err != nil {
-			fail(err)
-			break
+			job.tenant.SubQueued(len(cells))
+			return nil, err
 		}
-		acquired := false
-		select {
-		case g.sem <- struct{}{}:
-			acquired = true
-		case <-ctx.Done():
-		}
-		if ctx.Err() != nil {
-			// Cancellation may race the acquire (both select cases ready,
-			// or a cell failure cancelling mid-scatter): g.sem is
-			// gateway-global, so a token held past this break would leak a
-			// MaxInflight slot forever.
-			if acquired {
-				<-g.sem
-			}
-			fail(ctx.Err())
-			break
-		}
-		wg.Add(1)
-		go func(i int, c service.SweepCell) {
-			defer wg.Done()
-			defer func() { <-g.sem }()
-			payload, hit, err := g.dispatch(ctx, key, specJSON)
-			if err != nil {
-				fail(fmt.Errorf("sweep %s %diu %dfpu: %w", c.Bench, c.IU, c.FPU, err))
-				return
-			}
-			mergeMu.Lock()
-			results[i] = payload
-			if !hit {
-				allHit = false
-			}
-			emit()
-			mergeMu.Unlock()
-		}(i, c)
+		tasks = append(tasks, &task{
+			ctx: ctx, ten: job.tenant, key: key, content: true,
+			specJSON: specJSON, index: i,
+			owner: g.pool.ownerURL(key), resCh: resCh,
+		})
 	}
-	wg.Wait()
+	g.disp.enqueue(tasks)
+
+	// Single consumer: exactly len(cells) results arrive (cancelled
+	// tasks deliver their context error), so every queued cell is
+	// accounted for before the job finishes.
+	results := make([]json.RawMessage, len(cells))
+	allHit := true
+	nextEmit := 0
+	var firstErr error
+	for done := 0; done < len(cells); done++ {
+		res := <-resCh
+		if res.err != nil {
+			if firstErr == nil {
+				c := cells[res.index]
+				firstErr = fmt.Errorf("sweep %s %diu %dfpu: %w", c.Bench, c.IU, c.FPU, res.err)
+				cancel() // abandon the remaining cells
+			}
+			continue
+		}
+		results[res.index] = res.payload
+		if !res.hit {
+			allHit = false
+		}
+		for nextEmit < len(results) && results[nextEmit] != nil {
+			job.appendCell(results[nextEmit])
+			nextEmit++
+		}
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}
@@ -172,27 +151,146 @@ func (g *Gateway) runSweepJob(ctx context.Context, job *fleetJob) (json.RawMessa
 	return service.MergeSweepPayload(sw, results)
 }
 
-// runUnitJob forwards a whole cell/experiment job to its content-key
-// owner.
+// runUnitJob forwards a whole cell/experiment job through the dispatch
+// queue of its content-key owner.
 func (g *Gateway) runUnitJob(ctx context.Context, job *fleetJob) (json.RawMessage, error) {
 	specJSON, err := json.Marshal(job.spec)
 	if err != nil {
+		job.tenant.SubQueued(1)
 		return nil, err
 	}
-	payload, hit, err := g.dispatch(ctx, routeKey(&job.spec), specJSON)
-	if err != nil {
-		return nil, err
+	key, content := routeKey(&job.spec)
+	resCh := make(chan taskResult, 1)
+	g.disp.enqueue([]*task{{
+		ctx: ctx, ten: job.tenant, key: key, content: content,
+		specJSON: specJSON, owner: g.pool.ownerURL(key), resCh: resCh,
+	}})
+	res := <-resCh
+	if res.err != nil {
+		return nil, res.err
 	}
 	job.mu.Lock()
-	job.hit = hit
+	job.hit = res.hit
 	job.mu.Unlock()
-	return payload, nil
+	return res.payload, nil
+}
+
+// worker drains one backend's dispatch queue until the dispatcher
+// closes. The queue hands it cache-affine work first and stolen chunks
+// from saturated peers when its own queue runs dry.
+func (g *Gateway) worker(b *Backend) {
+	defer g.workerWg.Done()
+	for {
+		t := g.disp.next(b.URL)
+		if t == nil {
+			return
+		}
+		if err := t.ctx.Err(); err != nil {
+			// Cancelled while queued: deliver without dispatching so the
+			// job's gather loop still sees every cell.
+			t.resCh <- taskResult{index: t.index, err: err}
+		} else {
+			payload, hit, err := g.dispatchTask(t, b)
+			t.resCh <- taskResult{index: t.index, payload: payload, hit: hit, err: err}
+		}
+		g.disp.complete(t)
+	}
+}
+
+// dispatchTask executes one queued task from backend b's worker:
+// peer-fill cache probes first, then the hedged, failing-over dispatch
+// loop.
+func (g *Gateway) dispatchTask(t *task, b *Backend) (json.RawMessage, bool, error) {
+	if payload, ok := g.peerFill(t, b); ok {
+		return payload, true, nil
+	}
+	return g.dispatch(t, b)
+}
+
+// peerFill tries to serve a content-keyed task straight from a backend
+// cache before computing anything. For a task served by its own queue,
+// that is the owner's cache (the affinity payoff) and then the next
+// ring node's — where bounded-load spill, failover, and hedging would
+// have left a copy. For a stolen task, it is the thief's own cache
+// (spills and past steals leave copies off-owner) and then the original
+// owner's, so rebalancing warm work does not recompute it. Results are
+// content-addressed and deterministic, so the probed bytes are
+// identical to a recompute.
+func (g *Gateway) peerFill(t *task, b *Backend) (json.RawMessage, bool) {
+	if !t.content || g.opts.NoPeerFill {
+		return nil, false
+	}
+	if b.URL == t.owner {
+		if payload, ok := g.cacheProbe(t.ctx, b, t.key); ok {
+			g.metrics.Affinity(true)
+			return payload, true
+		}
+		if peer := g.nextRingPeer(t.key, b.URL); peer != nil {
+			if payload, ok := g.cacheProbe(t.ctx, peer, t.key); ok {
+				g.metrics.PeerFillHit()
+				return payload, true
+			}
+		}
+		return nil, false
+	}
+	if payload, ok := g.cacheProbe(t.ctx, b, t.key); ok {
+		g.metrics.PeerFillHit()
+		return payload, true
+	}
+	if owner := g.pool.get(t.owner); owner != nil && owner.Healthy() {
+		if payload, ok := g.cacheProbe(t.ctx, owner, t.key); ok {
+			g.metrics.PeerFillHit()
+			return payload, true
+		}
+	}
+	return nil, false
+}
+
+// cacheProbe GETs one backend's cache entry for key; any failure is a
+// miss (the task just computes normally).
+func (g *Gateway) cacheProbe(ctx context.Context, b *Backend, key string) (json.RawMessage, bool) {
+	if !b.Healthy() {
+		return nil, false
+	}
+	req, err := http.NewRequestWithContext(ctx, "GET", b.URL+"/v1/cache/"+key, nil)
+	if err != nil {
+		return nil, false
+	}
+	resp, err := g.probe.Do(req)
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, false
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil || len(data) == 0 {
+		return nil, false
+	}
+	return json.RawMessage(data), true
+}
+
+// nextRingPeer returns the first healthy backend after owner in the
+// key's ring order (the spill/failover target most likely to hold a
+// stray copy).
+func (g *Gateway) nextRingPeer(key, ownerURL string) *Backend {
+	for _, url := range g.pool.seq(key) {
+		if url == ownerURL {
+			continue
+		}
+		if b := g.pool.get(url); b != nil && b.Healthy() {
+			return b
+		}
+	}
+	return nil
 }
 
 // routeKey maps a non-sweep spec to its routing key: the result's
 // content address when the gateway can compute it (so the job lands
-// where its cache entry lives), else a hash of the canonical spec.
-func routeKey(spec *service.JobSpec) string {
+// where its cache entry lives, reported true), else a hash of the
+// canonical spec (false: not probeable against backend caches).
+func routeKey(spec *service.JobSpec) (string, bool) {
 	var cfg *machine.Config
 	resolvable := true
 	switch {
@@ -207,24 +305,25 @@ func routeKey(spec *service.JobSpec) string {
 		switch {
 		case spec.Cell != nil:
 			if k, err := service.CellContentKey(spec.Cell.Bench, spec.Cell.Mode, cfg, spec.Options); err == nil {
-				return k
+				return k, true
 			}
 		case spec.Experiment != "":
 			if k, err := service.ExperimentContentKey(spec.Experiment, cfg, spec.Options); err == nil {
-				return k
+				return k, true
 			}
 		}
 	}
 	data, _ := json.Marshal(spec)
 	sum := sha256.Sum256(data)
-	return hex.EncodeToString(sum[:])
+	return hex.EncodeToString(sum[:]), false
 }
 
-// dispatch runs one unit of work (a single-cell sweep or a whole
-// forwarded job) against the fleet: consistent-hash pick with
-// bounded-load spill, hedged execution, and failover with backoff
-// across the retry budget.
-func (g *Gateway) dispatch(ctx context.Context, key string, specJSON []byte) (json.RawMessage, bool, error) {
+// dispatch runs one task against the fleet: the worker's own backend
+// first (it is the queue owner or the thief — either way the planned
+// placement), then failover with bounded-load re-picks, hedged
+// execution, and backoff across the retry budget.
+func (g *Gateway) dispatch(t *task, worker *Backend) (json.RawMessage, bool, error) {
+	ctx := t.ctx
 	exclude := map[string]bool{}
 	var lastErr error
 	for attempt := 0; attempt < g.opts.RetryBudget; attempt++ {
@@ -236,21 +335,28 @@ func (g *Gateway) dispatch(ctx context.Context, key string, specJSON []byte) (js
 				return nil, false, ctx.Err()
 			}
 		}
-		backend, spilled, err := g.pool.pick(key, exclude)
-		if errors.Is(err, ErrNoBackends) && len(exclude) > 0 {
-			// Every untried backend is down; widen the net and let the
-			// prober re-admit whatever recovers.
-			exclude = map[string]bool{}
-			backend, spilled, err = g.pool.pick(key, exclude)
-		}
-		if err != nil {
-			lastErr = err
-			continue
+		var backend *Backend
+		var spilled bool
+		if attempt == 0 && worker != nil && worker.Healthy() {
+			backend = worker
+		} else {
+			var err error
+			backend, spilled, err = g.pool.pick(t.key, exclude)
+			if errors.Is(err, ErrNoBackends) && len(exclude) > 0 {
+				// Every untried backend is down; widen the net and let the
+				// prober re-admit whatever recovers.
+				exclude = map[string]bool{}
+				backend, spilled, err = g.pool.pick(t.key, exclude)
+			}
+			if err != nil {
+				lastErr = err
+				continue
+			}
 		}
 		if spilled {
 			g.metrics.Spilled()
 		}
-		payload, hit, err := g.hedged(ctx, backend, key, specJSON)
+		payload, hit, err := g.hedged(ctx, backend, t)
 		switch {
 		case err == nil:
 			g.metrics.Affinity(hit)
@@ -301,13 +407,13 @@ type attemptResult struct {
 // duplicate on the next ring node. The first result wins; the loser's
 // backend job is cancelled (safe: results are deterministic and
 // content-addressed, so both would return identical bytes).
-func (g *Gateway) hedged(ctx context.Context, primary *Backend, key string, specJSON []byte) (json.RawMessage, bool, error) {
+func (g *Gateway) hedged(ctx context.Context, primary *Backend, t *task) (json.RawMessage, bool, error) {
 	start := time.Now()
 	actx, acancel := context.WithCancel(ctx)
 	defer acancel()
 	results := make(chan attemptResult, 2)
 	go func() {
-		payload, hit, err := g.attempt(actx, primary, specJSON)
+		payload, hit, err := g.attempt(actx, primary, t)
 		results <- attemptResult{payload, hit, err, false}
 	}()
 
@@ -360,7 +466,7 @@ func (g *Gateway) hedged(ctx context.Context, primary *Backend, key string, spec
 			if launched {
 				continue
 			}
-			hedgeBackend, _, err := g.pool.pick(key, map[string]bool{primary.URL: true})
+			hedgeBackend, _, err := g.pool.pick(t.key, map[string]bool{primary.URL: true})
 			if err != nil {
 				continue // nowhere to hedge; keep waiting on the primary
 			}
@@ -370,7 +476,7 @@ func (g *Gateway) hedged(ctx context.Context, primary *Backend, key string, spec
 			hctx, hcancel = context.WithCancel(ctx)
 			defer hcancel()
 			go func() {
-				payload, hit, err := g.attempt(hctx, hedgeBackend, specJSON)
+				payload, hit, err := g.attempt(hctx, hedgeBackend, t)
 				results <- attemptResult{payload, hit, err, true}
 			}()
 		}
@@ -398,12 +504,12 @@ func (g *Gateway) hedgeDelay() (time.Duration, bool) {
 // the terminal line, and fetches the final view for cache-hit
 // accounting. On cancellation after submission the backend job is
 // cancelled best-effort.
-func (g *Gateway) attempt(ctx context.Context, b *Backend, specJSON []byte) (json.RawMessage, bool, error) {
+func (g *Gateway) attempt(ctx context.Context, b *Backend, t *task) (json.RawMessage, bool, error) {
 	b.acquire()
 	defer b.release()
 	g.metrics.Dispatched(b.URL)
 
-	view, err := g.submitRemote(ctx, b, specJSON)
+	view, err := g.submitRemote(ctx, b, t)
 	if err != nil {
 		return nil, false, err
 	}
@@ -444,13 +550,18 @@ func (g *Gateway) attempt(ctx context.Context, b *Backend, specJSON []byte) (jso
 	return lines[0], final.CacheHit, nil
 }
 
-// submitRemote POSTs one job and decodes the accepted view.
-func (g *Gateway) submitRemote(ctx context.Context, b *Backend, specJSON []byte) (*service.JobView, error) {
-	req, err := http.NewRequestWithContext(ctx, "POST", b.URL+"/v1/jobs", bytes.NewReader(specJSON))
+// submitRemote POSTs one job and decodes the accepted view. The
+// tenant's name rides along in X-PC-Tenant so backend journals, access
+// logs, and per-tenant counters attribute the work.
+func (g *Gateway) submitRemote(ctx context.Context, b *Backend, t *task) (*service.JobView, error) {
+	req, err := http.NewRequestWithContext(ctx, "POST", b.URL+"/v1/jobs", bytes.NewReader(t.specJSON))
 	if err != nil {
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if t.ten != nil {
+		req.Header.Set("X-PC-Tenant", t.ten.Name())
+	}
 	resp, err := g.client.Do(req)
 	if err != nil {
 		if ctx.Err() == nil {

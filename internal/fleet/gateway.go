@@ -11,6 +11,7 @@ import (
 
 	"pcoup/internal/machine"
 	"pcoup/internal/service"
+	"pcoup/internal/tenant"
 )
 
 // Gateway submission errors distinguished by the HTTP layer.
@@ -25,9 +26,29 @@ var (
 type Options struct {
 	// Pool configures the backend set and health checking.
 	Pool PoolOptions
-	// MaxInflight caps concurrently dispatched cells across all jobs
-	// (default 8 per backend).
-	MaxInflight int
+	// Tenants authenticates and meters submitters; nil runs open, with a
+	// single unlimited "default" tenant and no key required.
+	Tenants *tenant.Registry
+	// Scheduling picks the dispatch discipline: "drr" (default — weighted
+	// deficit round robin per tenant under strict interactive-before-
+	// batch priority) or "fifo" (arrival order, the pre-tenant behavior,
+	// kept as the fleetfair baseline).
+	Scheduling string
+	// BackendConcurrency is the worker count per backend draining the
+	// dispatch queues (default 8). It replaces the old gateway-global
+	// MaxInflight semaphore: concurrency is now per backend, and queued
+	// cells wait in tenant-fair queues instead of a FIFO convoy.
+	BackendConcurrency int
+	// StealChunk bounds the cells moved per work-stealing transfer from a
+	// saturated backend's queue tail to an idle backend (default 8).
+	StealChunk int
+	// NoPeerFill disables the distributed cache probe (owner's cache,
+	// then the next ring node's) before computing a cell.
+	NoPeerFill bool
+	// HighWatermark is the global queued-cell count above which new batch
+	// submissions are shed with 429; above twice the mark every class is
+	// shed (default 4096; negative disables).
+	HighWatermark int
 	// RetryBudget is the attempt count per cell across backends before
 	// the job fails (default 3).
 	RetryBudget int
@@ -51,8 +72,17 @@ type Options struct {
 }
 
 func (o *Options) defaults() {
-	if o.MaxInflight <= 0 {
-		o.MaxInflight = 8 * len(o.Pool.Backends)
+	if o.Tenants == nil {
+		o.Tenants = tenant.Open()
+	}
+	if o.Scheduling == "" {
+		o.Scheduling = "drr"
+	}
+	if o.BackendConcurrency <= 0 {
+		o.BackendConcurrency = 8
+	}
+	if o.HighWatermark == 0 {
+		o.HighWatermark = 4096
 	}
 	if o.RetryBudget <= 0 {
 		o.RetryBudget = 3
@@ -78,14 +108,17 @@ func (o *Options) defaults() {
 type Gateway struct {
 	opts    Options
 	pool    *Pool
+	tenants *tenant.Registry
+	disp    *dispatcher
 	metrics *Metrics
 	client  *http.Client // dispatch client (no timeout: streams are long)
-	sem     chan struct{}
+	probe   *http.Client // peer-fill cache probes (bounded)
 	sampler *latencySampler
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
-	wg         sync.WaitGroup
+	wg         sync.WaitGroup // job goroutines
+	workerWg   sync.WaitGroup // dispatch workers
 
 	mu        sync.Mutex
 	jobs      map[string]*fleetJob
@@ -98,6 +131,9 @@ type Gateway struct {
 // New builds a Gateway; call Start before serving its Handler.
 func New(opts Options) (*Gateway, error) {
 	opts.defaults()
+	if opts.Scheduling != "drr" && opts.Scheduling != "fifo" {
+		return nil, fmt.Errorf("fleet: unknown scheduling %q (drr|fifo)", opts.Scheduling)
+	}
 	m := NewMetrics()
 	pool, err := newPool(opts.Pool, m)
 	if err != nil {
@@ -107,9 +143,11 @@ func New(opts Options) (*Gateway, error) {
 	return &Gateway{
 		opts:       opts,
 		pool:       pool,
+		tenants:    opts.Tenants,
+		disp:       newDispatcher(opts.Pool.Backends, opts.Scheduling == "drr", opts.StealChunk, m),
 		metrics:    m,
 		client:     &http.Client{},
-		sem:        make(chan struct{}, opts.MaxInflight),
+		probe:      &http.Client{Timeout: 2 * time.Second},
 		sampler:    newLatencySampler(),
 		baseCtx:    ctx,
 		baseCancel: cancel,
@@ -124,7 +162,12 @@ func (g *Gateway) Metrics() *Metrics { return g.metrics }
 // Pool exposes the backend pool (tests and tooling).
 func (g *Gateway) Pool() *Pool { return g.pool }
 
-// Start probes the backends once and launches the health-check loop.
+// Tenants exposes the tenant registry (the HTTP layer authenticates
+// against it).
+func (g *Gateway) Tenants() *tenant.Registry { return g.tenants }
+
+// Start probes the backends once, launches the health-check loop, and
+// spawns the per-backend dispatch workers.
 func (g *Gateway) Start() error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -133,6 +176,12 @@ func (g *Gateway) Start() error {
 	}
 	g.started = true
 	g.pool.start()
+	for _, b := range g.pool.all() {
+		for i := 0; i < g.opts.BackendConcurrency; i++ {
+			g.workerWg.Add(1)
+			go g.worker(b)
+		}
+	}
 	return nil
 }
 
@@ -159,6 +208,8 @@ func (g *Gateway) Shutdown(ctx context.Context) error {
 		drainErr = ctx.Err()
 	}
 	g.baseCancel()
+	g.disp.close()
+	g.workerWg.Wait()
 	if started {
 		g.pool.close()
 	}
@@ -171,6 +222,7 @@ type fleetJob struct {
 
 	id      string
 	spec    service.JobSpec
+	tenant  *tenant.Tenant
 	state   service.JobState
 	errMsg  string
 	result  json.RawMessage
@@ -224,6 +276,9 @@ func (j *fleetJob) view(withResult bool) service.JobView {
 		CellsDone: len(j.cells), CellsTotal: j.total,
 		Created: j.created,
 	}
+	if j.tenant != nil {
+		v.Tenant = j.tenant.Name()
+	}
 	if !j.started.IsZero() {
 		t := j.started
 		v.Started = &t
@@ -238,21 +293,43 @@ func (j *fleetJob) view(withResult bool) service.JobView {
 	return v
 }
 
-// Submit validates spec (as far as the gateway can without the
-// backends' preset tables) and launches its execution.
+// Submit runs SubmitAs for the open-mode default tenant (tests,
+// embedded use). With a closed registry it fails: callers must
+// authenticate and use SubmitAs.
 func (g *Gateway) Submit(spec service.JobSpec) (*fleetJob, error) {
+	ten := g.tenants.Default()
+	if ten == nil {
+		return nil, tenant.ErrUnauthorized
+	}
+	return g.SubmitAs(spec, ten)
+}
+
+// SubmitAs validates spec (as far as the gateway can without the
+// backends' preset tables), runs admission control for the tenant, and
+// launches the job's execution. A *tenant.QuotaError return maps to
+// HTTP 429 + Retry-After.
+func (g *Gateway) SubmitAs(spec service.JobSpec, ten *tenant.Tenant) (*fleetJob, error) {
 	if err := g.validate(&spec); err != nil {
+		return nil, err
+	}
+	cells := 1
+	if spec.Sweep != nil {
+		cells = len(spec.Sweep.Cells())
+	}
+	if err := g.admit(ten, cells); err != nil {
 		return nil, err
 	}
 	g.mu.Lock()
 	if !g.accepting {
 		g.mu.Unlock()
+		ten.SubQueued(cells)
 		return nil, ErrDraining
 	}
 	g.nextID++
 	job := &fleetJob{
 		id:      fmt.Sprintf("f-%06d", g.nextID),
 		spec:    spec,
+		tenant:  ten,
 		state:   service.JobQueued,
 		created: time.Now(),
 		updated: make(chan struct{}),
@@ -269,6 +346,37 @@ func (g *Gateway) Submit(spec service.JobSpec) (*fleetJob, error) {
 		g.runJob(job)
 	}()
 	return job, nil
+}
+
+// admit applies global load shedding, then the tenant's own quotas, for
+// a submission of n cells. On success the tenant's queued count is
+// raised by n; every rejection is counted in pcfleet_shed_total.
+func (g *Gateway) admit(ten *tenant.Tenant, n int) error {
+	if hw := g.opts.HighWatermark; hw > 0 {
+		total := g.disp.queued()
+		var reason string
+		switch {
+		case total+n > 2*hw:
+			// Past twice the mark the gateway protects itself from
+			// everyone; below it only batch is shed, so interactive work
+			// stays admissible while the flood is turned away.
+			reason = fmt.Sprintf("gateway overloaded: %d cells queued (hard cap %d)", total, 2*hw)
+		case ten.Class() == tenant.Batch && total+n > hw:
+			reason = fmt.Sprintf("gateway busy: %d cells queued, batch is shed above %d", total, hw)
+		}
+		if reason != "" {
+			g.metrics.Shed(string(ten.Class()))
+			return &tenant.QuotaError{
+				Tenant: ten.Name(), Class: ten.Class(),
+				Reason: reason, RetryAfter: 2 * time.Second,
+			}
+		}
+	}
+	if qe := ten.Admit(n); qe != nil {
+		g.metrics.Shed(string(ten.Class()))
+		return qe
+	}
+	return nil
 }
 
 // validate mirrors the backend's spec validation where the gateway has
@@ -386,5 +494,16 @@ func (g *Gateway) gauges() FleetGauges {
 		})
 		b.mu.Unlock()
 	}
-	return FleetGauges{Backends: backends, JobsByState: byState, Accepting: accepting}
+	var tenants []TenantGauge
+	for _, t := range g.tenants.All() {
+		tenants = append(tenants, TenantGauge{
+			Name: t.Name(), Class: string(t.Class()), Weight: t.Weight(),
+			Queued: t.Queued(), Inflight: t.Inflight(),
+		})
+	}
+	return FleetGauges{
+		Backends: backends, Tenants: tenants,
+		DispatchDepth: g.disp.depths(),
+		JobsByState:   byState, Accepting: accepting,
+	}
 }

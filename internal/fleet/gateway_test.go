@@ -302,12 +302,12 @@ func TestFleetFailoverMidSweep(t *testing.T) {
 	}
 }
 
-// TestSweepFailureDoesNotLeakInflightSlots: cancellation racing the
-// scatter loop's semaphore acquire must release the token — g.sem is
-// gateway-global, so a leaked slot would eventually deadlock all sweep
-// dispatch. A backend that 400s every submission makes each cell an
-// immediate permanent failure, exercising the race on every sweep.
-func TestSweepFailureDoesNotLeakInflightSlots(t *testing.T) {
+// TestSweepFailureDoesNotLeakTenantAccounting: failed sweeps — each
+// cell an immediate permanent 400 — must return every queued-cell and
+// inflight-cell count to zero. A leak in either would eventually pin
+// the tenant against its quotas (or strand tasks in the dispatch
+// queues) even though no work is outstanding.
+func TestSweepFailureDoesNotLeakTenantAccounting(t *testing.T) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
 		json.NewEncoder(w).Encode(service.Health{Status: "ready", Accepting: true, Workers: 1})
@@ -319,8 +319,9 @@ func TestSweepFailureDoesNotLeakInflightSlots(t *testing.T) {
 	t.Cleanup(ts.Close)
 
 	gw, _ := startGateway(t, []string{ts.URL}, func(o *Options) {
-		o.MaxInflight = 2
+		o.BackendConcurrency = 2
 	})
+	ten := gw.Tenants().Default()
 	for i := 0; i < 25; i++ {
 		job, err := gw.Submit(service.JobSpec{Sweep: &testSweep})
 		if err != nil {
@@ -330,8 +331,14 @@ func TestSweepFailureDoesNotLeakInflightSlots(t *testing.T) {
 		if v := job.view(false); v.State != service.JobFailed {
 			t.Fatalf("sweep %d: state %s, want %s", i, v.State, service.JobFailed)
 		}
-		if n := len(gw.sem); n != 0 {
-			t.Fatalf("sweep %d leaked %d inflight slot(s)", i, n)
+		if n := gw.disp.queued(); n != 0 {
+			t.Fatalf("sweep %d left %d tasks in the dispatch queues", i, n)
+		}
+		if q := ten.Queued(); q != 0 {
+			t.Fatalf("sweep %d leaked %d queued-cell count(s)", i, q)
+		}
+		if inf := ten.Inflight(); inf != 0 {
+			t.Fatalf("sweep %d leaked %d inflight-cell count(s)", i, inf)
 		}
 	}
 }

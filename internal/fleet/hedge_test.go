@@ -118,7 +118,7 @@ func TestHedgingFiresAndCancelsLoser(t *testing.T) {
 
 	// Find the owner of the next job's routing key and stall it.
 	spec := service.JobSpec{Cell: &service.CellSpec{Bench: "fft", Mode: "TPE"}}
-	key := routeKey(&spec)
+	key, _ := routeKey(&spec)
 	primary, _, err := gw.pool.pick(key, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -186,7 +186,7 @@ func TestHedgeBoundedWaitWhenPrimaryFails(t *testing.T) {
 	}
 
 	spec := service.JobSpec{Cell: &service.CellSpec{Bench: "fft", Mode: "TPE"}}
-	key := routeKey(&spec)
+	key, _ := routeKey(&spec)
 	primary, _, err := gw.pool.pick(key, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -203,7 +203,7 @@ func TestHedgeBoundedWaitWhenPrimaryFails(t *testing.T) {
 	specJSON, _ := json.Marshal(spec)
 	done := make(chan error, 1)
 	go func() {
-		_, _, err := gw.hedged(context.Background(), primary, key, specJSON)
+		_, _, err := gw.hedged(context.Background(), primary, &task{key: key, specJSON: specJSON})
 		done <- err
 	}()
 	select {

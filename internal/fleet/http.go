@@ -4,8 +4,10 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 
 	"pcoup/internal/service"
+	"pcoup/internal/tenant"
 )
 
 // Handler returns the gateway's HTTP API — the same surface as one
@@ -19,17 +21,36 @@ import (
 //	GET    /healthz             liveness: always 200, with backend summary
 //	GET    /readyz              readiness: 503 while draining or no backend is healthy
 //	GET    /metrics             Prometheus text exposition
+//
+// When the gateway runs with a tenant file, every job route requires a
+// valid API key (Authorization: Bearer <key> or X-PC-Tenant-Key) and
+// answers 401 otherwise. /healthz, /readyz and /metrics stay open —
+// probes and scrapers don't carry tenant identity.
 func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", g.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs", g.handleList)
-	mux.HandleFunc("GET /v1/jobs/{id}", g.handleGet)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", g.handleCancel)
-	mux.HandleFunc("GET /v1/jobs/{id}/stream", g.handleStream)
+	mux.HandleFunc("POST /v1/jobs", g.withTenant(g.handleSubmit))
+	mux.HandleFunc("GET /v1/jobs", g.withTenant(g.handleList))
+	mux.HandleFunc("GET /v1/jobs/{id}", g.withTenant(g.handleGet))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", g.withTenant(g.handleCancel))
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", g.withTenant(g.handleStream))
 	mux.HandleFunc("GET /healthz", g.handleHealthz)
 	mux.HandleFunc("GET /readyz", g.handleReadyz)
 	mux.HandleFunc("GET /metrics", g.handleMetrics)
 	return mux
+}
+
+// withTenant authenticates the request against the tenant registry and
+// stashes the resolved tenant in the request context. In open mode
+// (no tenant file) every request resolves to the unlimited default.
+func (g *Gateway) withTenant(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ten, err := g.tenants.FromRequest(r)
+		if err != nil {
+			writeHTTPError(w, http.StatusUnauthorized, err)
+			return
+		}
+		h(w, r.WithContext(tenant.NewContext(r.Context(), ten)))
+	}
 }
 
 // writeJSON mirrors the service daemon's encoding so job views render
@@ -58,10 +79,18 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeHTTPError(w, http.StatusBadRequest, err)
 		return
 	}
-	job, err := g.Submit(spec)
+	ten := tenant.FromContext(r.Context())
+	if ten == nil {
+		ten = g.tenants.Default()
+	}
+	job, err := g.SubmitAs(spec, ten)
+	var qe *tenant.QuotaError
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusAccepted, job.view(false))
+	case errors.As(err, &qe):
+		w.Header().Set("Retry-After", strconv.Itoa(qe.RetryAfterSeconds()))
+		writeHTTPError(w, http.StatusTooManyRequests, err)
 	case errors.Is(err, ErrDraining):
 		writeHTTPError(w, http.StatusServiceUnavailable, err)
 	default:

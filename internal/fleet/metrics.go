@@ -23,6 +23,9 @@ type Metrics struct {
 	probeFailures   int64            // failed /readyz probes
 	ejections       int64            // backends ejected
 	readmissions    int64            // backends re-admitted after ejection
+	steals          int64            // cells stolen from saturated backend queues
+	peerFillHits    int64            // cells served by a peer cache probe
+	shed            map[string]int64 // admission rejections by class label
 }
 
 // NewMetrics returns an empty metrics registry.
@@ -30,6 +33,7 @@ func NewMetrics() *Metrics {
 	return &Metrics{
 		jobsTotal:  map[string]int64{},
 		dispatched: map[string]int64{},
+		shed:       map[string]int64{},
 	}
 }
 
@@ -106,6 +110,46 @@ func (m *Metrics) Ejected() { m.count(&m.ejections) }
 // Readmitted counts one backend re-admission.
 func (m *Metrics) Readmitted() { m.count(&m.readmissions) }
 
+// Stole counts n cells moved by one work-stealing transfer.
+func (m *Metrics) Stole(n int) {
+	m.mu.Lock()
+	m.steals += int64(n)
+	m.mu.Unlock()
+}
+
+// Steals returns the lifetime stolen-cell count.
+func (m *Metrics) Steals() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.steals
+}
+
+// PeerFillHit counts one cell served by probing a peer backend's cache
+// instead of recomputing.
+func (m *Metrics) PeerFillHit() { m.count(&m.peerFillHits) }
+
+// PeerFillHits returns the lifetime peer-fill hit count.
+func (m *Metrics) PeerFillHits() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.peerFillHits
+}
+
+// Shed counts one admission rejection for the given class label
+// ("interactive" or "batch" — bounded cardinality by construction).
+func (m *Metrics) Shed(class string) {
+	m.mu.Lock()
+	m.shed[class]++
+	m.mu.Unlock()
+}
+
+// ShedTotal returns the lifetime rejection count for a class label.
+func (m *Metrics) ShedTotal(class string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.shed[class]
+}
+
 // BackendGauge is one backend's live state at scrape time.
 type BackendGauge struct {
 	URL      string
@@ -117,11 +161,28 @@ type BackendGauge struct {
 	RemoteInflight int
 }
 
+// TenantGauge is one tenant's live accounting at scrape time.
+type TenantGauge struct {
+	Name     string
+	Class    string
+	Weight   int
+	Queued   int
+	Inflight int
+}
+
 // FleetGauges is the live state sampled by the gateway at scrape time.
+//
+// Label cardinality: every labeled family below is bounded by
+// configuration — {backend} by the -backends list, {tenant} by the
+// -tenants file (open mode has exactly one), {class} by the two
+// priority classes, {state} by the job lifecycle. Nothing
+// request-derived ever becomes a label.
 type FleetGauges struct {
-	Backends    []BackendGauge
-	JobsByState map[string]int
-	Accepting   bool
+	Backends      []BackendGauge
+	Tenants       []TenantGauge
+	DispatchDepth map[string]int // gateway-side queued cells per backend
+	JobsByState   map[string]int
+	Accepting     bool
 }
 
 // WriteText renders everything in the Prometheus text exposition format.
@@ -181,6 +242,28 @@ func (m *Metrics) WriteText(w io.Writer, g FleetGauges) {
 		fmt.Fprintf(w, "pcfleet_backend_queue_depth{backend=%q} %d\n", b.URL, b.QueueDepth)
 	}
 
+	fmt.Fprintf(w, "# HELP pcfleet_dispatch_queue_depth Gateway-side queued cells per backend dispatch queue.\n")
+	fmt.Fprintf(w, "# TYPE pcfleet_dispatch_queue_depth gauge\n")
+	for _, url := range sortedKeys(g.DispatchDepth) {
+		fmt.Fprintf(w, "pcfleet_dispatch_queue_depth{backend=%q} %d\n", url, g.DispatchDepth[url])
+	}
+
+	fmt.Fprintf(w, "# HELP pcfleet_tenant_queued_cells Admitted, undispatched cells per tenant.\n")
+	fmt.Fprintf(w, "# TYPE pcfleet_tenant_queued_cells gauge\n")
+	for _, t := range g.Tenants {
+		fmt.Fprintf(w, "pcfleet_tenant_queued_cells{tenant=%q,class=%q} %d\n", t.Name, t.Class, t.Queued)
+	}
+	fmt.Fprintf(w, "# HELP pcfleet_tenant_inflight_cells Dispatched, unfinished cells per tenant.\n")
+	fmt.Fprintf(w, "# TYPE pcfleet_tenant_inflight_cells gauge\n")
+	for _, t := range g.Tenants {
+		fmt.Fprintf(w, "pcfleet_tenant_inflight_cells{tenant=%q,class=%q} %d\n", t.Name, t.Class, t.Inflight)
+	}
+	fmt.Fprintf(w, "# HELP pcfleet_tenant_weight Configured DRR weight per tenant.\n")
+	fmt.Fprintf(w, "# TYPE pcfleet_tenant_weight gauge\n")
+	for _, t := range g.Tenants {
+		fmt.Fprintf(w, "pcfleet_tenant_weight{tenant=%q,class=%q} %d\n", t.Name, t.Class, t.Weight)
+	}
+
 	fmt.Fprintf(w, "# HELP pcfleet_cells_dispatched_total Cells dispatched per backend.\n")
 	fmt.Fprintf(w, "# TYPE pcfleet_cells_dispatched_total counter\n")
 	for _, url := range sortedKeys(m.dispatched) {
@@ -223,6 +306,20 @@ func (m *Metrics) WriteText(w io.Writer, g FleetGauges) {
 	fmt.Fprintf(w, "# HELP pcfleet_backend_readmissions_total Ejected backends re-admitted by a passing probe.\n")
 	fmt.Fprintf(w, "# TYPE pcfleet_backend_readmissions_total counter\n")
 	fmt.Fprintf(w, "pcfleet_backend_readmissions_total %d\n", m.readmissions)
+
+	fmt.Fprintf(w, "# HELP pcfleet_steals_total Queued cells moved from a saturated backend queue to an idle one.\n")
+	fmt.Fprintf(w, "# TYPE pcfleet_steals_total counter\n")
+	fmt.Fprintf(w, "pcfleet_steals_total %d\n", m.steals)
+
+	fmt.Fprintf(w, "# HELP pcfleet_peer_fill_hits_total Cells served by a peer backend's cache instead of recomputing.\n")
+	fmt.Fprintf(w, "# TYPE pcfleet_peer_fill_hits_total counter\n")
+	fmt.Fprintf(w, "pcfleet_peer_fill_hits_total %d\n", m.peerFillHits)
+
+	fmt.Fprintf(w, "# HELP pcfleet_shed_total Admission rejections (quota, rate limit, high watermark) by class.\n")
+	fmt.Fprintf(w, "# TYPE pcfleet_shed_total counter\n")
+	for _, class := range sortedKeys(m.shed) {
+		fmt.Fprintf(w, "pcfleet_shed_total{class=%q} %d\n", class, m.shed[class])
+	}
 }
 
 func sortedKeys[V any](m map[string]V) []string {

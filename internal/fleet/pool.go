@@ -298,6 +298,37 @@ func (p *Pool) healthyCount() int {
 	return n
 }
 
+// get returns the backend for a URL (nil if unknown).
+func (p *Pool) get(url string) *Backend {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.backends[url]
+}
+
+// seq returns every backend URL in key's ring order (owner first),
+// regardless of health.
+func (p *Pool) seq(key string) []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ring.seq(key)
+}
+
+// ownerURL returns the dispatch-queue home for a key: the first healthy
+// backend in ring order, else the unconditional ring owner (its queue
+// drains by stealing until the owner returns).
+func (p *Pool) ownerURL(key string) string {
+	seq := p.seq(key)
+	for _, url := range seq {
+		if b := p.get(url); b != nil && b.Healthy() {
+			return url
+		}
+	}
+	if len(seq) > 0 {
+		return seq[0]
+	}
+	return ""
+}
+
 // candidates returns the healthy backends in key's ring order (owner
 // first), excluding the given URLs.
 func (p *Pool) candidates(key string, exclude map[string]bool) []*Backend {

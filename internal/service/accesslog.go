@@ -1,0 +1,61 @@
+package service
+
+import (
+	"net/http"
+	"time"
+)
+
+// statusRecorder captures the status code and preserves streaming: the
+// NDJSON endpoints rely on Flush, so the wrapper must keep implementing
+// http.Flusher when the underlying writer does.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// AccessLog wraps h so every request emits one structured line through
+// logf: method, path, tenant (from the X-PC-Tenant header, "-" when
+// anonymous), status, duration, and cache disposition (from the
+// response's X-PC-Cache header, "-" for endpoints that don't set one).
+// One line per request keeps the log greppable by field.
+func AccessLog(h http.Handler, logf func(format string, args ...any)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		h.ServeHTTP(rec, r)
+		status := rec.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		tenant := r.Header.Get("X-PC-Tenant")
+		if tenant == "" {
+			tenant = "-"
+		}
+		cache := rec.Header().Get("X-PC-Cache")
+		if cache == "" {
+			cache = "-"
+		}
+		logf("access method=%s path=%s tenant=%s status=%d duration=%s cache=%s",
+			r.Method, r.URL.Path, tenant, status, time.Since(start).Round(time.Microsecond), cache)
+	})
+}

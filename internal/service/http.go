@@ -13,6 +13,7 @@ import (
 //	GET    /v1/jobs/{id}        job status; includes result when done
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	GET    /v1/jobs/{id}/stream NDJSON: per-cell results as they finish
+//	GET    /v1/cache/{key}      raw cached payload for a content key (404 on miss)
 //	GET    /healthz             liveness: always 200 while the process serves, with load detail
 //	GET    /readyz              readiness: 503 + Retry-After while draining
 //	GET    /metrics             Prometheus text exposition
@@ -23,6 +24,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /v1/cache/{key}", s.handleCacheGet)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -54,7 +56,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	job, err := s.Submit(spec)
+	// The tenant name is pure attribution (journal, metrics, views) —
+	// authentication happens at the gateway, which sets this header from
+	// the verified API key. Length-cap the client-supplied value so a
+	// hostile direct submitter cannot bloat journal records.
+	tenant := r.Header.Get("X-PC-Tenant")
+	if len(tenant) > 64 {
+		tenant = tenant[:64]
+	}
+	job, err := s.SubmitWithTenant(spec, tenant)
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusAccepted, job.view(false))
@@ -146,6 +156,25 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// handleCacheGet serves the raw cached payload for a content key. The
+// fleet gateway uses this as the peer-fill probe: before computing a
+// cell it owns (or stole), it asks the cell's cache home whether the
+// bytes already exist. Payloads are content-addressed, so serving them
+// cross-node cannot change results. Lookups go through Get, not Peek:
+// a served payload is a genuine hit and should refresh LRU recency.
+func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	payload, ok := s.cache.Get(key)
+	if !ok {
+		w.Header().Set("X-PC-Cache", "miss")
+		writeError(w, http.StatusNotFound, errors.New("cache: no entry for key"))
+		return
+	}
+	w.Header().Set("X-PC-Cache", "hit")
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(payload)
 }
 
 // Health is the /healthz response body. Liveness is distinct from

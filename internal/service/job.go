@@ -249,6 +249,7 @@ type Job struct {
 
 	id       string
 	spec     JobSpec
+	tenant   string          // submitting tenant (X-PC-Tenant; "" when unattributed)
 	cfg      *machine.Config // resolved from spec; nil = driver default
 	state    JobState
 	errMsg   string
@@ -314,11 +315,16 @@ func (j *Job) finish(state JobState, result json.RawMessage, errMsg string, now 
 
 // JobView is the wire representation of a job.
 type JobView struct {
-	ID       string   `json:"id"`
-	State    JobState `json:"state"`
-	Spec     JobSpec  `json:"spec"`
-	Error    string   `json:"error,omitempty"`
-	CacheHit bool     `json:"cache_hit"`
+	ID    string   `json:"id"`
+	State JobState `json:"state"`
+	Spec  JobSpec  `json:"spec"`
+	// Tenant attributes the job to its submitter (omitted when the
+	// submission carried no tenant identity). Views only — never part of
+	// result payloads or NDJSON data lines, so byte-identity of cell
+	// streams is unaffected.
+	Tenant   string `json:"tenant,omitempty"`
+	Error    string `json:"error,omitempty"`
+	CacheHit bool   `json:"cache_hit"`
 	// Attempts counts journal-recovery re-executions (0: never
 	// interrupted).
 	Attempts int `json:"attempts,omitempty"`
@@ -337,7 +343,7 @@ func (j *Job) view(withResult bool) JobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	v := JobView{
-		ID: j.id, State: j.state, Spec: j.spec, Error: j.errMsg,
+		ID: j.id, State: j.state, Spec: j.spec, Tenant: j.tenant, Error: j.errMsg,
 		CacheHit: j.hit, Attempts: j.attempts,
 		CellsDone: len(j.cells), CellsTotal: j.total,
 		Created: j.created,

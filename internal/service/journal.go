@@ -29,6 +29,9 @@ type journalRecord struct {
 	ID   string `json:"id"`
 	// Spec is the full job specification (submit records).
 	Spec *JobSpec `json:"spec,omitempty"`
+	// Tenant attributes the submission (submit records; "" when the
+	// submitter carried no tenant identity).
+	Tenant string `json:"tenant,omitempty"`
 	// Attempts counts prior interrupted executions (submit records).
 	Attempts int `json:"attempts,omitempty"`
 	// State is the terminal state (finish records).
@@ -41,6 +44,7 @@ type journalRecord struct {
 type pendingJob struct {
 	ID       string
 	Spec     JobSpec
+	Tenant   string
 	Attempts int
 }
 
@@ -77,7 +81,7 @@ func openJournal(path string) (*journal, []pendingJob, error) {
 				if _, seen := byID[rec.ID]; !seen {
 					order = append(order, rec.ID)
 				}
-				byID[rec.ID] = &pendingJob{ID: rec.ID, Spec: *rec.Spec, Attempts: rec.Attempts}
+				byID[rec.ID] = &pendingJob{ID: rec.ID, Spec: *rec.Spec, Tenant: rec.Tenant, Attempts: rec.Attempts}
 			case "finish":
 				delete(byID, rec.ID)
 			}
@@ -119,8 +123,8 @@ func (j *journal) append(rec journalRecord) error {
 }
 
 // submit journals an accepted job before it becomes visible.
-func (j *journal) submit(id string, spec JobSpec, attempts int) error {
-	return j.append(journalRecord{Kind: "submit", ID: id, Spec: &spec, Attempts: attempts})
+func (j *journal) submit(id string, spec JobSpec, tenant string, attempts int) error {
+	return j.append(journalRecord{Kind: "submit", ID: id, Spec: &spec, Tenant: tenant, Attempts: attempts})
 }
 
 // finish journals a terminal transition; the job will not be replayed.

@@ -37,7 +37,7 @@ func TestJournalRecoversInterruptedJob(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "journal.ndjson")
 	seedJournal(t, path, func(j *journal) {
 		spec := cellSpec()
-		if err := j.submit("j-000007", spec, 0); err != nil {
+		if err := j.submit("j-000007", spec, "", 0); err != nil {
 			t.Fatal(err)
 		}
 	})
@@ -69,7 +69,7 @@ func TestJournalFinishedJobNotReplayed(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "journal.ndjson")
 	seedJournal(t, path, func(j *journal) {
 		spec := cellSpec()
-		j.submit("j-000001", spec, 0)
+		j.submit("j-000001", spec, "", 0)
 		j.finish("j-000001", JobDone)
 	})
 	srv, ts := newTestServer(t, Options{Workers: 1, JournalFile: path})
@@ -87,7 +87,7 @@ func TestJournalRetryBudget(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "journal.ndjson")
 	seedJournal(t, path, func(j *journal) {
 		spec := cellSpec()
-		j.submit("j-000003", spec, 2) // two prior interruptions; budget 2 -> third attempt over budget
+		j.submit("j-000003", spec, "", 2) // two prior interruptions; budget 2 -> third attempt over budget
 	})
 	_, ts := newTestServer(t, Options{Workers: 1, JournalFile: path, RetryBudget: 2})
 	view := waitJob(t, ts, "j-000003")
@@ -105,7 +105,7 @@ func TestJournalSurvivesTornTrailingRecord(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "journal.ndjson")
 	seedJournal(t, path, func(j *journal) {
 		spec := cellSpec()
-		j.submit("j-000001", spec, 0)
+		j.submit("j-000001", spec, "", 0)
 	})
 	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
 	if err != nil {
@@ -131,7 +131,7 @@ func TestJournalCompaction(t *testing.T) {
 		spec := cellSpec()
 		for i := 1; i <= 20; i++ {
 			id := "j-00000" + string(rune('0'+i%10))
-			j.submit(id, spec, 0)
+			j.submit(id, spec, "", 0)
 			j.finish(id, JobDone)
 		}
 	})

@@ -48,13 +48,25 @@ type Metrics struct {
 
 	journalRecovered int64 // jobs resubmitted from the journal at start
 	retriesExhausted int64 // recovered jobs failed for exceeding the budget
+
+	// Per-tenant attribution. The tenant set is normally bounded by the
+	// gateway's -tenants file; because the header is client-supplied the
+	// maps additionally cap at maxTenantLabels distinct names, folding
+	// overflow into "_other" so a label-cardinality blowup is impossible.
+	tenantJobs map[string]int64 // submissions per tenant
+	tenantHits map[string]int64 // whole-job cache hits per tenant
 }
+
+// maxTenantLabels bounds the distinct tenant label values retained.
+const maxTenantLabels = 256
 
 // NewMetrics returns an empty metrics registry.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		jobsTotal: map[string]int64{},
-		stages:    map[string]*histogram{},
+		jobsTotal:  map[string]int64{},
+		stages:     map[string]*histogram{},
+		tenantJobs: map[string]int64{},
+		tenantHits: map[string]int64{},
 	}
 }
 
@@ -93,6 +105,37 @@ func (m *Metrics) RetryBudgetExhausted() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.retriesExhausted++
+}
+
+// tenantLabel folds new tenant names past the cardinality cap into
+// "_other". Callers hold m.mu.
+func tenantLabel(counts map[string]int64, tenant string) string {
+	if _, ok := counts[tenant]; ok || len(counts) < maxTenantLabels {
+		return tenant
+	}
+	return "_other"
+}
+
+// TenantJob counts one submission attributed to a tenant. Anonymous
+// submissions (empty tenant) are not counted — pcserved_jobs_total
+// already covers the aggregate.
+func (m *Metrics) TenantJob(tenant string) {
+	if tenant == "" {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tenantJobs[tenantLabel(m.tenantJobs, tenant)]++
+}
+
+// TenantHit counts one whole-job cache hit attributed to a tenant.
+func (m *Metrics) TenantHit(tenant string) {
+	if tenant == "" {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tenantHits[tenantLabel(m.tenantHits, tenant)]++
 }
 
 // Gauges is the live state sampled by the server at scrape time.
@@ -177,6 +220,21 @@ func (m *Metrics) WriteText(w io.Writer, g Gauges) {
 		fmt.Fprintf(w, "# HELP pcserved_cache_hit_ratio Hits over lookups since start.\n")
 		fmt.Fprintf(w, "# TYPE pcserved_cache_hit_ratio gauge\n")
 		fmt.Fprintf(w, "pcserved_cache_hit_ratio %.6f\n", float64(g.CacheHits)/float64(total))
+	}
+
+	if len(m.tenantJobs) > 0 {
+		fmt.Fprintf(w, "# HELP pcserved_tenant_jobs_total Submissions per tenant.\n")
+		fmt.Fprintf(w, "# TYPE pcserved_tenant_jobs_total counter\n")
+		for _, t := range sortedKeys(m.tenantJobs) {
+			fmt.Fprintf(w, "pcserved_tenant_jobs_total{tenant=%q} %d\n", t, m.tenantJobs[t])
+		}
+	}
+	if len(m.tenantHits) > 0 {
+		fmt.Fprintf(w, "# HELP pcserved_tenant_cache_hits_total Whole-job cache hits per tenant.\n")
+		fmt.Fprintf(w, "# TYPE pcserved_tenant_cache_hits_total counter\n")
+		for _, t := range sortedKeys(m.tenantHits) {
+			fmt.Fprintf(w, "pcserved_tenant_cache_hits_total{tenant=%q} %d\n", t, m.tenantHits[t])
+		}
 	}
 
 	fmt.Fprintf(w, "# HELP pcserved_stage_latency_seconds Per-stage job latency.\n")

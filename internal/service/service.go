@@ -166,6 +166,7 @@ func (s *Server) recoverLocked(p pendingJob) {
 	cfg, specErr := spec.normalize(s.presets)
 	attempts := p.Attempts + 1
 	job := newJob(p.ID, spec, cfg, time.Now())
+	job.tenant = p.Tenant
 	job.attempts = attempts
 	s.jobs[p.ID] = job
 	s.order = append(s.order, job)
@@ -184,7 +185,7 @@ func (s *Server) recoverLocked(p pendingJob) {
 		s.finishJob(job, JobFailed, nil,
 			fmt.Sprintf("retry budget exhausted: interrupted %d times (budget %d)", p.Attempts, s.opts.RetryBudget))
 	default:
-		if err := s.journal.submit(p.ID, spec, attempts); err != nil {
+		if err := s.journal.submit(p.ID, spec, p.Tenant, attempts); err != nil {
 			s.finishJob(job, JobFailed, nil, fmt.Sprintf("journal: %v", err))
 			return
 		}
@@ -268,8 +269,16 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return drainErr
 }
 
-// Submit validates spec and enqueues a job.
+// Submit validates spec and enqueues a job with no tenant attribution.
 func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	return s.SubmitWithTenant(spec, "")
+}
+
+// SubmitWithTenant validates spec and enqueues a job attributed to the
+// named tenant (the gateway's X-PC-Tenant pass-through). The tenant
+// label rides into the job view, the journal, the access log, and the
+// per-tenant counters; it never changes result bytes.
+func (s *Server) SubmitWithTenant(spec JobSpec, tenant string) (*Job, error) {
 	cfg, err := spec.normalize(s.presets)
 	if err != nil {
 		return nil, err
@@ -281,10 +290,11 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	}
 	s.nextID++
 	job := newJob(fmt.Sprintf("j-%06d", s.nextID), spec, cfg, time.Now())
+	job.tenant = tenant
 	// Journal before enqueue: a crash between the two replays the job on
 	// restart (at-least-once), never loses an accepted one.
 	if s.journal != nil {
-		if err := s.journal.submit(job.id, spec, 0); err != nil {
+		if err := s.journal.submit(job.id, spec, tenant, 0); err != nil {
 			s.nextID--
 			return nil, fmt.Errorf("service: journal: %w", err)
 		}
@@ -301,6 +311,7 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	s.jobs[job.id] = job
 	s.order = append(s.order, job)
 	s.metrics.JobState(string(JobQueued))
+	s.metrics.TenantJob(tenant)
 	return job, nil
 }
 
@@ -452,11 +463,14 @@ func (s *Server) execute(ctx context.Context, job *Job) (json.RawMessage, error)
 	return nil, errors.New("service: empty job spec")
 }
 
-// markHit flags the job as cache-served.
-func markHit(job *Job) {
+// markHit flags the job as cache-served and attributes the hit to its
+// tenant.
+func (s *Server) markHit(job *Job) {
 	job.mu.Lock()
 	job.hit = true
+	tenant := job.tenant
 	job.mu.Unlock()
+	s.metrics.TenantHit(tenant)
 }
 
 // experimentResult is the payload of an experiment job.
@@ -472,7 +486,7 @@ func (s *Server) runExperiment(ctx context.Context, job *Job) (json.RawMessage, 
 		return nil, err
 	}
 	if payload, ok := s.cache.Get(key); ok {
-		markHit(job)
+		s.markHit(job)
 		return payload, nil
 	}
 	e, ok := experiments.Lookup(job.spec.Experiment)
@@ -565,7 +579,7 @@ func (s *Server) runCellJob(ctx context.Context, job *Job) (json.RawMessage, err
 		return nil, err
 	}
 	if payload, ok := s.cache.Get(key); ok {
-		markHit(job)
+		s.markHit(job)
 		return payload, nil
 	}
 	payload, err := s.runCell(ctx, job.spec.Cell.Bench, mode, job.cfg, job.spec.Options, 0, 0)
@@ -602,7 +616,7 @@ func (s *Server) runSweep(ctx context.Context, job *Job) (json.RawMessage, error
 				job.appendCell(cell)
 			}
 		}
-		markHit(job)
+		s.markHit(job)
 		return payload, nil
 	}
 

@@ -1,0 +1,219 @@
+package tenant
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestSpecDefaults(t *testing.T) {
+	ten, err := New(Spec{Name: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ten.Weight() != 1 {
+		t.Fatalf("default weight = %d, want 1", ten.Weight())
+	}
+	if ten.Class() != Interactive {
+		t.Fatalf("default class = %q, want interactive", ten.Class())
+	}
+	if _, err := New(Spec{Name: "b", Class: "premium"}); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+	if _, err := New(Spec{}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := New(Spec{Name: "c", Weight: -1}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+}
+
+func TestRegistryValidation(t *testing.T) {
+	if _, err := NewRegistry(nil); err == nil {
+		t.Fatal("empty registry accepted")
+	}
+	if _, err := NewRegistry([]Spec{{Name: "a"}}); err == nil {
+		t.Fatal("missing key accepted")
+	}
+	if _, err := NewRegistry([]Spec{{Name: "a", Key: "k"}, {Name: "a", Key: "k2"}}); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	if _, err := NewRegistry([]Spec{{Name: "a", Key: "k"}, {Name: "b", Key: "k"}}); err == nil {
+		t.Fatal("duplicate key accepted")
+	}
+	r, err := NewRegistry([]Spec{{Name: "b", Key: "kb"}, {Name: "a", Key: "ka"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Required() {
+		t.Fatal("closed registry reports Required()=false")
+	}
+	all := r.All()
+	if len(all) != 2 || all[0].Name() != "a" || all[1].Name() != "b" {
+		t.Fatalf("All() not name-sorted: %v", all)
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tenants.json")
+	data := `[
+		{"name": "alice", "key": "alice-key", "weight": 8},
+		{"name": "bob", "key": "bob-key", "class": "batch", "cells_per_sec": 5}
+	]`
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ten, ok := r.Lookup("alice-key")
+	if !ok || ten.Name() != "alice" || ten.Weight() != 8 {
+		t.Fatalf("alice lookup: %v %v", ten, ok)
+	}
+	bob, _ := r.Lookup("bob-key")
+	if bob.Class() != Batch {
+		t.Fatalf("bob class = %q", bob.Class())
+	}
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestFromRequest(t *testing.T) {
+	r, err := NewRegistry([]Spec{{Name: "a", Key: "secret"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	req := httptest.NewRequest("GET", "/v1/jobs", nil)
+	if _, err := r.FromRequest(req); err != ErrUnauthorized {
+		t.Fatalf("no key: err = %v, want ErrUnauthorized", err)
+	}
+
+	req.Header.Set("Authorization", "Bearer wrong")
+	if _, err := r.FromRequest(req); err != ErrUnauthorized {
+		t.Fatalf("wrong key: err = %v, want ErrUnauthorized", err)
+	}
+
+	req.Header.Set("Authorization", "Bearer secret")
+	ten, err := r.FromRequest(req)
+	if err != nil || ten.Name() != "a" {
+		t.Fatalf("bearer auth: %v %v", ten, err)
+	}
+
+	req2 := httptest.NewRequest("GET", "/v1/jobs", nil)
+	req2.Header.Set("X-PC-Tenant-Key", "secret")
+	ten, err = r.FromRequest(req2)
+	if err != nil || ten.Name() != "a" {
+		t.Fatalf("header auth: %v %v", ten, err)
+	}
+
+	open := Open()
+	if open.Required() {
+		t.Fatal("open registry reports Required()=true")
+	}
+	ten, err = open.FromRequest(req2)
+	if err != nil || ten.Name() != "default" {
+		t.Fatalf("open mode: %v %v", ten, err)
+	}
+}
+
+func TestQueuedQuota(t *testing.T) {
+	ten, err := New(Spec{Name: "a", MaxQueuedCells: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qe := ten.Admit(8); qe != nil {
+		t.Fatalf("admit 8: %v", qe)
+	}
+	qe := ten.Admit(3)
+	if qe == nil {
+		t.Fatal("admit over queued quota succeeded")
+	}
+	if qe.RetryAfterSeconds() < 1 {
+		t.Fatalf("RetryAfterSeconds = %d, want >= 1", qe.RetryAfterSeconds())
+	}
+	if ten.Queued() != 8 {
+		t.Fatalf("rejected admit changed queued count: %d", ten.Queued())
+	}
+	if qe := ten.Admit(2); qe != nil {
+		t.Fatalf("admit to exactly the cap: %v", qe)
+	}
+	ten.SubQueued(10)
+	if ten.Queued() != 0 {
+		t.Fatalf("queued after release = %d", ten.Queued())
+	}
+}
+
+func TestTokenBucket(t *testing.T) {
+	ten, err := New(Spec{Name: "a", CellsPerSec: 10}) // burst defaults to 10
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := time.Unix(1000, 0)
+	ten.setNow(func() time.Time { return clock })
+
+	// A sweep larger than the burst is still admitted (debit model)...
+	if qe := ten.Admit(25); qe != nil {
+		t.Fatalf("first oversized admit rejected: %v", qe)
+	}
+	// ...but leaves the bucket deep in debt, so the next admit waits.
+	qe := ten.Admit(1)
+	if qe == nil {
+		t.Fatal("admit with bucket in debt succeeded")
+	}
+	// Debt is 15 tokens + 1 to reach a whole token = 1.6s at 10/s.
+	if qe.RetryAfter < 1500*time.Millisecond || qe.RetryAfter > 1700*time.Millisecond {
+		t.Fatalf("RetryAfter = %v, want ~1.6s", qe.RetryAfter)
+	}
+	if ten.Queued() != 25 {
+		t.Fatalf("rejected admit leaked queued cells: %d", ten.Queued())
+	}
+
+	// After the advertised wait the tenant is admitted again.
+	clock = clock.Add(qe.RetryAfter + time.Millisecond)
+	if qe := ten.Admit(1); qe != nil {
+		t.Fatalf("admit after Retry-After rejected: %v", qe)
+	}
+
+	// Refill is capped at burst.
+	clock = clock.Add(time.Hour)
+	if qe := ten.Admit(10); qe != nil {
+		t.Fatalf("burst-sized admit after idle: %v", qe)
+	}
+	if qe := ten.Admit(10); qe == nil {
+		t.Fatal("second burst immediately after drain succeeded")
+	}
+}
+
+func TestInflightGate(t *testing.T) {
+	ten, err := New(Spec{Name: "a", MaxInflightCells: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ten.TryAcquireInflight() || !ten.TryAcquireInflight() {
+		t.Fatal("acquire under cap failed")
+	}
+	if ten.TryAcquireInflight() {
+		t.Fatal("acquire over cap succeeded")
+	}
+	ten.ReleaseInflight()
+	if !ten.TryAcquireInflight() {
+		t.Fatal("acquire after release failed")
+	}
+	if ten.Inflight() != 2 {
+		t.Fatalf("inflight = %d, want 2", ten.Inflight())
+	}
+
+	// Unlimited tenants always acquire.
+	free, _ := New(Spec{Name: "b"})
+	for i := 0; i < 100; i++ {
+		if !free.TryAcquireInflight() {
+			t.Fatal("unlimited tenant blocked")
+		}
+	}
+}
