@@ -28,6 +28,7 @@ import (
 	"pcoup/internal/experiments"
 	_ "pcoup/internal/fleet" // registers the fleetscale experiment
 	"pcoup/internal/machine"
+	_ "pcoup/internal/progfuzz" // registers the fuzzdiff experiment
 )
 
 func main() {

@@ -7,6 +7,8 @@
 // Usage:
 //
 //	pcq [-server URL] submit (-exp NAME | -bench NAME [-mode MODE] | -sweep MIN:MAX) [flags]
+//	pcq [-server URL] run [flags] FILE.pcl
+//	pcq [-server URL] flood -programs N [flags]
 //	pcq [-server URL] get|wait|cancel|stream JOB-ID
 //	pcq [-server URL] list|metrics|health|ready
 //
@@ -15,6 +17,8 @@
 //	pcq submit -exp figure8 -wait     # full Figure 8 grid; cached on repeat
 //	pcq submit -bench fft -mode TPE -trace -wait
 //	pcq submit -sweep 1:4 -benches fft,matrix
+//	pcq run -verify myprog.pcl        # compile-and-run an untrusted source program
+//	pcq flood -programs 50 -verify    # generated-program traffic for chaos/load runs
 package main
 
 import (
@@ -31,6 +35,7 @@ import (
 	"time"
 
 	"pcoup/internal/machine"
+	"pcoup/internal/progfuzz"
 	"pcoup/internal/service"
 )
 
@@ -55,6 +60,10 @@ func main() {
 	switch cmd {
 	case "submit":
 		err = c.submit(args)
+	case "run":
+		err = c.run(args)
+	case "flood":
+		err = c.flood(args)
 	case "get":
 		err = c.getCmd(args)
 	case "wait":
@@ -87,6 +96,8 @@ func usage() {
 
 commands:
   submit    submit a job (-exp NAME | -bench NAME | -sweep MIN:MAX | -f spec.json)
+  run       compile-and-run a source program file ("-" for stdin); 422 on limit/syntax rejection
+  flood     submit -programs N generated fuzz programs (load/chaos traffic)
   get       print a job's status and result
   wait      poll a job until it finishes; non-zero exit on failure
   cancel    cancel a queued or running job
@@ -304,6 +315,175 @@ func (c *client) submit(args []string) error {
 	return c.waitFor(view.ID, *poll)
 }
 
+// run submits one source program through POST /v1/programs and, by
+// default, polls it to completion. A 422 (limit or syntax rejection) is
+// not retried — the program itself is at fault.
+func (c *client) run(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	mode := fs.String("mode", "Coupled", "compile mode (SEQ|STS|TPE|Coupled|Ideal)")
+	verify := fs.Bool("verify", false, "server-side check against the reference interpreter (race-free programs)")
+	disableOpt := fs.Bool("disable-opt", false, "disable the scalar optimization passes")
+	autoUnroll := fs.Int("auto-unroll", 0, "auto-unroll budget for constant-bound loops (0: off)")
+	preset := fs.String("preset", "", "named machine preset on the server")
+	machineFile := fs.String("machine", "", "machine config JSON file, sent inline")
+	maxCycles := fs.Int64("max-cycles", 0, "simulation cycle budget (0: server default)")
+	timeoutMS := fs.Int64("timeout-ms", 0, "job deadline in milliseconds (0: server default)")
+	noWait := fs.Bool("no-wait", false, "print the accepted view without polling")
+	stream := fs.Bool("stream", false, "follow the job's NDJSON stream instead of polling")
+	poll := fs.Duration("poll", 150*time.Millisecond, "poll interval")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: pcq run [flags] FILE.pcl (\"-\" for stdin)")
+	}
+	src, err := readFileOrStdin(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	req := service.ProgramRequest{
+		ProgramSpec: service.ProgramSpec{
+			Source: string(src), Mode: *mode,
+			DisableOpt: *disableOpt, AutoUnroll: *autoUnroll, Verify: *verify,
+		},
+		Preset:    *preset,
+		Options:   service.SimOptions{MaxCycles: *maxCycles},
+		TimeoutMS: *timeoutMS,
+	}
+	if *machineFile != "" {
+		cfg, err := machine.Load(*machineFile)
+		if err != nil {
+			return err
+		}
+		req.Machine = cfg
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	var view service.JobView
+	if err := c.getJSON("POST", "/v1/programs", body, &view); err != nil {
+		return err
+	}
+	switch {
+	case *noWait:
+		printJSON(view)
+		return nil
+	case *stream:
+		return c.stream([]string{view.ID})
+	default:
+		return c.waitFor(view.ID, *poll)
+	}
+}
+
+// floodSummary is flood's final report: terminal-state counts over the
+// submitted programs.
+type floodSummary struct {
+	Programs       int `json:"programs"`
+	Done           int `json:"done"`
+	CacheHits      int `json:"cache_hits"`
+	Failed         int `json:"failed"`
+	BudgetExceeded int `json:"budget_exceeded"`
+	Cancelled      int `json:"cancelled"`
+	Rejected       int `json:"rejected"` // refused at submission (422 etc.)
+}
+
+// flood generates -programs seeded fuzz programs and pushes them
+// through the server as program jobs — load and chaos traffic whose
+// results are still fully checkable (-verify turns on the server-side
+// differential oracle). Failed jobs fail the process: on a healthy
+// fleet every generated program must complete.
+func (c *client) flood(args []string) error {
+	fs := flag.NewFlagSet("flood", flag.ExitOnError)
+	programs := fs.Int("programs", 0, "number of generated programs to submit")
+	seed := fs.Int64("seed", 0, "base generator seed")
+	wide := fs.Bool("wide", false, "wide variant: hundreds-of-threads foralls over large arrays")
+	verify := fs.Bool("verify", false, "server-side verify every program against the interpreter")
+	conc := fs.Int("concurrency", 8, "concurrent in-flight jobs")
+	maxCycles := fs.Int64("max-cycles", 0, "per-program cycle budget (0: server default)")
+	poll := fs.Duration("poll", 100*time.Millisecond, "poll interval per job")
+	fs.Parse(args)
+	if *programs <= 0 {
+		return fmt.Errorf("flood needs -programs N")
+	}
+	// The wide generator caps arrays at 256 so forall-static fan-out
+	// stays within the service's 512-thread limit.
+	genOpts := progfuzz.GenOptions{}
+	if *wide {
+		genOpts = progfuzz.GenOptions{MaxArraySize: 256, WideForall: true}
+	}
+
+	type outcome struct {
+		view     service.JobView
+		rejected bool
+		err      error
+	}
+	sem := make(chan struct{}, max(*conc, 1))
+	results := make(chan outcome, *programs)
+	for i := 0; i < *programs; i++ {
+		go func(i int) {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			src := progfuzz.GenerateOpts(*seed+int64(i), genOpts)
+			req := service.ProgramRequest{
+				ProgramSpec: service.ProgramSpec{Source: src, Verify: *verify},
+				Options:     service.SimOptions{MaxCycles: *maxCycles},
+			}
+			body, err := json.Marshal(req)
+			if err != nil {
+				results <- outcome{err: err}
+				return
+			}
+			var view service.JobView
+			if err := c.getJSON("POST", "/v1/programs", body, &view); err != nil {
+				results <- outcome{rejected: true, err: err}
+				return
+			}
+			view, err = c.pollJob(view.ID, *poll)
+			results <- outcome{view: view, err: err}
+		}(i)
+	}
+
+	var sum floodSummary
+	sum.Programs = *programs
+	var firstErr error
+	for i := 0; i < *programs; i++ {
+		res := <-results
+		switch {
+		case res.rejected:
+			sum.Rejected++
+			if firstErr == nil {
+				firstErr = res.err
+			}
+			continue
+		case res.err != nil:
+			if firstErr == nil {
+				firstErr = res.err
+			}
+			continue
+		}
+		switch res.view.State {
+		case service.JobDone:
+			sum.Done++
+			if res.view.CacheHit {
+				sum.CacheHits++
+			}
+		case service.JobFailed:
+			sum.Failed++
+			if firstErr == nil {
+				firstErr = fmt.Errorf("job %s failed: %s", res.view.ID, res.view.Error)
+			}
+		case service.JobBudgetExceeded:
+			sum.BudgetExceeded++
+		case service.JobCancelled:
+			sum.Cancelled++
+		}
+	}
+	printJSON(sum)
+	if sum.Failed > 0 || sum.Rejected > 0 {
+		return fmt.Errorf("flood: %d failed, %d rejected (first: %v)", sum.Failed, sum.Rejected, firstErr)
+	}
+	return firstErr
+}
+
 func parseRange(s string) (min, max int, err error) {
 	lo, hi, ok := strings.Cut(s, ":")
 	if !ok {
@@ -357,17 +537,26 @@ func (c *client) waitCmd(args []string) error {
 // waitFor polls until the job is terminal; failure and cancellation are
 // process failures.
 func (c *client) waitFor(id string, interval time.Duration) error {
+	view, err := c.pollJob(id, interval)
+	if err != nil {
+		return err
+	}
+	printJSON(view)
+	if view.State != service.JobDone {
+		return fmt.Errorf("job %s %s: %s", id, view.State, view.Error)
+	}
+	return nil
+}
+
+// pollJob polls until the job is terminal and returns the final view.
+func (c *client) pollJob(id string, interval time.Duration) (service.JobView, error) {
 	for {
 		var view service.JobView
 		if err := c.getJSON("GET", "/v1/jobs/"+id, nil, &view); err != nil {
-			return err
+			return view, err
 		}
 		if view.State.Terminal() {
-			printJSON(view)
-			if view.State != service.JobDone {
-				return fmt.Errorf("job %s %s: %s", id, view.State, view.Error)
-			}
-			return nil
+			return view, nil
 		}
 		time.Sleep(interval)
 	}

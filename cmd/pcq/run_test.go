@@ -1,0 +1,148 @@
+package main
+
+import (
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"pcoup/internal/fleet"
+	"pcoup/internal/service"
+	"pcoup/internal/tenant"
+)
+
+// startServed boots an in-process pcserved and returns its base URL.
+func startServed(t *testing.T) string {
+	t.Helper()
+	srv := service.New(service.Options{Workers: 2})
+	if err := srv.Start(); err != nil {
+		t.Fatalf("service Start: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return ts.URL
+}
+
+// startFleet boots a gateway over the backends, optionally keyed.
+func startFleet(t *testing.T, backends []string, reg *tenant.Registry) string {
+	t.Helper()
+	gw, err := fleet.New(fleet.Options{
+		Pool:    fleet.PoolOptions{Backends: backends, ProbeInterval: 100 * time.Millisecond},
+		Tenants: reg,
+	})
+	if err != nil {
+		t.Fatalf("fleet New: %v", err)
+	}
+	if err := gw.Start(); err != nil {
+		t.Fatalf("gateway Start: %v", err)
+	}
+	ts := httptest.NewServer(gw.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		defer cancel()
+		gw.Shutdown(ctx)
+	})
+	return ts.URL
+}
+
+// e2eClient is a pcq client pointed at base with fast polling-friendly
+// retry settings.
+func e2eClient(base, key string) *client {
+	return &client{base: base, retries: 2, maxWait: 100 * time.Millisecond, backoff: 5 * time.Millisecond, tenantKey: key}
+}
+
+// writeProgram drops source into a temp .pcl file and returns its path.
+func writeProgram(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "prog.pcl")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const e2eProgram = `
+(program pcqsmoke
+  (global a (array int 4) (init 3 1 4 1))
+  (global out (array int 1))
+  (def (main)
+    (set s 0)
+    (for (i 0 4) (set s (+ s (aref a i))))
+    (aset out 0 s)))`
+
+const e2eSpin = `
+(program spin
+  (global out (array int 1))
+  (def (main)
+    (set s 0)
+    (for (i 0 100000) (set s (+ s i)))
+    (aset out 0 s)))`
+
+// TestRunAgainstPcserved drives pcq run end to end against a live
+// daemon: a valid program completes, a budget blowout exits non-zero
+// naming budget_exceeded, and a malformed program is a 422 rejection.
+func TestRunAgainstPcserved(t *testing.T) {
+	c := e2eClient(startServed(t), "")
+
+	if err := c.run([]string{"-verify", "-poll", "10ms", writeProgram(t, e2eProgram)}); err != nil {
+		t.Fatalf("run valid program: %v", err)
+	}
+
+	err := c.run([]string{"-max-cycles", "500", "-poll", "10ms", writeProgram(t, e2eSpin)})
+	if err == nil || !strings.Contains(err.Error(), string(service.JobBudgetExceeded)) {
+		t.Fatalf("over-budget run: err = %v, want budget_exceeded", err)
+	}
+
+	err = c.run([]string{"-poll", "10ms", writeProgram(t, strings.Repeat("(", 50_000))})
+	if err == nil || !strings.Contains(err.Error(), "422") {
+		t.Fatalf("malformed run: err = %v, want a 422 rejection", err)
+	}
+}
+
+// TestRunThroughFleet drives pcq run through a keyed two-backend
+// gateway: the tenant key is honored (401 without it), the program
+// completes, and an identical rerun is served from a backend cache.
+func TestRunThroughFleet(t *testing.T) {
+	reg, err := tenant.NewRegistry([]tenant.Spec{
+		{Name: "alice", Key: "alice-key", Weight: 8, Class: "interactive"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gwURL := startFleet(t, []string{startServed(t), startServed(t)}, reg)
+	file := writeProgram(t, e2eProgram)
+
+	// No key: the gateway answers 401 and pcq fails without retrying.
+	if err := e2eClient(gwURL, "").run([]string{"-poll", "10ms", file}); err == nil || !strings.Contains(err.Error(), "401") {
+		t.Fatalf("keyless run: err = %v, want 401", err)
+	}
+
+	c := e2eClient(gwURL, "alice-key")
+	if err := c.run([]string{"-verify", "-poll", "10ms", file}); err != nil {
+		t.Fatalf("run through gateway: %v", err)
+	}
+	// Identical rerun: content routing lands it on the same backend,
+	// whose cache serves it. pcq only reports success here; cache-hit
+	// plumbing itself is pinned by the fleet package tests.
+	if err := c.run([]string{"-verify", "-poll", "10ms", file}); err != nil {
+		t.Fatalf("cached rerun through gateway: %v", err)
+	}
+}
+
+// TestFloodAgainstPcserved pushes a batch of generated programs through
+// flood with server-side verification: every one must complete.
+func TestFloodAgainstPcserved(t *testing.T) {
+	c := e2eClient(startServed(t), "")
+	if err := c.flood([]string{"-programs", "8", "-seed", "42", "-verify", "-poll", "10ms"}); err != nil {
+		t.Fatalf("flood: %v", err)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"pcoup/internal/machine"
+	_ "pcoup/internal/progfuzz" // registers the fuzzdiff experiment
 	"pcoup/internal/service"
 )
 

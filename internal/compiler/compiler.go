@@ -121,6 +121,12 @@ func Compile(src string, cfg *machine.Config, opts Options) (*isa.Program, *Diag
 
 // CompileForms compiles pre-parsed top-level forms.
 func CompileForms(forms []*sexpr.Node, cfg *machine.Config, opts Options) (*isa.Program, *Diagnostics, error) {
+	return compileForms(forms, cfg, opts, nil)
+}
+
+// compileForms is the shared compile body; lim, when non-nil, bounds the
+// work performed (see CompileBounded).
+func compileForms(forms []*sexpr.Node, cfg *machine.Config, opts Options, lim *Limits) (*isa.Program, *Diagnostics, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -128,6 +134,7 @@ func CompileForms(forms []*sexpr.Node, cfg *machine.Config, opts Options) (*isa.
 	if err != nil {
 		return nil, nil, err
 	}
+	env.lim = lim
 	if err := env.lowerAll(); err != nil {
 		return nil, nil, err
 	}

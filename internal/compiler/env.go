@@ -61,6 +61,12 @@ type env struct {
 	nextAddr     int64
 	nextGen      int // generator for hidden cell / segment names
 	nextRotation int // static load-balancing counter for spawned threads
+
+	// lim, when non-nil, bounds compile work (untrusted input); irOps and
+	// stmtCount are the running totals checked against it.
+	lim       *Limits
+	irOps     int64
+	stmtCount int64
 }
 
 // dataBase is the first address assigned to globals (address 0 is
@@ -298,16 +304,21 @@ func (e *env) constEval(n *sexpr.Node, scope map[string]isa.Value) (isa.Value, e
 }
 
 // lowerAll lowers every segment (including fork bodies discovered during
-// lowering) to IR.
+// lowering) to IR. Under Limits, the segment count and memory image are
+// re-checked each iteration because both grow as lowering discovers
+// forks and allocates synchronization cells.
 func (e *env) lowerAll() error {
 	for i := 0; i < len(e.segs); i++ {
+		if err := e.checkThreads(); err != nil {
+			return err
+		}
 		fn, err := e.lowerSegment(&e.segs[i])
 		if err != nil {
 			return err
 		}
 		e.fns = append(e.fns, fn)
 	}
-	return nil
+	return e.checkThreads()
 }
 
 // memWords returns the total memory image size required.

@@ -1,0 +1,103 @@
+package compiler
+
+import (
+	"pcoup/internal/isa"
+	"pcoup/internal/machine"
+	"pcoup/internal/sexpr"
+)
+
+// This file exports the compiler's front-end view of a program —
+// declarations, constants, and the shared arithmetic evaluation rules —
+// so independent consumers (the internal/oracle reference interpreter)
+// can evaluate source programs under exactly the semantics the compiler
+// folds with and the simulator executes with, without reaching into the
+// lowering pipeline.
+
+// GlobalDecl describes one declared memory-resident variable or array.
+type GlobalDecl struct {
+	Name  string
+	Float bool
+	Size  int64
+	Addr  int64
+	Init  []isa.Value
+	Empty bool
+}
+
+// FuncDecl is a user procedure. Procedures are macros: calls are
+// expanded inline, so recursion is not supported.
+type FuncDecl struct {
+	Name   string
+	Params []string
+	Body   []*sexpr.Node
+}
+
+// Declarations is the front end's resolved view of a program's top-level
+// forms: constants folded, globals laid out at their final addresses,
+// and procedures collected. Statement bodies remain raw parse trees.
+type Declarations struct {
+	Name        string
+	Consts      map[string]isa.Value
+	Globals     map[string]*GlobalDecl
+	GlobalOrder []string
+	Funcs       map[string]*FuncDecl
+}
+
+// MaxExpandDepth is the procedure macro-expansion bound shared by the
+// compiler and the reference interpreter.
+const MaxExpandDepth = maxInlineDepth
+
+// Analyze resolves the declarations of pre-parsed top-level forms.
+// Global addresses match what any compilation of the same forms assigns.
+func Analyze(forms []*sexpr.Node) (*Declarations, error) {
+	// Address layout depends only on the forms, not the machine, so the
+	// baseline config suffices for environment construction.
+	e, err := newEnv(forms, machine.Baseline(), Options{})
+	if err != nil {
+		return nil, err
+	}
+	d := &Declarations{
+		Name:        e.progName,
+		Consts:      e.consts,
+		Globals:     map[string]*GlobalDecl{},
+		GlobalOrder: append([]string(nil), e.globalOrder...),
+		Funcs:       map[string]*FuncDecl{},
+	}
+	for name, g := range e.globals {
+		d.Globals[name] = &GlobalDecl{
+			Name:  g.name,
+			Float: g.typ == TFloat,
+			Size:  g.size,
+			Addr:  g.addr,
+			Init:  g.init,
+			Empty: g.empty,
+		}
+	}
+	for name, f := range e.funcs {
+		d.Funcs[name] = &FuncDecl{Name: f.name, Params: f.params, Body: f.body}
+	}
+	return d, nil
+}
+
+// AnalyzeSource parses src (under stack-safety bounds only) and resolves
+// its declarations.
+func AnalyzeSource(src string) (*Declarations, error) {
+	forms, err := sexpr.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Analyze(forms)
+}
+
+// IsArithOp reports whether op is a primitive arithmetic/comparison
+// operator of the source language.
+func IsArithOp(op string) bool {
+	_, ok := arithOpcode(op)
+	return ok
+}
+
+// EvalArith applies a primitive operator to evaluated operands using the
+// same rules the compiler constant-folds with (and the simulator
+// executes with). n is used for error positions and may be nil.
+func EvalArith(n *sexpr.Node, op string, operands []isa.Value) (isa.Value, error) {
+	return constApply(n, op, operands)
+}

@@ -151,7 +151,10 @@ func (lc *lowerCtx) place(b *Block) {
 	lc.cur = b
 }
 
-func (lc *lowerCtx) emit(in *Instr) { lc.cur.Instrs = append(lc.cur.Instrs, in) }
+func (lc *lowerCtx) emit(in *Instr) {
+	lc.env.irOps++
+	lc.cur.Instrs = append(lc.cur.Instrs, in)
+}
 
 func (lc *lowerCtx) newTemp(t Type) VReg { return lc.fn.newVReg(t) }
 
@@ -159,6 +162,9 @@ func (lc *lowerCtx) newTemp(t Type) VReg { return lc.fn.newVReg(t) }
 
 func (lc *lowerCtx) stmts(nodes []*sexpr.Node) error {
 	for i, n := range nodes {
+		if err := lc.env.checkLowerBudget(); err != nil {
+			return err
+		}
 		if lc.ret != nil && lc.ret.set {
 			return errAt(n, "statement after (return ...)")
 		}

@@ -31,6 +31,14 @@ type permanentError struct{ err error }
 func (e permanentError) Error() string { return e.err.Error() }
 func (e permanentError) Unwrap() error { return e.err }
 
+// budgetExceededError marks a backend job that finished in the
+// budget_exceeded state (the simulation hit its cycle budget). It is
+// permanent — every backend would run out identically — and the gateway
+// job mirrors the backend's terminal state instead of reporting failed.
+type budgetExceededError struct{ msg string }
+
+func (e budgetExceededError) Error() string { return e.msg }
+
 // runJob executes one gateway job end to end.
 func (g *Gateway) runJob(job *fleetJob) {
 	job.mu.Lock()
@@ -61,12 +69,16 @@ func (g *Gateway) runJob(job *fleetJob) {
 
 	var state service.JobState
 	var errMsg string
+	var be budgetExceededError
 	switch {
 	case err == nil:
 		state = service.JobDone
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		state = service.JobCancelled
 		errMsg = "cancelled"
+	case errors.As(err, &be):
+		state = service.JobBudgetExceeded
+		errMsg = err.Error()
 	default:
 		state = service.JobFailed
 		errMsg = err.Error()
@@ -311,6 +323,10 @@ func routeKey(spec *service.JobSpec) (string, bool) {
 			if k, err := service.ExperimentContentKey(spec.Experiment, cfg, spec.Options); err == nil {
 				return k, true
 			}
+		case spec.Program != nil:
+			if k, err := service.ProgramContentKey(spec.Program, cfg, spec.Options); err == nil {
+				return k, true
+			}
 		}
 	}
 	data, _ := json.Marshal(spec)
@@ -535,6 +551,9 @@ func (g *Gateway) attempt(ctx context.Context, b *Backend, t *task) (json.RawMes
 	case service.JobFailed:
 		// Deterministic failure: every backend would fail identically.
 		return nil, false, permanentError{fmt.Errorf("backend %s: %s", b.URL, errMsg)}
+	case service.JobBudgetExceeded:
+		// Equally deterministic, but surfaced as its own terminal state.
+		return nil, false, permanentError{budgetExceededError{errMsg}}
 	default: // cancelled remotely (backend draining): retry elsewhere
 		return nil, false, fmt.Errorf("backend %s: job %s", b.URL, state)
 	}
@@ -572,7 +591,9 @@ func (g *Gateway) submitRemote(ctx context.Context, b *Backend, t *task) (*servi
 	defer resp.Body.Close()
 	switch {
 	case resp.StatusCode == http.StatusAccepted:
-	case resp.StatusCode == http.StatusBadRequest:
+	case resp.StatusCode == http.StatusBadRequest, resp.StatusCode == http.StatusUnprocessableEntity:
+		// 422: the backend rejected the program content itself — every
+		// backend would, so failover is pointless.
 		return nil, permanentError{fmt.Errorf("backend %s: %s", b.URL, readError(resp))}
 	default:
 		// 503 (draining, queue full) and 5xx: transient, try elsewhere.

@@ -404,8 +404,11 @@ func (g *Gateway) validate(spec *service.JobSpec) error {
 		if spec.Sweep != nil {
 			selected++
 		}
+		if spec.Program != nil {
+			selected++
+		}
 		if selected != 1 {
-			return fmt.Errorf("spec must set exactly one of experiment, cell, sweep (got %d)", selected)
+			return fmt.Errorf("spec must set exactly one of experiment, cell, sweep, program (got %d)", selected)
 		}
 		// Mirror the backend rule: a sweep with a preset is always invalid,
 		// and skipping Normalize here would scatter an unnormalized sweep

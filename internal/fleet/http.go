@@ -14,6 +14,7 @@ import (
 // pcserved, so pcq and every other client work unchanged:
 //
 //	POST   /v1/jobs             submit a job (202 + job view)
+//	POST   /v1/programs         compile-and-run an untrusted source program (202; 422 on rejection)
 //	GET    /v1/jobs             list gateway jobs
 //	GET    /v1/jobs/{id}        job status; includes result when done
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
@@ -29,6 +30,7 @@ import (
 func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", g.withTenant(g.handleSubmit))
+	mux.HandleFunc("POST /v1/programs", g.withTenant(g.handleProgram))
 	mux.HandleFunc("GET /v1/jobs", g.withTenant(g.handleList))
 	mux.HandleFunc("GET /v1/jobs/{id}", g.withTenant(g.handleGet))
 	mux.HandleFunc("DELETE /v1/jobs/{id}", g.withTenant(g.handleCancel))
@@ -79,12 +81,33 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeHTTPError(w, http.StatusBadRequest, err)
 		return
 	}
+	g.submitAndRespond(w, r, spec)
+}
+
+// handleProgram accepts the flattened POST /v1/programs body (the same
+// shape a single pcserved accepts) and submits it as a program job.
+func (g *Gateway) handleProgram(w http.ResponseWriter, r *http.Request) {
+	var req service.ProgramRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeHTTPError(w, http.StatusBadRequest, err)
+		return
+	}
+	g.submitAndRespond(w, r, req.JobSpec())
+}
+
+// submitAndRespond runs SubmitAs for the request's tenant and writes
+// the submission response, mirroring a single backend's status mapping
+// (plus the gateway-only 429 for quota rejections).
+func (g *Gateway) submitAndRespond(w http.ResponseWriter, r *http.Request, spec service.JobSpec) {
 	ten := tenant.FromContext(r.Context())
 	if ten == nil {
 		ten = g.tenants.Default()
 	}
 	job, err := g.SubmitAs(spec, ten)
 	var qe *tenant.QuotaError
+	var pe *service.ProgramError
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusAccepted, job.view(false))
@@ -93,6 +116,8 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeHTTPError(w, http.StatusTooManyRequests, err)
 	case errors.Is(err, ErrDraining):
 		writeHTTPError(w, http.StatusServiceUnavailable, err)
+	case errors.As(err, &pe):
+		writeHTTPError(w, http.StatusUnprocessableEntity, err)
 	default:
 		writeHTTPError(w, http.StatusBadRequest, err)
 	}

@@ -1,59 +1,67 @@
-package compiler
+// Package oracle is a direct tree-walking evaluator for the source
+// language, used as an independent reference for differential testing of
+// the compiler + simulator pipeline (fuzz targets, the service's
+// optional result verification, and pcbench's fuzzdiff experiment).
+//
+// Arithmetic is delegated to compiler.EvalArith, so its typing and
+// operation semantics are by construction the same rules the compiler
+// folds with and the simulator executes with. The oracle runs threads
+// sequentially (fork and forall bodies execute inline at the spawn
+// site), so it is a valid reference only for race-free programs — which
+// the progfuzz generator guarantees by writing disjoint locations from
+// parallel constructs.
+package oracle
 
 import (
 	"fmt"
 
+	"pcoup/internal/compiler"
 	"pcoup/internal/isa"
 	"pcoup/internal/sexpr"
 )
 
-// oracle is a direct tree-walking evaluator for the source language,
-// used as an independent reference for differential testing. Arithmetic
-// is delegated to constApply, so its typing and operation semantics are
-// by construction the same rules the compiler folds with and the
-// simulator executes with. The oracle runs threads sequentially (fork
-// bodies execute inline at the fork site), so it is a valid reference
-// only for race-free programs — which the differential test generator
-// guarantees by writing disjoint locations from parallel constructs.
-type oracle struct {
-	env *env
-	mem map[string][]isa.Value
+// MaxSteps bounds loop iterations so a non-terminating (or merely huge)
+// program cannot pin the interpreter.
+const MaxSteps = 10_000_000
+
+type interp struct {
+	decls *compiler.Declarations
+	mem   map[string][]isa.Value
 }
 
-// oracleRun parses and evaluates a program, returning the final contents
-// of every declared global.
-func oracleRun(src string) (map[string][]isa.Value, error) {
+// Run parses and evaluates a program, returning the final contents of
+// every declared global (hidden cells do not exist at this level).
+func Run(src string) (map[string][]isa.Value, error) {
 	forms, err := sexpr.Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	if len(forms) == 1 && forms[0].Head() == "program" {
-		// newEnv handles the unwrapping.
-	}
-	// A minimal machine is irrelevant to the oracle; newEnv only needs
-	// the forms. Pass a permissive dummy config through the public entry
-	// used by the compiler.
-	e, err := newEnv(forms, oracleMachine(), Options{})
+	return RunForms(forms)
+}
+
+// RunForms evaluates pre-parsed top-level forms.
+func RunForms(forms []*sexpr.Node) (map[string][]isa.Value, error) {
+	decls, err := compiler.Analyze(forms)
 	if err != nil {
 		return nil, err
 	}
-	o := &oracle{env: e, mem: map[string][]isa.Value{}}
-	for name, g := range e.globals {
-		vals := make([]isa.Value, g.size)
-		if g.typ == TFloat {
+	o := &interp{decls: decls, mem: map[string][]isa.Value{}}
+	for name, g := range decls.Globals {
+		vals := make([]isa.Value, g.Size)
+		if g.Float {
 			for i := range vals {
 				vals[i] = isa.Float(0)
 			}
 		}
-		copy(vals, g.init)
+		copy(vals, g.Init)
 		o.mem[name] = vals
 	}
-	main := e.funcs["main"]
+	main := decls.Funcs["main"]
 	if main == nil {
 		return nil, fmt.Errorf("oracle: no main")
 	}
-	sc := &oracleScope{vars: map[string]isa.Value{}, consts: map[string]isa.Value{}}
-	if _, err := o.stmts(main.body, sc, 0); err != nil {
+	sc := &scope{vars: map[string]isa.Value{}, consts: map[string]isa.Value{}}
+	if _, err := o.stmts(main.Body, sc, 0); err != nil {
 		return nil, err
 	}
 	out := map[string][]isa.Value{}
@@ -63,13 +71,13 @@ func oracleRun(src string) (map[string][]isa.Value, error) {
 	return out, nil
 }
 
-type oracleScope struct {
-	parent *oracleScope
+type scope struct {
+	parent *scope
 	vars   map[string]isa.Value
 	consts map[string]isa.Value
 }
 
-func (s *oracleScope) lookupVar(name string) (*oracleScope, bool) {
+func (s *scope) lookupVar(name string) (*scope, bool) {
 	for sc := s; sc != nil; sc = sc.parent {
 		if _, ok := sc.vars[name]; ok {
 			return sc, true
@@ -81,7 +89,7 @@ func (s *oracleScope) lookupVar(name string) (*oracleScope, bool) {
 	return nil, false
 }
 
-func (s *oracleScope) lookupConst(name string) (isa.Value, bool) {
+func (s *scope) lookupConst(name string) (isa.Value, bool) {
 	for sc := s; sc != nil; sc = sc.parent {
 		if v, ok := sc.consts[name]; ok {
 			return v, true
@@ -93,11 +101,9 @@ func (s *oracleScope) lookupConst(name string) (isa.Value, bool) {
 	return isa.Value{}, false
 }
 
-const oracleMaxSteps = 10_000_000
+type returned struct{ val isa.Value }
 
-type oracleReturn struct{ val isa.Value }
-
-func (o *oracle) stmts(nodes []*sexpr.Node, sc *oracleScope, depth int) (*oracleReturn, error) {
+func (o *interp) stmts(nodes []*sexpr.Node, sc *scope, depth int) (*returned, error) {
 	for _, n := range nodes {
 		ret, err := o.stmt(n, sc, depth)
 		if err != nil {
@@ -110,8 +116,8 @@ func (o *oracle) stmts(nodes []*sexpr.Node, sc *oracleScope, depth int) (*oracle
 	return nil, nil
 }
 
-func (o *oracle) stmt(n *sexpr.Node, sc *oracleScope, depth int) (*oracleReturn, error) {
-	if depth > maxInlineDepth {
+func (o *interp) stmt(n *sexpr.Node, sc *scope, depth int) (*returned, error) {
+	if depth > compiler.MaxExpandDepth {
 		return nil, fmt.Errorf("oracle: expansion too deep")
 	}
 	switch n.Head() {
@@ -129,8 +135,8 @@ func (o *oracle) stmt(n *sexpr.Node, sc *oracleScope, depth int) (*oracleReturn,
 			owner.vars[name] = v
 			return nil, nil
 		}
-		if g, ok := o.env.globals[name]; ok {
-			if g.typ == TFloat && !v.IsFloat {
+		if g, ok := o.decls.Globals[name]; ok {
+			if g.Float && !v.IsFloat {
 				v = isa.Float(v.AsFloat())
 			}
 			o.mem[name][0] = v
@@ -139,7 +145,7 @@ func (o *oracle) stmt(n *sexpr.Node, sc *oracleScope, depth int) (*oracleReturn,
 		sc.vars[name] = v
 		return nil, nil
 	case "let":
-		inner := &oracleScope{parent: sc, vars: map[string]isa.Value{}, consts: map[string]isa.Value{}}
+		inner := &scope{parent: sc, vars: map[string]isa.Value{}, consts: map[string]isa.Value{}}
 		for _, bind := range n.List[1].List {
 			v, err := o.expr(bind.List[1], sc, depth)
 			if err != nil {
@@ -162,7 +168,7 @@ func (o *oracle) stmt(n *sexpr.Node, sc *oracleScope, depth int) (*oracleReturn,
 		return nil, nil
 	case "while":
 		for steps := 0; ; steps++ {
-			if steps > oracleMaxSteps {
+			if steps > MaxSteps {
 				return nil, fmt.Errorf("oracle: while did not terminate")
 			}
 			c, err := o.expr(n.List[1], sc, depth)
@@ -200,7 +206,7 @@ func (o *oracle) stmt(n *sexpr.Node, sc *oracleScope, depth int) (*oracleReturn,
 			}
 		}
 		for i := lo.AsInt(); i < hi.AsInt(); i += step {
-			inner := &oracleScope{parent: sc, vars: map[string]isa.Value{}, consts: map[string]isa.Value{}}
+			inner := &scope{parent: sc, vars: map[string]isa.Value{}, consts: map[string]isa.Value{}}
 			inner.vars[name] = isa.Int(i)
 			if ret, err := o.stmts(n.List[2:], inner, depth); err != nil || ret != nil {
 				return ret, err
@@ -210,7 +216,7 @@ func (o *oracle) stmt(n *sexpr.Node, sc *oracleScope, depth int) (*oracleReturn,
 	case "begin":
 		return o.stmts(n.List[1:], sc, depth)
 	case "aset":
-		g, ok := o.env.globals[n.List[1].Sym]
+		g, ok := o.decls.Globals[n.List[1].Sym]
 		if !ok {
 			return nil, fmt.Errorf("oracle: unknown global %q", n.List[1].Sym)
 		}
@@ -222,19 +228,19 @@ func (o *oracle) stmt(n *sexpr.Node, sc *oracleScope, depth int) (*oracleReturn,
 		if err != nil {
 			return nil, err
 		}
-		if g.typ == TFloat && !v.IsFloat {
+		if g.Float && !v.IsFloat {
 			v = isa.Float(v.AsFloat())
 		}
 		i := idx.AsInt()
-		if i < 0 || i >= g.size {
-			return nil, fmt.Errorf("oracle: %s[%d] out of range", g.name, i)
+		if i < 0 || i >= g.Size {
+			return nil, fmt.Errorf("oracle: %s[%d] out of range", g.Name, i)
 		}
-		o.mem[g.name][i] = v
+		o.mem[g.Name][i] = v
 		return nil, nil
 	case "fork":
 		// Sequential execution of the forked body (race-free programs
 		// only). Fork bodies see no parent locals.
-		inner := &oracleScope{vars: map[string]isa.Value{}, consts: flattenOracleConsts(sc)}
+		inner := &scope{vars: map[string]isa.Value{}, consts: flattenConsts(sc)}
 		_, err := o.stmts(n.List[1:], inner, depth)
 		return nil, err
 	case "join":
@@ -244,9 +250,9 @@ func (o *oracle) stmt(n *sexpr.Node, sc *oracleScope, depth int) (*oracleReturn,
 		if err != nil {
 			return nil, err
 		}
-		return &oracleReturn{val: v}, nil
+		return &returned{val: v}, nil
 	default:
-		if fd, ok := o.env.funcs[n.Head()]; ok {
+		if fd, ok := o.decls.Funcs[n.Head()]; ok {
 			_, err := o.call(fd, n, sc, depth)
 			return nil, err
 		}
@@ -254,10 +260,10 @@ func (o *oracle) stmt(n *sexpr.Node, sc *oracleScope, depth int) (*oracleReturn,
 	}
 }
 
-func flattenOracleConsts(sc *oracleScope) map[string]isa.Value {
+func flattenConsts(sc *scope) map[string]isa.Value {
 	out := map[string]isa.Value{}
-	var walk func(*oracleScope)
-	walk = func(s *oracleScope) {
+	var walk func(*scope)
+	walk = func(s *scope) {
 		if s == nil {
 			return
 		}
@@ -275,19 +281,19 @@ func flattenOracleConsts(sc *oracleScope) map[string]isa.Value {
 	return out
 }
 
-func (o *oracle) call(fd *funcDef, n *sexpr.Node, sc *oracleScope, depth int) (isa.Value, error) {
-	if len(n.List)-1 != len(fd.params) {
-		return isa.Value{}, fmt.Errorf("oracle: %s arity", fd.name)
+func (o *interp) call(fd *compiler.FuncDecl, n *sexpr.Node, sc *scope, depth int) (isa.Value, error) {
+	if len(n.List)-1 != len(fd.Params) {
+		return isa.Value{}, fmt.Errorf("oracle: %s arity", fd.Name)
 	}
-	inner := &oracleScope{vars: map[string]isa.Value{}, consts: map[string]isa.Value{}}
-	for i, p := range fd.params {
+	inner := &scope{vars: map[string]isa.Value{}, consts: map[string]isa.Value{}}
+	for i, p := range fd.Params {
 		v, err := o.expr(n.List[i+1], sc, depth)
 		if err != nil {
 			return isa.Value{}, err
 		}
 		inner.vars[p] = v
 	}
-	ret, err := o.stmts(fd.body, inner, depth+1)
+	ret, err := o.stmts(fd.Body, inner, depth+1)
 	if err != nil {
 		return isa.Value{}, err
 	}
@@ -297,7 +303,7 @@ func (o *oracle) call(fd *funcDef, n *sexpr.Node, sc *oracleScope, depth int) (i
 	return isa.Value{}, nil
 }
 
-func (o *oracle) expr(n *sexpr.Node, sc *oracleScope, depth int) (isa.Value, error) {
+func (o *interp) expr(n *sexpr.Node, sc *scope, depth int) (isa.Value, error) {
 	switch n.Kind {
 	case sexpr.KInt:
 		return isa.Int(n.Int), nil
@@ -310,11 +316,11 @@ func (o *oracle) expr(n *sexpr.Node, sc *oracleScope, depth int) (isa.Value, err
 		if v, ok := sc.lookupConst(n.Sym); ok {
 			return v, nil
 		}
-		if v, ok := o.env.consts[n.Sym]; ok {
+		if v, ok := o.decls.Consts[n.Sym]; ok {
 			return v, nil
 		}
-		if g, ok := o.env.globals[n.Sym]; ok {
-			if g.size != 1 {
+		if g, ok := o.decls.Globals[n.Sym]; ok {
+			if g.Size != 1 {
 				return isa.Value{}, fmt.Errorf("oracle: array %q as value", n.Sym)
 			}
 			return o.mem[n.Sym][0], nil
@@ -323,7 +329,7 @@ func (o *oracle) expr(n *sexpr.Node, sc *oracleScope, depth int) (isa.Value, err
 	case sexpr.KList:
 		switch n.Head() {
 		case "aref":
-			g, ok := o.env.globals[n.List[1].Sym]
+			g, ok := o.decls.Globals[n.List[1].Sym]
 			if !ok {
 				return isa.Value{}, fmt.Errorf("oracle: unknown global %q", n.List[1].Sym)
 			}
@@ -332,16 +338,16 @@ func (o *oracle) expr(n *sexpr.Node, sc *oracleScope, depth int) (isa.Value, err
 				return isa.Value{}, err
 			}
 			i := idx.AsInt()
-			if i < 0 || i >= g.size {
-				return isa.Value{}, fmt.Errorf("oracle: %s[%d] out of range", g.name, i)
+			if i < 0 || i >= g.Size {
+				return isa.Value{}, fmt.Errorf("oracle: %s[%d] out of range", g.Name, i)
 			}
-			return o.mem[g.name][i], nil
+			return o.mem[g.Name][i], nil
 		case "addr":
-			g, ok := o.env.globals[n.List[1].Sym]
+			g, ok := o.decls.Globals[n.List[1].Sym]
 			if !ok {
 				return isa.Value{}, fmt.Errorf("oracle: unknown global")
 			}
-			return isa.Int(g.addr), nil
+			return isa.Int(g.Addr), nil
 		case "float":
 			v, err := o.expr(n.List[1], sc, depth)
 			if err != nil {
@@ -355,7 +361,7 @@ func (o *oracle) expr(n *sexpr.Node, sc *oracleScope, depth int) (isa.Value, err
 			}
 			return isa.Int(v.AsInt()), nil
 		}
-		if _, ok := arithOpcode(n.Head()); ok {
+		if compiler.IsArithOp(n.Head()) {
 			vals := make([]isa.Value, len(n.List)-1)
 			for i, c := range n.List[1:] {
 				v, err := o.expr(c, sc, depth)
@@ -364,9 +370,9 @@ func (o *oracle) expr(n *sexpr.Node, sc *oracleScope, depth int) (isa.Value, err
 				}
 				vals[i] = v
 			}
-			return constApply(n, n.Head(), vals)
+			return compiler.EvalArith(n, n.Head(), vals)
 		}
-		if fd, ok := o.env.funcs[n.Head()]; ok {
+		if fd, ok := o.decls.Funcs[n.Head()]; ok {
 			return o.call(fd, n, sc, depth)
 		}
 	}

@@ -1,0 +1,60 @@
+package progfuzz
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// corpusSeeds is the checked-in differential corpus: seeds 0..499 (plus
+// the wide tail below) must produce identical memory images on the
+// interpreter and the simulator across all five machine modes, with
+// zero divergences. The generator is deterministic per seed, so the
+// seed range IS the corpus.
+const corpusSeeds = 500
+
+// corpusShards bounds test wall-clock by running the corpus in parallel
+// slices.
+const corpusShards = 16
+
+func TestDiffCorpus(t *testing.T) {
+	n := int64(corpusSeeds)
+	if testing.Short() {
+		n = 48
+	}
+	for shard := int64(0); shard < corpusShards; shard++ {
+		shard := shard
+		t.Run(fmt.Sprintf("shard%02d", shard), func(t *testing.T) {
+			t.Parallel()
+			for seed := shard; seed < n; seed += corpusShards {
+				src, err := DiffSeed(context.Background(), seed, GenOptions{}, 0)
+				if err != nil {
+					t.Fatalf("seed %d: %v\n%s", seed, err, src)
+				}
+			}
+		})
+	}
+}
+
+// TestDiffCorpusWide covers the hundreds-of-threads regime: wide foralls
+// over large arrays, so forall-static fans out one thread per element
+// and runtime foralls push long index streams through the mailboxes.
+func TestDiffCorpusWide(t *testing.T) {
+	n := int64(24)
+	if testing.Short() {
+		n = 4
+	}
+	wide := GenOptions{MaxArraySize: 256, WideForall: true}
+	for shard := int64(0); shard < 8; shard++ {
+		shard := shard
+		t.Run(fmt.Sprintf("shard%d", shard), func(t *testing.T) {
+			t.Parallel()
+			for seed := shard; seed < n; seed += 8 {
+				src, err := DiffSeed(context.Background(), 1_000_000+seed, wide, 0)
+				if err != nil {
+					t.Fatalf("wide seed %d: %v\n%s", seed, err, src)
+				}
+			}
+		})
+	}
+}

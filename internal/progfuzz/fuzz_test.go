@@ -1,0 +1,28 @@
+package progfuzz
+
+import (
+	"context"
+	"testing"
+)
+
+// FuzzDiff is the native fuzz entry: any seed the fuzzer invents must
+// generate a program whose simulated memory image matches the reference
+// interpreter under every machine mode. The f.Add seeds double as a
+// smoke corpus replayed in normal `go test` runs; the full checked-in
+// corpus lives in corpus_test.go.
+func FuzzDiff(f *testing.F) {
+	for seed := int64(0); seed < 8; seed++ {
+		f.Add(seed, false)
+	}
+	f.Add(int64(3), true)
+	f.Fuzz(func(t *testing.T, seed int64, wide bool) {
+		o := GenOptions{}
+		if wide {
+			o = GenOptions{MaxArraySize: 128, WideForall: true}
+		}
+		src, err := DiffSeed(context.Background(), seed, o, 0)
+		if err != nil {
+			t.Fatalf("seed %d (wide=%v): %v\n%s", seed, wide, err, src)
+		}
+	})
+}

@@ -1,32 +1,44 @@
-package compiler
+// Package progfuzz generates random, well-typed, race-free programs in
+// the source language and checks them differentially: each program runs
+// on the tree-walking reference interpreter (internal/oracle) and on the
+// full compiler + simulator pipeline across all five machine modes, and
+// every declared global's final contents must agree exactly.
+//
+// The generator is the repo's untrusted-input proving ground: it feeds
+// the native Go fuzz targets, the checked-in corpus replayed by `go
+// test`, the `pcbench -exp fuzzdiff` experiment, and `pcq flood
+// -programs` synthetic traffic for fleet chaos/load runs.
+package progfuzz
 
 import (
 	"fmt"
 	"math/rand"
 	"strings"
-	"testing"
-
-	"pcoup/internal/machine"
-	"pcoup/internal/sim"
 )
 
-// oracleMachine returns a config sufficient for newEnv (the oracle needs
-// only the program forms, but env construction takes a machine).
-func oracleMachine() *machine.Config { return machine.Baseline() }
+// GenOptions shapes generated programs.
+type GenOptions struct {
+	// MaxArraySize caps array sizes (rounded to a power of two so index
+	// masking stays valid). 0 means 16.
+	MaxArraySize int64
+	// WideForall lets parallel constructs span a whole array rather than
+	// the first 8 elements — with MaxArraySize raised this produces
+	// programs with hundreds of threads.
+	WideForall bool
+	// Stmts is the base number of top-level statements in main (a small
+	// random count is added). 0 means 4.
+	Stmts int
+}
 
-// progGen generates random, well-typed, race-free programs in the source
-// language for differential testing: the same program is compiled under
-// many machine configurations and modes, simulated, and every declared
-// global's final contents compared against the oracle interpreter.
+// progGen holds the generator state for one program.
 type progGen struct {
 	r        *rand.Rand
-	b        strings.Builder
+	opts     GenOptions
 	intVars  []string // assignable integer variables
 	fltVars  []string // assignable float variables
 	roInts   []string // read-only integer names (loop indices)
 	arrays   []genArray
 	varSeq   int
-	depth    int
 	inForall string // forall index var when inside a parallel body
 }
 
@@ -227,12 +239,14 @@ func (g *progGen) stmt(indent string, depth int) string {
 }
 
 // forallStmt emits a race-free parallel construct: each iteration writes
-// only out[i] for its own index i, reading any arrays.
+// only out[i] for its own index i, reading any other arrays. In wide
+// mode the span is the whole array — with large arrays this is where the
+// hundreds-of-threads programs come from.
 func (g *progGen) forallStmt(indent string) string {
 	outs := g.arrays
 	a := outs[g.r.Intn(len(outs))]
 	n := a.size
-	if n > 8 {
+	if !g.opts.WideForall && n > 8 {
 		n = 8
 	}
 	saved := g.arrays
@@ -250,13 +264,16 @@ func (g *progGen) forallStmt(indent string) string {
 	g.intVars = nil
 	g.fltVars = nil
 	g.roInts = []string{"pi"}
-	_ = savedRo
 	val := g.intExpr(2)
 	if a.float {
 		val = g.fltExpr(2)
 	}
 	g.arrays = saved
 	g.intVars, g.fltVars, g.roInts = savedInt, savedFlt, savedRo
+	// Static foralls fork one thread per iteration; keep them at hardware
+	// scale unless wide mode explicitly asks for a thread storm. Runtime
+	// foralls feed iterations through the worker/mailbox protocol, so
+	// width costs cycles, not segments.
 	if g.r.Intn(2) == 0 {
 		return fmt.Sprintf("%s(forall-static (pi 0 %d)\n%s  (aset %s pi %s))", indent, n, indent, a.name, val)
 	}
@@ -276,12 +293,6 @@ func (g *progGen) genProcs(b *strings.Builder) (intCalls, fltCalls []string) {
 	// A float-valued procedure of one float and one int parameter.
 	fmt.Fprintf(b, "  (def (fh a k)\n    (set t (* a 0.5))\n    (return (+ t (float k))))\n")
 	fltCalls = append(fltCalls, "(fh %FLT% %INT%)")
-	// A statement procedure writing through an array, if one exists.
-	if arrs := g.intArrays(); len(arrs) > 0 {
-		a := arrs[0]
-		fmt.Fprintf(b, "  (def (store%s i v)\n    (aset %s (and i %d) v))\n", a.name, a.name, a.size-1)
-		intCalls = append(intCalls, "") // placeholder keeps slices non-empty
-	}
 	return intCalls, fltCalls
 }
 
@@ -293,17 +304,32 @@ func (g *progGen) callExpr(tpl string) string {
 	return out
 }
 
-// generate builds one complete random program.
-func generateProgram(seed int64) string {
+// Generate builds one complete random program from the seed with default
+// options. The same seed always yields the same program.
+func Generate(seed int64) string { return GenerateOpts(seed, GenOptions{}) }
+
+// GenerateOpts builds one complete random program under o.
+func GenerateOpts(seed int64, o GenOptions) string {
+	if o.MaxArraySize <= 0 {
+		o.MaxArraySize = 16
+	}
+	if o.Stmts <= 0 {
+		o.Stmts = 4
+	}
+	// Round the array cap down to a power of two ≥ 8.
+	sizes := []int64{8}
+	for s := int64(16); s <= o.MaxArraySize; s *= 2 {
+		sizes = append(sizes, s)
+	}
 	r := rand.New(rand.NewSource(seed))
-	g := &progGen{r: r}
+	g := &progGen{r: r, opts: o}
 	var b strings.Builder
 	b.WriteString("(program fuzz\n")
 	nArrays := 2 + r.Intn(3)
 	for i := 0; i < nArrays; i++ {
 		a := genArray{
 			name:  fmt.Sprintf("g%d", i),
-			size:  int64(8 << r.Intn(2)),
+			size:  sizes[r.Intn(len(sizes))],
 			float: r.Intn(2) == 0,
 		}
 		g.arrays = append(g.arrays, a)
@@ -328,7 +354,7 @@ func generateProgram(seed int64) string {
 	fmt.Fprintf(&b, "    (set f0 %s)\n", "2.25")
 	g.intVars = append(g.intVars, "s0")
 	g.fltVars = append(g.fltVars, "f0")
-	nStmts := 4 + r.Intn(6)
+	nStmts := o.Stmts + r.Intn(6)
 	for i := 0; i < nStmts; i++ {
 		switch {
 		case r.Intn(6) == 0:
@@ -349,113 +375,4 @@ func generateProgram(seed int64) string {
 	}
 	b.WriteString("))\n")
 	return b.String()
-}
-
-// diffConfigs are the machine/mode combinations every fuzzed program must
-// agree on.
-func diffConfigs() []struct {
-	name string
-	cfg  *machine.Config
-	opts Options
-} {
-	base := machine.Baseline()
-	lock := machine.Baseline()
-	lock.LockStepIssue = true
-	rr := machine.Baseline()
-	rr.Arbitration = machine.RoundRobinArbitration
-	banks := machine.Baseline()
-	banks.Memory.ModelBankConflicts = true
-	return []struct {
-		name string
-		cfg  *machine.Config
-		opts Options
-	}{
-		{"coupled", base, Options{Mode: Unrestricted}},
-		{"single", base, Options{Mode: SingleCluster}},
-		{"noopt", base, Options{Mode: Unrestricted, DisableOpt: true}},
-		{"triport", base.WithInterconnect(machine.TriPort), Options{Mode: Unrestricted}},
-		{"sharedbus", base.WithInterconnect(machine.SharedBus), Options{Mode: Unrestricted}},
-		{"lockstep", lock, Options{Mode: Unrestricted}},
-		{"roundrobin", rr, Options{Mode: Unrestricted}},
-		{"mem1", base.WithMemory(machine.Mem1).WithSeed(3), Options{Mode: Unrestricted}},
-		{"mix22", machine.Mix(2, 2), Options{Mode: Unrestricted}},
-	}
-}
-
-// TestDifferential fuzzes the whole toolchain: random programs must
-// compute identical global contents under every configuration, matching
-// the oracle interpreter exactly.
-func TestDifferential(t *testing.T) {
-	n := 40
-	if testing.Short() {
-		n = 8
-	}
-	configs := diffConfigs()
-	for seed := int64(0); seed < int64(n); seed++ {
-		src := generateProgram(seed)
-		want, err := oracleRun(src)
-		if err != nil {
-			t.Fatalf("seed %d: oracle: %v\n%s", seed, err, src)
-		}
-		for _, c := range configs {
-			prog, _, err := Compile(src, c.cfg, c.opts)
-			if err != nil {
-				t.Fatalf("seed %d %s: compile: %v\n%s", seed, c.name, err, src)
-			}
-			s, err := sim.New(c.cfg, prog)
-			if err != nil {
-				t.Fatalf("seed %d %s: %v", seed, c.name, err)
-			}
-			if _, err := s.Run(5_000_000); err != nil {
-				t.Fatalf("seed %d %s: run: %v\n%s", seed, c.name, err, src)
-			}
-			addrs := map[string]int64{}
-			for _, d := range prog.Data {
-				addrs[d.Name] = d.Addr
-			}
-			for name, vals := range want {
-				if strings.HasPrefix(name, "_") {
-					continue // hidden synchronization cells
-				}
-				base, ok := addrs[name]
-				if !ok {
-					t.Fatalf("seed %d %s: global %q missing from program", seed, c.name, name)
-				}
-				for i, w := range vals {
-					got, _ := s.Memory().Peek(base + int64(i))
-					if !got.Equal(w) {
-						t.Fatalf("seed %d %s: %s[%d] = %v, oracle says %v\n%s",
-							seed, c.name, name, i, got, w, src)
-					}
-				}
-			}
-		}
-	}
-}
-
-// TestOracleSanity pins the oracle against a hand-computed program.
-func TestOracleSanity(t *testing.T) {
-	src := `
-(program p
-  (global a (array int 4) (init 1 2 3 4))
-  (global out (array int 4))
-  (def (main)
-    (set s 0)
-    (for (i 0 4) (set s (+ s (aref a i))))
-    (aset out 0 s)
-    (if (> s 5) (aset out 1 1) (aset out 1 2))
-    (unroll (k 0 3) (aset out 2 (+ (aref out 2) k)))
-    (forall-static (i 0 4) (aset a i (* i i)))))`
-	got, err := oracleRun(src)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got["out"][0].AsInt() != 10 || got["out"][1].AsInt() != 1 || got["out"][2].AsInt() != 3 {
-		t.Errorf("oracle out = %v", got["out"])
-	}
-	for i := int64(0); i < 4; i++ {
-		if got["a"][i].AsInt() != i*i {
-			t.Errorf("oracle a[%d] = %v", i, got["a"][i])
-		}
-	}
 }

@@ -1,0 +1,94 @@
+package progfuzz
+
+import (
+	"strings"
+	"testing"
+
+	"pcoup/internal/compiler"
+	"pcoup/internal/machine"
+	"pcoup/internal/oracle"
+	"pcoup/internal/sim"
+)
+
+// matrixConfigs are the machine/option combinations every fuzzed program
+// must agree on — a wider net than the five modes: interconnects,
+// arbitration, lock-step issue, bank conflicts, slow memory, and a
+// lopsided cluster mix.
+func matrixConfigs() []struct {
+	name string
+	cfg  *machine.Config
+	opts compiler.Options
+} {
+	base := machine.Baseline()
+	lock := machine.Baseline()
+	lock.LockStepIssue = true
+	rr := machine.Baseline()
+	rr.Arbitration = machine.RoundRobinArbitration
+	return []struct {
+		name string
+		cfg  *machine.Config
+		opts compiler.Options
+	}{
+		{"coupled", base, compiler.Options{Mode: compiler.Unrestricted}},
+		{"single", base, compiler.Options{Mode: compiler.SingleCluster}},
+		{"noopt", base, compiler.Options{Mode: compiler.Unrestricted, DisableOpt: true}},
+		{"triport", base.WithInterconnect(machine.TriPort), compiler.Options{Mode: compiler.Unrestricted}},
+		{"sharedbus", base.WithInterconnect(machine.SharedBus), compiler.Options{Mode: compiler.Unrestricted}},
+		{"lockstep", lock, compiler.Options{Mode: compiler.Unrestricted}},
+		{"roundrobin", rr, compiler.Options{Mode: compiler.Unrestricted}},
+		{"mem1", base.WithMemory(machine.Mem1).WithSeed(3), compiler.Options{Mode: compiler.Unrestricted}},
+		{"mix22", machine.Mix(2, 2), compiler.Options{Mode: compiler.Unrestricted}},
+	}
+}
+
+// TestDifferentialMatrix fuzzes the whole toolchain: random programs
+// must compute identical global contents under every configuration,
+// matching the oracle interpreter exactly.
+func TestDifferentialMatrix(t *testing.T) {
+	n := 40
+	if testing.Short() {
+		n = 8
+	}
+	configs := matrixConfigs()
+	for seed := int64(0); seed < int64(n); seed++ {
+		src := Generate(seed)
+		want, err := oracle.Run(src)
+		if err != nil {
+			t.Fatalf("seed %d: oracle: %v\n%s", seed, err, src)
+		}
+		for _, c := range configs {
+			prog, _, err := compiler.Compile(src, c.cfg, c.opts)
+			if err != nil {
+				t.Fatalf("seed %d %s: compile: %v\n%s", seed, c.name, err, src)
+			}
+			s, err := sim.New(c.cfg, prog)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, c.name, err)
+			}
+			if _, err := s.Run(5_000_000); err != nil {
+				t.Fatalf("seed %d %s: run: %v\n%s", seed, c.name, err, src)
+			}
+			addrs := map[string]int64{}
+			for _, d := range prog.Data {
+				addrs[d.Name] = d.Addr
+			}
+			for name, vals := range want {
+				if strings.HasPrefix(name, "_") {
+					continue // hidden synchronization cells
+				}
+				base, ok := addrs[name]
+				if !ok {
+					t.Fatalf("seed %d %s: global %q missing from program", seed, c.name, name)
+				}
+				for i, w := range vals {
+					got, _ := s.Memory().Peek(base + int64(i))
+					if !got.Equal(w) {
+						t.Fatalf("seed %d %s: %s[%d] = %v, oracle says %v\n%s",
+							seed, c.name, name, i, got, w, src)
+					}
+				}
+			}
+			s.Release()
+		}
+	}
+}

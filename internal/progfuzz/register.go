@@ -1,0 +1,83 @@
+package progfuzz
+
+import (
+	"fmt"
+	"io"
+
+	"pcoup/internal/experiments"
+	"pcoup/internal/machine"
+)
+
+// FuzzDiffResult summarizes one fuzzdiff experiment run.
+type FuzzDiffResult struct {
+	Seeds       int      `json:"seeds"`
+	WideSeeds   int      `json:"wide_seeds"`
+	Modes       int      `json:"modes"`
+	Checks      int      `json:"checks"` // programs × modes simulated
+	Divergences int      `json:"divergences"`
+	Failures    []string `json:"failures,omitempty"`
+}
+
+// fuzzDiffSeeds is the per-run seed count of the pcbench experiment (the
+// checked-in regression corpus in corpus_test.go is larger).
+const fuzzDiffSeeds = 100
+
+// init registers the fuzzdiff experiment. The registry lives in
+// internal/experiments, which progfuzz imports, so the experiment cannot
+// be defined there without a cycle; pcbench and pcserved link it in via
+// a blank import.
+func init() {
+	experiments.Register(experiments.Experiment{
+		Name:      "fuzzdiff",
+		Brief:     "differential fuzz: generated programs, interpreter vs sim across all five modes (extension)",
+		SkipInAll: true,
+		Run: func(rc *experiments.RunContext) (any, error) {
+			return DiffSweep(rc, fuzzDiffSeeds)
+		},
+		Write: func(w io.Writer, _ *machine.Config, rows any) {
+			r := rows.(*FuzzDiffResult)
+			fmt.Fprintf(w, "fuzzdiff: %d programs (%d wide) x %d modes = %d checks, %d divergences\n",
+				r.Seeds+r.WideSeeds, r.WideSeeds, r.Modes, r.Checks, r.Divergences)
+			for _, f := range r.Failures {
+				fmt.Fprintf(w, "  FAIL %s\n", f)
+			}
+		},
+	})
+}
+
+// DiffSweep generates n programs (plus n/10 wide hundreds-of-threads
+// variants) and checks each differentially against the oracle across all
+// machine modes on rc's machine configuration. A non-nil error means at
+// least one divergence or pipeline failure — always a real bug.
+func DiffSweep(rc *experiments.RunContext, n int) (*FuzzDiffResult, error) {
+	ctx := rc.Context()
+	modes := len(experiments.Modes())
+	res := &FuzzDiffResult{Seeds: n, WideSeeds: n / 10, Modes: modes}
+	run := func(seed int64, o GenOptions) error {
+		src, err := DiffSeed(ctx, seed, o, 0)
+		if err != nil {
+			res.Divergences++
+			res.Failures = append(res.Failures, fmt.Sprintf("seed %d: %v", seed, err))
+			if len(res.Failures) >= 10 {
+				return fmt.Errorf("progfuzz: %d failures (first: %s)\n%s", res.Divergences, res.Failures[0], src)
+			}
+		}
+		res.Checks += modes
+		return ctx.Err()
+	}
+	for seed := int64(0); seed < int64(n); seed++ {
+		if err := run(seed, GenOptions{}); err != nil {
+			return res, err
+		}
+	}
+	wide := GenOptions{MaxArraySize: 512, WideForall: true}
+	for seed := int64(0); seed < int64(res.WideSeeds); seed++ {
+		if err := run(1_000_000+seed, wide); err != nil {
+			return res, err
+		}
+	}
+	if res.Divergences > 0 {
+		return res, fmt.Errorf("progfuzz: %d divergences: %s", res.Divergences, res.Failures[0])
+	}
+	return res, nil
+}

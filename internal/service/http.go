@@ -4,11 +4,14 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+
+	"pcoup/internal/machine"
 )
 
 // Handler returns the daemon's HTTP API:
 //
 //	POST   /v1/jobs             submit a job (202 + job view)
+//	POST   /v1/programs         compile-and-run an untrusted source program (202 + job view; 422 on limit/syntax rejection)
 //	GET    /v1/jobs             list jobs
 //	GET    /v1/jobs/{id}        job status; includes result when done
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
@@ -20,6 +23,7 @@ import (
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("POST /v1/programs", s.handleProgram)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
@@ -64,15 +68,62 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if len(tenant) > 64 {
 		tenant = tenant[:64]
 	}
+	s.submitAndRespond(w, spec, tenant)
+}
+
+// submitAndRespond enqueues spec and writes the submission response:
+// 202 with the job view, 503 when draining or full, 422 when the
+// submitted program itself was rejected (ProgramError), 400 otherwise.
+func (s *Server) submitAndRespond(w http.ResponseWriter, spec JobSpec, tenant string) {
 	job, err := s.SubmitWithTenant(spec, tenant)
+	var pe *ProgramError
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusAccepted, job.view(false))
 	case errors.Is(err, ErrDraining), errors.Is(err, ErrQueueFull):
 		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.As(err, &pe):
+		writeError(w, http.StatusUnprocessableEntity, err)
 	default:
 		writeError(w, http.StatusBadRequest, err)
 	}
+}
+
+// ProgramRequest is the POST /v1/programs body: the program spec
+// flattened to the top level plus the usual machine/options/timeout job
+// fields. It is sugar for POST /v1/jobs with a "program" spec — both
+// produce identical jobs, cache entries, and fleet routing keys.
+type ProgramRequest struct {
+	ProgramSpec
+	Machine   *machine.Config `json:"machine,omitempty"`
+	Preset    string          `json:"preset,omitempty"`
+	Options   SimOptions      `json:"options,omitempty"`
+	TimeoutMS int64           `json:"timeout_ms,omitempty"`
+}
+
+// JobSpec converts the request to the equivalent job spec.
+func (pr *ProgramRequest) JobSpec() JobSpec {
+	p := pr.ProgramSpec
+	return JobSpec{
+		Program: &p,
+		Machine: pr.Machine, Preset: pr.Preset,
+		Options: pr.Options, TimeoutMS: pr.TimeoutMS,
+	}
+}
+
+func (s *Server) handleProgram(w http.ResponseWriter, r *http.Request) {
+	var req ProgramRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	tenant := r.Header.Get("X-PC-Tenant")
+	if len(tenant) > 64 {
+		tenant = tenant[:64]
+	}
+	s.submitAndRespond(w, req.JobSpec(), tenant)
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {

@@ -26,11 +26,15 @@ const (
 	JobFailed JobState = "failed"
 	// JobCancelled: cancelled before or during execution.
 	JobCancelled JobState = "cancelled"
+	// JobBudgetExceeded: the simulation hit its cycle budget before
+	// completing. Distinct from failed so clients (and the fuzz oracle)
+	// can tell "your program ran too long" from "the toolchain broke".
+	JobBudgetExceeded JobState = "budget_exceeded"
 )
 
 // Terminal reports whether the state is final.
 func (s JobState) Terminal() bool {
-	return s == JobDone || s == JobFailed || s == JobCancelled
+	return s == JobDone || s == JobFailed || s == JobCancelled || s == JobBudgetExceeded
 }
 
 // CellSpec selects a single (benchmark, mode) simulation.
@@ -69,6 +73,9 @@ type JobSpec struct {
 	Cell *CellSpec `json:"cell,omitempty"`
 	// Sweep runs a unit-mix sweep with per-cell streaming and caching.
 	Sweep *SweepSpec `json:"sweep,omitempty"`
+	// Program compiles and simulates an untrusted source program under
+	// the service resource limits (also reachable via POST /v1/programs).
+	Program *ProgramSpec `json:"program,omitempty"`
 
 	// Machine is an inline machine configuration; it is validated before
 	// the job is accepted.
@@ -105,8 +112,11 @@ func (spec *JobSpec) normalize(presets map[string]*machine.Config) (*machine.Con
 	if spec.Sweep != nil {
 		selected++
 	}
+	if spec.Program != nil {
+		selected++
+	}
 	if selected != 1 {
-		return nil, fmt.Errorf("spec must set exactly one of experiment, cell, sweep (got %d)", selected)
+		return nil, fmt.Errorf("spec must set exactly one of experiment, cell, sweep, program (got %d)", selected)
 	}
 	if spec.Machine != nil && spec.Preset != "" {
 		return nil, fmt.Errorf("spec sets both machine and preset")
@@ -162,6 +172,17 @@ func (spec *JobSpec) normalize(presets map[string]*machine.Config) (*machine.Con
 		}
 		if spec.Options.Trace {
 			return nil, fmt.Errorf("options.trace applies to cell jobs only")
+		}
+	case spec.Program != nil:
+		if spec.Options.Trace {
+			return nil, fmt.Errorf("options.trace applies to cell jobs only")
+		}
+		// Validate by compiling under the service limits against the
+		// resolved machine: a recursion bomb, an over-cap source, or a
+		// thread explosion is rejected here with a typed ProgramError
+		// (HTTP 422) instead of ever reaching a worker.
+		if err := spec.Program.normalize(cfg); err != nil {
+			return nil, err
 		}
 	}
 	return cfg, nil

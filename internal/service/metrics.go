@@ -48,6 +48,7 @@ type Metrics struct {
 
 	journalRecovered int64 // jobs resubmitted from the journal at start
 	retriesExhausted int64 // recovered jobs failed for exceeding the budget
+	panics           int64 // panics recovered in the execution barrier
 
 	// Per-tenant attribution. The tenant set is normally bounded by the
 	// gateway's -tenants file; because the header is client-supplied the
@@ -105,6 +106,14 @@ func (m *Metrics) RetryBudgetExhausted() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.retriesExhausted++
+}
+
+// Panic counts one panic recovered by the worker's execution barrier
+// (a compiler or simulator crash isolated to the offending job).
+func (m *Metrics) Panic() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.panics++
 }
 
 // tenantLabel folds new tenant names past the cardinality cap into
@@ -200,6 +209,9 @@ func (m *Metrics) WriteText(w io.Writer, g Gauges) {
 	fmt.Fprintf(w, "# HELP pcserved_retry_budget_exhausted_total Recovered jobs failed for exceeding the retry budget.\n")
 	fmt.Fprintf(w, "# TYPE pcserved_retry_budget_exhausted_total counter\n")
 	fmt.Fprintf(w, "pcserved_retry_budget_exhausted_total %d\n", m.retriesExhausted)
+	fmt.Fprintf(w, "# HELP pcserved_panics_total Panics recovered by the worker execution barrier (each failed one job, never the daemon).\n")
+	fmt.Fprintf(w, "# TYPE pcserved_panics_total counter\n")
+	fmt.Fprintf(w, "pcserved_panics_total %d\n", m.panics)
 
 	fmt.Fprintf(w, "# HELP pcserved_cache_hits_total Result cache hits.\n")
 	fmt.Fprintf(w, "# TYPE pcserved_cache_hits_total counter\n")

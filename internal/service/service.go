@@ -13,7 +13,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -65,6 +67,12 @@ type Options struct {
 	// Presets are named machine configurations offered to job specs, in
 	// addition to the always-present "baseline".
 	Presets map[string]*machine.Config
+	// ExecHook, when set, runs at the start of every job execution
+	// (before the cache lookup). Tests use it to inject failures —
+	// notably panics, to exercise the worker's panic isolation. A panic
+	// from the hook is indistinguishable from a compiler or simulator
+	// panic.
+	ExecHook func(job *Job)
 }
 
 // Server owns the queue, the pool, the cache, and the job table.
@@ -421,7 +429,7 @@ func (s *Server) runJob(job *Job) {
 		cancel()
 	}
 
-	payload, err := s.execute(ctx, job)
+	payload, err := s.executeSafe(ctx, job)
 	runDur := time.Since(job.started)
 	s.metrics.Observe("run", runDur.Seconds())
 
@@ -435,9 +443,39 @@ func (s *Server) runJob(job *Job) {
 	case isCancellation(err):
 		// Shutdown cancelled the base context.
 		s.finishJob(job, JobCancelled, nil, "cancelled by shutdown")
+	case isBudgetExceeded(err):
+		s.finishJob(job, JobBudgetExceeded, nil, err.Error())
 	default:
 		s.finishJob(job, JobFailed, nil, err.Error())
 	}
+}
+
+// isBudgetExceeded reports whether err is the simulator's typed
+// cycle-budget overrun — a property of the submitted work, not a
+// service fault, so it gets its own terminal state.
+func isBudgetExceeded(err error) bool {
+	var be *sim.BudgetError
+	return errors.As(err, &be)
+}
+
+// executeSafe runs execute behind a recover barrier: a panic anywhere
+// in the compiler or simulator — reachable from untrusted program
+// source — fails that one job with a typed message and increments
+// pcserved_panics_total, instead of taking the daemon (and every other
+// tenant's jobs) down with it.
+func (s *Server) executeSafe(ctx context.Context, job *Job) (payload json.RawMessage, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.metrics.Panic()
+			log.Printf("service: job %s: recovered panic: %v\n%s", job.id, r, debug.Stack())
+			err = fmt.Errorf("internal error: panic during execution: %v", r)
+			payload = nil
+		}
+	}()
+	if s.opts.ExecHook != nil {
+		s.opts.ExecHook(job)
+	}
+	return s.execute(ctx, job)
 }
 
 func isCancellation(err error) bool {
@@ -459,6 +497,8 @@ func (s *Server) execute(ctx context.Context, job *Job) (json.RawMessage, error)
 		return s.runCellJob(ctx, job)
 	case job.spec.Sweep != nil:
 		return s.runSweep(ctx, job)
+	case job.spec.Program != nil:
+		return s.runProgramJob(ctx, job)
 	}
 	return nil, errors.New("service: empty job spec")
 }

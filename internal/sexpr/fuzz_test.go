@@ -1,0 +1,35 @@
+package sexpr
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse hammers the reader with arbitrary bytes: it must never
+// panic, always honor its limits, and round-trip anything it accepts
+// (render with String, reparse, same shape).
+func FuzzParse(f *testing.F) {
+	f.Add("(program p (def (main) (set x 1)))")
+	f.Add("(+ 1 2.5 \"str\\n\" sym)")
+	f.Add(strings.Repeat("(", 300))
+	f.Add("\"unterminated")
+	f.Add("; comment only\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		forms, err := ParseLimits(src, Limits{MaxBytes: 1 << 16, MaxNodes: 10_000, MaxDepth: 100})
+		if err != nil {
+			return
+		}
+		var b strings.Builder
+		for _, fm := range forms {
+			b.WriteString(fm.String())
+			b.WriteByte('\n')
+		}
+		again, err := Parse(b.String())
+		if err != nil {
+			t.Fatalf("round-trip reparse failed: %v\nrendered: %q", err, b.String())
+		}
+		if len(again) != len(forms) {
+			t.Fatalf("round-trip form count %d != %d\nrendered: %q", len(again), len(forms), b.String())
+		}
+	})
+}

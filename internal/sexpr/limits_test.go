@@ -1,0 +1,82 @@
+package sexpr
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestNestingBomb feeds a deeply nested source to the default Parse entry
+// point. Before limits existed this recursed once per paren and could
+// exhaust the goroutine stack; now it must return a typed LimitError.
+func TestNestingBomb(t *testing.T) {
+	depth := DefaultMaxDepth * 10
+	src := strings.Repeat("(", depth) + "x" + strings.Repeat(")", depth)
+	_, err := Parse(src)
+	var le *LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("Parse(bomb) = %v, want *LimitError", err)
+	}
+	if le.What != "depth" || le.Limit != DefaultMaxDepth {
+		t.Fatalf("LimitError = %+v, want depth/%d", le, DefaultMaxDepth)
+	}
+}
+
+// TestNestingBombUnbalanced is the open-parens-only variant: no closer
+// ever arrives, so the reader must bail on depth, not end-of-input.
+func TestNestingBombUnbalanced(t *testing.T) {
+	src := strings.Repeat("(", DefaultMaxDepth*10)
+	_, err := Parse(src)
+	var le *LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("Parse(open bomb) = %v, want *LimitError", err)
+	}
+}
+
+func TestParseLimitsBytes(t *testing.T) {
+	_, err := ParseLimits("(a b c)", Limits{MaxBytes: 3})
+	var le *LimitError
+	if !errors.As(err, &le) || le.What != "bytes" {
+		t.Fatalf("err = %v, want bytes LimitError", err)
+	}
+	if _, err := ParseLimits("(a b c)", Limits{MaxBytes: 7}); err != nil {
+		t.Fatalf("in-budget source rejected: %v", err)
+	}
+}
+
+func TestParseLimitsNodes(t *testing.T) {
+	_, err := ParseLimits("(a b c d e)", Limits{MaxNodes: 4})
+	var le *LimitError
+	if !errors.As(err, &le) || le.What != "nodes" {
+		t.Fatalf("err = %v, want nodes LimitError", err)
+	}
+	if _, err := ParseLimits("(a b c d e)", Limits{MaxNodes: 6}); err != nil {
+		t.Fatalf("in-budget source rejected: %v", err)
+	}
+}
+
+func TestParseLimitsDepth(t *testing.T) {
+	if _, err := ParseLimits("(a (b (c)))", Limits{MaxDepth: 3}); err != nil {
+		t.Fatalf("depth-3 source rejected at MaxDepth=3: %v", err)
+	}
+	_, err := ParseLimits("(a (b (c)))", Limits{MaxDepth: 2})
+	var le *LimitError
+	if !errors.As(err, &le) || le.What != "depth" {
+		t.Fatalf("err = %v, want depth LimitError", err)
+	}
+	// MaxDepth cannot be widened past the stack-safety ceiling.
+	bomb := strings.Repeat("(", DefaultMaxDepth+5) + strings.Repeat(")", DefaultMaxDepth+5)
+	if _, err := ParseLimits(bomb, Limits{MaxDepth: DefaultMaxDepth * 100}); err == nil {
+		t.Fatal("MaxDepth above DefaultMaxDepth was not clamped")
+	}
+}
+
+// TestDeepButLegalNesting makes sure real programs near the bound parse.
+func TestDeepButLegalNesting(t *testing.T) {
+	depth := 500
+	src := strings.Repeat("(+ 1 ", depth) + "2" + strings.Repeat(")", depth)
+	forms, err := Parse(src)
+	if err != nil || len(forms) != 1 {
+		t.Fatalf("Parse = %v (forms=%d), want success", err, len(forms))
+	}
+}

@@ -108,11 +108,49 @@ func (e *SyntaxError) Error() string {
 	return fmt.Sprintf("sexpr: %d:%d: %s", e.Line, e.Col, e.Msg)
 }
 
+// DefaultMaxDepth is the list-nesting bound applied by Parse. The reader
+// is recursive-descent, so nesting depth translates directly into Go
+// stack frames; an adversarial source of matched parens must hit this
+// bound long before the runtime's stack limit does.
+const DefaultMaxDepth = 10_000
+
+// Limits bounds the work the reader will perform on untrusted input.
+// Zero values leave the corresponding dimension unlimited (Parse still
+// applies DefaultMaxDepth so nesting can never exhaust the stack).
+type Limits struct {
+	MaxBytes int // source length in bytes
+	MaxNodes int // total parse-tree nodes
+	MaxDepth int // list nesting depth
+}
+
+// LimitError reports that parsing stopped because a Limits bound was
+// exceeded. It is a typed error so services can map it to a 4xx response
+// rather than treating it as an internal failure.
+type LimitError struct {
+	What      string // "bytes", "nodes", or "depth"
+	Limit     int
+	Line, Col int
+}
+
+func (e *LimitError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("sexpr: %d:%d: source exceeds %s limit %d", e.Line, e.Col, e.What, e.Limit)
+	}
+	return fmt.Sprintf("sexpr: source exceeds %s limit %d", e.What, e.Limit)
+}
+
 type lexer struct {
-	src  string
-	pos  int
-	line int
-	col  int
+	src   string
+	pos   int
+	line  int
+	col   int
+	lim   Limits
+	nodes int
+	depth int
+}
+
+func (l *lexer) limitErr(what string, limit int) error {
+	return &LimitError{What: what, Limit: limit, Line: l.line, Col: l.col}
 }
 
 func (l *lexer) errf(format string, args ...any) error {
@@ -171,9 +209,24 @@ func isSymbolByte(c byte) bool {
 	return !unicode.IsSpace(rune(c))
 }
 
-// Parse reads all top-level forms from src.
+// Parse reads all top-level forms from src. Nesting is bounded by
+// DefaultMaxDepth; use ParseLimits to tighten (or widen) the bounds.
 func Parse(src string) ([]*Node, error) {
-	l := &lexer{src: src, line: 1, col: 1}
+	return ParseLimits(src, Limits{})
+}
+
+// ParseLimits reads all top-level forms from src under the given bounds.
+// A violated bound returns a *LimitError. Whatever MaxDepth says, the
+// effective nesting bound never exceeds DefaultMaxDepth: the reader's
+// recursion must stay well inside the goroutine stack.
+func ParseLimits(src string, lim Limits) ([]*Node, error) {
+	if lim.MaxDepth <= 0 || lim.MaxDepth > DefaultMaxDepth {
+		lim.MaxDepth = DefaultMaxDepth
+	}
+	if lim.MaxBytes > 0 && len(src) > lim.MaxBytes {
+		return nil, &LimitError{What: "bytes", Limit: lim.MaxBytes}
+	}
+	l := &lexer{src: src, line: 1, col: 1, lim: lim}
 	var forms []*Node
 	for {
 		l.skipSpace()
@@ -207,8 +260,16 @@ func (l *lexer) parseNode() (*Node, error) {
 	if !ok {
 		return nil, l.errf("unexpected end of input")
 	}
+	l.nodes++
+	if l.lim.MaxNodes > 0 && l.nodes > l.lim.MaxNodes {
+		return nil, l.limitErr("nodes", l.lim.MaxNodes)
+	}
 	switch {
 	case c == '(':
+		l.depth++
+		if l.depth > l.lim.MaxDepth {
+			return nil, l.limitErr("depth", l.lim.MaxDepth)
+		}
 		l.next()
 		node := &Node{Kind: KList, Line: line, Col: col}
 		for {
@@ -219,6 +280,7 @@ func (l *lexer) parseNode() (*Node, error) {
 			}
 			if c == ')' {
 				l.next()
+				l.depth--
 				return node, nil
 			}
 			child, err := l.parseNode()

@@ -397,6 +397,19 @@ func (s *Sim) activeCount() int {
 	return n
 }
 
+// BudgetError is returned when the cycle budget expires before the
+// program completes. It is a typed error so services can report
+// budget-exceeded as a distinct job outcome rather than a generic
+// failure.
+type BudgetError struct {
+	MaxCycles int64
+	Cycle     int64
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("sim: exceeded %d cycles without completing", e.MaxCycles)
+}
+
 // ErrDeadlock is returned when the machine makes no progress for an
 // extended period while threads remain active.
 type DeadlockError struct {
@@ -481,7 +494,7 @@ func (s *Sim) Run(maxCycles int64) (*Result, error) {
 			if s.finished() {
 				break
 			}
-			return nil, fmt.Errorf("sim: exceeded %d cycles without completing", maxCycles)
+			return nil, &BudgetError{MaxCycles: maxCycles, Cycle: s.cycle}
 		}
 		if s.quiet && s.skipOK {
 			if k := s.skipBudget(stallLimit, maxCycles); k > 0 {
