@@ -8,11 +8,16 @@
 // internal/experiments (also served over HTTP by pcserved); run with an
 // unknown -exp value to list every experiment with a description.
 //
+// Sweeps execute their independent cells in parallel (the -j flag;
+// default GOMAXPROCS) with results merged in submission order, so the
+// output bytes are identical at any width.
+//
 // Performance tooling: -cpuprofile/-memprofile write pprof profiles of
 // the run, and `-exp perf -out BENCH_sim.json` records the simulator's
 // own throughput measurements in machine-readable form. CI regression
-// gating uses `-exp perf -floor lud=150000,...` to fail the run when a
-// bench's simcycles/s drops below a checked-in floor.
+// gating uses `-exp perf -floor lud=150000,sweep@j2=500,...` to fail
+// the run when a bench's simcycles/s drops below a checked-in floor or
+// the warm parallel sweep exceeds a wall-clock ceiling.
 package main
 
 import (
@@ -28,11 +33,13 @@ import (
 	"pcoup/internal/experiments"
 	_ "pcoup/internal/fleet" // registers the fleetscale experiment
 	"pcoup/internal/machine"
+	"pcoup/internal/parexec"
 	_ "pcoup/internal/progfuzz" // registers the fuzzdiff experiment
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run ("+experiments.UsageNames()+")")
+	jobs := flag.Int("j", 0, "parallel cell-execution width for sweeps (0: GOMAXPROCS, 1: sequential); output bytes are identical at any width")
 	machinePath := flag.String("machine", "", "machine configuration JSON file (default: baseline; Figure 8 always sweeps its own machines)")
 	asJSON := flag.Bool("json", false, "emit raw experiment rows as JSON instead of formatted tables")
 	outPath := flag.String("out", "", "also write the experiment rows as JSON to this file (e.g. -exp perf -out BENCH_sim.json)")
@@ -41,6 +48,7 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
+	parexec.SetDefault(*jobs)
 	os.Exit(run(*exp, *machinePath, *asJSON, *outPath, *floor, *cpuProfile, *memProfile))
 }
 
@@ -160,10 +168,17 @@ func run(exp, machinePath string, asJSON bool, outPath, floor, cpuProfile, memPr
 	return 0
 }
 
-// checkFloors enforces -floor: every `bench=minCyclesPerSec` pair must
-// match a perf-experiment row whose event-core throughput is at or above
-// the floor. A missing perf run or an unknown bench name is an error —
-// a floor that silently checks nothing is worse than no floor.
+// checkFloors enforces -floor against the perf experiment's rows. Two
+// pair shapes are accepted:
+//
+//	bench=minCyclesPerSec  — a throughput floor on a single-cell row
+//	                         (e.g. lud=150000)
+//	sweep@jN=maxMs         — a wall-clock ceiling on the warm Table 2
+//	                         parallel-sweep row at width N
+//	                         (e.g. sweep@j2=500)
+//
+// A missing perf run or an unknown row name is an error — a floor that
+// silently checks nothing is worse than no floor.
 func checkFloors(spec string, allRows map[string]any) error {
 	perf, ok := allRows["perf"].(*experiments.PerfResult)
 	if !ok {
@@ -173,27 +188,46 @@ func checkFloors(spec string, allRows map[string]any) error {
 	for _, b := range perf.Benches {
 		byName[b.Bench] = b
 	}
+	byJobs := make(map[int]experiments.ParallelSweepRow, len(perf.ParallelSweep))
+	for _, p := range perf.ParallelSweep {
+		byJobs[p.Jobs] = p
+	}
 	var failures []string
 	for _, pair := range strings.Split(spec, ",") {
 		pair = strings.TrimSpace(pair)
 		if pair == "" {
 			continue
 		}
-		name, minStr, ok := strings.Cut(pair, "=")
+		name, limStr, ok := strings.Cut(pair, "=")
 		if !ok {
-			return fmt.Errorf("-floor: malformed pair %q (want bench=minCyclesPerSec)", pair)
+			return fmt.Errorf("-floor: malformed pair %q (want bench=minCyclesPerSec or sweep@jN=maxMs)", pair)
 		}
-		min, err := strconv.ParseFloat(minStr, 64)
-		if err != nil || min <= 0 {
+		lim, err := strconv.ParseFloat(limStr, 64)
+		if err != nil || lim <= 0 {
 			return fmt.Errorf("-floor: bad threshold in %q", pair)
+		}
+		if jobsStr, found := strings.CutPrefix(name, "sweep@j"); found {
+			jobs, err := strconv.Atoi(jobsStr)
+			if err != nil {
+				return fmt.Errorf("-floor: bad width in %q (want sweep@jN=maxMs)", pair)
+			}
+			row, ok := byJobs[jobs]
+			if !ok {
+				return fmt.Errorf("-floor: no parallel-sweep row at width %d", jobs)
+			}
+			if row.WarmMs > lim {
+				failures = append(failures,
+					fmt.Sprintf("sweep@j%d: %.1f ms warm Table 2 above ceiling %.1f ms", jobs, row.WarmMs, lim))
+			}
+			continue
 		}
 		b, ok := byName[name]
 		if !ok {
 			return fmt.Errorf("-floor: no perf row named %q", name)
 		}
-		if b.CyclesPerSec < min {
+		if b.CyclesPerSec < lim {
 			failures = append(failures,
-				fmt.Sprintf("%s: %.0f simcycles/s below floor %.0f", name, b.CyclesPerSec, min))
+				fmt.Sprintf("%s: %.0f simcycles/s below floor %.0f", name, b.CyclesPerSec, lim))
 		}
 	}
 	if len(failures) > 0 {

@@ -35,6 +35,7 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8091", "listen address")
 	workers := flag.Int("workers", 0, "worker pool size (0: GOMAXPROCS)")
+	sweepParallelism := flag.Int("sweep-parallelism", 0, "cells executed in parallel within a job, bounded across all jobs (0: GOMAXPROCS, 1: sequential); outputs are byte-identical at any width")
 	queueCap := flag.Int("queue", 256, "job queue capacity")
 	cacheFile := flag.String("cache-file", "", "persist the result cache to this file across restarts")
 	cacheMaxEntries := flag.Int("cache-max-entries", 0, "evict least-recently-used cache entries beyond this count (0: unbounded)")
@@ -54,16 +55,17 @@ func main() {
 	}
 
 	srv := service.New(service.Options{
-		Workers:         *workers,
-		QueueCap:        *queueCap,
-		CacheFile:       *cacheFile,
-		CacheMaxEntries: *cacheMaxEntries,
-		CacheMaxBytes:   *cacheMaxBytes,
-		JournalFile:     *journalFile,
-		RetryBudget:     *retryBudget,
-		RetryBackoff:    *retryBackoff,
-		DefaultTimeout:  *jobTimeout,
-		Presets:         presets,
+		Workers:          *workers,
+		SweepParallelism: *sweepParallelism,
+		QueueCap:         *queueCap,
+		CacheFile:        *cacheFile,
+		CacheMaxEntries:  *cacheMaxEntries,
+		CacheMaxBytes:    *cacheMaxBytes,
+		JournalFile:      *journalFile,
+		RetryBudget:      *retryBudget,
+		RetryBackoff:     *retryBackoff,
+		DefaultTimeout:   *jobTimeout,
+		Presets:          presets,
 	})
 	if err := srv.Start(); err != nil {
 		log.Fatalf("pcserved: %v", err)

@@ -2,8 +2,8 @@ package experiments
 
 import (
 	"context"
-	"runtime"
-	"sync"
+
+	"pcoup/internal/parexec"
 )
 
 // runParallel is runParallelCtx without external cancellation.
@@ -11,69 +11,17 @@ func runParallel(n int, fn func(i int) error) error {
 	return runParallelCtx(context.Background(), n, fn)
 }
 
-// runParallelCtx executes fn(i) for every i in [0, n) over a bounded pool
-// of host goroutines. Each experiment cell is an independent
-// deterministic simulation, so fan-out changes wall-clock time only;
-// results are written by index, keeping output order stable. The first
-// error wins and cancels the sweep: no new cells are dispatched after it
-// is recorded (cells already running finish, since in-cell cancellation
-// is the simulator context's job). Cancelling ctx likewise stops
-// dispatch; if no cell failed first, ctx.Err() is returned.
+// runParallelCtx executes fn(i) for every i in [0, n) through the shared
+// parallel cell-execution engine (internal/parexec). Each experiment
+// cell is an independent deterministic simulation, so fan-out changes
+// wall-clock time only; results are written by index, keeping output
+// order stable, and on failure the lowest-index cell error is returned —
+// the same error sequential execution reports. The pool width comes
+// from the context (parexec.WithLimit, set by pcbench -j and pcserved's
+// -sweep-parallelism) and defaults to GOMAXPROCS; a context-carried
+// parexec.Limiter additionally bounds cells across concurrent jobs.
 func runParallelCtx(ctx context.Context, n int, fn func(i int) error) error {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			if err := fn(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	var (
-		wg    sync.WaitGroup
-		mu    sync.Mutex
-		first error
-	)
-	done := make(chan struct{})
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				if err := fn(i); err != nil {
-					mu.Lock()
-					if first == nil {
-						first = err
-						close(done)
-					}
-					mu.Unlock()
-				}
-			}
-		}()
-	}
-feed:
-	for i := 0; i < n; i++ {
-		select {
-		case next <- i:
-		case <-done:
-			break feed
-		case <-ctx.Done():
-			break feed
-		}
-	}
-	close(next)
-	wg.Wait()
-	if first != nil {
-		return first
-	}
-	return ctx.Err()
+	return parexec.Run(ctx, n, fn)
 }
 
 // cell identifies one (benchmark, mode, config) execution of a sweep.

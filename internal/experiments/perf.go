@@ -18,6 +18,7 @@ import (
 	"pcoup/internal/compiler"
 	"pcoup/internal/isa"
 	"pcoup/internal/machine"
+	"pcoup/internal/parexec"
 	"pcoup/internal/sim"
 )
 
@@ -37,14 +38,45 @@ type PerfBench struct {
 	Speedup             float64 `json:"speedup,omitempty"`
 }
 
+// ParallelSweepRow is the warm Table 2 sweep wall-clock at one parallel
+// cell-execution width (the -j value), with its speedup over width 1.
+// The rows make BENCH_sim.json record per-core scaling of the sweep
+// engine on the measuring host.
+type ParallelSweepRow struct {
+	Jobs    int     `json:"jobs"`
+	WarmMs  float64 `json:"warm_ms"`
+	Speedup float64 `json:"speedup"`
+}
+
+// ProgCacheTraffic snapshots the sharded compiled-program cache's
+// counters at the end of the perf run: how many lookups the sweeps made
+// and how few distinct compiles (fills) served them.
+type ProgCacheTraffic struct {
+	Lookups int64 `json:"lookups"`
+	Fills   int64 `json:"fills"`
+	Shards  int   `json:"shards"`
+}
+
 // PerfResult is the perf experiment's machine-readable output.
 type PerfResult struct {
+	// GOMAXPROCS and NumCPU record the measuring host's parallelism so
+	// BENCH_*.json trajectories stay comparable across machines: a
+	// parallel-sweep speedup is only meaningful relative to the cores
+	// that were available.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	NumCPU     int `json:"num_cpu"`
+
 	Benches []PerfBench `json:"benches"`
 	// Table2FirstMs is the wall-clock of the first full Table 2 sweep in
 	// this process (includes any compiles the program cache has not seen).
 	Table2FirstMs float64 `json:"table2_first_ms"`
 	// Table2WarmMs is the best warm-cache sweep wall-clock.
 	Table2WarmMs float64 `json:"table2_warm_ms"`
+	// ParallelSweep measures the warm Table 2 sweep at explicit engine
+	// widths (1, 2, 4), independent of the process -j default.
+	ParallelSweep []ParallelSweepRow `json:"parallel_sweep"`
+	// ProgCache records compiled-program cache traffic over the run.
+	ProgCache ProgCacheTraffic `json:"prog_cache"`
 	// AllocsPerCycle is amortized heap allocations per simulated cycle
 	// over repeated matrix/Coupled runs (includes Sim construction).
 	AllocsPerCycle float64 `json:"allocs_per_cycle"`
@@ -77,7 +109,7 @@ func PerfCtx(ctx context.Context, cfg *machine.Config) (*PerfResult, error) {
 	if cfg == nil {
 		cfg = machine.Baseline()
 	}
-	res := &PerfResult{}
+	res := &PerfResult{GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
 
 	// Table 2 sweep wall-clock: the first pass compiles whatever the
 	// program cache is missing; subsequent passes are fully warm.
@@ -95,6 +127,31 @@ func PerfCtx(ctx context.Context, cfg *machine.Config) (*PerfResult, error) {
 		if ms := float64(time.Since(start).Nanoseconds()) / 1e6; ms < res.Table2WarmMs {
 			res.Table2WarmMs = ms
 		}
+	}
+
+	// Parallel sweep scaling: the same warm sweep at explicit engine
+	// widths. Width 1 is the sequential baseline every speedup is
+	// relative to; the 2- and 4-wide rows show how close the engine gets
+	// to linear scaling on this host (see GOMAXPROCS/NumCPU — on a
+	// single-core host all widths collapse to ~1x by construction).
+	var seqWarmMs float64
+	for _, jobs := range []int{1, 2, 4} {
+		jctx := parexec.WithLimit(ctx, jobs)
+		row := ParallelSweepRow{Jobs: jobs}
+		for i := 0; i < 3; i++ {
+			start = time.Now()
+			if _, err := Table2Ctx(jctx, cfg); err != nil {
+				return nil, err
+			}
+			if ms := float64(time.Since(start).Nanoseconds()) / 1e6; i == 0 || ms < row.WarmMs {
+				row.WarmMs = ms
+			}
+		}
+		if jobs == 1 {
+			seqWarmMs = row.WarmMs
+		}
+		row.Speedup = seqWarmMs / row.WarmMs
+		res.ParallelSweep = append(res.ParallelSweep, row)
 	}
 
 	// Per-benchmark kernel throughput under Coupled mode: simulation
@@ -177,6 +234,9 @@ func PerfCtx(ctx context.Context, cfg *machine.Config) (*PerfResult, error) {
 	}
 	runtime.ReadMemStats(&after)
 	res.AllocsPerCycle = float64(after.Mallocs-before.Mallocs) / (float64(cycles) * allocReps)
+
+	lookups, fills, shards := ProgCacheStats()
+	res.ProgCache = ProgCacheTraffic{Lookups: lookups, Fills: fills, Shards: shards}
 	return res, nil
 }
 
@@ -208,6 +268,15 @@ func WritePerf(w io.Writer, res *PerfResult) {
 	}
 	fmt.Fprintf(w, "  Table 2 sweep: %.1f ms first pass, %.1f ms warm (compiled-program cache)\n",
 		res.Table2FirstMs, res.Table2WarmMs)
+	if len(res.ParallelSweep) > 0 {
+		fmt.Fprintf(w, "  parallel sweep (warm Table 2; host: GOMAXPROCS=%d, %d CPUs):\n",
+			res.GOMAXPROCS, res.NumCPU)
+		for _, p := range res.ParallelSweep {
+			fmt.Fprintf(w, "    -j %d: %8.1f ms  %5.2fx\n", p.Jobs, p.WarmMs, p.Speedup)
+		}
+	}
+	fmt.Fprintf(w, "  program cache: %d lookups, %d fills over %d shards\n",
+		res.ProgCache.Lookups, res.ProgCache.Fills, res.ProgCache.Shards)
 	fmt.Fprintf(w, "  allocations:   %.3f per simulated cycle (matrix/Coupled, steady state)\n",
 		res.AllocsPerCycle)
 }

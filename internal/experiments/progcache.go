@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"pcoup/internal/bench"
 	"pcoup/internal/compiler"
@@ -22,6 +23,15 @@ import (
 // instruction words, and data segments as read-only, copying data into
 // its own memory image. The golden determinism test runs warm-cache
 // cells under -race to enforce this.
+//
+// The cache is sharded for the parallel cell-execution engine: a warm
+// sweep does one cache lookup per cell from every pool worker at once,
+// so entries spread over progShards independently-locked maps keyed by
+// an FNV-1a hash of the key. The read path takes only a shard RLock;
+// the compile itself runs under the entry's sync.Once, never under a
+// shard lock, so a slow compile on one shard cannot stall lookups (or
+// fills) elsewhere. Lookups/Fills counters expose the traffic for the
+// perf experiment's contention accounting.
 
 // progKey identifies one compile: the benchmark source instance and
 // every compiler-visible parameter.
@@ -33,6 +43,37 @@ type progKey struct {
 	cfg   string // compileFingerprint of the machine config
 }
 
+// shard maps the key onto a cache shard via FNV-1a over its fields.
+func (k progKey) shard() uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	mixStr := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h = (h ^ uint32(s[i])) * prime32
+		}
+	}
+	mixInt := func(v int) {
+		for b := 0; b < 4; b++ {
+			h = (h ^ (uint32(v>>(8*b)) & 0xff)) * prime32
+		}
+	}
+	mixStr(k.bench)
+	mixInt(int(k.kind))
+	mixInt(k.size)
+	mixInt(int(k.opts.Mode))
+	if k.opts.DisableOpt {
+		mixInt(1)
+	} else {
+		mixInt(0)
+	}
+	mixInt(k.opts.AutoUnroll)
+	mixStr(k.cfg)
+	return h % progShards
+}
+
 type progEntry struct {
 	once  sync.Once
 	prog  *isa.Program
@@ -40,7 +81,55 @@ type progEntry struct {
 	err   error
 }
 
-var progCache sync.Map // progKey -> *progEntry
+const progShards = 16
+
+// progShard is one independently locked slice of the cache.
+type progShard struct {
+	mu sync.RWMutex
+	m  map[progKey]*progEntry
+}
+
+// progCacheT is the process-wide sharded compiled-program cache.
+type progCacheT struct {
+	shards  [progShards]progShard
+	lookups atomic.Int64 // total entry() calls
+	fills   atomic.Int64 // entries created (write-lock path taken for a new key)
+}
+
+var progCache progCacheT
+
+// entry returns the cache entry for key, creating it if absent. The
+// common warm path is a single shard RLock; only the first arrival for
+// a key upgrades to the write lock.
+func (c *progCacheT) entry(key progKey) *progEntry {
+	c.lookups.Add(1)
+	sh := &c.shards[key.shard()]
+	sh.mu.RLock()
+	e := sh.m[key]
+	sh.mu.RUnlock()
+	if e != nil {
+		return e
+	}
+	sh.mu.Lock()
+	if sh.m == nil {
+		sh.m = map[progKey]*progEntry{}
+	}
+	if e = sh.m[key]; e == nil {
+		e = &progEntry{}
+		sh.m[key] = e
+		c.fills.Add(1)
+	}
+	sh.mu.Unlock()
+	return e
+}
+
+// ProgCacheStats reports the compiled-program cache's traffic: total
+// lookups, entry fills (distinct compiles), and the shard count. The
+// perf experiment records it so BENCH_sim.json trajectories show how
+// much lookup traffic the parallel sweep engine puts on the cache.
+func ProgCacheStats() (lookups, fills int64, shards int) {
+	return progCache.lookups.Load(), progCache.fills.Load(), progShards
+}
 
 // compileFingerprint hashes only the configuration the compiler reads:
 // the cluster/unit topology (schedules, latencies, slot assignment),
@@ -80,8 +169,7 @@ func compileCached(benchName string, kind bench.SourceKind, size int, cfg *machi
 		return nil, nil, nil, err
 	}
 	key := progKey{bench: benchName, kind: kind, size: size, opts: opts, cfg: fp}
-	ei, _ := progCache.LoadOrStore(key, &progEntry{})
-	e := ei.(*progEntry)
+	e := progCache.entry(key)
 	e.once.Do(func() {
 		e.prog, e.diags, e.err = compiler.Compile(b.Source, cfg, opts)
 	})

@@ -1,0 +1,34 @@
+package progfuzz
+
+// DiffSweep folds seed outcomes in order through parexec.Stream; the
+// result struct must therefore be identical at any parallelism width.
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"pcoup/internal/experiments"
+	"pcoup/internal/parexec"
+)
+
+func TestDiffSweepParallelIdentical(t *testing.T) {
+	const seeds = 20
+	runAt := func(width int) string {
+		rc := &experiments.RunContext{Ctx: parexec.WithLimit(context.Background(), width)}
+		res, err := DiffSweep(rc, seeds)
+		if err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		data, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	seq := runAt(1)
+	par := runAt(4)
+	if seq != par {
+		t.Errorf("DiffSweep result differs between widths:\nseq: %s\npar: %s", seq, par)
+	}
+}

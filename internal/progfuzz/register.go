@@ -1,11 +1,13 @@
 package progfuzz
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"pcoup/internal/experiments"
 	"pcoup/internal/machine"
+	"pcoup/internal/parexec"
 )
 
 // FuzzDiffResult summarizes one fuzzdiff experiment run.
@@ -49,32 +51,51 @@ func init() {
 // variants) and checks each differentially against the oracle across all
 // machine modes on rc's machine configuration. A non-nil error means at
 // least one divergence or pipeline failure — always a real bug.
+//
+// Seeds execute through the shared parallel engine (width from rc's
+// context: -j, -sweep-parallelism); outcomes fold into the result
+// strictly in seed order, so counters, the failure list, and the
+// stop-after-10-failures cutoff are identical to sequential execution.
 func DiffSweep(rc *experiments.RunContext, n int) (*FuzzDiffResult, error) {
 	ctx := rc.Context()
 	modes := len(experiments.Modes())
 	res := &FuzzDiffResult{Seeds: n, WideSeeds: n / 10, Modes: modes}
-	run := func(seed int64, o GenOptions) error {
-		src, err := DiffSeed(ctx, seed, o, 0)
-		if err != nil {
-			res.Divergences++
-			res.Failures = append(res.Failures, fmt.Sprintf("seed %d: %v", seed, err))
-			if len(res.Failures) >= 10 {
-				return fmt.Errorf("progfuzz: %d failures (first: %s)\n%s", res.Divergences, res.Failures[0], src)
-			}
-		}
-		res.Checks += modes
-		return ctx.Err()
+
+	type item struct {
+		seed int64
+		opts GenOptions
 	}
+	items := make([]item, 0, n+res.WideSeeds)
 	for seed := int64(0); seed < int64(n); seed++ {
-		if err := run(seed, GenOptions{}); err != nil {
-			return res, err
-		}
+		items = append(items, item{seed: seed})
 	}
 	wide := GenOptions{MaxArraySize: 512, WideForall: true}
 	for seed := int64(0); seed < int64(res.WideSeeds); seed++ {
-		if err := run(1_000_000+seed, wide); err != nil {
-			return res, err
-		}
+		items = append(items, item{seed: 1_000_000 + seed, opts: wide})
+	}
+
+	type outcome struct {
+		src string
+		err error
+	}
+	err := parexec.Stream(ctx, len(items),
+		func(ctx context.Context, i int) (outcome, error) {
+			src, err := DiffSeed(ctx, items[i].seed, items[i].opts, 0)
+			return outcome{src: src, err: err}, nil
+		},
+		func(i int, o outcome) error {
+			if o.err != nil {
+				res.Divergences++
+				res.Failures = append(res.Failures, fmt.Sprintf("seed %d: %v", items[i].seed, o.err))
+				if len(res.Failures) >= 10 {
+					return fmt.Errorf("progfuzz: %d failures (first: %s)\n%s", res.Divergences, res.Failures[0], o.src)
+				}
+			}
+			res.Checks += modes
+			return ctx.Err()
+		})
+	if err != nil {
+		return res, err
 	}
 	if res.Divergences > 0 {
 		return res, fmt.Errorf("progfuzz: %d divergences: %s", res.Divergences, res.Failures[0])

@@ -1,0 +1,129 @@
+package service
+
+// Tests for intra-job parallel cell execution (Options.SweepParallelism):
+// the parallel engine must be invisible in every output byte — result
+// payloads and NDJSON streams identical to a sequential daemon's, and a
+// mid-sweep cancellation must still stream a contiguous grid-order
+// prefix before the terminal state line.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// streamAll reads a job's NDJSON stream to completion.
+func streamAll(t *testing.T, url, id string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/jobs/" + id + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestParallelSweepByteIdentical runs the same sweep on a sequential
+// daemon (SweepParallelism 1) and a 4-wide one, each with a cold cache,
+// and requires the full NDJSON stream and the result payload to match
+// byte for byte.
+func TestParallelSweepByteIdentical(t *testing.T) {
+	spec := JobSpec{Sweep: &SweepSpec{Benches: []string{"fft", "matrix"}, MinIU: 1, MaxIU: 2}}
+
+	run := func(par int) (stream string, result json.RawMessage) {
+		_, ts := newTestServer(t, Options{Workers: 2, SweepParallelism: par})
+		job := submit(t, ts, spec)
+		stream = streamAll(t, ts.URL, job.ID)
+		view := waitJob(t, ts, job.ID)
+		if view.State != JobDone {
+			t.Fatalf("par=%d: job finished %s (%s), want done", par, view.State, view.Error)
+		}
+		return stream, view.Result
+	}
+
+	seqStream, seqResult := run(1)
+	parStream, parResult := run(4)
+	if seqStream != parStream {
+		t.Errorf("NDJSON stream differs between sequential and parallel engines:\nseq:\n%s\npar:\n%s", seqStream, parStream)
+	}
+	if !bytes.Equal(seqResult, parResult) {
+		t.Errorf("result payload differs between sequential and parallel engines:\nseq: %s\npar: %s", seqResult, parResult)
+	}
+}
+
+// TestParallelSweepCancelContiguousPrefix cancels a 4-wide sweep mid-run
+// while following its stream: the cells that made it out must be exactly
+// the grid-order prefix (no gaps, no out-of-order stragglers from
+// in-flight workers), and the stream must terminate with the cancelled
+// state.
+func TestParallelSweepCancelContiguousPrefix(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, SweepParallelism: 4})
+
+	sw := &SweepSpec{Benches: []string{"lud", "fft", "matrix", "model"}, MinIU: 1, MaxIU: 4}
+	job := submit(t, ts, JobSpec{Sweep: sw})
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + job.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	// The server normalizes the spec on submit (FPU range defaults);
+	// build the expected grid from the normalized spec it echoes back.
+	grid := job.Spec.Sweep.Cells()
+	var cells []CellResult
+	var finalState JobState
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var state struct {
+			State JobState `json:"state"`
+		}
+		if json.Unmarshal(sc.Bytes(), &state) == nil && state.State != "" {
+			finalState = state.State
+			break
+		}
+		var cell CellResult
+		if err := json.Unmarshal(sc.Bytes(), &cell); err != nil {
+			t.Fatalf("stream line %d: %v", len(cells), err)
+		}
+		cells = append(cells, cell)
+		if len(cells) == 2 {
+			// Mid-sweep: in-flight cells beyond the frontier exist at
+			// width 4. Cancel and keep draining the stream.
+			apiJSON(t, "DELETE", ts.URL+"/v1/jobs/"+job.ID, nil, http.StatusOK, nil)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if finalState != JobCancelled {
+		t.Fatalf("stream ended in state %q with %d/%d cells, want cancelled", finalState, len(cells), len(grid))
+	}
+	if len(cells) < 2 || len(cells) >= len(grid) {
+		t.Fatalf("streamed %d cells of %d; cancellation was not mid-sweep", len(cells), len(grid))
+	}
+	for i, cell := range cells {
+		want := grid[i]
+		if cell.Bench != want.Bench || cell.IUs != want.IU || cell.FPUs != want.FPU {
+			t.Errorf("cell %d = %s %diu %dfpu, want grid-order %s %diu %dfpu",
+				i, cell.Bench, cell.IUs, cell.FPUs, want.Bench, want.IU, want.FPU)
+		}
+	}
+
+	view := waitJob(t, ts, job.ID)
+	if view.State != JobCancelled {
+		t.Fatalf("job state %s, want cancelled", view.State)
+	}
+	// The job must settle promptly: cancelled in-flight workers drain
+	// without emitting, they do not hang the pool.
+	if view.Finished == nil || time.Since(*view.Finished) < 0 {
+		t.Fatal("cancelled job has no finish time")
+	}
+}

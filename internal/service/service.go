@@ -21,6 +21,7 @@ import (
 
 	"pcoup/internal/experiments"
 	"pcoup/internal/machine"
+	"pcoup/internal/parexec"
 	"pcoup/internal/sim"
 )
 
@@ -40,6 +41,15 @@ type Options struct {
 	// occupies one worker; experiment drivers additionally parallelize
 	// across cells internally.
 	Workers int
+	// SweepParallelism bounds intra-job cell parallelism: sweep jobs and
+	// experiment drivers fan independent cells to this many goroutines
+	// through a limiter SHARED across all workers, so total in-flight
+	// cells stay bounded no matter how many jobs run at once (fair with
+	// Workers rather than multiplicative). Results are merged in
+	// submission order, so payloads and NDJSON streams are byte-identical
+	// to sequential execution. Default GOMAXPROCS; 1 restores fully
+	// sequential intra-job behavior.
+	SweepParallelism int
 	// QueueCap bounds the FIFO queue (default 256).
 	QueueCap int
 	// CacheFile, when set, is loaded at Start and persisted on Shutdown.
@@ -82,6 +92,9 @@ type Server struct {
 	metrics *Metrics
 	presets map[string]*machine.Config
 	journal *journal
+	// sweepLim is the process-wide cell-execution limiter shared by every
+	// job (nil when SweepParallelism is 1: jobs run cells sequentially).
+	sweepLim *parexec.Limiter
 
 	queue      chan *Job
 	baseCtx    context.Context
@@ -101,6 +114,9 @@ func New(opts Options) *Server {
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
+	if opts.SweepParallelism <= 0 {
+		opts.SweepParallelism = runtime.GOMAXPROCS(0)
+	}
 	if opts.QueueCap <= 0 {
 		opts.QueueCap = 256
 	}
@@ -117,9 +133,14 @@ func New(opts Options) *Server {
 	for name, cfg := range opts.Presets {
 		presets[name] = cfg
 	}
+	var lim *parexec.Limiter
+	if opts.SweepParallelism > 1 {
+		lim = parexec.NewLimiter(opts.SweepParallelism)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Server{
 		opts:       opts,
+		sweepLim:   lim,
 		cache:      NewBoundedCache(opts.CacheMaxEntries, opts.CacheMaxBytes),
 		metrics:    NewMetrics(),
 		presets:    presets,
@@ -417,6 +438,13 @@ func (s *Server) runJob(job *Job) {
 	} else {
 		ctx, cancel = context.WithCancel(s.baseCtx)
 	}
+	// Intra-job cell parallelism: the width rides the context into
+	// runSweep and into the experiment drivers' internal fan-outs; the
+	// shared limiter keeps the total across all concurrent jobs bounded.
+	ctx = parexec.WithLimit(ctx, s.opts.SweepParallelism)
+	if s.sweepLim != nil {
+		ctx = parexec.WithLimiter(ctx, s.sweepLim)
+	}
 	job.cancel = cancel
 	alreadyCancelled := job.cancelled
 	job.notifyLocked()
@@ -660,27 +688,48 @@ func (s *Server) runSweep(ctx context.Context, job *Job) (json.RawMessage, error
 		return payload, nil
 	}
 
+	// Cells execute in parallel (width and shared limiter from ctx, set
+	// in runJob), but results are merged in grid order: cache fills,
+	// res.Cells, and the NDJSON stream (job.appendCell) all happen in the
+	// emit stage, which parexec.Stream runs strictly in submission order.
+	// The payload and the streamed bytes are therefore identical to the
+	// sequential loop's, and a mid-sweep cancellation still streams a
+	// contiguous prefix. Only the cache's LRU recency order can differ
+	// (parallel lookups touch entries in completion order).
 	mode := experiments.Mode(sw.Mode)
 	res := sweepResult{Sweep: *sw, Cells: make([]json.RawMessage, 0, len(cells))}
-	for _, c := range cells {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		cfg := machine.Mix(c.IU, c.FPU)
-		key, err := cellKey(c.Bench, mode, cfg, job.spec.Options)
-		if err != nil {
-			return nil, err
-		}
-		payload, ok := s.cache.Get(key)
-		if !ok {
-			payload, err = s.runCell(ctx, c.Bench, mode, cfg, job.spec.Options, c.IU, c.FPU)
+	type cellOut struct {
+		key     string
+		payload json.RawMessage
+		hit     bool
+	}
+	err = parexec.Stream(ctx, len(cells),
+		func(ctx context.Context, i int) (cellOut, error) {
+			c := cells[i]
+			cfg := machine.Mix(c.IU, c.FPU)
+			key, err := cellKey(c.Bench, mode, cfg, job.spec.Options)
 			if err != nil {
-				return nil, fmt.Errorf("sweep %s %diu %dfpu: %w", c.Bench, c.IU, c.FPU, err)
+				return cellOut{}, err
 			}
-			s.cache.Put(key, payload)
-		}
-		res.Cells = append(res.Cells, payload)
-		job.appendCell(payload)
+			if payload, ok := s.cache.Get(key); ok {
+				return cellOut{key: key, payload: payload, hit: true}, nil
+			}
+			payload, err := s.runCell(ctx, c.Bench, mode, cfg, job.spec.Options, c.IU, c.FPU)
+			if err != nil {
+				return cellOut{}, fmt.Errorf("sweep %s %diu %dfpu: %w", c.Bench, c.IU, c.FPU, err)
+			}
+			return cellOut{key: key, payload: payload}, nil
+		},
+		func(i int, out cellOut) error {
+			if !out.hit {
+				s.cache.Put(out.key, out.payload)
+			}
+			res.Cells = append(res.Cells, out.payload)
+			job.appendCell(out.payload)
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	payload, err := json.Marshal(res)
 	if err != nil {

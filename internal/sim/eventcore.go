@@ -57,6 +57,21 @@ func WithCycleSkipping(enabled bool) Option {
 // far (0 when skipping is disabled or never engaged).
 func (s *Sim) SkippedCycles() int64 { return s.skipped }
 
+// probeBackoff is the adaptive-fallback threshold: after this many
+// consecutive failed skip probes the core stops probing until memory
+// activity re-arms it. Busy cells hit the ceiling within one dependence
+// bubble and pay nothing afterwards; memory-bound cells re-arm on every
+// issue/completion, so their long idle stretches are always probed.
+const probeBackoff = 8
+
+// rearmProbe re-enables quiet-cycle probing. Called on memory activity
+// (a reference issued or completed), the only state transitions that
+// open multi-cycle idle windows worth probing for.
+func (s *Sim) rearmProbe() {
+	s.probeMisses = 0
+	s.probeOff = false
+}
+
 // skipAllowed decides once per Run whether cycle skipping is sound for
 // this Sim's configuration and observers.
 func (s *Sim) skipAllowed() bool {
@@ -79,33 +94,31 @@ func (s *Sim) skipAllowed() bool {
 // immediately following cycles are provably idle and safe to jump. The
 // next executed cycle is s.cycle + k + 1; every horizon below bounds k
 // so that the first cycle that may do (or observe) work still executes.
+//
+// The cheap horizons run first: on busy cells (matrix, fft, model) the
+// dominant quiet-cycle pattern is a dependence bubble with a compute
+// writeback due next cycle, which the wbq scan rejects in a handful of
+// comparisons — the O(outstanding refs) memory scan (memProbes) only
+// runs once everything cheaper has admitted a jump.
 func (s *Sim) skipBudget(stallLimit, maxCycles int64) int64 {
+	s.probes++
 	if len(s.pendingSpawns) > 0 {
 		return 0
 	}
-	k := s.mem.SkipBudget()
-	if k <= 0 {
-		return 0
-	}
+	k := int64(1<<62 - 1)
 	for i := range s.wbq {
 		if b := s.wbq[i].readyAt - s.cycle - 1; b < k {
 			k = b
 		}
+	}
+	if k <= 0 {
+		return 0
 	}
 	// Deadlock window: the first check that can fire does so at cycle
 	// lastProgress + stallLimit + 1; executing it there reproduces the
 	// ticking kernel's DeadlockError cycle and bounds every jump.
 	if b := s.lastProgress + stallLimit - s.cycle; b < k {
 		k = b
-	}
-	// Watchdog window: only a sweep that would recover something is an
-	// event (a no-op sweep changes nothing and may be jumped over). The
-	// parked-queue scan is deferred until the jump would actually cross
-	// the window — with recent progress it never runs.
-	if s.watchRetries > 0 {
-		if b := s.lastProgress + s.watchWindow - s.cycle; b < k && s.mem.HasLostWakeups() {
-			k = b
-		}
 	}
 	// Checkpoint boundary: land exactly on the next multiple so the
 	// checkpoint stream stays byte-identical.
@@ -117,6 +130,27 @@ func (s *Sim) skipBudget(stallLimit, maxCycles int64) int64 {
 	// Cycle budget: the budget check must still observe cycle maxCycles.
 	if b := maxCycles - s.cycle - 1; b < k {
 		k = b
+	}
+	if k < 1 {
+		return 0
+	}
+	// Memory: the O(outstanding refs) scan, only now that every cheap
+	// horizon has admitted a jump.
+	s.memProbes++
+	if b := s.mem.SkipBudget(); b < k {
+		k = b
+	}
+	if k < 1 {
+		return 0
+	}
+	// Watchdog window: only a sweep that would recover something is an
+	// event (a no-op sweep changes nothing and may be jumped over). The
+	// parked-queue scan is deferred until the jump would actually cross
+	// the window — with recent progress it never runs.
+	if s.watchRetries > 0 {
+		if b := s.lastProgress + s.watchWindow - s.cycle; b < k && s.mem.HasLostWakeups() {
+			k = b
+		}
 	}
 	if k < 1 {
 		return 0

@@ -147,6 +147,15 @@ type Sim struct {
 	quiet        bool
 	nextCkpt     int64
 	skipped      int64
+	// Adaptive probe fallback (busy cells): probeMisses counts
+	// consecutive failed skip probes; once it reaches probeBackoff the
+	// core stops probing (probeOff) until memory activity re-arms it.
+	// probes/memProbes count probe attempts and the subset that reached
+	// the O(outstanding-refs) memory scan, for tests and tuning.
+	probeMisses int64
+	probeOff    bool
+	probes      int64
+	memProbes   int64
 
 	// pendingSpawns created this cycle become active next cycle.
 	pendingSpawns []*Thread
@@ -496,9 +505,20 @@ func (s *Sim) Run(maxCycles int64) (*Result, error) {
 			}
 			return nil, &BudgetError{MaxCycles: maxCycles, Cycle: s.cycle}
 		}
-		if s.quiet && s.skipOK {
+		if s.quiet && s.skipOK && !s.probeOff {
 			if k := s.skipBudget(stallLimit, maxCycles); k > 0 {
 				s.skipCycles(k)
+				s.probeMisses = 0
+			} else {
+				// Adaptive fallback: a busy cell's quiet cycles are
+				// dependence bubbles with work due immediately, so probes
+				// keep failing. After probeBackoff consecutive misses stop
+				// probing; memory activity (issue or completion) re-arms,
+				// since that is what opens genuinely skippable windows.
+				s.probeMisses++
+				if s.probeMisses >= probeBackoff {
+					s.probeOff = true
+				}
 			}
 		}
 	}
@@ -579,6 +599,7 @@ func (s *Sim) step() {
 	// 1. Memory completions become writeback candidates this cycle.
 	for _, c := range s.mem.Tick() {
 		busy = true
+		s.rearmProbe()
 		tag := c.Req.Tag
 		th := s.byID[tag.Thread]
 		th.stalled = false
@@ -983,6 +1004,7 @@ func (s *Sim) issueOp(t *Thread, slot int, op *isa.Op) {
 			t.syncLoadsOut++
 		}
 		_ = s.mem.Issue(req)
+		s.rearmProbe()
 	case isa.OpStore:
 		addr := op.Offset
 		for _, v := range vals[1:] {
@@ -995,6 +1017,7 @@ func (s *Sim) issueOp(t *Thread, slot int, op *isa.Op) {
 		}
 		t.storesOut++
 		_ = s.mem.Issue(req)
+		s.rearmProbe()
 	case isa.OpJmp:
 		t.branchTaken = true
 		t.branchTarget = op.Target
