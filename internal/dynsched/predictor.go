@@ -1,0 +1,289 @@
+// Package dynsched implements the optional dynamic-scheduling subsystem
+// layered over the paper-exact in-order core: a bounded per-thread
+// out-of-order issue window, branch predictors (bimodal and TAGE-style),
+// and a stride prefetcher feeding the statistical memory model. All
+// state is deterministic (seeded via internal/rng) and snapshots to
+// plain JSON-encodable structs so sim.Snapshot stays byte-identical
+// across save/restore.
+package dynsched
+
+import (
+	"fmt"
+
+	"pcoup/internal/rng"
+)
+
+// Predictor is a branch direction predictor. Predict must be pure (no
+// state change): the issue window calls it speculatively on quiet
+// cycles, and the event-driven skip core relies on prediction being a
+// function of frozen state. Update is called exactly once per resolved
+// conditional branch, in program order.
+type Predictor interface {
+	Predict(pc uint64) bool
+	Update(pc uint64, taken bool)
+	State() *PredictorState
+	Restore(st *PredictorState) error
+}
+
+// PredictorState is the JSON-encodable snapshot of a predictor. Counter
+// tables are []int (not []uint8, which encoding/json would base64) so
+// checkpoints stay readable and diffable.
+type PredictorState struct {
+	Kind    string  `json:"kind"`
+	Base    []int   `json:"base"`
+	Tables  [][]int `json:"tables,omitempty"`
+	Tags    [][]int `json:"tags,omitempty"`
+	Useful  [][]int `json:"useful,omitempty"`
+	History uint64  `json:"history,omitempty"`
+	Rng     uint64  `json:"rng,omitempty"`
+}
+
+// NewPredictor constructs the predictor named by kind ("bimodal" or
+// "tage") with 1<<bits entries per table. The seed drives TAGE's
+// allocation tie-breaks.
+func NewPredictor(kind string, bits int, seed uint64) (Predictor, error) {
+	switch kind {
+	case "bimodal":
+		return newBimodal(bits), nil
+	case "tage":
+		return newTAGE(bits, seed), nil
+	}
+	return nil, fmt.Errorf("dynsched: unknown predictor %q", kind)
+}
+
+// Bimodal is a table of 2-bit saturating counters indexed by PC.
+type Bimodal struct {
+	ctr  []int
+	mask uint64
+}
+
+func newBimodal(bits int) *Bimodal {
+	n := 1 << bits
+	b := &Bimodal{ctr: make([]int, n), mask: uint64(n - 1)}
+	// Initialize to weakly not-taken (1): loops train to taken in one
+	// iteration, one-shot branches stay not-taken.
+	for i := range b.ctr {
+		b.ctr[i] = 1
+	}
+	return b
+}
+
+// Predict implements Predictor.
+func (b *Bimodal) Predict(pc uint64) bool { return b.ctr[pc&b.mask] >= 2 }
+
+// Update implements Predictor.
+func (b *Bimodal) Update(pc uint64, taken bool) {
+	i := pc & b.mask
+	if taken {
+		if b.ctr[i] < 3 {
+			b.ctr[i]++
+		}
+	} else if b.ctr[i] > 0 {
+		b.ctr[i]--
+	}
+}
+
+// State implements Predictor.
+func (b *Bimodal) State() *PredictorState {
+	return &PredictorState{Kind: "bimodal", Base: append([]int(nil), b.ctr...)}
+}
+
+// Restore implements Predictor.
+func (b *Bimodal) Restore(st *PredictorState) error {
+	if st == nil || st.Kind != "bimodal" {
+		return fmt.Errorf("dynsched: bimodal restore: wrong kind")
+	}
+	if len(st.Base) != len(b.ctr) {
+		return fmt.Errorf("dynsched: bimodal restore: table size %d != %d", len(st.Base), len(b.ctr))
+	}
+	copy(b.ctr, st.Base)
+	return nil
+}
+
+// tageHists are the geometric global-history lengths of the tagged
+// tables, shortest first.
+var tageHists = []int{4, 8, 16, 32}
+
+// TAGE is a TAGE-style predictor: a bimodal base plus tagged tables
+// indexed by PC folded with geometrically longer slices of the global
+// history. The longest-history tag match provides the prediction;
+// mispredictions allocate an entry in a longer table, with a seeded
+// random tie-break between allocation candidates.
+type TAGE struct {
+	base    *Bimodal
+	ctr     [][]int // 3-bit counters, taken when >= 4
+	tag     [][]int // ~8-bit partial tags
+	useful  [][]int // 2-bit usefulness for allocation victimization
+	mask    uint64
+	history uint64
+	rnd     *rng.Source
+}
+
+func newTAGE(bits int, seed uint64) *TAGE {
+	n := 1 << bits
+	t := &TAGE{
+		base: newBimodal(bits),
+		mask: uint64(n - 1),
+		rnd:  rng.New(seed ^ 0x7a9e_7a9e_7a9e_7a9e),
+	}
+	for range tageHists {
+		ctr := make([]int, n)
+		for i := range ctr {
+			ctr[i] = 3 // weakly not-taken (taken at >= 4)
+		}
+		t.ctr = append(t.ctr, ctr)
+		t.tag = append(t.tag, make([]int, n))
+		t.useful = append(t.useful, make([]int, n))
+	}
+	return t
+}
+
+// fold compresses the low histLen bits of h into width bits by XOR.
+func fold(h uint64, histLen, width int) uint64 {
+	if histLen < 64 {
+		h &= (uint64(1) << histLen) - 1
+	}
+	var out uint64
+	for h != 0 {
+		out ^= h & ((uint64(1) << width) - 1)
+		h >>= width
+	}
+	return out
+}
+
+func (t *TAGE) index(table int, pc uint64) uint64 {
+	return (pc ^ fold(t.history, tageHists[table], 10) ^ (pc >> 4)) & t.mask
+}
+
+func (t *TAGE) tagOf(table int, pc uint64) int {
+	return int((pc ^ fold(t.history, tageHists[table], 8) ^ (pc >> 6)) & 0xff)
+}
+
+// provider returns the longest-history matching table, or -1 for the
+// bimodal base.
+func (t *TAGE) provider(pc uint64) int {
+	for i := len(tageHists) - 1; i >= 0; i-- {
+		if t.tag[i][t.index(i, pc)] == t.tagOf(i, pc) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Predict implements Predictor.
+func (t *TAGE) Predict(pc uint64) bool {
+	if p := t.provider(pc); p >= 0 {
+		return t.ctr[p][t.index(p, pc)] >= 4
+	}
+	return t.base.Predict(pc)
+}
+
+// Update implements Predictor.
+func (t *TAGE) Update(pc uint64, taken bool) {
+	p := t.provider(pc)
+	var correct bool
+	if p >= 0 {
+		i := t.index(p, pc)
+		correct = (t.ctr[p][i] >= 4) == taken
+		if taken {
+			if t.ctr[p][i] < 7 {
+				t.ctr[p][i]++
+			}
+		} else if t.ctr[p][i] > 0 {
+			t.ctr[p][i]--
+		}
+		if correct {
+			if t.useful[p][i] < 3 {
+				t.useful[p][i]++
+			}
+		} else if t.useful[p][i] > 0 {
+			t.useful[p][i]--
+		}
+	} else {
+		correct = t.base.Predict(pc) == taken
+	}
+	t.base.Update(pc, taken)
+	if !correct {
+		t.allocate(p, pc, taken)
+	}
+	t.history = t.history<<1 | b2u(taken)
+}
+
+// allocate installs a new entry in a table with longer history than the
+// provider, preferring a non-useful victim; with several candidate
+// tables, a seeded coin flip keeps the shorter one half the time
+// (standard TAGE anti-ping-pong).
+func (t *TAGE) allocate(provider int, pc uint64, taken bool) {
+	start := provider + 1
+	if start >= len(tageHists) {
+		return
+	}
+	for a := start; a < len(tageHists); a++ {
+		i := t.index(a, pc)
+		if t.useful[a][i] == 0 {
+			if a+1 < len(tageHists) && t.rnd.Uint64()&1 == 1 {
+				continue
+			}
+			t.tag[a][i] = t.tagOf(a, pc)
+			t.ctr[a][i] = 3
+			if taken {
+				t.ctr[a][i] = 4
+			}
+			t.useful[a][i] = 0
+			return
+		}
+	}
+	// No victim: decay usefulness so a future allocation succeeds.
+	for a := start; a < len(tageHists); a++ {
+		i := t.index(a, pc)
+		if t.useful[a][i] > 0 {
+			t.useful[a][i]--
+		}
+	}
+}
+
+// State implements Predictor.
+func (t *TAGE) State() *PredictorState {
+	st := &PredictorState{
+		Kind:    "tage",
+		Base:    append([]int(nil), t.base.ctr...),
+		History: t.history,
+		Rng:     t.rnd.State(),
+	}
+	for i := range tageHists {
+		st.Tables = append(st.Tables, append([]int(nil), t.ctr[i]...))
+		st.Tags = append(st.Tags, append([]int(nil), t.tag[i]...))
+		st.Useful = append(st.Useful, append([]int(nil), t.useful[i]...))
+	}
+	return st
+}
+
+// Restore implements Predictor.
+func (t *TAGE) Restore(st *PredictorState) error {
+	if st == nil || st.Kind != "tage" {
+		return fmt.Errorf("dynsched: tage restore: wrong kind")
+	}
+	if len(st.Base) != len(t.base.ctr) || len(st.Tables) != len(tageHists) ||
+		len(st.Tags) != len(tageHists) || len(st.Useful) != len(tageHists) {
+		return fmt.Errorf("dynsched: tage restore: shape mismatch")
+	}
+	copy(t.base.ctr, st.Base)
+	for i := range tageHists {
+		if len(st.Tables[i]) != len(t.ctr[i]) || len(st.Tags[i]) != len(t.tag[i]) || len(st.Useful[i]) != len(t.useful[i]) {
+			return fmt.Errorf("dynsched: tage restore: table %d size mismatch", i)
+		}
+		copy(t.ctr[i], st.Tables[i])
+		copy(t.tag[i], st.Tags[i])
+		copy(t.useful[i], st.Useful[i])
+	}
+	t.history = st.History
+	t.rnd.SetState(st.Rng)
+	return nil
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

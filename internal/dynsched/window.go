@@ -1,0 +1,233 @@
+package dynsched
+
+import "pcoup/internal/isa"
+
+// Sentinel successor IPs for window entries.
+const (
+	// IPEnd marks execution running off the end of the segment (or an
+	// explicit halt): retiring an entry with this successor halts the
+	// thread.
+	IPEnd = -1
+	// IPUnknown marks a conditional branch whose direction is neither
+	// resolved nor predicted yet; extension stops here.
+	IPUnknown = -2
+)
+
+// Entry is one instruction word in a thread's issue window. The head
+// entry (index 0) is the architectural frontier: the simulator aliases
+// its Issued slice as the thread's in-order issue bitmap, so the whole
+// legacy classification/deadlock machinery keeps seeing a consistent
+// "current word". Issued is always allocated at the word's full slot
+// count so the alias survives any number of issues.
+type Entry struct {
+	IP        int
+	Issued    []bool
+	Spec      bool // fetched past an unresolved prediction: wrong-path candidate
+	Resolved  bool // successor (NextIP) is architecturally known
+	Predicted bool // NextIP was chosen by the branch predictor
+	PredTaken bool
+	BrSlot    int  // slot of the word's conditional branch, -1 if none
+	Barrier   bool // word forks, halts, or has ambiguous control: no lookahead past it
+	NextIP    int  // successor word, IPEnd, or IPUnknown
+	Target    int  // taken successor of the conditional branch (empty words skipped)
+}
+
+// Window is a per-thread lookahead buffer of up to cap instruction
+// words. Entries are fetched along the (possibly predicted) control
+// path; the simulator issues ready operations from any entry subject to
+// register-hazard and memory-order checks, and retires at most one
+// fully-issued head per cycle.
+type Window struct {
+	seg     *isa.ThreadCode
+	pcBase  uint64
+	cap     int
+	Entries []*Entry
+}
+
+// NewWindow builds an empty window over seg. pcBase disambiguates
+// branch PCs across segments (the simulator passes segIdx<<20).
+func NewWindow(seg *isa.ThreadCode, capWords int, pcBase uint64) *Window {
+	if capWords < 1 {
+		capWords = 1
+	}
+	return &Window{seg: seg, pcBase: pcBase, cap: capWords}
+}
+
+// Cap returns the window depth in words.
+func (w *Window) Cap() int { return w.cap }
+
+// PC returns the global branch-predictor PC for a word of this segment.
+func (w *Window) PC(ip int) uint64 { return w.pcBase | uint64(ip) }
+
+// Head returns the architectural head entry (nil when empty).
+func (w *Window) Head() *Entry {
+	if len(w.Entries) == 0 {
+		return nil
+	}
+	return w.Entries[0]
+}
+
+// EffIP returns the first word at or after from that contains at least
+// one operation, mirroring the in-order core's empty-word fallthrough.
+// IPEnd means execution runs off the segment.
+func (w *Window) EffIP(from int) int {
+	for ip := from; ip < len(w.seg.Instrs); ip++ {
+		if w.seg.Instrs[ip].NumOps() > 0 {
+			return ip
+		}
+	}
+	return IPEnd
+}
+
+// newEntry decodes the static control shape of word ip.
+func (w *Window) newEntry(ip int, spec bool) *Entry {
+	word := &w.seg.Instrs[ip]
+	e := &Entry{IP: ip, Issued: make([]bool, len(word.Ops)), Spec: spec, BrSlot: -1}
+	ctrl := 0
+	for slot, op := range word.Ops {
+		if op == nil {
+			continue
+		}
+		switch op.Code {
+		case isa.OpJmp:
+			ctrl++
+			e.NextIP = w.EffIP(op.Target)
+			e.Resolved = true
+		case isa.OpBt, isa.OpBf:
+			ctrl++
+			e.BrSlot = slot
+			e.Target = w.EffIP(op.Target)
+			e.NextIP = IPUnknown
+		case isa.OpFork:
+			// Forks spawn at issue; keep them at the head so thread-slot
+			// arbitration stays in program order.
+			e.Barrier = true
+		case isa.OpHalt:
+			e.Barrier = true
+			e.NextIP = IPEnd
+			e.Resolved = true
+			ctrl++
+		}
+	}
+	if ctrl == 0 {
+		e.NextIP = w.EffIP(ip + 1)
+		e.Resolved = true
+	} else if ctrl > 1 {
+		// Ambiguous multi-branch word (not emitted by our compiler):
+		// degrade to in-order handling behind a barrier.
+		e.Barrier = true
+	}
+	return e
+}
+
+// Reset seeds the window at the first non-empty word at or after ip.
+// An empty window after Reset means the thread ran off its code.
+func (w *Window) Reset(ip int) {
+	w.Entries = w.Entries[:0]
+	if eff := w.EffIP(ip); eff >= 0 {
+		w.Entries = append(w.Entries, w.newEntry(eff, false))
+	}
+}
+
+// HasUnresolvedPrediction reports whether a predicted branch is still
+// in flight. At most one prediction is outstanding at a time.
+func (w *Window) HasUnresolvedPrediction() bool {
+	for _, e := range w.Entries {
+		if e.Predicted && !e.Resolved {
+			return true
+		}
+	}
+	return false
+}
+
+// Extend fetches words along the known (or predicted) control path
+// until the window is full, a barrier or unresolved branch blocks it,
+// or the code ends. It is idempotent at maximal extension and Predict
+// is pure, so calling it on quiet cycles never changes state — the
+// event-driven skip core depends on that. Returns whether anything
+// changed.
+func (w *Window) Extend(pred Predictor) bool {
+	changed := false
+	for len(w.Entries) > 0 && len(w.Entries) < w.cap {
+		last := w.Entries[len(w.Entries)-1]
+		if last.Barrier {
+			break
+		}
+		if last.NextIP == IPUnknown {
+			if pred == nil || last.BrSlot < 0 || w.HasUnresolvedPrediction() {
+				break
+			}
+			last.Predicted = true
+			last.PredTaken = pred.Predict(w.PC(last.IP))
+			if last.PredTaken {
+				last.NextIP = last.Target
+			} else {
+				last.NextIP = w.EffIP(last.IP + 1)
+			}
+			changed = true
+			continue
+		}
+		if last.NextIP < 0 {
+			break
+		}
+		w.Entries = append(w.Entries, w.newEntry(last.NextIP, w.HasUnresolvedPrediction()))
+		changed = true
+	}
+	return changed
+}
+
+// HeadDone reports whether every operation of the head word has issued.
+func (w *Window) HeadDone() bool {
+	head := w.Head()
+	if head == nil {
+		return false
+	}
+	for slot, op := range w.seg.Instrs[head.IP].Ops {
+		if op != nil && !head.Issued[slot] {
+			return false
+		}
+	}
+	return true
+}
+
+// RetireHead pops the fully-issued head (the caller checks HeadDone;
+// the head's successor is always resolved by then, since branches
+// resolve at issue). When the window empties, it reseeds from the
+// retired word's successor. Returns true when the thread ran off its
+// code (implicit halt).
+func (w *Window) RetireHead() bool {
+	head := w.Entries[0]
+	copy(w.Entries, w.Entries[1:])
+	w.Entries[len(w.Entries)-1] = nil
+	w.Entries = w.Entries[:len(w.Entries)-1]
+	if len(w.Entries) > 0 {
+		return false
+	}
+	if head.NextIP < 0 {
+		return true
+	}
+	w.Entries = append(w.Entries, w.newEntry(head.NextIP, false))
+	return false
+}
+
+// CommitSpec clears the speculative mark on every entry after a correct
+// prediction: the fetched path is the architectural path.
+func (w *Window) CommitSpec() {
+	for _, e := range w.Entries {
+		e.Spec = false
+	}
+}
+
+// SquashAfter drops every entry after index k (the mispredicted
+// branch's entry). All dropped entries are speculative by construction:
+// only one prediction is outstanding, and everything fetched past it is
+// marked Spec.
+func (w *Window) SquashAfter(k int) {
+	for i := k + 1; i < len(w.Entries); i++ {
+		w.Entries[i] = nil
+	}
+	w.Entries = w.Entries[:k+1]
+}
+
+// Word returns the instruction word of an entry.
+func (w *Window) Word(e *Entry) *isa.Instruction { return &w.seg.Instrs[e.IP] }

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"pcoup/internal/parexec"
+)
+
+// TestDynSchedShape runs the full dynamic-scheduling sweep and checks
+// the grid's shape, normalization, and the headline claim: the combined
+// CoupledDyn preset beats plain Coupled on at least two benchmarks at
+// each lossy memory model.
+func TestDynSchedShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep")
+	}
+	rows, err := DynSched(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 60 {
+		t.Fatalf("dynsched rows = %d, want 60 (4 benches x 5 presets x 3 memories)", len(rows))
+	}
+	for _, r := range rows {
+		if r.Cycles <= 0 {
+			t.Errorf("%s/%s/%s: nonpositive cycles %d", r.Bench, r.Preset, r.Memory, r.Cycles)
+		}
+		if r.Preset == "Coupled" && r.VsCoupled != 1.0 {
+			t.Errorf("%s/%s: Coupled normalization %v, want 1.0", r.Bench, r.Memory, r.VsCoupled)
+		}
+	}
+	for _, mem := range []string{"Mem2", "Slow"} {
+		wins := 0
+		for _, r := range rows {
+			if r.Preset == "CoupledDyn" && r.Memory == mem && r.VsCoupled < 1.0 {
+				wins++
+			}
+		}
+		if wins < 2 {
+			t.Errorf("CoupledDyn beats Coupled on %d benchmarks at %s, want >= 2", wins, mem)
+		}
+	}
+	// The predictor and prefetcher must actually engage somewhere.
+	var predicted, covered bool
+	for _, r := range rows {
+		if r.Preset == "CoupledDyn" && r.MispredictRate > 0 {
+			predicted = true
+		}
+		if r.Preset == "CoupledPrefetch" && r.PrefetchCoverage > 0 {
+			covered = true
+		}
+	}
+	if !predicted {
+		t.Error("no CoupledDyn cell resolved a mispredicted branch")
+	}
+	if !covered {
+		t.Error("no CoupledPrefetch cell covered a demand load")
+	}
+
+	var buf bytes.Buffer
+	WriteDynSched(&buf, rows)
+	out := buf.String()
+	for _, want := range []string{"Coupled", "+OoO", "+TAGE", "+Pref", "+Dyn", "matrix", "lud", "Slow"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestDynSchedParallelIdentity: the sweep's rows are byte-identical
+// whether cells run sequentially (-j 1) or fanned out (-j 4) — the
+// ordered-merge property extended to the dynamic subsystem.
+func TestDynSchedParallelIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep twice")
+	}
+	run := func(workers int) []byte {
+		rows, err := DynSchedCtx(parexec.WithLimit(context.Background(), workers), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	seq, par := run(1), run(4)
+	if !bytes.Equal(seq, par) {
+		t.Error("dynsched rows differ between -j 1 and -j 4")
+	}
+}

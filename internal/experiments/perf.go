@@ -164,13 +164,19 @@ func PerfCtx(ctx context.Context, cfg *machine.Config) (*PerfResult, error) {
 		name  string
 		bench string
 		mem   *machine.MemoryModel
+		dyn   *machine.DynamicModel
 	}{
-		{"matrix", "matrix", nil},
-		{"fft", "fft", nil},
-		{"model", "model", nil},
-		{"lud", "lud", nil},
-		{"lud@Mem2", "lud", &machine.Mem2},
-		{"lud@Slow", "lud", &machine.MemSlow},
+		{"matrix", "matrix", nil, nil},
+		{"fft", "fft", nil, nil},
+		{"model", "model", nil, nil},
+		{"lud", "lud", nil, nil},
+		{"lud@Mem2", "lud", &machine.Mem2, nil},
+		{"lud@Slow", "lud", &machine.MemSlow, nil},
+		// The CoupledDyn cell: the window, predictor, and prefetcher all
+		// live on the issue path, so this row guards the dynamic
+		// subsystem's overhead (and its event-core compatibility — the
+		// skip horizons must still engage on the idle stretches).
+		{"lud@Dyn", "lud", &machine.Mem2, &machine.DynAll},
 	}
 	for _, c := range perfCells {
 		if err := ctx.Err(); err != nil {
@@ -179,6 +185,9 @@ func PerfCtx(ctx context.Context, cfg *machine.Config) (*PerfResult, error) {
 		cellCfg := cfg
 		if c.mem != nil {
 			cellCfg = cfg.WithMemory(*c.mem)
+		}
+		if c.dyn != nil {
+			cellCfg = cellCfg.WithDynamic(*c.dyn)
 		}
 		_, prog, _, err := compileCached(c.bench, sourceKind(COUPLED), 0, cellCfg, compiler.Options{Mode: compilerMode(COUPLED)})
 		if err != nil {

@@ -108,6 +108,12 @@ var registry = []Experiment{
 		Write: func(w io.Writer, _ *machine.Config, rows any) { WriteStalls(w, rows.([]StallRow)) },
 	},
 	{
+		Name:  "dynsched",
+		Brief: "dynamic scheduling: OoO window, branch prediction, prefetching (extension)",
+		Run:   func(rc *RunContext) (any, error) { return DynSchedCtx(rc.Context(), rc.Config()) },
+		Write: func(w io.Writer, _ *machine.Config, rows any) { WriteDynSched(w, rows.([]DynSchedRow)) },
+	},
+	{
 		Name:  "degradation",
 		Brief: "fault-injection rate vs slowdown per configuration (extension)",
 		Run:   func(rc *RunContext) (any, error) { return DegradationCtx(rc.Context(), rc.Config()) },

@@ -25,6 +25,7 @@ func (c *Config) Canonical() *Config {
 		out.OpCache.MissPenalty = 0
 	}
 	out.Faults = out.Faults.Canonical()
+	out.Dynamic = out.Dynamic.canonical()
 	return out
 }
 

@@ -1,0 +1,225 @@
+package machine
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func dynCfg(d DynamicModel) *Config {
+	c := Baseline()
+	c.Dynamic = d
+	return c
+}
+
+func TestDynamicPresetsValid(t *testing.T) {
+	for name, d := range map[string]DynamicModel{
+		"DynOoO": DynOoO, "DynTAGE": DynTAGE, "DynPrefetch": DynPrefetch, "DynAll": DynAll,
+	} {
+		if !d.Enabled() {
+			t.Errorf("%s: preset reports disabled", name)
+		}
+		if err := dynCfg(d).Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if (DynamicModel{}).Enabled() {
+		t.Error("zero DynamicModel reports enabled")
+	}
+}
+
+// TestDynamicJSONRoundTrip: every preset (and a fully explicit model)
+// survives marshal/unmarshal exactly and byte-stably, and the canonical
+// hash survives the trip.
+func TestDynamicJSONRoundTrip(t *testing.T) {
+	models := []DynamicModel{
+		{}, DynOoO, DynTAGE, DynPrefetch, DynAll,
+		{Window: 2, Predictor: "bimodal", PredictorBits: 12, SquashPenalty: 5,
+			PrefetchStreams: 64, PrefetchDegree: 8},
+	}
+	for _, d := range models {
+		cfg := dynCfg(d)
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("%+v: %v", d, err)
+		}
+		h1, err := cfg.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc1, err := json.Marshal(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Config
+		if err := json.Unmarshal(enc1, &back); err != nil {
+			t.Fatalf("%+v: round trip parse: %v\n%s", d, err, enc1)
+		}
+		if !reflect.DeepEqual(cfg, &back) {
+			t.Errorf("%+v: round trip changed the config", d)
+		}
+		enc2, err := json.Marshal(&back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Errorf("%+v: serialization not byte-stable", d)
+		}
+		h2, err := back.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h1 != h2 {
+			t.Errorf("%+v: canonical hash changed across round trip", d)
+		}
+	}
+}
+
+// TestDynamicZeroSectionOmitted: the paper-exact machine's JSON must not
+// mention the dynamic section at all, and a config parsed from JSON that
+// never heard of the section must equal one with an explicit zero value
+// (same hash, same bytes).
+func TestDynamicZeroSectionOmitted(t *testing.T) {
+	plain := Baseline()
+	enc, err := json.Marshal(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(enc, []byte(`"dynamic"`)) {
+		t.Errorf("zero dynamic section serialized: %s", enc)
+	}
+	zeroed := plain.WithDynamic(DynamicModel{})
+	encZ, err := json.Marshal(zeroed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, encZ) {
+		t.Error("explicit zero dynamic section changed serialization")
+	}
+	h1, _ := plain.Hash()
+	h2, _ := zeroed.Hash()
+	if h1 != h2 {
+		t.Error("explicit zero dynamic section changed the canonical hash")
+	}
+}
+
+// TestDynamicHashSensitivity: the canonical hash must distinguish every
+// dynamic tunable (cache keys may not collide across machines that
+// simulate differently), while implied defaults hash identically to
+// explicit ones.
+func TestDynamicHashSensitivity(t *testing.T) {
+	base := dynCfg(DynAll)
+	h0, _ := base.Hash()
+	mutants := []DynamicModel{
+		{Window: 8, Predictor: "tage", PrefetchStreams: 16, PrefetchDegree: 4},
+		{Window: 4, Predictor: "bimodal", PrefetchStreams: 16, PrefetchDegree: 4},
+		{Window: 4, Predictor: "tage", PredictorBits: 14, PrefetchStreams: 16, PrefetchDegree: 4},
+		{Window: 4, Predictor: "tage", SquashPenalty: 9, PrefetchStreams: 16, PrefetchDegree: 4},
+		{Window: 4, Predictor: "tage", PrefetchStreams: 32, PrefetchDegree: 4},
+		{Window: 4, Predictor: "tage", PrefetchStreams: 16, PrefetchDegree: 2},
+		{Window: 4, Predictor: "tage"},
+	}
+	for _, d := range mutants {
+		h, _ := dynCfg(d).Hash()
+		if h == h0 {
+			t.Errorf("hash ignored dynamic change: %+v", d)
+		}
+	}
+	// Implied defaults == explicit defaults.
+	explicit := DynAll
+	explicit.PredictorBits = DynAll.EffPredictorBits()
+	explicit.SquashPenalty = DynAll.EffSquashPenalty()
+	explicit.PrefetchDegree = DynAll.EffPrefetchDegree()
+	if h, _ := dynCfg(explicit).Hash(); h != h0 {
+		t.Error("explicit documented defaults hash differently from implied ones")
+	}
+}
+
+// TestDynamicUnknownField: a typo in the dynamic section must fail the
+// parse with an error naming the offending key, not silently run the
+// paper-exact machine.
+func TestDynamicUnknownField(t *testing.T) {
+	cfg := dynCfg(DynAll)
+	enc, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := bytes.Replace(enc, []byte(`"prefetch_streams"`), []byte(`"prefetch_straems"`), 1)
+	var back Config
+	err = json.Unmarshal(bad, &back)
+	if err == nil {
+		t.Fatal("unknown dynamic field accepted")
+	}
+	if !strings.Contains(err.Error(), "dynamic.prefetch_straems") {
+		t.Errorf("error does not name the offending field: %v", err)
+	}
+}
+
+// TestDynamicValidateErrors: each out-of-range or inconsistent tunable is
+// rejected with an error naming its JSON field.
+func TestDynamicValidateErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		d     DynamicModel
+		also  func(*Config)
+		field string
+	}{
+		{"negative window", DynamicModel{Window: -1}, nil, "dynamic.window"},
+		{"window too deep", DynamicModel{Window: MaxDynWindow + 1}, nil, "dynamic.window"},
+		{"unknown predictor", DynamicModel{Window: 4, Predictor: "gshare"}, nil, "dynamic.predictor"},
+		{"predictor without window", DynamicModel{Predictor: "tage"}, nil, "dynamic.predictor"},
+		{"negative predictor bits", DynamicModel{Window: 4, Predictor: "tage", PredictorBits: -1}, nil, "dynamic.predictor_bits"},
+		{"predictor bits too big", DynamicModel{Window: 4, Predictor: "tage", PredictorBits: MaxPredictorBits + 1}, nil, "dynamic.predictor_bits"},
+		{"bits without predictor", DynamicModel{Window: 4, PredictorBits: 8}, nil, "dynamic.predictor_bits"},
+		{"negative squash", DynamicModel{Window: 4, SquashPenalty: -3}, nil, "dynamic.squash_penalty"},
+		{"squash without window", DynamicModel{SquashPenalty: 3, PrefetchStreams: 4}, nil, "dynamic.squash_penalty"},
+		{"negative streams", DynamicModel{PrefetchStreams: -1}, nil, "dynamic.prefetch_streams"},
+		{"too many streams", DynamicModel{PrefetchStreams: MaxPrefetchStreams + 1}, nil, "dynamic.prefetch_streams"},
+		{"negative degree", DynamicModel{PrefetchStreams: 8, PrefetchDegree: -1}, nil, "dynamic.prefetch_degree"},
+		{"degree too far", DynamicModel{PrefetchStreams: 8, PrefetchDegree: MaxPrefetchDegree + 1}, nil, "dynamic.prefetch_degree"},
+		{"degree without streams", DynamicModel{Window: 4, PrefetchDegree: 2}, nil, "dynamic.prefetch_degree"},
+		{"window vs lock-step", DynamicModel{Window: 4}, func(c *Config) { c.LockStepIssue = true }, "dynamic.window"},
+		{"window vs op cache", DynamicModel{Window: 4}, func(c *Config) { c.OpCache = OpCacheModel{Entries: 64, MissPenalty: 2} }, "dynamic.window"},
+	}
+	for _, tc := range cases {
+		cfg := dynCfg(tc.d)
+		if tc.also != nil {
+			tc.also(cfg)
+		}
+		err := cfg.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted invalid config", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.field) {
+			t.Errorf("%s: error does not name %s: %v", tc.name, tc.field, err)
+		}
+	}
+}
+
+// TestDynamicEffDefaults pins the documented zero-value defaults.
+func TestDynamicEffDefaults(t *testing.T) {
+	var d DynamicModel
+	if d.EffPredictorBits() != 10 || d.EffSquashPenalty() != 3 || d.EffPrefetchDegree() != 4 {
+		t.Errorf("zero-value defaults wrong: bits=%d squash=%d degree=%d",
+			d.EffPredictorBits(), d.EffSquashPenalty(), d.EffPrefetchDegree())
+	}
+	d = DynamicModel{PredictorBits: 7, SquashPenalty: 1, PrefetchDegree: 2}
+	if d.EffPredictorBits() != 7 || d.EffSquashPenalty() != 1 || d.EffPrefetchDegree() != 2 {
+		t.Error("explicit tunables not honored")
+	}
+}
+
+// TestWithDynamicDoesNotMutate mirrors TestWithHelpers for the new
+// builder.
+func TestWithDynamicDoesNotMutate(t *testing.T) {
+	base := Baseline()
+	dyn := base.WithDynamic(DynAll)
+	if base.Dynamic.Enabled() {
+		t.Error("WithDynamic mutated the receiver")
+	}
+	if !dyn.Dynamic.Enabled() || dyn.Dynamic != DynAll {
+		t.Error("WithDynamic failed to set the model")
+	}
+}

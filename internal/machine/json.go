@@ -23,6 +23,7 @@ type jsonConfig struct {
 	MaxThreads   int           `json:"max_threads,omitempty"`
 	OpCache      *jsonOpCache  `json:"op_cache,omitempty"`
 	Faults       *jsonFaults   `json:"faults,omitempty"`
+	Dynamic      *jsonDynamic  `json:"dynamic,omitempty"`
 }
 
 type jsonFaults struct {
@@ -92,6 +93,16 @@ func (c *Config) MarshalJSON() ([]byte, error) {
 			UnitOutageCycles: c.Faults.UnitOutageCycles,
 		}
 	}
+	if c.Dynamic != (DynamicModel{}) {
+		jc.Dynamic = &jsonDynamic{
+			Window:          c.Dynamic.Window,
+			Predictor:       c.Dynamic.Predictor,
+			PredictorBits:   c.Dynamic.PredictorBits,
+			SquashPenalty:   c.Dynamic.SquashPenalty,
+			PrefetchStreams: c.Dynamic.PrefetchStreams,
+			PrefetchDegree:  c.Dynamic.PrefetchDegree,
+		}
+	}
 	jc.Memory = jsonMemory{
 		Name:           c.Memory.Name,
 		HitLatency:     c.Memory.HitLatency,
@@ -150,6 +161,16 @@ func (c *Config) UnmarshalJSON(data []byte) error {
 			PortOutageCycles: jc.Faults.PortOutageCycles,
 			UnitOutageRate:   jc.Faults.UnitOutageRate,
 			UnitOutageCycles: jc.Faults.UnitOutageCycles,
+		}
+	}
+	if jc.Dynamic != nil {
+		out.Dynamic = DynamicModel{
+			Window:          jc.Dynamic.Window,
+			Predictor:       jc.Dynamic.Predictor,
+			PredictorBits:   jc.Dynamic.PredictorBits,
+			SquashPenalty:   jc.Dynamic.SquashPenalty,
+			PrefetchStreams: jc.Dynamic.PrefetchStreams,
+			PrefetchDegree:  jc.Dynamic.PrefetchDegree,
 		}
 	}
 	out.Memory = MemoryModel{

@@ -223,6 +223,11 @@ type Config struct {
 	// split-transaction wakeups, register-file port outages, function
 	// unit degradation windows). The zero value disables it.
 	Faults faults.Model
+
+	// Dynamic configures the optional dynamic-scheduling subsystem
+	// (out-of-order issue window, branch predictor, stride prefetcher).
+	// The zero value disables it (paper-exact in-order issue).
+	Dynamic DynamicModel
 }
 
 // UnitRef identifies one function unit within a Config.
@@ -372,6 +377,9 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("machine: op_cache.miss_penalty: %d (must be >= 1 when the cache is enabled)", c.OpCache.MissPenalty)
 	}
 	if err := c.Faults.Validate("machine: faults."); err != nil {
+		return err
+	}
+	if err := c.Dynamic.validate(c); err != nil {
 		return err
 	}
 	return nil

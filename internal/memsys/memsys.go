@@ -58,6 +58,14 @@ type Request struct {
 	// Tag is caller context, returned with the Completion.
 	Tag Tag
 
+	// PrefHit marks a load whose address was covered by a stride
+	// prefetch; PrefReady is the tick the prefetched data arrives. The
+	// hint is timing-only: a covered load completes at hit latency once
+	// the prefetch has landed, and is otherwise capped by the prefetch's
+	// arrival — it can never be slower than an unhinted load.
+	PrefHit   bool
+	PrefReady int64
+
 	// issuedAt records the tick the reference entered the memory system
 	// (latency histogram bookkeeping).
 	issuedAt int64
@@ -268,6 +276,10 @@ func (m *Memory) SetFaults(inj *faults.Injector) { m.inj = inj }
 // Size returns the memory size in words.
 func (m *Memory) Size() int64 { return int64(len(m.words)) }
 
+// Now returns the current memory tick (the clock prefetch hints are
+// expressed in).
+func (m *Memory) Now() int64 { return m.tick }
+
 // Stats returns a copy of the accumulated counters.
 func (m *Memory) Stats() Stats { return m.stats }
 
@@ -344,7 +356,25 @@ func (m *Memory) Issue(req *Request) error {
 // conflicting accesses), so a short-latency store can never overtake an
 // earlier long-latency store to the same word.
 func (m *Memory) start(req *Request) {
-	remaining := m.latency()
+	var remaining int
+	if !req.IsStore && req.PrefHit {
+		// A stride prefetch already fetched this word. Once the prefetch
+		// has (nearly) landed the demand load completes at hit latency
+		// with no demand draw; while still in flight, the load waits for
+		// it, capped by its own draw — a prefetch never slows a load.
+		wait := int(req.PrefReady - m.tick)
+		if wait <= m.model.HitLatency {
+			m.stats.Hits++
+			remaining = m.model.HitLatency
+		} else {
+			remaining = m.latency()
+			if wait < remaining {
+				remaining = wait
+			}
+		}
+	} else {
+		remaining = m.latency()
+	}
 	for _, f := range m.pending {
 		if f.req.Addr == req.Addr && (f.req.IsStore || req.IsStore) && f.remaining >= remaining {
 			remaining = f.remaining + 1
@@ -740,12 +770,14 @@ func (m *Memory) RecoverLostWakeups() int {
 
 // ReqState is a Request's serializable form.
 type ReqState struct {
-	IsStore  bool      `json:"is_store,omitempty"`
-	Sync     int       `json:"sync"`
-	Addr     int64     `json:"addr"`
-	Store    isa.Value `json:"store"`
-	Tag      Tag       `json:"tag"`
-	IssuedAt int64     `json:"issued_at"`
+	IsStore   bool      `json:"is_store,omitempty"`
+	Sync      int       `json:"sync"`
+	Addr      int64     `json:"addr"`
+	Store     isa.Value `json:"store"`
+	Tag       Tag       `json:"tag"`
+	PrefHit   bool      `json:"pref_hit,omitempty"`
+	PrefReady int64     `json:"pref_ready,omitempty"`
+	IssuedAt  int64     `json:"issued_at"`
 }
 
 // PendingState is an in-flight reference's serializable form.
@@ -784,6 +816,7 @@ func encodeReq(r *Request) ReqState {
 	return ReqState{
 		IsStore: r.IsStore, Sync: int(r.Sync), Addr: r.Addr,
 		Store: r.Store, Tag: r.Tag, IssuedAt: r.issuedAt,
+		PrefHit: r.PrefHit, PrefReady: r.PrefReady,
 	}
 }
 
@@ -791,6 +824,7 @@ func decodeReq(rs ReqState) *Request {
 	return &Request{
 		IsStore: rs.IsStore, Sync: isa.SyncFlavor(rs.Sync), Addr: rs.Addr,
 		Store: rs.Store, Tag: rs.Tag, issuedAt: rs.IssuedAt,
+		PrefHit: rs.PrefHit, PrefReady: rs.PrefReady,
 	}
 }
 

@@ -1,0 +1,66 @@
+package progfuzz
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"pcoup/internal/machine"
+)
+
+// dynDiffPresets are the dynamic-scheduling machine presets the
+// differential corpus must hold under: out-of-order windows, branch
+// speculation, and prefetching are microarchitectural, so any memory-
+// image divergence from the reference interpreter is a subsystem bug
+// (wrong-path state leaking, hazard rules too weak, prefetcher touching
+// architectural state).
+var dynDiffPresets = []machine.DynamicModel{
+	machine.DynOoO,
+	machine.DynTAGE,
+	machine.DynPrefetch,
+	machine.DynAll,
+}
+
+// TestDiffCorpusCoupledDyn runs the seeded corpus against the dynamic
+// presets, rotating the preset per seed so every preset sees a spread of
+// program shapes. Every mode of every program must match the oracle.
+func TestDiffCorpusCoupledDyn(t *testing.T) {
+	n := int64(120)
+	if testing.Short() {
+		n = 16
+	}
+	const shards = 8
+	for shard := int64(0); shard < shards; shard++ {
+		shard := shard
+		t.Run(fmt.Sprintf("shard%d", shard), func(t *testing.T) {
+			t.Parallel()
+			for seed := shard; seed < n; seed += shards {
+				d := dynDiffPresets[seed%int64(len(dynDiffPresets))]
+				cfg := machine.Baseline().WithDynamic(d)
+				src := GenerateOpts(seed, GenOptions{})
+				if err := DiffProgram(context.Background(), src, cfg, 0); err != nil {
+					t.Fatalf("seed %d (dynamic %+v): %v\n%s", seed, d, err, src)
+				}
+			}
+		})
+	}
+}
+
+// TestDiffWideCoupledDyn pushes the hundreds-of-threads regime through
+// the full CoupledDyn preset: every spawned thread gets its own window,
+// and the shared predictor and prefetcher see heavily interleaved
+// streams.
+func TestDiffWideCoupledDyn(t *testing.T) {
+	n := int64(8)
+	if testing.Short() {
+		n = 2
+	}
+	wide := GenOptions{MaxArraySize: 256, WideForall: true}
+	cfg := machine.Baseline().WithDynamic(machine.DynAll)
+	for seed := int64(0); seed < n; seed++ {
+		src := GenerateOpts(2_000_000+seed, wide)
+		if err := DiffProgram(context.Background(), src, cfg, 0); err != nil {
+			t.Fatalf("wide seed %d: %v\n%s", seed, err, src)
+		}
+	}
+}

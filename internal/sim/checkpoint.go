@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 
+	"pcoup/internal/dynsched"
 	"pcoup/internal/faults"
 	"pcoup/internal/interconnect"
 	"pcoup/internal/isa"
@@ -55,6 +56,50 @@ type Checkpoint struct {
 	Faults       *faults.State      `json:"faults,omitempty"`
 	OpCaches     []opCacheState     `json:"op_caches,omitempty"`
 	Attrib       *attribState       `json:"attrib,omitempty"`
+	// Dyn carries the dynamic-scheduling subsystem (predictor tables,
+	// prefetcher, per-thread issue windows, speculation bookkeeping);
+	// absent for paper-exact machines, so their checkpoints keep their
+	// exact bytes from before the subsystem existed.
+	Dyn *dynCheckpointState `json:"dyn,omitempty"`
+}
+
+// dynCheckpointState is the dynamic-scheduling subsystem's serializable
+// state: the shared predictor and prefetcher plus each thread's window.
+type dynCheckpointState struct {
+	Predictor *dynsched.PredictorState  `json:"predictor,omitempty"`
+	Prefetch  *dynsched.PrefetcherState `json:"prefetch,omitempty"`
+	Threads   []dynThreadState          `json:"threads,omitempty"`
+	Stats     DynStats                  `json:"stats"`
+}
+
+// dynThreadState is one thread's issue-window state, keyed by thread ID.
+type dynThreadState struct {
+	Thread      int             `json:"thread"`
+	SquashUntil int64           `json:"squash_until"`
+	SpecIssued  int64           `json:"spec_issued"`
+	Undo        []specUndoState `json:"undo,omitempty"`
+	Entries     []dynEntryState `json:"entries"`
+}
+
+// specUndoState is one recorded speculative register write.
+type specUndoState struct {
+	Reg   isa.RegRef `json:"reg"`
+	Old   isa.Value  `json:"old"`
+	WbSeq int64      `json:"wb_seq"`
+}
+
+// dynEntryState is one window entry.
+type dynEntryState struct {
+	IP        int    `json:"ip"`
+	Issued    []bool `json:"issued"`
+	Spec      bool   `json:"spec,omitempty"`
+	Resolved  bool   `json:"resolved,omitempty"`
+	Predicted bool   `json:"predicted,omitempty"`
+	PredTaken bool   `json:"pred_taken,omitempty"`
+	BrSlot    int    `json:"br_slot"`
+	Barrier   bool   `json:"barrier,omitempty"`
+	NextIP    int    `json:"next_ip"`
+	Target    int    `json:"target"`
 }
 
 // threadState is one thread's serializable state.
@@ -218,7 +263,45 @@ func (s *Sim) Snapshot() (*Checkpoint, error) {
 		}
 		ck.Attrib = st
 	}
+	if s.dyn != nil {
+		ds := &dynCheckpointState{Stats: s.dyn.stats}
+		if s.dyn.pred != nil {
+			ds.Predictor = s.dyn.pred.State()
+		}
+		if s.dyn.pref != nil {
+			ds.Prefetch = s.dyn.pref.State()
+		}
+		for _, t := range s.threads {
+			if t.dyn != nil {
+				ds.Threads = append(ds.Threads, snapshotDynThread(t))
+			}
+		}
+		for _, t := range s.pendingSpawns {
+			if t.dyn != nil {
+				ds.Threads = append(ds.Threads, snapshotDynThread(t))
+			}
+		}
+		ck.Dyn = ds
+	}
 	return ck, nil
+}
+
+func snapshotDynThread(t *Thread) dynThreadState {
+	d := t.dyn
+	ds := dynThreadState{Thread: t.ID, SquashUntil: d.squashUntil, SpecIssued: d.specIssued}
+	for _, u := range d.undo {
+		ds.Undo = append(ds.Undo, specUndoState{Reg: u.reg, Old: u.old, WbSeq: u.wbSeq})
+	}
+	for _, e := range d.win.Entries {
+		ds.Entries = append(ds.Entries, dynEntryState{
+			IP: e.IP, Issued: append([]bool(nil), e.Issued...),
+			Spec: e.Spec, Resolved: e.Resolved,
+			Predicted: e.Predicted, PredTaken: e.PredTaken,
+			BrSlot: e.BrSlot, Barrier: e.Barrier,
+			NextIP: e.NextIP, Target: e.Target,
+		})
+	}
+	return ds
 }
 
 // Restore resets the simulator to a checkpointed state. The Sim must
@@ -346,6 +429,63 @@ func (s *Sim) Restore(ck *Checkpoint) error {
 		copy(c.tags, cs.Tags)
 		c.fillTag, c.fillReady, c.filling = cs.FillTag, cs.FillReady, cs.Filling
 		c.misses = cs.Misses
+	}
+
+	if (ck.Dyn != nil) != (s.dyn != nil) {
+		return fmt.Errorf("sim: checkpoint and machine disagree on dynamic scheduling")
+	}
+	if ck.Dyn != nil {
+		if (ck.Dyn.Predictor != nil) != (s.dyn.pred != nil) {
+			return fmt.Errorf("sim: checkpoint and machine disagree on branch prediction")
+		}
+		if s.dyn.pred != nil {
+			if err := s.dyn.pred.Restore(ck.Dyn.Predictor); err != nil {
+				return err
+			}
+		}
+		if (ck.Dyn.Prefetch != nil) != (s.dyn.pref != nil) {
+			return fmt.Errorf("sim: checkpoint and machine disagree on prefetching")
+		}
+		if s.dyn.pref != nil {
+			if err := s.dyn.pref.Restore(ck.Dyn.Prefetch); err != nil {
+				return err
+			}
+		}
+		s.dyn.stats = ck.Dyn.Stats
+		s.dyn.stats.Prefetch = nil
+		for _, dts := range ck.Dyn.Threads {
+			t := byID[dts.Thread]
+			if t == nil {
+				return fmt.Errorf("sim: checkpoint window references unknown thread %d", dts.Thread)
+			}
+			if len(dts.Entries) > s.dyn.winCap {
+				return fmt.Errorf("sim: checkpoint thread %d window has %d entries, capacity is %d",
+					dts.Thread, len(dts.Entries), s.dyn.winCap)
+			}
+			win := dynsched.NewWindow(t.Seg, s.dyn.winCap, uint64(t.SegIdx)<<20)
+			for _, es := range dts.Entries {
+				if es.IP < 0 || es.IP >= len(t.Seg.Instrs) {
+					return fmt.Errorf("sim: checkpoint thread %d window entry ip %d out of range", dts.Thread, es.IP)
+				}
+				if len(es.Issued) != len(t.Seg.Instrs[es.IP].Ops) {
+					return fmt.Errorf("sim: checkpoint thread %d window entry ip %d has %d issue slots, word has %d",
+						dts.Thread, es.IP, len(es.Issued), len(t.Seg.Instrs[es.IP].Ops))
+				}
+				win.Entries = append(win.Entries, &dynsched.Entry{
+					IP: es.IP, Issued: append([]bool(nil), es.Issued...),
+					Spec: es.Spec, Resolved: es.Resolved,
+					Predicted: es.Predicted, PredTaken: es.PredTaken,
+					BrSlot: es.BrSlot, Barrier: es.Barrier,
+					NextIP: es.NextIP, Target: es.Target,
+				})
+			}
+			t.dyn = &dynThread{win: win, squashUntil: dts.SquashUntil, specIssued: dts.SpecIssued}
+			for _, u := range dts.Undo {
+				t.dyn.undo = append(t.dyn.undo, specUndo{reg: u.Reg, old: u.Old, wbSeq: u.WbSeq})
+			}
+			// Re-alias the thread's issue bitmap to the restored head entry.
+			s.syncHead(t)
+		}
 	}
 
 	s.cycle = ck.Cycle

@@ -1,0 +1,293 @@
+package sim_test
+
+// Tests for the dynamic-scheduling subsystem (internal/dynsched wired
+// through the cycle kernel): architectural correctness under every
+// preset, event-core vs ticking-kernel bit-identity, stall-attribution
+// conservation with the new causes, and mid-run checkpoint/resume
+// byte-identity with live predictor/prefetcher/window state.
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"pcoup/internal/bench"
+	"pcoup/internal/compiler"
+	"pcoup/internal/experiments"
+	"pcoup/internal/machine"
+	"pcoup/internal/sim"
+)
+
+// dynPresets names the four dynamic presets as the experiments surface
+// them.
+var dynPresets = []struct {
+	name string
+	mdl  machine.DynamicModel
+}{
+	{"CoupledOoO", machine.DynOoO},
+	{"CoupledTAGE", machine.DynTAGE},
+	{"CoupledPrefetch", machine.DynPrefetch},
+	{"CoupledDyn", machine.DynAll},
+}
+
+// TestDynCorrectness: every benchmark must compute the right answer
+// under every dynamic preset (speculation, window reordering, and
+// prefetching are microarchitectural only). experiments.Execute verifies
+// the memory image against the Go reference.
+func TestDynCorrectness(t *testing.T) {
+	for _, p := range dynPresets {
+		for _, b := range []string{"matrix", "fft", "model", "lud"} {
+			t.Run(p.name+"/"+b, func(t *testing.T) {
+				cfg := machine.Baseline().WithDynamic(p.mdl).WithMemory(machine.Mem2)
+				if _, err := experiments.Execute(b, experiments.COUPLED, cfg); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestDynEventTickingIdentity: the event core must produce bit-identical
+// results (including stall attribution and dynamic counters) on dynamic
+// configurations — six cells: three presets by two benchmarks.
+func TestDynEventTickingIdentity(t *testing.T) {
+	for _, p := range dynPresets[:3] {
+		for _, b := range []string{"matrix", "fft"} {
+			t.Run(p.name+"/"+b, func(t *testing.T) {
+				cfg := machine.Baseline().WithDynamic(p.mdl).WithMemory(machine.Mem2)
+				cfg, prog := compileOn(t, cfg, b, bench.Threaded, compiler.Unrestricted)
+				run := func(skip bool) []byte {
+					s, err := sim.New(cfg, prog, sim.WithCycleSkipping(skip), sim.WithStallAttribution())
+					if err != nil {
+						t.Fatal(err)
+					}
+					res, err := s.Run(0)
+					if err != nil {
+						t.Fatal(err)
+					}
+					s.Release()
+					data, err := json.Marshal(res)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if skip && s.SkippedCycles() == 0 && cfg.Memory.MissRate > 0 {
+						t.Logf("note: event core never engaged on %s/%s", p.name, b)
+					}
+					return data
+				}
+				event, ticking := run(true), run(false)
+				if string(event) != string(ticking) {
+					t.Errorf("event core result differs from ticking kernel\nevent:   %.200s\nticking: %.200s", event, ticking)
+				}
+			})
+		}
+	}
+}
+
+// TestDynConservation: on a CoupledDyn cell every active thread-cycle
+// must be attributed to exactly one cause — the new window-full and
+// branch-squash causes included — so the histogram total equals the
+// integrated active-thread slots.
+func TestDynConservation(t *testing.T) {
+	cfg := machine.Baseline().WithDynamic(machine.DynAll).WithMemory(machine.Mem2)
+	cfg, prog := compileOn(t, cfg, "lud", bench.Threaded, compiler.Unrestricted)
+	s, err := sim.New(cfg, prog, sim.WithStallAttribution())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stalls == nil {
+		t.Fatal("no stall stats")
+	}
+	if got := res.Stalls.Total.Total(); got != res.Stalls.Slots {
+		t.Errorf("attributed thread-cycles %d != classified slots %d", got, res.Stalls.Slots)
+	}
+	var active int64
+	for _, ts := range res.Threads {
+		active += ts.HaltAt - ts.SpawnAt
+		if ts.Stalls == nil {
+			continue
+		}
+		if ts.Stalls.Total() != ts.HaltAt-ts.SpawnAt {
+			t.Errorf("thread %d: attributed %d cycles, active %d", ts.ID, ts.Stalls.Total(), ts.HaltAt-ts.SpawnAt)
+		}
+	}
+	if res.Stalls.Slots != active {
+		t.Errorf("classified slots %d != integrated active thread-cycles %d", res.Stalls.Slots, active)
+	}
+	if res.Dyn == nil {
+		t.Fatal("no dynamic stats on a CoupledDyn run")
+	}
+	if res.Dyn.Branches == 0 {
+		t.Error("no branches resolved")
+	}
+	if res.Dyn.Prefetch == nil || res.Dyn.Prefetch.Demand == 0 {
+		t.Error("prefetcher observed no demand loads")
+	}
+}
+
+// TestDynDeterminism: identical runs of a CoupledDyn cell produce
+// byte-identical results (seeded rng everywhere, no map iteration).
+func TestDynDeterminism(t *testing.T) {
+	cfg := machine.Baseline().WithDynamic(machine.DynAll).WithMemory(machine.Mem2)
+	cfg, prog := compileOn(t, cfg, "fft", bench.Threaded, compiler.Unrestricted)
+	var first []byte
+	for i := 0; i < 3; i++ {
+		s, err := sim.New(cfg, prog, sim.WithStallAttribution())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Release()
+		data, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = data
+		} else if string(data) != string(first) {
+			t.Fatalf("run %d differs from run 0", i)
+		}
+	}
+}
+
+// TestDynCheckpointResume: a run interrupted mid-flight and restored
+// from a checkpoint — with live predictor tables, prefetcher streams,
+// and partially issued windows — must finish byte-identical to the
+// uninterrupted run, and a re-snapshot at the same cycle must be
+// byte-identical to the original checkpoint.
+func TestDynCheckpointResume(t *testing.T) {
+	cfg := machine.Baseline().WithDynamic(machine.DynAll).WithMemory(machine.Mem2)
+	cfg, prog := compileOn(t, cfg, "matrix", bench.Threaded, compiler.Unrestricted)
+
+	full, err := sim.New(cfg, prog, sim.WithStallAttribution())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cks []*sim.Checkpoint
+	fullRes, err := func() (*sim.Result, error) {
+		s, err := sim.New(cfg, prog, sim.WithStallAttribution(),
+			sim.WithCheckpointEvery(500, func(ck *sim.Checkpoint) error {
+				cks = append(cks, ck)
+				return nil
+			}))
+		if err != nil {
+			return nil, err
+		}
+		return s.Run(0)
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cks) == 0 {
+		t.Fatal("no checkpoints taken")
+	}
+	// Pick a mid-run checkpoint and require live dynamic state in it.
+	ck := cks[len(cks)/2]
+	if ck.Dyn == nil {
+		t.Fatal("checkpoint carries no dynamic state")
+	}
+	if ck.Dyn.Predictor == nil || ck.Dyn.Prefetch == nil {
+		t.Fatal("checkpoint missing predictor or prefetcher state")
+	}
+	live := false
+	for _, dt := range ck.Dyn.Threads {
+		if len(dt.Entries) > 0 {
+			live = true
+		}
+	}
+	if !live {
+		t.Fatal("no live window entries in mid-run checkpoint")
+	}
+
+	// Round-trip through JSON (as the on-disk path would).
+	data, err := json.Marshal(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loaded sim.Checkpoint
+	if err := json.Unmarshal(data, &loaded); err != nil {
+		t.Fatal(err)
+	}
+	if err := full.Restore(&loaded); err != nil {
+		t.Fatal(err)
+	}
+	// Re-snapshot immediately: must reproduce the original bytes.
+	again, err := full.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data2, err := json.Marshal(again)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Errorf("re-snapshot differs from original checkpoint\n a: %.300s\n b: %.300s", data, data2)
+	}
+	resumedRes, err := full.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(fullRes)
+	b, _ := json.Marshal(resumedRes)
+	if string(a) != string(b) {
+		t.Errorf("resumed result differs from uninterrupted run\nfull:    %.300s\nresumed: %.300s", a, b)
+	}
+}
+
+// TestDynParityWithDynamicOff: a config whose dynamic section is the
+// zero value must produce byte-identical results to one that never heard
+// of the section (the subsystem must be invisible when disabled).
+func TestDynParityWithDynamicOff(t *testing.T) {
+	base := machine.Baseline().WithMemory(machine.Mem2)
+	zeroed := base.WithDynamic(machine.DynamicModel{})
+	_, prog := compileOn(t, base, "model", bench.Threaded, compiler.Unrestricted)
+	run := func(cfg *machine.Config) []byte {
+		s, err := sim.New(cfg, prog, sim.WithStallAttribution())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Release()
+		data, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	if a, b := run(base), run(zeroed); string(a) != string(b) {
+		t.Error("zero-valued dynamic section changed simulation results")
+	}
+}
+
+// TestDynWindowBeatsInOrderSomewhere is a sanity lower bound: with a
+// window, TAGE, and prefetching, at least one benchmark must get faster
+// at a lossy memory model (the subsystem must buy something).
+func TestDynWindowBeatsInOrderSomewhere(t *testing.T) {
+	wins := 0
+	for _, b := range []string{"matrix", "fft", "model", "lud"} {
+		base := machine.Baseline().WithMemory(machine.Mem2)
+		dyn := base.WithDynamic(machine.DynAll)
+		_, prog := compileOn(t, base, b, bench.Threaded, compiler.Unrestricted)
+		inOrder := runOnce(t, base, prog)
+		windowed := runOnce(t, dyn, prog)
+		t.Logf("%s: in-order %d cycles, CoupledDyn %d cycles", b, inOrder, windowed)
+		if windowed < inOrder {
+			wins++
+		}
+	}
+	if wins == 0 {
+		t.Error("CoupledDyn beat plain Coupled on no benchmark at Mem2")
+	}
+}
+
+var _ = fmt.Sprintf // keep fmt for debug edits

@@ -120,6 +120,20 @@ func (s *Sim) skipBudget(stallLimit, maxCycles int64) int64 {
 	if b := s.lastProgress + stallLimit - s.cycle; b < k {
 		k = b
 	}
+	// Branch-squash suppression: a suppressed window thread resumes
+	// issue (and its attribution changes) at cycle squashUntil+1, so
+	// that cycle must execute. Within the jump every skipped cycle stays
+	// suppressed, keeping the per-cycle classification constant.
+	if s.dyn != nil {
+		for _, t := range s.threads {
+			if t.Halted || t.dyn == nil {
+				continue
+			}
+			if b := t.dyn.squashUntil - s.cycle; b >= 0 && b < k {
+				k = b
+			}
+		}
+	}
 	// Checkpoint boundary: land exactly on the next multiple so the
 	// checkpoint stream stays byte-identical.
 	if s.nextCkpt > 0 {

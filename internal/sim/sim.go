@@ -68,6 +68,10 @@ type Result struct {
 	// Faults summarizes injected faults and watchdog recoveries; nil
 	// unless the machine's fault model is enabled.
 	Faults *FaultStats
+	// Dyn summarizes the dynamic-scheduling subsystem (branch prediction,
+	// window issue, prefetching); nil unless cfg.Dynamic is enabled. The
+	// explicit tag keeps the field invisible in JSON for paper-exact runs.
+	Dyn *DynStats `json:"Dyn,omitempty"`
 }
 
 // FaultStats summarizes fault injection and recovery over a run.
@@ -133,6 +137,10 @@ type Sim struct {
 
 	// opCaches models per-unit operation caches when enabled (extension).
 	opCaches []*opCache
+
+	// dyn is the dynamic-scheduling subsystem (issue windows, branch
+	// prediction, prefetching); nil unless cfg.Dynamic is enabled.
+	dyn *dynState
 
 	cycle        int64
 	lastProgress int64
@@ -308,6 +316,9 @@ func New(cfg *machine.Config, prog *isa.Program, opts ...Option) (*Sim, error) {
 			s.opCaches[i] = newOpCache(cfg.OpCache)
 		}
 	}
+	if err := s.initDyn(); err != nil {
+		return nil, err
+	}
 	s.spawn(0) // main thread
 	s.activateSpawns()
 	return s, nil
@@ -378,6 +389,7 @@ func (s *Sim) spawn(segIdx int) *Thread {
 		t.Halted = true
 		t.HaltAt = s.cycle
 	}
+	s.attachWindow(t)
 	s.pendingSpawns = append(s.pendingSpawns, t)
 	return t
 }
@@ -625,7 +637,9 @@ func (s *Sim) step() {
 	// 3. Issue: per-unit arbitration among ready operations of all
 	// active threads.
 	opsBefore := s.stats.Ops
-	if s.cfg.LockStepIssue {
+	if s.dyn != nil && s.dyn.winCap > 0 {
+		s.issueDyn()
+	} else if s.cfg.LockStepIssue {
 		s.issueLockStep()
 	} else {
 		s.issueCoupled()
@@ -633,7 +647,6 @@ func (s *Sim) step() {
 	if s.stats.Ops != opsBefore {
 		busy = true
 	}
-	s.quiet = !busy
 
 	// 4. Stall attribution: classify what every active thread did (or
 	// why it could not issue) this cycle, before frontiers move.
@@ -641,9 +654,20 @@ func (s *Sim) step() {
 		s.classifyCycle()
 	}
 
-	// 5. Advance instruction frontiers.
+	// 5. Advance instruction frontiers. Window threads retire/extend in
+	// dynAdvance, which reports any structural change so the cycle is
+	// marked busy (the event core must never skip a retire or fetch).
 	for _, t := range s.threads {
-		if t.Halted || !t.wordDone() {
+		if t.Halted {
+			continue
+		}
+		if t.dyn != nil {
+			if s.dynAdvance(t) {
+				busy = true
+			}
+			continue
+		}
+		if !t.wordDone() {
 			continue
 		}
 		if !t.advance() {
@@ -651,6 +675,7 @@ func (s *Sim) step() {
 			t.HaltAt = s.cycle
 		}
 	}
+	s.quiet = !busy
 
 	// 6. Settle the per-thread ready caches: a thread that did not issue
 	// and has no ready unissued operation is marked stalled and drops
@@ -659,6 +684,16 @@ func (s *Sim) step() {
 	// only fires on the final issue's cycle) stay hot.
 	for _, t := range s.threads {
 		if t.stalled || t.lastIssue == s.cycle {
+			continue
+		}
+		if t.dyn != nil {
+			// A squash-suppressed thread stays hot: no later event marks
+			// the end of suppression, so it must keep getting scanned.
+			if s.cycle <= t.dyn.squashUntil {
+				t.stalled = false
+			} else {
+				t.stalled = !s.anyReadyDyn(t)
+			}
 			continue
 		}
 		t.stalled = !s.anyReady(t)
@@ -990,34 +1025,8 @@ func (s *Sim) issueOp(t *Thread, slot int, op *isa.Op) {
 	}
 
 	switch op.Code {
-	case isa.OpLoad:
-		addr := op.Offset
-		for _, v := range vals {
-			addr += v.AsInt()
-		}
-		req := s.allocReq()
-		*req = memsys.Request{
-			Sync: op.Sync, Addr: addr,
-			Tag: memsys.Tag{Thread: t.ID, SegIdx: t.SegIdx, IP: t.IP, Slot: slot, SrcCluster: u.Cluster},
-		}
-		if op.Sync != isa.SyncNone {
-			t.syncLoadsOut++
-		}
-		_ = s.mem.Issue(req)
-		s.rearmProbe()
-	case isa.OpStore:
-		addr := op.Offset
-		for _, v := range vals[1:] {
-			addr += v.AsInt()
-		}
-		req := s.allocReq()
-		*req = memsys.Request{
-			IsStore: true, Sync: op.Sync, Addr: addr, Store: vals[0],
-			Tag: memsys.Tag{Thread: t.ID, SegIdx: t.SegIdx, IP: t.IP, Slot: slot, SrcCluster: u.Cluster},
-		}
-		t.storesOut++
-		_ = s.mem.Issue(req)
-		s.rearmProbe()
+	case isa.OpLoad, isa.OpStore:
+		s.issueMemRef(t, slot, op, vals, t.IP)
 	case isa.OpJmp:
 		t.branchTaken = true
 		t.branchTarget = op.Target
@@ -1072,6 +1081,14 @@ func (s *Sim) finalize() {
 	}
 	for _, c := range s.opCaches {
 		s.stats.OpCacheMisses += c.misses
+	}
+	if s.dyn != nil {
+		d := s.dyn.stats
+		if s.dyn.pref != nil {
+			st := s.dyn.pref.Stats()
+			d.Prefetch = &st
+		}
+		s.stats.Dyn = &d
 	}
 	s.stats.PeakRegsPerCluster = make([]int, len(s.cfg.Clusters))
 	for _, t := range s.threads {

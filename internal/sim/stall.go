@@ -1,6 +1,9 @@
 package sim
 
 import (
+	"encoding/json"
+	"fmt"
+
 	"pcoup/internal/isa"
 	"pcoup/internal/memsys"
 )
@@ -45,14 +48,23 @@ const (
 	// function unit is inside an injected degradation window (fault
 	// injection only; never occurs on a healthy machine).
 	CauseFault
+	// CauseWindowFull: every fetched operation of a dynamic issue window
+	// is in flight or hazard-blocked behind older window entries; the
+	// thread is limited by window capacity / retire bandwidth (dynamic
+	// scheduling only).
+	CauseWindowFull
+	// CauseBranchSquash: issue is suppressed while the thread re-fetches
+	// after a branch misprediction (dynamic scheduling only).
+	CauseBranchSquash
 
 	// NumStallCauses is the number of distinct per-cycle classifications
 	// (including CauseIssued).
-	NumStallCauses = int(CauseFault) + 1
+	NumStallCauses = int(CauseBranchSquash) + 1
 )
 
 var stallCauseNames = [NumStallCauses]string{
 	"issued", "presence", "fu-busy", "writeback", "mem-bank", "mem-sync", "opcache", "fork-throttle", "fault",
+	"window-full", "branch-squash",
 }
 
 func (c StallCause) String() string {
@@ -85,6 +97,33 @@ func (b *StallBreakdown) Total() int64 {
 
 // Stalled sums only the non-issued classifications.
 func (b *StallBreakdown) Stalled() int64 { return b.Total() - b[CauseIssued] }
+
+// MarshalJSON emits the histogram as a JSON array, truncated to the
+// legacy nine causes while both dynamic-scheduling causes are zero, so
+// paper-exact results, goldens, and checkpoints keep their exact bytes
+// from before the dynamic subsystem existed.
+func (b StallBreakdown) MarshalJSON() ([]byte, error) {
+	n := NumStallCauses
+	if b[CauseWindowFull] == 0 && b[CauseBranchSquash] == 0 {
+		n = int(CauseFault) + 1
+	}
+	return json.Marshal(b[:n])
+}
+
+// UnmarshalJSON accepts both the legacy nine-element encoding and the
+// full array; absent trailing causes are zero.
+func (b *StallBreakdown) UnmarshalJSON(data []byte) error {
+	var vals []int64
+	if err := json.Unmarshal(data, &vals); err != nil {
+		return err
+	}
+	if len(vals) > NumStallCauses {
+		return fmt.Errorf("sim: stall breakdown has %d causes (max %d)", len(vals), NumStallCauses)
+	}
+	*b = StallBreakdown{}
+	copy(b[:], vals)
+	return nil
+}
 
 // StallStats is the run-wide stall attribution, populated on Result only
 // when WithStallAttribution (or a JSON tracer) was enabled.
@@ -174,13 +213,27 @@ func (s *Sim) classifyCycle() {
 // cause is the one that actually gated issue. It never mutates machine
 // state, so deadlock diagnosis may call it without attribution enabled.
 func (s *Sim) classify(t *Thread) (cause StallCause, slot int, reg isa.RegRef, hasReg bool) {
+	if t.dyn != nil {
+		return s.classifyDyn(t)
+	}
 	w := t.word()
 	if w == nil {
 		return CausePresence, -1, isa.RegRef{}, false
 	}
+	cause, slot, reg, hasReg, _ = s.classifyWord(t, w, t.issued)
+	return cause, slot, reg, hasReg
+}
+
+// classifyWord scans one instruction word's unissued operations in
+// ready() order and attributes the first blocking condition. blocked is
+// false when every unissued operation was ready and resident — the word
+// lost unit arbitration (the returned cause is then CauseFUBusy with
+// the first unissued slot); the dynamic-window classifier uses that
+// distinction to charge hazard-blocked-but-ready words to the window.
+func (s *Sim) classifyWord(t *Thread, w *isa.Instruction, issued []bool) (cause StallCause, slot int, reg isa.RegRef, hasReg bool, blocked bool) {
 	firstUnissued := -1
 	for si, op := range w.Ops {
-		if op == nil || (si < len(t.issued) && t.issued[si]) {
+		if op == nil || (si < len(issued) && issued[si]) {
 			continue
 		}
 		if firstUnissued < 0 {
@@ -194,45 +247,45 @@ func (s *Sim) classify(t *Thread) (cause StallCause, slot int, reg isa.RegRef, h
 		}
 		for _, src := range op.Srcs {
 			if src.Kind == isa.OperandReg && !t.Regs.Valid(src.Reg) {
-				return s.regWaitCause(t, src.Reg), si, src.Reg, true
+				return s.regWaitCause(t, src.Reg), si, src.Reg, true, true
 			}
 		}
 		for _, d := range op.Dests {
 			if !t.Regs.Valid(d) {
-				return s.regWaitCause(t, d), si, d, true
+				return s.regWaitCause(t, d), si, d, true, true
 			}
 		}
 		switch op.Code {
 		case isa.OpFork:
 			if s.activeCount() >= s.cfg.MaxActiveThreads() {
-				return CauseFork, si, isa.RegRef{}, false
+				return CauseFork, si, isa.RegRef{}, false, true
 			}
 			if t.storesOut > 0 || t.syncLoadsOut > 0 {
-				return CauseMemSync, si, isa.RegRef{}, false
+				return CauseMemSync, si, isa.RegRef{}, false, true
 			}
 		case isa.OpStore:
 			if (op.Sync == isa.SyncProduce && t.storesOut > 0) || t.syncLoadsOut > 0 {
-				return CauseMemSync, si, isa.RegRef{}, false
+				return CauseMemSync, si, isa.RegRef{}, false, true
 			}
 		case isa.OpLoad:
 			if t.syncLoadsOut > 0 {
-				return CauseMemSync, si, isa.RegRef{}, false
+				return CauseMemSync, si, isa.RegRef{}, false, true
 			}
 		}
 		if !s.opCachePresent(si, t) {
-			return CauseOpCache, si, isa.RegRef{}, false
+			return CauseOpCache, si, isa.RegRef{}, false, true
 		}
 		// Ready and resident: if the unit is inside an injected
 		// degradation window, that — not arbitration — gated issue.
 		// UnitDownQuiet is a read-only probe of this cycle's already
 		// sampled schedule, so classification stays side-effect free.
 		if s.inj != nil && s.inj.UnitDownQuiet(si, s.cycle) {
-			return CauseFault, si, isa.RegRef{}, false
+			return CauseFault, si, isa.RegRef{}, false, true
 		}
 	}
 	// Every unissued operation was ready and resident: the unit(s) went
 	// to other threads this cycle.
-	return CauseFUBusy, firstUnissued, isa.RegRef{}, false
+	return CauseFUBusy, firstUnissued, isa.RegRef{}, false, false
 }
 
 // regWaitCause refines a presence-bit wait on reg: was the producing

@@ -48,6 +48,11 @@ type Thread struct {
 	// of this thread issues until they complete, so data guarded by a
 	// flag is never read before the flag.
 	syncLoadsOut int
+	// dyn is the thread's dynamic-scheduling state (issue window and
+	// squash bookkeeping); nil unless cfg.Dynamic.Window > 0. When set,
+	// IP and issued alias the window's head entry, so the legacy
+	// word-oriented helpers keep seeing the architectural frontier.
+	dyn *dynThread
 	// stalled caches "no unissued operation of the current word is
 	// ready": issue arbitration skips the thread until an event that can
 	// change its readiness clears the flag — a register writeback, a
